@@ -1,0 +1,292 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchSetup is shared by all experiment benchmarks; building it is
+// itself measured by BenchmarkBuildPipeline.
+var (
+	benchOnce sync.Once
+	benchVal  *experiments.Setup
+	benchErr  error
+)
+
+func setup(b *testing.B) *experiments.Setup {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchVal, benchErr = experiments.NewSetup(experiments.Options{Sentences: 20000})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchVal
+}
+
+// BenchmarkBuildPipeline measures the full build: corpus generation,
+// iterative extraction, taxonomy construction, probabilistic annotation.
+// (The paper: 7h/10 machines for extraction + 4h/30 machines for
+// construction at web scale.)
+func BenchmarkBuildPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.NewSetup(experiments.Options{Sentences: 20000, Seed: int64(11 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.PB.Graph.NumNodes() == 0 {
+			b.Fatal("empty taxonomy")
+		}
+	}
+}
+
+// --- One benchmark per table and figure of the evaluation ---
+
+func BenchmarkTable1ConceptSpace(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := s.Table1()
+		if len(rows) != 5 {
+			b.Fatal("bad table 1")
+		}
+	}
+}
+
+func BenchmarkTable4Hierarchy(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Typicality(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := s.Table5()
+		if len(rows) != 40 {
+			b.Fatal("bad table 5")
+		}
+	}
+}
+
+// BenchmarkFig5RelevantConcepts, Fig6 and Fig7 share one sweep; each
+// bench regenerates the full coverage analysis and validates its own
+// series.
+func coverageBench(b *testing.B, check func(*experiments.CoverageResult) error) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := s.Coverage(20000)
+		if err := check(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5RelevantConcepts(b *testing.B) {
+	coverageBench(b, func(r *experiments.CoverageResult) error {
+		for _, series := range r.Series {
+			if len(series.Points) == 0 || series.Points[len(series.Points)-1].RelevantConcepts == 0 {
+				return fmt.Errorf("series %s empty", series.Name)
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkFig6TaxonomyCoverage(b *testing.B) {
+	coverageBench(b, func(r *experiments.CoverageResult) error {
+		for _, series := range r.Series {
+			if series.Points[len(series.Points)-1].Covered == 0 {
+				return fmt.Errorf("series %s empty", series.Name)
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkFig7ConceptCoverage(b *testing.B) {
+	coverageBench(b, func(r *experiments.CoverageResult) error {
+		for _, series := range r.Series {
+			if series.Points[len(series.Points)-1].ConceptCovered == 0 {
+				return fmt.Errorf("series %s empty", series.Name)
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkFig8SizeDistribution(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, _ := s.Fig8()
+		if len(ds) != 2 {
+			b.Fatal("bad fig 8")
+		}
+	}
+}
+
+func BenchmarkFig9Precision(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cps, _ := s.Fig9()
+		if len(cps) != 40 {
+			b.Fatal("bad fig 9")
+		}
+	}
+}
+
+func BenchmarkFig10Iterations(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := s.Fig10()
+		if len(rows) == 0 {
+			b.Fatal("bad fig 10")
+		}
+	}
+}
+
+func BenchmarkFig11IterPrecision(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := s.Fig11()
+		if len(rows) == 0 {
+			b.Fatal("bad fig 11")
+		}
+	}
+}
+
+func BenchmarkFig12Attributes(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _ := s.Fig12()
+		if rep.Concepts == 0 {
+			b.Fatal("bad fig 12")
+		}
+	}
+}
+
+// --- Section 5.3 applications and Section 2/3 ablations ---
+
+func BenchmarkSemanticSearch(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _ := s.Search()
+		if rep.Queries == 0 {
+			b.Fatal("bad search report")
+		}
+	}
+}
+
+func BenchmarkShortText(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _ := s.ShortText()
+		if rep.Tweets == 0 {
+			b.Fatal("bad short-text report")
+		}
+	}
+}
+
+func BenchmarkWebTables(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _ := s.WebTables()
+		if rep.Tables == 0 {
+			b.Fatal("bad web-table report")
+		}
+	}
+}
+
+func BenchmarkSyntacticBaseline(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _ := s.Baseline()
+		if rep.SyntacticPairs == 0 {
+			b.Fatal("bad baseline report")
+		}
+	}
+}
+
+func BenchmarkJaccardAblation(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _ := s.Jaccard()
+		if rep.AbsSenses == 0 {
+			b.Fatal("bad ablation report")
+		}
+	}
+}
+
+func BenchmarkMergeOrder(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _ := s.MergeOrder()
+		if !rep.Confluent {
+			b.Fatal("not confluent")
+		}
+	}
+}
+
+func BenchmarkPlausibilityFilter(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _ := s.Plausibility()
+		if rep.Pairs == 0 {
+			b.Fatal("bad plausibility report")
+		}
+	}
+}
+
+func BenchmarkGrowthSweep(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, _ := s.Growth()
+		if len(points) == 0 {
+			b.Fatal("bad growth sweep")
+		}
+	}
+}
+
+func BenchmarkMergeFreebase(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _ := s.MergeFreebase()
+		if rep.InstancesAfter == 0 {
+			b.Fatal("bad merge report")
+		}
+	}
+}
+
+func BenchmarkQueryInterpretation(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _ := s.InterpretExp()
+		if rep.Pairs == 0 {
+			b.Fatal("bad interpretation report")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command corpusgen generates a synthetic web corpus (the 1.68-billion-
+// page substitute) and writes it in the tab-separated format consumed by
+// probase-build.
+//
+// Usage:
+//
+//	corpusgen -sentences 50000 -scale 1 -seed 11 -o corpus.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("corpusgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		sentences = fs.Int("sentences", 50000, "number of sentences to generate")
+		scale     = fs.Float64("scale", 1, "world expansion scale")
+		seed      = fs.Int64("seed", 11, "PRNG seed")
+		out       = fs.String("o", "corpus.tsv", "output file ('-' for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := corpus.DefaultWorld(*scale)
+	c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: *sentences, Seed: *seed}).Generate()
+
+	var dst io.Writer = stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if _, err := c.WriteTo(dst); err != nil {
+		return err
+	}
+	st := w.Stats()
+	fmt.Fprintf(stderr, "corpusgen: %d sentences over world with %d concepts, %d instances\n",
+		len(c.Sentences), st.Concepts, st.Instances)
+	return nil
+}

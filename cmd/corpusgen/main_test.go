@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestRunWritesCorpusFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.tsv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-sentences", "500", "-o", out}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sents, err := corpus.ReadSentences(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sents) != 500 {
+		t.Errorf("wrote %d sentences", len(sents))
+	}
+	if !strings.Contains(stderr.String(), "500 sentences") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-sentences", "50", "-o", "-"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	sents, err := corpus.ReadSentences(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sents) != 50 {
+		t.Errorf("stdout had %d sentences", len(sents))
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-nope"}, &stdout, &stderr); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunUnwritablePath(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-sentences", "10", "-o", "/nonexistent-dir/x.tsv"}, &stdout, &stderr); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

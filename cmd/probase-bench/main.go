@@ -1,0 +1,119 @@
+// Command probase-bench regenerates every table and figure of the
+// paper's evaluation (Section 5) plus the design-choice ablations, and
+// prints them as text tables. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured commentary.
+//
+// Usage:
+//
+//	probase-bench -exp all
+//	probase-bench -exp table1,fig9,fig10 -sentences 20000 -scale 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var experimentOrder = []string{
+	"table1", "table4", "table5", "coverage", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "search", "shorttext", "webtables", "baseline",
+	"jaccard", "mergeorder", "plausibility", "growth", "merge", "interpret", "extras",
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "probase-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("probase-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp       = fs.String("exp", "all", "comma-separated experiments, or 'all' ("+strings.Join(experimentOrder, ",")+"); coverage = figs 5-7")
+		sentences = fs.Int("sentences", 20000, "corpus size")
+		scale     = fs.Float64("scale", 1, "world scale")
+		seed      = fs.Int64("seed", 11, "corpus seed")
+		queries   = fs.Int("queries", 50000, "query-log size for the coverage figures")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *exp == "all" {
+		for _, e := range experimentOrder {
+			want[e] = true
+		}
+	} else {
+		known := map[string]bool{}
+		for _, e := range experimentOrder {
+			known[e] = true
+		}
+		for _, e := range strings.Split(*exp, ",") {
+			e = strings.TrimSpace(e)
+			if e == "fig5" || e == "fig6" || e == "fig7" {
+				e = "coverage"
+			}
+			if !known[e] {
+				return fmt.Errorf("unknown experiment %q (have: %s)", e, strings.Join(experimentOrder, ","))
+			}
+			want[e] = true
+		}
+	}
+
+	start := time.Now()
+	setup, err := experiments.NewSetup(experiments.Options{
+		Scale: *scale, Sentences: *sentences, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "setup: scale=%.1f sentences=%d seed=%d (built in %v)\n\n",
+		*scale, *sentences, *seed, time.Since(start).Round(time.Millisecond))
+
+	runOne := func(name string, fn func() string) {
+		if !want[name] {
+			return
+		}
+		t0 := time.Now()
+		text := fn()
+		fmt.Fprintln(stdout, text)
+		fmt.Fprintf(stdout, "[%s: %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	runOne("table1", func() string { _, s := setup.Table1(); return s })
+	runOne("table4", func() string {
+		_, s, err := setup.Table4()
+		if err != nil {
+			return "table4 failed: " + err.Error()
+		}
+		return s
+	})
+	runOne("table5", func() string { _, s := setup.Table5(); return s })
+	runOne("coverage", func() string { _, s := setup.Coverage(*queries); return s })
+	runOne("fig8", func() string { _, s := setup.Fig8(); return s })
+	runOne("fig9", func() string { _, s := setup.Fig9(); return s })
+	runOne("fig10", func() string { _, s := setup.Fig10(); return s })
+	runOne("fig11", func() string { _, s := setup.Fig11(); return s })
+	runOne("fig12", func() string { _, s := setup.Fig12(); return s })
+	runOne("search", func() string { _, s := setup.Search(); return s })
+	runOne("shorttext", func() string { _, s := setup.ShortText(); return s })
+	runOne("webtables", func() string { _, s := setup.WebTables(); return s })
+	runOne("baseline", func() string { _, s := setup.Baseline(); return s })
+	runOne("jaccard", func() string { _, s := setup.Jaccard(); return s })
+	runOne("mergeorder", func() string { _, s := setup.MergeOrder(); return s })
+	runOne("plausibility", func() string { _, s := setup.Plausibility(); return s })
+	runOne("growth", func() string { _, s := setup.Growth(); return s })
+	runOne("merge", func() string { _, s := setup.MergeFreebase(); return s })
+	runOne("interpret", func() string { _, s := setup.InterpretExp(); return s })
+	runOne("extras", func() string { _, s := setup.Extras(); return s })
+	return nil
+}

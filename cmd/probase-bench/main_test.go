@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchSelectedExperiments(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-exp", "table1,fig10,extras", "-sentences", "4000", "-queries", "2000"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Table 1", "Figure 10", "Overall extraction quality"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Figure 9") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestBenchFigAliases(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-exp", "fig5", "-sentences", "4000", "-queries", "2000"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Figure 5") {
+		t.Error("fig5 alias did not run the coverage sweep")
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-exp", "nonsense"}, &stdout, &stderr); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBenchBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bogus"}, &stdout, &stderr); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

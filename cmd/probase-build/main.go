@@ -1,0 +1,104 @@
+// Command probase-build runs the full Probase pipeline over a corpus file
+// (iterative extraction -> taxonomy construction -> probabilistic
+// annotation) and writes a binary taxonomy snapshot.
+//
+// Usage:
+//
+//	probase-build -corpus corpus.tsv -o probase.bin [-scale 1] [-rounds 12] [-full]
+//
+// The -scale flag must match the scale the corpus was generated with; the
+// expanded world is used as the plausibility model's training oracle (the
+// role WordNet plays in the paper). With -full, Γ (evidence and
+// co-occurrence statistics) is persisted alongside the graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "probase-build:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("probase-build", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		corpusPath = fs.String("corpus", "corpus.tsv", "corpus file from corpusgen")
+		out        = fs.String("o", "probase.bin", "output snapshot path")
+		scale      = fs.Float64("scale", 1, "world scale used when generating the corpus")
+		rounds     = fs.Int("rounds", 0, "max extraction rounds (0 = default)")
+		workers    = fs.Int("workers", 0, "extraction workers (0 = GOMAXPROCS)")
+		full       = fs.Bool("full", false, "also persist Γ (evidence, co-occurrence) for richer reload")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f, err := os.Open(*corpusPath)
+	if err != nil {
+		return err
+	}
+	sentences, err := corpus.ReadSentences(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	inputs := make([]extraction.Input, len(sentences))
+	for i, s := range sentences {
+		inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+	}
+
+	w := corpus.DefaultWorld(*scale)
+	cfg := core.Config{
+		Oracle: func(x, y string) (bool, bool) {
+			if !w.KnownTerm(x) || !w.KnownTerm(y) {
+				return false, false
+			}
+			return w.IsTrueIsA(x, y), true
+		},
+	}
+	cfg.Extraction.MaxRounds = *rounds
+	cfg.Extraction.Workers = *workers
+
+	start := time.Now()
+	pb, err := core.Build(inputs, cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	save := pb.Save
+	if *full {
+		save = pb.SaveFull
+	}
+	if err := save(of); err != nil {
+		of.Close()
+		return err
+	}
+	if err := of.Close(); err != nil {
+		return err
+	}
+
+	st := pb.Store.Stats()
+	fmt.Fprintf(stderr,
+		"probase-build: %d sentences parsed, %d rounds, %d pairs, %d concepts; taxonomy %d nodes / %d edges; %v\n",
+		pb.Info.Parsed, len(pb.Info.Rounds), st.Pairs, st.Supers,
+		pb.Graph.NumNodes(), pb.Graph.NumEdges(), elapsed.Round(time.Millisecond))
+	return nil
+}

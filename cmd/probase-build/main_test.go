@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func writeCorpus(t *testing.T, n int) string {
+	t.Helper()
+	w := corpus.DefaultWorld(1)
+	c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: n, Seed: 11}).Generate()
+	path := filepath.Join(t.TempDir(), "c.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestBuildGraphSnapshot(t *testing.T) {
+	corpusPath := writeCorpus(t, 4000)
+	out := filepath.Join(t.TempDir(), "p.bin")
+	var stderr bytes.Buffer
+	if err := run([]string{"-corpus", corpusPath, "-o", out}, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pb, err := core.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Graph.NumNodes() == 0 {
+		t.Error("snapshot has no nodes")
+	}
+	if !strings.Contains(stderr.String(), "pairs") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestBuildFullSnapshot(t *testing.T) {
+	corpusPath := writeCorpus(t, 4000)
+	out := filepath.Join(t.TempDir(), "p.bin")
+	var stderr bytes.Buffer
+	if err := run([]string{"-corpus", corpusPath, "-o", out, "-full"}, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pb, err := core.LoadFull(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Store == nil || pb.Store.NumPairs() == 0 {
+		t.Error("full snapshot lost Γ")
+	}
+}
+
+func TestBuildMissingCorpus(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run([]string{"-corpus", "/no/such/file.tsv"}, &stderr); err == nil {
+		t.Error("missing corpus accepted")
+	}
+}
+
+func TestBuildMalformedCorpus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.tsv")
+	if err := os.WriteFile(path, []byte("not a corpus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	if err := run([]string{"-corpus", path}, &stderr); err == nil {
+		t.Error("malformed corpus accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Command probase-query answers conceptualisation queries against a
+// taxonomy snapshot built by probase-build. Both graph-only and full
+// (graph + Γ) snapshots are accepted; the flavour is auto-detected.
+//
+// Usage:
+//
+//	probase-query -snapshot probase.bin instances companies
+//	probase-query -snapshot probase.bin concepts IBM
+//	probase-query -snapshot probase.bin abstract China India Brazil
+//	probase-query -snapshot probase.bin senses plants
+//	probase-query -snapshot probase.bin plausibility companies IBM
+//	probase-query -snapshot probase.bin ner IBM opened an office in Singapore
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+const usageText = `usage: probase-query [-snapshot file] [-k n] <command> <args...>
+commands:
+  instances <concept>        typical instances by T(i|x)
+  concepts <term>            typical concepts by T(x|i)
+  abstract <term> <term>...  joint conceptualisation of a term set
+  senses <label>             sense nodes of a concept label
+  plausibility <x> <y>       P(x, y) of the isA claim
+  ner <text...>              tag known entities with fine-grained concepts`
+
+var errUsage = errors.New(usageText)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "probase-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("probase-query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		snapshot = fs.String("snapshot", "probase.bin", "taxonomy snapshot")
+		k        = fs.Int("k", 10, "number of results")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 2 {
+		return errUsage
+	}
+
+	pb, err := loadSnapshot(*snapshot)
+	if err != nil {
+		return err
+	}
+
+	cmd, cargs := rest[0], rest[1:]
+	switch cmd {
+	case "instances":
+		for _, r := range pb.InstancesOf(strings.Join(cargs, " "), *k) {
+			fmt.Fprintf(stdout, "%-40s %.4f\n", r.Label, r.Score)
+		}
+	case "concepts":
+		for _, r := range pb.ConceptsOf(strings.Join(cargs, " "), *k) {
+			fmt.Fprintf(stdout, "%-40s %.4f\n", r.Label, r.Score)
+		}
+	case "abstract":
+		ranked, ok := pb.Conceptualize(cargs, *k)
+		if !ok {
+			return fmt.Errorf("no known terms in %v", cargs)
+		}
+		for _, r := range ranked {
+			fmt.Fprintf(stdout, "%-40s %.4f\n", r.Label, r.Score)
+		}
+	case "senses":
+		for _, s := range pb.SensesOf(strings.Join(cargs, " ")) {
+			fmt.Fprintln(stdout, s)
+		}
+	case "plausibility":
+		if len(cargs) < 2 {
+			return errUsage
+		}
+		fmt.Fprintf(stdout, "%.4f\n", pb.Plausibility(cargs[0], strings.Join(cargs[1:], " ")))
+	case "ner":
+		recognizer := apps.NewRecognizer(pb)
+		for _, m := range recognizer.Recognize(strings.Join(cargs, " ")) {
+			fmt.Fprintf(stdout, "%-30s %-25s %.4f\n", m.Text, m.Concept, m.Score)
+		}
+	default:
+		return errUsage
+	}
+	return nil
+}
+
+// loadSnapshot auto-detects the snapshot flavour by magic.
+func loadSnapshot(path string) (*core.Probase, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if string(magic) == "PBFL" {
+		return core.LoadFull(f)
+	}
+	return core.Load(f)
+}

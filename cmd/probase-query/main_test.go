@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+)
+
+var (
+	snapOnce sync.Once
+	snapPath string
+	snapErr  error
+)
+
+// snapshotPath builds one full snapshot for all query tests.
+func snapshotPath(t *testing.T) string {
+	t.Helper()
+	snapOnce.Do(func() {
+		w := corpus.DefaultWorld(1)
+		c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: 8000, Seed: 11}).Generate()
+		inputs := make([]extraction.Input, len(c.Sentences))
+		for i, s := range c.Sentences {
+			inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+		}
+		pb, err := core.Build(inputs, core.Config{})
+		if err != nil {
+			snapErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "probase-query-test")
+		if err != nil {
+			snapErr = err
+			return
+		}
+		snapPath = filepath.Join(dir, "p.bin")
+		f, err := os.Create(snapPath)
+		if err != nil {
+			snapErr = err
+			return
+		}
+		defer f.Close()
+		snapErr = pb.SaveFull(f)
+	})
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	return snapPath
+}
+
+func query(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(append([]string{"-snapshot", snapshotPath(t)}, args...), &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestQueryInstances(t *testing.T) {
+	out, err := query(t, "instances", "companies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IBM") {
+		t.Errorf("instances output missing IBM:\n%s", out)
+	}
+}
+
+func TestQueryConcepts(t *testing.T) {
+	out, err := query(t, "concepts", "IBM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "company") {
+		t.Errorf("concepts output missing company:\n%s", out)
+	}
+}
+
+func TestQueryAbstract(t *testing.T) {
+	out, err := query(t, "abstract", "China", "India", "Brazil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.TrimSpace(out)) == 0 {
+		t.Error("abstract produced nothing")
+	}
+	if _, err := query(t, "abstract", "zzz-unknown-term"); err == nil {
+		t.Error("unknown abstraction succeeded")
+	}
+}
+
+func TestQuerySensesAndPlausibility(t *testing.T) {
+	out, err := query(t, "senses", "plants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "plant") {
+		t.Errorf("senses output:\n%s", out)
+	}
+	out, err = query(t, "plausibility", "companies", "IBM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) == "0.0000" {
+		t.Error("plausibility of (company, IBM) is zero")
+	}
+}
+
+func TestQueryNER(t *testing.T) {
+	out, err := query(t, "ner", "IBM", "opened", "in", "Singapore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IBM") || !strings.Contains(out, "Singapore") {
+		t.Errorf("ner output:\n%s", out)
+	}
+}
+
+func TestQueryUsageErrors(t *testing.T) {
+	if _, err := query(t, "instances"); err == nil {
+		t.Error("missing args accepted")
+	}
+	if _, err := query(t, "bogus", "x"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if _, err := query(t, "plausibility", "one-arg"); err == nil {
+		t.Error("plausibility with one arg accepted")
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-snapshot", "/no/such.bin", "instances", "x"}, &stdout, &stderr); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+}

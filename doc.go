@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Probase: A
+// Probabilistic Taxonomy for Text Understanding" (Wu, Li, Wang, Zhu —
+// SIGMOD 2012).
+//
+// The library lives under internal/: the iterative semantic extractor
+// (internal/extraction), the sense-aware taxonomy builder
+// (internal/taxonomy), the probabilistic layer (internal/prob), the
+// public facade (internal/core), the substrates (internal/corpus,
+// internal/graph, internal/querylog, internal/nlp, internal/hearst,
+// internal/kb), the comparators (internal/baseline), the applications
+// (internal/apps) and the evaluation harness (internal/eval,
+// internal/experiments).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation.
+package repro

@@ -1,0 +1,80 @@
+// Quickstart: build a probabilistic taxonomy from a synthetic web corpus
+// and run the two conceptualisation primitives the paper motivates —
+// instantiation (concept -> typical instances) and abstraction
+// (instances -> typical concepts).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+)
+
+func main() {
+	// 1. A ground-truth world drives the corpus substrate and doubles as
+	//    the plausibility model's training oracle (the WordNet role).
+	world := corpus.DefaultWorld(1)
+	web := corpus.NewGenerator(world, corpus.GenConfig{Sentences: 15000, Seed: 11}).Generate()
+
+	inputs := make([]extraction.Input, len(web.Sentences))
+	for i, s := range web.Sentences {
+		inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+	}
+
+	// 2. Build: iterative semantic extraction (Section 2), taxonomy
+	//    construction with sense separation (Section 3), plausibility and
+	//    typicality (Section 4).
+	pb, err := core.Build(inputs, core.Config{
+		Oracle: func(x, y string) (bool, bool) {
+			if !world.KnownTerm(x) || !world.KnownTerm(y) {
+				return false, false
+			}
+			return world.IsTrueIsA(x, y), true
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built taxonomy: %d nodes, %d edges, %d extraction rounds\n\n",
+		pb.Graph.NumNodes(), pb.Graph.NumEdges(), len(pb.Info.Rounds))
+
+	// 3. Instantiation: what are typical companies?
+	fmt.Println("typical companies (T(i|x)):")
+	for _, r := range pb.InstancesOf("companies", 5) {
+		fmt.Printf("  %-30s %.4f\n", r.Label, r.Score)
+	}
+
+	// 4. Abstraction: what is IBM?
+	fmt.Println("\nconcepts of IBM (T(x|i)):")
+	for _, r := range pb.ConceptsOf("IBM", 5) {
+		fmt.Printf("  %-30s %.4f\n", r.Label, r.Score)
+	}
+
+	// 5. Joint abstraction — the paper's Example 1: China, India and
+	//    Brazil together are best described by a tight concept.
+	fmt.Println("\nconceptualising {China, India, Brazil}:")
+	if ranked, ok := pb.Conceptualize([]string{"China", "India", "Brazil"}, 5); ok {
+		for _, r := range ranked {
+			fmt.Printf("  %-30s %.4f\n", r.Label, r.Score)
+		}
+	}
+
+	// 6. Word senses: "plants" is botanical and industrial.
+	fmt.Println("\nsenses of 'plants':")
+	for _, sense := range pb.SensesOf("plants") {
+		top := pb.InstancesOfSense(sense, 3)
+		fmt.Printf("  %-10s ->", sense)
+		for _, r := range top {
+			fmt.Printf(" %s", r.Label)
+		}
+		fmt.Println()
+	}
+
+	// 7. Plausibility: knowledge is not black and white.
+	fmt.Println("\nplausibility:")
+	fmt.Printf("  P(company, IBM)  = %.3f\n", pb.Plausibility("companies", "IBM"))
+	fmt.Printf("  P(dog, cat)      = %.3f\n", pb.Plausibility("dogs", "cat"))
+}

@@ -1,0 +1,54 @@
+// Web-table understanding (Section 5.3.2): infer the hidden header of a
+// table column by jointly abstracting its cells with T(x|i).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+)
+
+func main() {
+	world := corpus.DefaultWorld(1)
+	web := corpus.NewGenerator(world, corpus.GenConfig{Sentences: 15000, Seed: 11}).Generate()
+	inputs := make([]extraction.Input, len(web.Sentences))
+	for i, s := range web.Sentences {
+		inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+	}
+	pb, err := core.Build(inputs, core.Config{
+		Oracle: func(x, y string) (bool, bool) {
+			if !world.KnownTerm(x) || !world.KnownTerm(y) {
+				return false, false
+			}
+			return world.IsTrueIsA(x, y), true
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A few hand-written columns with hidden headers.
+	columns := [][]string{
+		{"Heathrow", "Gatwick", "Changi", "Narita"},
+		{"Linux", "Solaris", "FreeBSD"},
+		{"Everest", "Kilimanjaro", "Mont Blanc", "K2"},
+		{"Harvard", "Stanford", "Yale", "Oxford"},
+	}
+	for _, col := range columns {
+		header, ok := apps.InferHeader(pb, col)
+		if !ok {
+			header = "(unknown)"
+		}
+		fmt.Printf("%-45s -> header: %s\n", strings.Join(col, ", "), header)
+	}
+
+	// Aggregate evaluation over generated tables.
+	rep := apps.EvaluateTables(pb, world, 200, 9)
+	fmt.Printf("\nheader inference over %d generated tables: %d inferred, precision %.1f%% (paper: 96%%)\n",
+		rep.Tables, rep.Inferred, 100*rep.Precision())
+}

@@ -1,0 +1,208 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+)
+
+// The apps fixture is expensive (full pipeline); build it once.
+var (
+	fixOnce sync.Once
+	fixPB   *core.Probase
+	fixW    *corpus.World
+	fixC    *corpus.Corpus
+)
+
+func fixture(t testing.TB) (*core.Probase, *corpus.World, *corpus.Corpus) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixW = corpus.DefaultWorld(1)
+		fixC = corpus.NewGenerator(fixW, corpus.GenConfig{Sentences: 14000, Seed: 11}).Generate()
+		inputs := make([]extraction.Input, len(fixC.Sentences))
+		for i, s := range fixC.Sentences {
+			inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+		}
+		oracle := func(x, y string) (bool, bool) {
+			if !fixW.KnownTerm(x) || !fixW.KnownTerm(y) {
+				return false, false
+			}
+			return fixW.IsTrueIsA(x, y), true
+		}
+		pb, err := core.Build(inputs, core.Config{Oracle: oracle})
+		if err != nil {
+			panic(err)
+		}
+		fixPB = pb
+	})
+	return fixPB, fixW, fixC
+}
+
+func TestPageIndex(t *testing.T) {
+	_, _, c := fixture(t)
+	idx := NewPageIndex(c.Sentences)
+	if idx.NumPages() < 100 {
+		t.Fatalf("pages = %d", idx.NumPages())
+	}
+	res := idx.KeywordSearch("companies such as", 10)
+	if len(res) == 0 {
+		t.Fatal("keyword search found nothing")
+	}
+	if !idx.ContainsPhrase(res[0], "companies") {
+		t.Error("top hit does not contain query word")
+	}
+	if got := idx.KeywordSearch("", 10); got != nil {
+		t.Errorf("empty query returned %v", got)
+	}
+}
+
+func TestSemanticSearchBeatsKeyword(t *testing.T) {
+	pb, w, c := fixture(t)
+	idx := NewPageIndex(c.Sentences)
+	// Fine-grained concepts as in the paper's example queries.
+	keys := []string{"tropical country", "it company", "domestic animal", "european city", "bric country"}
+	rep := EvaluateSearch(pb, idx, w, keys, 10)
+	if rep.Queries != len(keys) {
+		t.Fatalf("queries = %d", rep.Queries)
+	}
+	t.Logf("keyword=%.2f semantic=%.2f", rep.KeywordRelevance, rep.SemanticRelevance)
+	if rep.SemanticRelevance <= rep.KeywordRelevance {
+		t.Errorf("semantic %.2f <= keyword %.2f", rep.SemanticRelevance, rep.KeywordRelevance)
+	}
+	if rep.SemanticRelevance < 0.6 {
+		t.Errorf("semantic relevance %.2f, want >= 0.6 (paper: ~0.8)", rep.SemanticRelevance)
+	}
+}
+
+func TestKMeansAndPurity(t *testing.T) {
+	vectors := []Vector{
+		{"a": 1, "b": 1}, {"a": 1, "b": 0.8}, {"a": 0.9},
+		{"x": 1, "y": 1}, {"x": 0.8, "y": 1}, {"y": 0.9},
+	}
+	labels := []int{0, 0, 0, 1, 1, 1}
+	assign := KMeans(vectors, 2, 20, 1)
+	if p := Purity(assign, labels); p != 1 {
+		t.Errorf("purity = %v, want 1 on separable data", p)
+	}
+	if got := KMeans(nil, 2, 5, 1); got != nil {
+		t.Error("empty kmeans returned assignments")
+	}
+	if got := KMeans(vectors, 10, 5, 1); len(got) != len(vectors) {
+		t.Error("k > n failed")
+	}
+	if p := Purity(nil, nil); p != 0 {
+		t.Error("empty purity wrong")
+	}
+}
+
+func TestShortTextConceptClusteringWins(t *testing.T) {
+	pb, w, _ := fixture(t)
+	topics := []string{"company", "city", "animal", "disease"}
+	rep := EvaluateShortText(pb, w, topics, 30, 5)
+	t.Logf("bow=%.2f concept=%.2f over %d tweets", rep.BoWPurity, rep.ConceptPurity, rep.Tweets)
+	if rep.Tweets == 0 {
+		t.Fatal("no tweets")
+	}
+	if rep.ConceptPurity <= rep.BoWPurity {
+		t.Errorf("concept purity %.2f <= bow purity %.2f", rep.ConceptPurity, rep.BoWPurity)
+	}
+	if rep.ConceptPurity < 0.6 {
+		t.Errorf("concept purity %.2f too low", rep.ConceptPurity)
+	}
+}
+
+func TestWebTables(t *testing.T) {
+	pb, w, _ := fixture(t)
+	rep := EvaluateTables(pb, w, 120, 9)
+	t.Logf("tables=%d inferred=%d correct=%d precision=%.2f",
+		rep.Tables, rep.Inferred, rep.Correct, rep.Precision())
+	if rep.Tables != 120 {
+		t.Fatalf("tables = %d", rep.Tables)
+	}
+	if rep.Inferred < rep.Tables/2 {
+		t.Errorf("inferred only %d/%d", rep.Inferred, rep.Tables)
+	}
+	if rep.Precision() < 0.7 {
+		t.Errorf("precision = %.2f, want >= 0.7 (paper: 0.96)", rep.Precision())
+	}
+}
+
+func TestParseAttributeMentions(t *testing.T) {
+	sents := []corpus.Sentence{
+		{Text: "The capital of China is widely discussed."},
+		{Text: "Everyone knows IBM's revenue quite well."},
+		{Text: "companies such as IBM and Nokia."},
+		{Text: "The malformed of"},
+	}
+	ms := ParseAttributeMentions(sents)
+	if len(ms) != 2 {
+		t.Fatalf("mentions = %v", ms)
+	}
+	if ms[0].Instance != "China" || ms[0].Attribute != "capital" {
+		t.Errorf("mention 0 = %+v", ms[0])
+	}
+	if ms[1].Instance != "IBM" || ms[1].Attribute != "revenue" {
+		t.Errorf("mention 1 = %+v", ms[1])
+	}
+}
+
+func TestHarvestAttributes(t *testing.T) {
+	ms := []AttributeMention{
+		{"IBM", "revenue"}, {"IBM", "revenue"}, {"IBM", "CEO"},
+		{"Nokia", "revenue"}, {"Paris", "population"},
+	}
+	attrs := HarvestAttributes(ms, []string{"IBM", "Nokia"}, 2)
+	if len(attrs) != 2 || attrs[0] != "revenue" {
+		t.Errorf("attrs = %v", attrs)
+	}
+	if got := HarvestAttributes(ms, []string{"Unknown"}, 5); len(got) != 0 {
+		t.Errorf("unknown seeds harvested %v", got)
+	}
+}
+
+func TestAttributeSeedingComparison(t *testing.T) {
+	pb, w, c := fixture(t)
+	keys := []string{"company", "city", "country", "disease", "book", "university", "river", "festival"}
+	rep := EvaluateAttributes(pb, w, c.Sentences, keys, 5, 5)
+	t.Logf("pasca=%.3f probase=%.3f over %d concepts", rep.PascaPrecision, rep.ProbasePrecision, rep.Concepts)
+	if rep.Concepts == 0 {
+		t.Fatal("no concepts evaluated")
+	}
+	if rep.ProbasePrecision < 0.5 {
+		t.Errorf("probase-seeded precision %.2f too low", rep.ProbasePrecision)
+	}
+	// Figure 12's claim is comparability (88.3% vs 86.2%), with the
+	// manual seeding replaced by an automatic one.
+	if rep.ProbasePrecision < rep.PascaPrecision-0.15 {
+		t.Errorf("probase seeding %.2f clearly below pasca %.2f", rep.ProbasePrecision, rep.PascaPrecision)
+	}
+}
+
+func TestGenerateTweetsShape(t *testing.T) {
+	_, w, _ := fixture(t)
+	tweets := GenerateTweets(w, []string{"company", "city"}, 10, 3)
+	if len(tweets) != 20 {
+		t.Fatalf("tweets = %d", len(tweets))
+	}
+	for _, tw := range tweets {
+		if len(tw.Terms) != 2 || tw.Text == "" {
+			t.Fatalf("bad tweet %+v", tw)
+		}
+		if tw.Terms[0] == tw.Terms[1] {
+			t.Fatalf("duplicate terms in %+v", tw)
+		}
+	}
+}
+
+func TestBoWVector(t *testing.T) {
+	v := BoWVector("The quick companies, such as IBM!")
+	if v["the"] != 0 || v["as"] != 0 {
+		t.Error("stop words not removed")
+	}
+	if v["ibm"] != 1 || v["companies"] != 1 {
+		t.Errorf("vector = %v", v)
+	}
+}

@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// AttributeMention is one harvested (instance, attribute) pair.
+type AttributeMention struct {
+	Instance  string
+	Attribute string
+}
+
+// ParseAttributeMentions extracts attribute evidence from the corpus's
+// two attribute sentence shapes:
+//
+//	"The <attr> of <Instance> is widely discussed."
+//	"Everyone knows <Instance>'s <attr> quite well."
+//
+// This is the weakly-supervised harvester of Pasca's framework ([25],
+// Figure 12), reduced to the patterns our corpus substrate emits.
+func ParseAttributeMentions(sentences []corpus.Sentence) []AttributeMention {
+	var out []AttributeMention
+	for _, s := range sentences {
+		t := s.Text
+		if strings.HasPrefix(t, "The ") {
+			rest := t[len("The "):]
+			i := strings.Index(rest, " of ")
+			j := strings.Index(rest, " is widely discussed.")
+			if i > 0 && j > i+4 {
+				out = append(out, AttributeMention{
+					Instance:  rest[i+4 : j],
+					Attribute: rest[:i],
+				})
+			}
+			continue
+		}
+		if strings.HasPrefix(t, "Everyone knows ") {
+			rest := t[len("Everyone knows "):]
+			i := strings.Index(rest, "'s ")
+			j := strings.Index(rest, " quite well.")
+			if i > 0 && j > i+3 {
+				out = append(out, AttributeMention{
+					Instance:  rest[:i],
+					Attribute: rest[i+3 : j],
+				})
+			}
+		}
+	}
+	return out
+}
+
+// HarvestAttributes aggregates attribute counts over the seed instances
+// and returns the top-k attributes by support.
+func HarvestAttributes(mentions []AttributeMention, seeds []string, k int) []string {
+	seedSet := make(map[string]bool, len(seeds))
+	for _, s := range seeds {
+		seedSet[strings.ToLower(s)] = true
+	}
+	counts := map[string]int{}
+	for _, m := range mentions {
+		if seedSet[strings.ToLower(m.Instance)] {
+			counts[m.Attribute]++
+		}
+	}
+	attrs := make([]string, 0, len(counts))
+	for a := range counts {
+		attrs = append(attrs, a)
+	}
+	sort.Slice(attrs, func(i, j int) bool {
+		if counts[attrs[i]] != counts[attrs[j]] {
+			return counts[attrs[i]] > counts[attrs[j]]
+		}
+		return attrs[i] < attrs[j]
+	})
+	if len(attrs) > k {
+		attrs = attrs[:k]
+	}
+	return attrs
+}
+
+// PascaSeeds emulates the manually selected seeds of [25]: a human picks
+// a handful of instances they happen to know — plausible members, but
+// not the ones with the richest corpus support. We model this as a fixed
+// mid-typicality slice of the ground-truth instance list.
+func PascaSeeds(w *corpus.World, conceptKey string, n int) []string {
+	insts := w.Concept(conceptKey).Instances
+	lo := 4
+	if lo >= len(insts) {
+		lo = 0
+	}
+	hi := lo + n
+	if hi > len(insts) {
+		hi = len(insts)
+	}
+	return insts[lo:hi]
+}
+
+// ProbaseSeeds selects seeds automatically: the instances with the
+// highest typicality T(i|x) — the paper's replacement for manual seeding.
+func ProbaseSeeds(pb *core.Probase, concept string, n int) []string {
+	ranked := pb.InstancesOf(concept, n)
+	out := make([]string, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.Label
+	}
+	return out
+}
+
+// AttributeReport compares seed policies for one concept set (Fig. 12).
+type AttributeReport struct {
+	Concepts         int
+	PascaPrecision   float64
+	ProbasePrecision float64
+}
+
+// EvaluateAttributes runs the Figure 12 comparison over concepts that
+// have ground-truth attributes: harvest top-k attributes with Pasca
+// seeds and with Probase seeds, judging an attribute correct when the
+// concept's ground truth lists it.
+func EvaluateAttributes(pb *core.Probase, w *corpus.World, sentences []corpus.Sentence, conceptKeys []string, seedN, topK int) AttributeReport {
+	mentions := ParseAttributeMentions(sentences)
+	var rep AttributeReport
+	var pSum, prSum float64
+	for _, key := range conceptKeys {
+		c := w.Concept(key)
+		if c == nil || len(c.Attributes) == 0 {
+			continue
+		}
+		truth := make(map[string]bool, len(c.Attributes))
+		for _, a := range c.Attributes {
+			truth[a] = true
+		}
+		judge := func(attrs []string) float64 {
+			if len(attrs) == 0 {
+				return 0
+			}
+			good := 0
+			for _, a := range attrs {
+				if truth[a] {
+					good++
+				}
+			}
+			return float64(good) / float64(len(attrs))
+		}
+		rep.Concepts++
+		pSum += judge(HarvestAttributes(mentions, PascaSeeds(w, key, seedN), topK))
+		prSum += judge(HarvestAttributes(mentions, ProbaseSeeds(pb, c.PluralLabel(), seedN), topK))
+	}
+	if rep.Concepts > 0 {
+		rep.PascaPrecision = pSum / float64(rep.Concepts)
+		rep.ProbasePrecision = prSum / float64(rep.Concepts)
+	}
+	return rep
+}

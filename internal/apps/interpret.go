@@ -1,0 +1,218 @@
+package apps
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// InstancePair is one interpretation of a two-concept query: a concrete
+// instance pair substituted for the two concepts, scored by word
+// association (page co-occurrence weighted by typicality) — the
+// mechanism the paper describes for queries like "database conferences
+// in asian cities" (Section 5.3.1: "we use word association between
+// instances ... to determine the best pair of instances for
+// substitution").
+type InstancePair struct {
+	A, B  string
+	Pages int // pages where both appear
+	Score float64
+}
+
+// NewSentenceIndex indexes every sentence as its own document. Relational
+// word association ("IBM is based in USA") lives at sentence granularity;
+// page-level co-occurrence is dominated by chance.
+func NewSentenceIndex(sentences []corpus.Sentence) *PageIndex {
+	docs := make([]corpus.Sentence, len(sentences))
+	for i, s := range sentences {
+		docs[i] = corpus.Sentence{Text: s.Text, PageID: int32(i)}
+	}
+	return NewPageIndex(docs)
+}
+
+// InterpretQuery rewrites the two concepts into their top rewriteK
+// typical instances and ranks the instance pairs by co-occurrence lift
+// (observed over expected under independence — PMI-style word
+// association) and joint typicality. Pairs that never co-occur are
+// dropped. Pass a sentence-granularity index (NewSentenceIndex) for
+// relational queries.
+func InterpretQuery(pb *core.Probase, idx *PageIndex, conceptA, conceptB string, rewriteK, topK int) []InstancePair {
+	as := pb.InstancesOf(conceptA, rewriteK)
+	bs := pb.InstancesOf(conceptB, rewriteK)
+	total := float64(idx.NumPages())
+	if total == 0 {
+		return nil
+	}
+	// Longest-match discipline: an occurrence of "China" inside the
+	// longer entity "China Mobile" must not count as a mention of China.
+	// Collect, per candidate, the longer candidate phrases that contain
+	// it, and mask those before testing.
+	var vocab []string
+	for _, r := range as {
+		vocab = append(vocab, r.Label)
+	}
+	for _, r := range bs {
+		vocab = append(vocab, r.Label)
+	}
+	longer := func(phrase string) []string {
+		var out []string
+		lp := " " + lowerASCII(stripPunct(phrase)) + " "
+		for _, v := range vocab {
+			lv := " " + lowerASCII(stripPunct(v)) + " "
+			if len(lv) > len(lp) && strings.Contains(lv, lp) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	contains := func(pos int, phrase string, mask []string) bool {
+		text := " " + lowerASCII(stripPunct(idx.PageText(pos))) + " "
+		for _, m := range mask {
+			text = strings.ReplaceAll(text, " "+lowerASCII(stripPunct(m))+" ", " # ")
+		}
+		return strings.Contains(text, " "+lowerASCII(stripPunct(phrase))+" ")
+	}
+	bPages := make(map[string]int, len(bs))
+	bMask := make(map[string][]string, len(bs))
+	for _, b := range bs {
+		bMask[b.Label] = longer(b.Label)
+		n := 0
+		for _, pos := range idx.pagesWithPhrase(b.Label) {
+			if contains(pos, b.Label, bMask[b.Label]) {
+				n++
+			}
+		}
+		bPages[b.Label] = n
+	}
+	var out []InstancePair
+	for _, a := range as {
+		aMask := longer(a.Label)
+		var pagesA []int
+		for _, pos := range idx.pagesWithPhrase(a.Label) {
+			if contains(pos, a.Label, aMask) {
+				pagesA = append(pagesA, pos)
+			}
+		}
+		if len(pagesA) == 0 {
+			continue
+		}
+		for _, b := range bs {
+			nb := bPages[b.Label]
+			if nb == 0 {
+				continue
+			}
+			co := 0
+			for _, pos := range pagesA {
+				if contains(pos, b.Label, bMask[b.Label]) {
+					co++
+				}
+			}
+			if co == 0 {
+				continue
+			}
+			// Word association à la PMI: observed co-occurrence against
+			// the independence expectation, weighted by joint typicality.
+			// Raw counts would reward globally frequent instances.
+			expected := float64(len(pagesA)) * float64(nb) / total
+			out = append(out, InstancePair{
+				A:     a.Label,
+				B:     b.Label,
+				Pages: co,
+				Score: float64(co) / expected * (a.Score + b.Score),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	if len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// pagesWithPhrase returns the page positions containing the phrase.
+func (idx *PageIndex) pagesWithPhrase(phrase string) []int {
+	head := firstToken(phrase)
+	if head == "" {
+		return nil
+	}
+	var out []int
+	for _, pos := range idx.postings[head] {
+		if idx.ContainsPhrase(pos, phrase) {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+func firstToken(phrase string) string {
+	f := []rune(stripPunct(phrase))
+	start := 0
+	for start < len(f) && f[start] == ' ' {
+		start++
+	}
+	end := start
+	for end < len(f) && f[end] != ' ' {
+		end++
+	}
+	if start == end {
+		return ""
+	}
+	return lowerASCII(string(f[start:end]))
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// InterpretReport evaluates interpretation quality over organisation-in-
+// country queries: a returned pair (org, country) is correct when the
+// ground truth places the organisation in that country and the country
+// belongs to the queried country concept.
+type InterpretReport struct {
+	Queries int
+	Pairs   int
+	Correct int
+}
+
+// Precision returns Correct/Pairs.
+func (r InterpretReport) Precision() float64 {
+	if r.Pairs == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Pairs)
+}
+
+// EvaluateInterpretation runs "X in Y" queries (organisation concept X,
+// country concept Y) and judges the returned pairs against the world's
+// relational ground truth.
+func EvaluateInterpretation(pb *core.Probase, idx *PageIndex, w *corpus.World, orgConcepts, countryConcepts []string, topK int) InterpretReport {
+	var rep InterpretReport
+	for _, oc := range orgConcepts {
+		for _, cc := range countryConcepts {
+			rep.Queries++
+			for _, pair := range InterpretQuery(pb, idx, oc, cc, 15, topK) {
+				rep.Pairs++
+				if w.Home(pair.A) == pair.B && w.IsTrueIsA(cc, pair.B) && w.IsTrueIsA(oc, pair.A) {
+					rep.Correct++
+				}
+			}
+		}
+	}
+	return rep
+}

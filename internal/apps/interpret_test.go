@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInterpretQueryFindsGroundedPairs(t *testing.T) {
+	pb, w, c := fixture(t)
+	idx := NewSentenceIndex(c.Sentences)
+	pairs := InterpretQuery(pb, idx, "companies", "countries", 15, 10)
+	if len(pairs) == 0 {
+		t.Fatal("no interpretations")
+	}
+	grounded := 0
+	for _, p := range pairs {
+		if p.Pages <= 0 {
+			t.Fatalf("pair without co-occurrence returned: %+v", p)
+		}
+		if w.Home(p.A) == p.B {
+			grounded++
+		}
+	}
+	if grounded == 0 {
+		t.Errorf("no returned pair matches the ground-truth relation: %+v", pairs)
+	}
+	// Ranking is sorted by score.
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Score > pairs[i-1].Score {
+			t.Error("pairs not sorted")
+		}
+	}
+}
+
+func TestInterpretQueryUnknownConcept(t *testing.T) {
+	pb, _, c := fixture(t)
+	idx := NewSentenceIndex(c.Sentences)
+	if pairs := InterpretQuery(pb, idx, "no such things", "countries", 10, 5); len(pairs) != 0 {
+		t.Errorf("unknown concept interpreted: %v", pairs)
+	}
+}
+
+func TestEvaluateInterpretation(t *testing.T) {
+	pb, w, c := fixture(t)
+	idx := NewSentenceIndex(c.Sentences)
+	rep := EvaluateInterpretation(pb, idx, w,
+		[]string{"companies", "IT companies"},
+		[]string{"countries", "european countries"}, 5)
+	if rep.Queries != 4 {
+		t.Fatalf("queries = %d", rep.Queries)
+	}
+	if rep.Pairs == 0 {
+		t.Fatal("no pairs evaluated")
+	}
+	t.Logf("interpretation precision = %.2f over %d pairs", rep.Precision(), rep.Pairs)
+	if rep.Precision() < 0.5 {
+		t.Errorf("interpretation precision %.2f too low", rep.Precision())
+	}
+}
+
+func TestFirstToken(t *testing.T) {
+	if firstToken("New York") != "new" || firstToken("  IBM") != "ibm" || firstToken("") != "" {
+		t.Error("firstToken wrong")
+	}
+}
+
+func TestBasedInSentencesExist(t *testing.T) {
+	_, _, c := fixture(t)
+	n := 0
+	for _, s := range c.Sentences {
+		if strings.Contains(s.Text, "is based in") || strings.Contains(s.Text, "is headquartered in") {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no location sentences in the corpus")
+	}
+}

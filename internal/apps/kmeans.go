@@ -1,0 +1,137 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Vector is a sparse feature vector.
+type Vector map[string]float64
+
+func (v Vector) norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func cosine(a, b Vector) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for k, x := range a {
+		dot += x * b[k]
+	}
+	na, nb := a.norm(), b.norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (na * nb)
+}
+
+// KMeans clusters sparse vectors with cosine similarity and deterministic
+// seeded initialisation. It returns the cluster assignment per vector.
+func KMeans(vectors []Vector, k int, iters int, seed int64) []int {
+	n := len(vectors)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := make([]Vector, k)
+	for i, p := range rng.Perm(n)[:k] {
+		centroids[i] = cloneVec(vectors[p])
+	}
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestSim := assign[i], -1.0
+			for c := 0; c < k; c++ {
+				if sim := cosine(v, centroids[c]); sim > bestSim {
+					bestSim = sim
+					best = c
+				}
+			}
+			if best != assign[i] {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		// Recompute centroids as mean vectors.
+		sums := make([]Vector, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = Vector{}
+		}
+		for i, v := range vectors {
+			c := assign[i]
+			counts[c]++
+			for f, x := range v {
+				sums[c][f] += x
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster deterministically.
+				centroids[c] = cloneVec(vectors[rng.Intn(n)])
+				continue
+			}
+			for f := range sums[c] {
+				sums[c][f] /= float64(counts[c])
+			}
+			centroids[c] = sums[c]
+		}
+	}
+	return assign
+}
+
+func cloneVec(v Vector) Vector {
+	out := make(Vector, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// Purity is the standard clustering purity: each cluster votes for its
+// majority true label; purity is the fraction of points whose cluster
+// vote matches their label.
+func Purity(assign, labels []int) float64 {
+	if len(assign) == 0 || len(assign) != len(labels) {
+		return 0
+	}
+	counts := map[int]map[int]int{}
+	for i, c := range assign {
+		m := counts[c]
+		if m == nil {
+			m = map[int]int{}
+			counts[c] = m
+		}
+		m[labels[i]]++
+	}
+	correct := 0
+	clusters := make([]int, 0, len(counts))
+	for c := range counts {
+		clusters = append(clusters, c)
+	}
+	sort.Ints(clusters)
+	for _, c := range clusters {
+		best := 0
+		for _, n := range counts[c] {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assign))
+}

@@ -1,0 +1,157 @@
+package apps
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/prob"
+)
+
+// MixedAbstractor implements footnote 1 of the paper: abstraction from a
+// *mixture* of instances and attributes — "headquarters, apple" should
+// conceptualise to company, resolving "apple" to the company sense along
+// the way. Instance evidence comes from the taxonomy's T(x|i); attribute
+// evidence from the corpus's attribute mentions, projected onto concepts
+// through the instances they attach to.
+type MixedAbstractor struct {
+	pb *core.Probase
+	// attrConcepts maps an attribute word to concept-base-label weights.
+	attrConcepts map[string]map[string]float64
+}
+
+// NewMixedAbstractor indexes the corpus's attribute mentions against the
+// built taxonomy.
+func NewMixedAbstractor(pb *core.Probase, sentences []corpus.Sentence) *MixedAbstractor {
+	m := &MixedAbstractor{pb: pb, attrConcepts: make(map[string]map[string]float64)}
+	for _, mention := range ParseAttributeMentions(sentences) {
+		for _, r := range pb.ConceptsOf(mention.Instance, 3) {
+			c := core.BaseLabel(r.Label)
+			w := m.attrConcepts[strings.ToLower(mention.Attribute)]
+			if w == nil {
+				w = make(map[string]float64)
+				m.attrConcepts[strings.ToLower(mention.Attribute)] = w
+			}
+			w[c] += r.Score
+		}
+	}
+	// Normalise each attribute's concept distribution.
+	for _, w := range m.attrConcepts {
+		var sum float64
+		for _, v := range w {
+			sum += v
+		}
+		for c := range w {
+			w[c] /= sum
+		}
+	}
+	return m
+}
+
+// KnownAttribute reports whether the term was seen as an attribute.
+func (m *MixedAbstractor) KnownAttribute(term string) bool {
+	_, ok := m.attrConcepts[strings.ToLower(term)]
+	return ok
+}
+
+// termVector builds a concept distribution for one term: attribute terms
+// project through the attribute index; other terms through T(x|i), taking
+// the best over the term's case interpretations ("apple" the fruit and
+// "Apple" the company both contribute their concepts).
+func (m *MixedAbstractor) termVector(term string) map[string]float64 {
+	if w, ok := m.attrConcepts[strings.ToLower(term)]; ok {
+		return w
+	}
+	out := make(map[string]float64)
+	for _, variant := range caseVariants(term) {
+		for _, r := range m.pb.ConceptsOf(variant, 8) {
+			c := core.BaseLabel(r.Label)
+			if r.Score > out[c] {
+				out[c] = r.Score
+			}
+		}
+	}
+	return out
+}
+
+// caseVariants returns the surface interpretations of a term: as typed,
+// lower-cased, and Title-Cased — so "apple" reaches both the fruit node
+// ("apple") and the company node ("Apple").
+func caseVariants(term string) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	add(term)
+	add(strings.ToLower(term))
+	add(titleCase(term))
+	add(strings.ToUpper(term))
+	return out
+}
+
+func titleCase(s string) string {
+	fields := strings.Fields(strings.ToLower(s))
+	for i, f := range fields {
+		fields[i] = strings.ToUpper(f[:1]) + f[1:]
+	}
+	return strings.Join(fields, " ")
+}
+
+// Abstract conceptualises a mixed term set: score(c) = Σ_t log(v_t(c)+ε)
+// over the per-term concept distributions, i.e. the concept that best
+// explains *every* term wins — "headquarters" vetoes the fruit reading of
+// "apple".
+func (m *MixedAbstractor) Abstract(terms []string, k int) []prob.Ranked {
+	const eps = 1e-6
+	scores := make(map[string]float64)
+	candidates := make(map[string]bool)
+	vectors := make([]map[string]float64, 0, len(terms))
+	for _, t := range terms {
+		v := m.termVector(t)
+		if len(v) == 0 {
+			continue // unknown term: ignored, as in ConceptsOfSet
+		}
+		vectors = append(vectors, v)
+		for c := range v {
+			candidates[c] = true
+		}
+	}
+	if len(vectors) == 0 {
+		return nil
+	}
+	cands := make([]string, 0, len(candidates))
+	for c := range candidates {
+		cands = append(cands, c)
+	}
+	sort.Strings(cands)
+	var norm float64
+	for _, c := range cands {
+		sc := 0.0
+		for _, v := range vectors {
+			sc += math.Log(v[c] + eps)
+		}
+		scores[c] = math.Exp(sc)
+		norm += scores[c]
+	}
+	out := make([]prob.Ranked, 0, len(cands))
+	for _, c := range cands {
+		s := scores[c]
+		if norm > 0 {
+			s /= norm
+		}
+		out = append(out, prob.Ranked{Label: c, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Label < out[j].Label
+	})
+	return prob.TopK(out, k)
+}

@@ -1,0 +1,132 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestMixedAbstractionDisambiguates(t *testing.T) {
+	pb, _, c := fixture(t)
+	m := NewMixedAbstractor(pb, c.Sentences)
+
+	// Footnote 1 of the paper: {headquarters, apple} -> company. The
+	// attribute term pulls "apple" to its company sense.
+	if !m.KnownAttribute("headquarters") {
+		t.Skip("corpus did not mention headquarters; enlarge the fixture")
+	}
+	ranked := m.Abstract([]string{"headquarters", "apple"}, 5)
+	if len(ranked) == 0 {
+		t.Fatal("no concepts")
+	}
+	top := core.BaseLabel(ranked[0].Label)
+	if top != "company" && top != "it company" && top != "large company" {
+		t.Errorf("top concept = %v, want a company concept; full: %v", top, ranked)
+	}
+
+	// Without the attribute, "apple" alone leans to its food senses.
+	alone := m.Abstract([]string{"apple"}, 8)
+	foodish := false
+	for _, r := range alone {
+		b := core.BaseLabel(r.Label)
+		if b == "fruit" || b == "food" {
+			foodish = true
+		}
+	}
+	if !foodish {
+		t.Errorf("apple alone has no food reading: %v", alone)
+	}
+}
+
+func TestMixedAbstractionPureInstances(t *testing.T) {
+	pb, _, c := fixture(t)
+	m := NewMixedAbstractor(pb, c.Sentences)
+	ranked := m.Abstract([]string{"oak", "basil"}, 3)
+	if len(ranked) == 0 {
+		t.Fatal("no concepts for plant instances")
+	}
+	if top := core.BaseLabel(ranked[0].Label); top != "plant" && top != "organism" && top != "tree" && top != "herb" {
+		t.Errorf("top concept for {oak, basil} = %q: %v", top, ranked)
+	}
+}
+
+func TestMixedAbstractionUnknownTerms(t *testing.T) {
+	pb, _, c := fixture(t)
+	m := NewMixedAbstractor(pb, c.Sentences)
+	if got := m.Abstract([]string{"zzzz unknown", "qqqq missing"}, 3); got != nil {
+		t.Errorf("unknown terms produced %v", got)
+	}
+	// One known term still works.
+	if got := m.Abstract([]string{"zzzz unknown", "IBM"}, 3); len(got) == 0 {
+		t.Error("known term drowned by unknown one")
+	}
+}
+
+func TestCaseVariants(t *testing.T) {
+	vs := caseVariants("new york")
+	want := map[string]bool{"new york": true, "New York": true, "NEW YORK": true}
+	for _, v := range vs {
+		delete(want, v)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing variants %v in %v", want, vs)
+	}
+}
+
+func TestRecognizer(t *testing.T) {
+	pb, w, _ := fixture(t)
+	r := NewRecognizer(pb)
+	ms := r.Recognize("Yesterday IBM opened an office in New York near the river.")
+	byText := map[string]Mention{}
+	for _, m := range ms {
+		byText[m.Text] = m
+	}
+	ibm, ok := byText["IBM"]
+	if !ok {
+		t.Fatalf("IBM not recognised: %v", ms)
+	}
+	if !w.IsTrueIsA(ibm.Concept, "IBM") {
+		t.Errorf("IBM tagged %q, not a true concept", ibm.Concept)
+	}
+	ny, ok := byText["New York"]
+	if !ok {
+		t.Fatalf("New York not recognised: %v", ms)
+	}
+	if ny.End-ny.Start != 2 {
+		t.Errorf("New York span = %+v, want 2 words", ny)
+	}
+	if !w.IsTrueIsA(ny.Concept, "New York") {
+		t.Errorf("New York tagged %q", ny.Concept)
+	}
+}
+
+func TestRecognizerNoFalseStopwordMatches(t *testing.T) {
+	pb, _, _ := fixture(t)
+	r := NewRecognizer(pb)
+	for _, m := range r.Recognize("the and of with such as other") {
+		t.Errorf("stop-word span recognised: %+v", m)
+	}
+}
+
+func TestRecognizerPluralCommonNouns(t *testing.T) {
+	pb, _, _ := fixture(t)
+	r := NewRecognizer(pb)
+	ms := r.Recognize("I love cats and dogs")
+	found := 0
+	for _, m := range ms {
+		if m.Text == "cats" || m.Text == "dogs" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("plural mentions found = %d: %v", found, ms)
+	}
+}
+
+func TestRecognizerEmpty(t *testing.T) {
+	pb, _, _ := fixture(t)
+	r := NewRecognizer(pb)
+	if ms := r.Recognize(""); len(ms) != 0 {
+		t.Errorf("empty text produced %v", ms)
+	}
+}

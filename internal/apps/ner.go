@@ -1,0 +1,111 @@
+package apps
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/nlp"
+)
+
+// Mention is one recognised entity in running text, tagged with its
+// fine-grained concept — the NER use case the paper's introduction
+// motivates (fine-grained classes beat person/location for IR/IE/QA).
+type Mention struct {
+	Text    string // the surface span
+	Start   int    // word offset, inclusive
+	End     int    // word offset, exclusive
+	Concept string // most typical concept (base label)
+	Score   float64
+}
+
+// Recognizer tags known instances in text with their most typical
+// concepts.
+type Recognizer struct {
+	pb       *core.Probase
+	maxWords int
+}
+
+// NewRecognizer builds a recogniser over the taxonomy.
+func NewRecognizer(pb *core.Probase) *Recognizer {
+	max := 1
+	for _, id := range pb.Graph.Instances() {
+		if n := len(strings.Fields(pb.Graph.Label(id))); n > max {
+			max = n
+		}
+	}
+	if max > 5 {
+		max = 5
+	}
+	return &Recognizer{pb: pb, maxWords: max}
+}
+
+// Recognize scans the text left to right, greedily matching the longest
+// known instance at each position, and tags each mention with its top
+// concept by T(x|i).
+func (r *Recognizer) Recognize(text string) []Mention {
+	words := strings.Fields(stripPunct(text))
+	var out []Mention
+	for i := 0; i < len(words); {
+		matched := false
+		maxN := r.maxWords
+		if rest := len(words) - i; maxN > rest {
+			maxN = rest
+		}
+		for n := maxN; n >= 1; n-- {
+			span := strings.Join(words[i:i+n], " ")
+			id := r.lookupInstance(span)
+			if id == graph.NoNode {
+				continue
+			}
+			m := Mention{Text: span, Start: i, End: i + n}
+			if concepts := r.pb.ConceptsOf(r.pb.Graph.Label(id), 1); len(concepts) > 0 {
+				m.Concept = core.BaseLabel(concepts[0].Label)
+				m.Score = concepts[0].Score
+			}
+			out = append(out, m)
+			i += n
+			matched = true
+			break
+		}
+		if !matched {
+			i++
+		}
+	}
+	return out
+}
+
+// lookupInstance resolves a span to a taxonomy node with at least one
+// parent (so it can be conceptualised), trying the typed form, its case
+// variants, and the singular of a plural common noun ("cats" -> "cat").
+// Stop-word-only and single-letter spans never match.
+func (r *Recognizer) lookupInstance(span string) graph.NodeID {
+	if len(span) < 2 {
+		return graph.NoNode
+	}
+	allStop := true
+	for _, w := range strings.Fields(span) {
+		if !nlp.IsStopWord(w) {
+			allStop = false
+			break
+		}
+	}
+	if allStop {
+		return graph.NoNode
+	}
+	usable := func(id graph.NodeID) bool {
+		return id != graph.NoNode && len(r.pb.Graph.Parents(id)) > 0
+	}
+	for _, v := range caseVariants(span) {
+		if id := r.pb.Graph.Lookup(v); usable(id) {
+			return id
+		}
+	}
+	n := nlp.Normalize(span)
+	if nlp.IsPluralPhrase(n) {
+		if id := r.pb.Graph.Lookup(nlp.SingularizePhrase(n)); usable(id) {
+			return id
+		}
+	}
+	return graph.NoNode
+}

@@ -1,0 +1,211 @@
+// Package apps implements the four Probase applications of Section 5.3:
+// semantic web search and attribute-extraction seeding (instantiation),
+// and short-text conceptualisation and web-table understanding
+// (abstraction).
+package apps
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// PageIndex is a toy web-search index over the synthetic corpus: one
+// document per page, with token and phrase lookup.
+type PageIndex struct {
+	ids   []int32
+	texts []string // lower-cased page text
+	// token -> page positions (indexes into ids/texts)
+	postings map[string][]int
+}
+
+// NewPageIndex groups corpus sentences into page documents.
+func NewPageIndex(sentences []corpus.Sentence) *PageIndex {
+	idx := &PageIndex{postings: make(map[string][]int)}
+	var cur int32 = -1
+	var b strings.Builder
+	flush := func() {
+		if cur < 0 {
+			return
+		}
+		text := strings.ToLower(b.String())
+		pos := len(idx.ids)
+		idx.ids = append(idx.ids, cur)
+		idx.texts = append(idx.texts, text)
+		seen := map[string]bool{}
+		for _, tok := range strings.Fields(stripPunct(text)) {
+			if !seen[tok] {
+				seen[tok] = true
+				idx.postings[tok] = append(idx.postings[tok], pos)
+			}
+		}
+		b.Reset()
+	}
+	for _, s := range sentences {
+		if s.PageID != cur {
+			flush()
+			cur = s.PageID
+		}
+		b.WriteString(s.Text)
+		b.WriteString(" ")
+	}
+	flush()
+	return idx
+}
+
+func stripPunct(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ',', '.', ';', ':', '!', '?', '\'', '"', '(', ')':
+			return ' '
+		}
+		return r
+	}, s)
+}
+
+// NumPages returns the document count.
+func (idx *PageIndex) NumPages() int { return len(idx.ids) }
+
+// PageText returns a page document's text by result position.
+func (idx *PageIndex) PageText(pos int) string { return idx.texts[pos] }
+
+// ContainsPhrase reports whether the page contains the phrase with token
+// boundaries.
+func (idx *PageIndex) ContainsPhrase(pos int, phrase string) bool {
+	t := " " + stripPunct(idx.texts[pos]) + " "
+	return strings.Contains(t, " "+strings.ToLower(stripPunct(phrase))+" ")
+}
+
+// KeywordSearch is the word-for-word baseline: pages matching all query
+// tokens first, then pages ranked by the number of matched tokens.
+func (idx *PageIndex) KeywordSearch(query string, limit int) []int {
+	tokens := strings.Fields(strings.ToLower(stripPunct(query)))
+	if len(tokens) == 0 {
+		return nil
+	}
+	hits := make(map[int]int)
+	for _, tok := range tokens {
+		for _, pos := range idx.postings[tok] {
+			hits[pos]++
+		}
+	}
+	type scored struct {
+		pos, n int
+	}
+	out := make([]scored, 0, len(hits))
+	for pos, n := range hits {
+		out = append(out, scored{pos, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].n != out[j].n {
+			return out[i].n > out[j].n
+		}
+		return out[i].pos < out[j].pos
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	res := make([]int, len(out))
+	for i, s := range out {
+		res[i] = s.pos
+	}
+	return res
+}
+
+// SemanticSearch implements the Section 5.3.1 prototype: identify the
+// concept in the query, rewrite it into its most typical instances by
+// typicality score, and return pages matching any rewritten instance.
+func SemanticSearch(pb *core.Probase, idx *PageIndex, conceptQuery string, rewriteK, limit int) []int {
+	instances := pb.InstancesOf(conceptQuery, rewriteK)
+	type scored struct {
+		pos   int
+		score float64
+	}
+	best := make(map[int]float64)
+	for _, inst := range instances {
+		phrase := strings.ToLower(stripPunct(inst.Label))
+		head := strings.Fields(phrase)
+		if len(head) == 0 {
+			continue
+		}
+		for _, pos := range idx.postings[head[0]] {
+			if !idx.ContainsPhrase(pos, inst.Label) {
+				continue
+			}
+			if inst.Score > best[pos] {
+				best[pos] = inst.Score
+			}
+		}
+	}
+	out := make([]scored, 0, len(best))
+	for pos, sc := range best {
+		out = append(out, scored{pos, sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].pos < out[j].pos
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	res := make([]int, len(out))
+	for i, s := range out {
+		res[i] = s.pos
+	}
+	return res
+}
+
+// SearchReport compares the two engines over a query workload.
+type SearchReport struct {
+	Queries           int
+	KeywordRelevance  float64 // fraction of returned results that are relevant
+	SemanticRelevance float64
+}
+
+// EvaluateSearch runs the Section 5.3.1 comparison: each query asks for a
+// fine-grained concept phrased in words that pages rarely contain
+// verbatim ("best tropical countries guide"). A result is relevant when
+// the page mentions a ground-truth instance of the queried concept.
+func EvaluateSearch(pb *core.Probase, idx *PageIndex, w *corpus.World, conceptKeys []string, limit int) SearchReport {
+	var rep SearchReport
+	var kwRel, kwTot, semRel, semTot int
+	relevant := func(pos int, key string) bool {
+		for _, inst := range w.InstancesOf(key) {
+			if idx.ContainsPhrase(pos, inst) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, key := range conceptKeys {
+		c := w.Concept(key)
+		if c == nil {
+			continue
+		}
+		rep.Queries++
+		query := "best " + c.PluralLabel() + " guide"
+		for _, pos := range idx.KeywordSearch(query, limit) {
+			kwTot++
+			if relevant(pos, key) {
+				kwRel++
+			}
+		}
+		for _, pos := range SemanticSearch(pb, idx, c.PluralLabel(), 10, limit) {
+			semTot++
+			if relevant(pos, key) {
+				semRel++
+			}
+		}
+	}
+	if kwTot > 0 {
+		rep.KeywordRelevance = float64(kwRel) / float64(kwTot)
+	}
+	if semTot > 0 {
+		rep.SemanticRelevance = float64(semRel) / float64(semTot)
+	}
+	return rep
+}

@@ -1,0 +1,119 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/nlp"
+)
+
+// Tweet is one short text with its hidden topic label.
+type Tweet struct {
+	Text  string
+	Terms []string // the entity mentions inside the text
+	Topic int      // ground-truth topic index
+}
+
+// tweetTemplates phrase the mentions; none contains the topic concept
+// label, so bag-of-words clustering cannot see the topic directly.
+var tweetTemplates = []string{
+	"just read about %s and %s today",
+	"cannot stop thinking about %s, also %s",
+	"%s vs %s — thoughts?",
+	"my weekend: %s, %s, coffee",
+	"hot take: %s is better than %s",
+}
+
+// GenerateTweets emits tweets whose mentions are drawn from one topic
+// concept each — the clustering workload of Section 5.3.2.
+func GenerateTweets(w *corpus.World, topics []string, perTopic int, seed int64) []Tweet {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Tweet
+	for topicIdx, key := range topics {
+		insts := w.InstancesOf(key)
+		if len(insts) < 4 {
+			continue
+		}
+		for i := 0; i < perTopic; i++ {
+			a := insts[rng.Intn(len(insts)/2)] // bias to typical mentions
+			b := insts[rng.Intn(len(insts))]
+			for b == a {
+				b = insts[rng.Intn(len(insts))]
+			}
+			tmpl := tweetTemplates[rng.Intn(len(tweetTemplates))]
+			out = append(out, Tweet{
+				Text:  fmt.Sprintf(tmpl, a, b),
+				Terms: []string{a, b},
+				Topic: topicIdx,
+			})
+		}
+	}
+	// Shuffle deterministically so clusters are not trivially ordered.
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// BoWVector is the bag-of-words representation (the LDA-era baseline's
+// input: text as a bag of words, Section 5.3.2).
+func BoWVector(text string) Vector {
+	v := Vector{}
+	for _, tok := range strings.Fields(strings.ToLower(stripPunct(text))) {
+		if nlp.IsStopWord(tok) {
+			continue
+		}
+		v[tok]++
+	}
+	return v
+}
+
+// ConceptVector represents a tweet by its most typical concepts with
+// their typicality scores, via Probase conceptualisation.
+func ConceptVector(pb *core.Probase, terms []string, k int) Vector {
+	v := Vector{}
+	if ranked, ok := pb.Conceptualize(terms, k); ok {
+		for _, r := range ranked {
+			v["c:"+core.BaseLabel(r.Label)] += r.Score
+		}
+	}
+	// Per-term abstraction fills in when the joint set is unknown.
+	if len(v) == 0 {
+		for _, term := range terms {
+			for _, r := range pb.ConceptsOf(term, k) {
+				v["c:"+core.BaseLabel(r.Label)] += r.Score
+			}
+		}
+	}
+	return v
+}
+
+// ShortTextReport compares concept-vector clustering against
+// bag-of-words clustering.
+type ShortTextReport struct {
+	Tweets        int
+	Topics        int
+	BoWPurity     float64
+	ConceptPurity float64
+}
+
+// EvaluateShortText runs both clusterings and reports purity.
+func EvaluateShortText(pb *core.Probase, w *corpus.World, topics []string, perTopic int, seed int64) ShortTextReport {
+	tweets := GenerateTweets(w, topics, perTopic, seed)
+	labels := make([]int, len(tweets))
+	bow := make([]Vector, len(tweets))
+	con := make([]Vector, len(tweets))
+	for i, tw := range tweets {
+		labels[i] = tw.Topic
+		bow[i] = BoWVector(tw.Text)
+		con[i] = ConceptVector(pb, tw.Terms, 8)
+	}
+	k := len(topics)
+	return ShortTextReport{
+		Tweets:        len(tweets),
+		Topics:        k,
+		BoWPurity:     Purity(KMeans(bow, k, 25, seed+1), labels),
+		ConceptPurity: Purity(KMeans(con, k, 25, seed+1), labels),
+	}
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/extraction"
+)
+
+func TestReferenceScalesMatchPaperOrdering(t *testing.T) {
+	w := corpus.DefaultWorld(1)
+	wn := NewWordNetRef(w)
+	wiki := NewWikiTaxonomyRef(w)
+	yago := NewYAGORef(w)
+	fb := NewFreebaseRef(w)
+
+	// Table 1 ordering (scaled): Freebase tiny concept space; WordNet <
+	// WikiTaxonomy < YAGO.
+	if fb.NumConcepts() >= wn.NumConcepts() {
+		t.Errorf("Freebase concepts %d >= WordNet %d", fb.NumConcepts(), wn.NumConcepts())
+	}
+	if wn.NumConcepts() >= wiki.NumConcepts() {
+		t.Errorf("WordNet %d >= WikiTaxonomy %d", wn.NumConcepts(), wiki.NumConcepts())
+	}
+	if wiki.NumConcepts() >= yago.NumConcepts() {
+		t.Errorf("WikiTaxonomy %d >= YAGO %d", wiki.NumConcepts(), yago.NumConcepts())
+	}
+}
+
+func TestFreebaseCharacteristics(t *testing.T) {
+	w := corpus.DefaultWorld(1)
+	fb := NewFreebaseRef(w)
+	m, err := eval.Hierarchy("Freebase", fb.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsAPairs != 0 {
+		t.Errorf("Freebase has %d concept-subconcept pairs, want 0 (Table 4)", m.IsAPairs)
+	}
+	// Huge flat instance sets: far more instances per concept than YAGO.
+	yago := NewYAGORef(w)
+	fbAvg := float64(len(fb.Instances)) / float64(fb.NumConcepts())
+	yagoAvg := float64(len(yago.Instances)) / float64(yago.NumConcepts())
+	if fbAvg <= yagoAvg {
+		t.Errorf("Freebase instance density %.1f <= YAGO %.1f", fbAvg, yagoAvg)
+	}
+}
+
+func TestWordNetHierarchyIsDeep(t *testing.T) {
+	w := corpus.DefaultWorld(1)
+	wn := NewWordNetRef(w)
+	m, err := eval.Hierarchy("WordNet", wn.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsAPairs == 0 {
+		t.Fatal("WordNet reference has no hierarchy")
+	}
+	if m.MaxLevel < 3 {
+		t.Errorf("WordNet max level = %d, want >= 3", m.MaxLevel)
+	}
+}
+
+func TestSyntacticBaselineLimitations(t *testing.T) {
+	inputs := []extraction.Input{
+		{Text: "animals other than dogs such as cats"},
+		{Text: "animals such as cats and horses"},
+		{Text: "industrialized countries such as USA and Germany"},
+		{Text: "companies such as IBM, Nokia, Proctor and Gamble"},
+	}
+	store := SyntacticExtractor{}.Run(inputs)
+	// Limitation 1: wrong super-concept under "other than" — and since
+	// "cats" is not a proper noun, nothing at all is extracted there.
+	if store.Count("animal", "cats") > 0 {
+		t.Error("baseline should not learn (animal, cats): common nouns are skipped")
+	}
+	// Limitation 2: proper nouns only.
+	if store.Count("country", "USA") == 0 {
+		t.Error("baseline missed (country, USA)")
+	}
+	// Limitation 3: head noun only — the modified concept is lost.
+	if store.Count("industrialized country", "USA") > 0 {
+		t.Error("baseline should not keep modified concepts")
+	}
+	// Limitation 4: compounds are always split.
+	if store.Count("company", "Proctor and Gamble") > 0 {
+		t.Error("baseline should split Proctor and Gamble")
+	}
+	if store.Count("company", "Proctor") == 0 {
+		t.Error("baseline should extract the split fragment Proctor")
+	}
+}
+
+// The Section 2.1 comparison on a real corpus: the semantic extractor
+// beats the syntactic baseline on recall at comparable-or-better
+// precision.
+func TestSemanticBeatsSyntacticOnCorpus(t *testing.T) {
+	w := corpus.DefaultWorld(1)
+	c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: 10000, Seed: 11}).Generate()
+	inputs := make([]extraction.Input, len(c.Sentences))
+	for i, s := range c.Sentences {
+		inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+	}
+	synStore := SyntacticExtractor{}.Run(inputs)
+	semRes := extraction.Run(inputs, extraction.DefaultConfig())
+
+	synPrec, synTotal := eval.StorePrecision(synStore, w)
+	semPrec, semTotal := eval.StorePrecision(semRes.Store, w)
+	synRec, _, _ := eval.Recall(synStore, w)
+	semRec, _, _ := eval.Recall(semRes.Store, w)
+
+	t.Logf("syntactic: precision=%.3f pairs=%d recall=%.3f", synPrec, synTotal, synRec)
+	t.Logf("semantic:  precision=%.3f pairs=%d recall=%.3f", semPrec, semTotal, semRec)
+	if semRec <= synRec {
+		t.Errorf("semantic recall %.3f <= syntactic %.3f", semRec, synRec)
+	}
+	if semPrec < synPrec-0.03 {
+		t.Errorf("semantic precision %.3f clearly below syntactic %.3f", semPrec, synPrec)
+	}
+}

@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"repro/internal/extraction"
+	"repro/internal/hearst"
+	"repro/internal/kb"
+	"repro/internal/nlp"
+)
+
+// SyntacticExtractor is the Section 2.1 baseline: Hearst patterns with
+// purely syntactic interpretation, as in KnowItAll/TextRunner. Its three
+// deliberate limitations, quoted from the paper:
+//
+//   - the noun phrase closest to the pattern keywords is taken as the
+//     super-concept, so "animals other than dogs such as cats" yields
+//     (cat isA dog);
+//   - instances must be proper nouns, so (cat isA animal) is never
+//     learned from "animals such as cats" — recall is sacrificed for
+//     precision;
+//   - the concept is the head noun, so "industrialized countries such as
+//     US" yields (US isA country), not (US isA industrialized country).
+type SyntacticExtractor struct{}
+
+// Run extracts pairs from the corpus in a single syntactic pass.
+func (SyntacticExtractor) Run(inputs []extraction.Input) *kb.Store {
+	store := kb.NewStore(0)
+	for _, in := range inputs {
+		m, ok := hearst.Parse(in.Text)
+		if !ok {
+			continue
+		}
+		// Closest NP to the keywords: for forward patterns with an
+		// "other than" clause the decoy NP sits right before "such as",
+		// which hearst.Parse lists last.
+		superSurface := m.Supers[len(m.Supers)-1]
+		// Head noun only.
+		super := nlp.SingularizeWord(nlp.HeadNoun(superSurface))
+		for _, seg := range m.Segments {
+			// Always split on delimiters (no compound-name reasoning).
+			cands := seg.Parts
+			if len(cands) == 0 {
+				cands = []string{seg.Whole}
+			}
+			for _, c := range cands {
+				if !nlp.IsProperNounPhrase(c) {
+					continue // proper nouns only
+				}
+				store.Add(super, nlp.CollapseSpaces(c), 1)
+			}
+		}
+	}
+	return store
+}

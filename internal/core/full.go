@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/kb"
+	"repro/internal/prob"
+)
+
+// Full snapshot format: "PBFL", then two length-prefixed sections — the
+// graph snapshot and the Γ snapshot (each carries its own checksum).
+const fullMagic = "PBFL"
+
+// ErrBadFullSnapshot reports a structurally invalid full snapshot.
+var ErrBadFullSnapshot = errors.New("core: bad full snapshot")
+
+// SaveFull writes the taxonomy graph *and* Γ (counts, co-occurrence,
+// evidence), so a reload supports evidence-based plausibility, not just
+// the stored edge values.
+func (p *Probase) SaveFull(w io.Writer) error {
+	if p.Store == nil {
+		return errors.New("core: no Γ to save; use Save for graph-only snapshots")
+	}
+	var gbuf, kbuf bytes.Buffer
+	if err := p.Graph.Save(&gbuf); err != nil {
+		return err
+	}
+	if err := p.Store.Save(&kbuf); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(fullMagic)); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, section := range []*bytes.Buffer{&gbuf, &kbuf} {
+		n := binary.PutUvarint(lenBuf[:], uint64(section.Len()))
+		if _, err := w.Write(lenBuf[:n]); err != nil {
+			return err
+		}
+		if _, err := w.Write(section.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadFull reads a snapshot written by SaveFull. The evidence model is
+// rebuilt untrained (training needs the oracle); plausibility queries use
+// the stored evidence through the noisy-or with uninformative per-
+// evidence probabilities, falling back to stored edge values and
+// reachability.
+func LoadFull(r io.Reader) (*Probase, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFullSnapshot, err)
+	}
+	if string(magic) != fullMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFullSnapshot, magic)
+	}
+	readSection := func() ([]byte, error) {
+		br := byteReaderAdapter{r}
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > 1<<32 {
+			return nil, fmt.Errorf("%w: section length", ErrBadFullSnapshot)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("%w: section body: %v", ErrBadFullSnapshot, err)
+		}
+		return buf, nil
+	}
+	gsec, err := readSection()
+	if err != nil {
+		return nil, err
+	}
+	ksec, err := readSection()
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.Load(bytes.NewReader(gsec))
+	if err != nil {
+		return nil, err
+	}
+	store, err := kb.Load(bytes.NewReader(ksec))
+	if err != nil {
+		return nil, err
+	}
+	typ, err := prob.NewTypicality(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot is not a DAG: %w", err)
+	}
+	senses := make(map[string][]string)
+	for _, id := range g.Concepts() {
+		label := g.Label(id)
+		senses[BaseLabel(label)] = append(senses[BaseLabel(label)], label)
+	}
+	for _, list := range senses {
+		sort.Slice(list, func(i, j int) bool { return senseIndex(list[i]) < senseIndex(list[j]) })
+	}
+	return &Probase{
+		Store:  store,
+		Graph:  g,
+		Senses: senses,
+		typ:    typ,
+		model:  prob.Train(store, func(x, y string) (bool, bool) { return false, false }),
+	}, nil
+}
+
+// byteReaderAdapter adds ReadByte on top of an io.Reader for
+// binary.ReadUvarint without buffering past the varint.
+type byteReaderAdapter struct{ r io.Reader }
+
+func (b byteReaderAdapter) ReadByte() (byte, error) {
+	var buf [1]byte
+	_, err := io.ReadFull(b.r, buf[:])
+	return buf[0], err
+}

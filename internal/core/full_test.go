@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFullSnapshotRoundTrip(t *testing.T) {
+	pb, _ := buildFixture(t, 8000)
+	var buf bytes.Buffer
+	if err := pb.SaveFull(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFull(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Store == nil {
+		t.Fatal("full load lost Γ")
+	}
+	if loaded.Store.NumPairs() != pb.Store.NumPairs() {
+		t.Errorf("Γ pairs %d vs %d", loaded.Store.NumPairs(), pb.Store.NumPairs())
+	}
+	if loaded.Graph.NumNodes() != pb.Graph.NumNodes() {
+		t.Errorf("graph nodes differ")
+	}
+	// Typicality queries agree.
+	a, b := pb.InstancesOf("companies", 5), loaded.InstancesOf("companies", 5)
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Errorf("rank %d: %q vs %q", i, a[i].Label, b[i].Label)
+		}
+	}
+	// Evidence-based plausibility works after reload (untrained model:
+	// count-driven noisy-or).
+	if got := loaded.Plausibility("companies", a[0].Label); got <= 0 {
+		t.Errorf("reloaded plausibility = %v", got)
+	}
+	if got := loaded.Plausibility("companies", "zzz unseen"); got != 0 {
+		t.Errorf("unknown pair plausibility = %v", got)
+	}
+}
+
+func TestLoadFullRejectsGarbage(t *testing.T) {
+	if _, err := LoadFull(strings.NewReader("nope")); !errors.Is(err, ErrBadFullSnapshot) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := LoadFull(strings.NewReader("")); err == nil {
+		t.Error("empty accepted")
+	}
+	// Graph-only snapshot is not a full snapshot.
+	pb, _ := buildFixture(t, 8000)
+	var buf bytes.Buffer
+	if err := pb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFull(&buf); err == nil {
+		t.Error("graph-only snapshot accepted by LoadFull")
+	}
+	// Truncated full snapshot.
+	var full bytes.Buffer
+	if err := pb.SaveFull(&full); err != nil {
+		t.Fatal(err)
+	}
+	data := full.Bytes()
+	if _, err := LoadFull(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated full snapshot accepted")
+	}
+}
+
+func TestSaveFullRequiresStore(t *testing.T) {
+	pb, _ := buildFixture(t, 8000)
+	var buf bytes.Buffer
+	if err := pb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf) // graph-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.SaveFull(&bytes.Buffer{}); err == nil {
+		t.Error("SaveFull without Γ succeeded")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/corpus"
+	"repro/internal/graph"
+)
+
+func TestMergeFreebaseInstances(t *testing.T) {
+	pb, w := buildFixture(t, 10000)
+	fb := baseline.NewFreebaseRef(corpus.DefaultWorld(1))
+
+	before := len(pb.Graph.Instances())
+	merged, err := pb.Merge(fb.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := len(merged.Graph.Instances())
+	if after <= before {
+		t.Errorf("merge added no instances: %d -> %d", before, after)
+	}
+	// The original is untouched.
+	if len(pb.Graph.Instances()) != before {
+		t.Error("merge mutated the original graph")
+	}
+	// Every Freebase instance is now reachable under its concept.
+	missing := 0
+	for _, inst := range fb.Instances {
+		if merged.Graph.Lookup(inst) == graph.NoNode {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d Freebase instances missing after merge", missing)
+	}
+	// Typicality queries keep working and see the merged mass.
+	top := merged.InstancesOf("companies", 20)
+	if len(top) == 0 {
+		t.Fatal("merged taxonomy lost company instances")
+	}
+	// Plausibility on a merged-only pair falls back to reachability.
+	var mergedOnly string
+	for _, inst := range fb.Instances {
+		if w.IsTrueIsA("companies", inst) && pb.Store.Count("company", inst) == 0 {
+			mergedOnly = inst
+			break
+		}
+	}
+	if mergedOnly != "" {
+		if got := merged.Plausibility("companies", mergedOnly); got <= 0 {
+			t.Errorf("plausibility of merged-only pair (company, %s) = %v", mergedOnly, got)
+		}
+	}
+}
+
+func TestMergeIsDAGSafe(t *testing.T) {
+	pb, _ := buildFixture(t, 8000)
+	// An adversarial source that tries to invert an existing edge.
+	adv := graph.NewStore()
+	cat := adv.Intern("cat")
+	animal := adv.Intern("animal")
+	adv.AddEdge(cat, animal, 5, 0.9) // cat -> animal would close a cycle
+	merged, err := pb.Merge(adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merged.Graph.TopoLevels(); err != nil {
+		t.Fatalf("merge produced a cycle: %v", err)
+	}
+}
+
+func TestMergeEmptySource(t *testing.T) {
+	pb, _ := buildFixture(t, 8000)
+	merged, err := pb.Merge(graph.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Graph.NumNodes() != pb.Graph.NumNodes() || merged.Graph.NumEdges() != pb.Graph.NumEdges() {
+		t.Error("empty merge changed the graph")
+	}
+}

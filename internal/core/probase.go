@@ -1,0 +1,343 @@
+// Package core is the public face of the Probase reproduction: it wires
+// the iterative extractor (Section 2), the taxonomy builder (Section 3)
+// and the probabilistic layer (Section 4) into one pipeline, and exposes
+// the two conceptualisation primitives the paper builds its applications
+// on — instantiation (concept -> typical instances) and abstraction
+// (instances -> typical concepts).
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/extraction"
+	"repro/internal/graph"
+	"repro/internal/kb"
+	"repro/internal/prob"
+	"repro/internal/taxonomy"
+)
+
+// Config assembles the pipeline stages' configurations.
+type Config struct {
+	Extraction extraction.Config
+	Taxonomy   taxonomy.Config
+	// Oracle labels training pairs for the plausibility model (the paper
+	// uses WordNet; the reproduction uses a reference taxonomy). With a
+	// nil oracle the Naive Bayes layer stays uninformative and
+	// plausibility degrades to the count-based noisy-or.
+	Oracle prob.Oracle
+}
+
+// BuildInfo reports what the pipeline did.
+type BuildInfo struct {
+	Rounds   []extraction.RoundStats
+	Taxonomy taxonomy.BuildStats
+	Parsed   int
+}
+
+// Probase is a built probabilistic taxonomy.
+type Probase struct {
+	// Store is Γ, the extracted pair store with evidence. Nil when the
+	// Probase was loaded from a snapshot.
+	Store *kb.Store
+	// Graph is the taxonomy DAG with plausibility-annotated edges.
+	Graph *graph.Store
+	// Senses maps each concept label to its sense node labels.
+	Senses map[string][]string
+	// Info describes the build. Zero when loaded from a snapshot.
+	Info BuildInfo
+	// Extraction is the raw extraction result (per-round pair attribution
+	// for the iteration experiments). Nil when loaded from a snapshot.
+	Extraction *extraction.Result
+
+	typ   *prob.Typicality
+	model *prob.Model
+}
+
+// Build runs the full pipeline over corpus sentences.
+func Build(inputs []extraction.Input, cfg Config) (*Probase, error) {
+	res := extraction.Run(inputs, cfg.Extraction)
+	if cfg.Taxonomy.Sim == nil && cfg.Taxonomy.MinSenseEvidence == 0 {
+		// Default: drop single-sighting fragment senses; their pairs stay
+		// queryable in Γ, but they would pollute the sense inventory.
+		cfg.Taxonomy.MinSenseEvidence = 2
+	}
+	tax := taxonomy.Build(res.Groups, cfg.Taxonomy)
+
+	model := prob.Train(res.Store, oracleOrUnknown(cfg.Oracle))
+
+	// Annotate taxonomy edges with plausibility from the evidence model.
+	g := tax.Graph
+	for _, from := range g.Concepts() {
+		x := BaseLabel(g.Label(from))
+		for _, e := range g.Children(from) {
+			y := BaseLabel(g.Label(e.To))
+			if p := model.Plausibility(x, y); p > 0 {
+				g.AddEdge(from, e.To, 0, p)
+			}
+		}
+	}
+	typ, err := prob.NewTypicality(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: taxonomy is not a DAG: %w", err)
+	}
+	return &Probase{
+		Store:      res.Store,
+		Graph:      g,
+		Senses:     tax.Senses,
+		Extraction: res,
+		Info: BuildInfo{
+			Rounds:   res.Rounds,
+			Taxonomy: tax.Stats,
+			Parsed:   res.Parsed,
+		},
+		typ:   typ,
+		model: model,
+	}, nil
+}
+
+func oracleOrUnknown(o prob.Oracle) prob.Oracle {
+	if o != nil {
+		return o
+	}
+	return func(x, y string) (bool, bool) { return false, false }
+}
+
+// BaseLabel strips the sense suffix from a taxonomy node label:
+// "plant#2" -> "plant".
+func BaseLabel(nodeLabel string) string {
+	if i := strings.LastIndex(nodeLabel, "#"); i > 0 {
+		return nodeLabel[:i]
+	}
+	return nodeLabel
+}
+
+// SensesOf returns the sense node labels of a concept surface form
+// ("plants" -> ["plant#1", "plant#2"]), dominant sense first.
+func (p *Probase) SensesOf(concept string) []string {
+	key := extraction.CanonicalSuper(concept)
+	if senses := p.Senses[key]; len(senses) > 0 {
+		return senses
+	}
+	if p.Graph.Lookup(key) != graph.NoNode {
+		return []string{key}
+	}
+	return nil
+}
+
+// conceptNode resolves a concept surface form to its dominant sense node.
+func (p *Probase) conceptNode(concept string) (graph.NodeID, bool) {
+	senses := p.SensesOf(concept)
+	if len(senses) == 0 {
+		return 0, false
+	}
+	id := p.Graph.Lookup(senses[0])
+	return id, id != graph.NoNode
+}
+
+// InstancesOf returns the top-k typical instances of the concept's
+// dominant sense, by T(i|x) — the paper's instantiation primitive.
+func (p *Probase) InstancesOf(concept string, k int) []prob.Ranked {
+	id, ok := p.conceptNode(concept)
+	if !ok {
+		return nil
+	}
+	return prob.TopK(p.typ.InstancesOf(id), k)
+}
+
+// InstancesOfSense ranks instances of one specific sense node label.
+func (p *Probase) InstancesOfSense(senseLabel string, k int) []prob.Ranked {
+	id := p.Graph.Lookup(senseLabel)
+	if id == graph.NoNode {
+		return nil
+	}
+	return prob.TopK(p.typ.InstancesOf(id), k)
+}
+
+// ConceptsOf returns the top-k concepts of a term by the abstraction
+// typicality T(x|i).
+func (p *Probase) ConceptsOf(term string, k int) []prob.Ranked {
+	id := p.lookupTerm(term)
+	if id == graph.NoNode {
+		return nil
+	}
+	return prob.TopK(p.typ.ConceptsOf(id), k)
+}
+
+// Conceptualize abstracts a set of terms jointly (Section 5.3.2: India,
+// China, Brazil -> BRIC country / emerging market). Unknown terms are
+// ignored; ok is false when no term is known.
+func (p *Probase) Conceptualize(terms []string, k int) ([]prob.Ranked, bool) {
+	ids := make([]graph.NodeID, len(terms))
+	for i, term := range terms {
+		ids[i] = p.lookupTerm(term)
+	}
+	ranked, ok := p.typ.ConceptsOfSet(ids)
+	if !ok {
+		return nil, false
+	}
+	return prob.TopK(ranked, k), true
+}
+
+// lookupTerm resolves an instance or concept surface form to a node.
+// Multi-sense concept labels resolve to their dominant sense.
+func (p *Probase) lookupTerm(term string) graph.NodeID {
+	if id := p.Graph.Lookup(extraction.CanonicalSub(term)); id != graph.NoNode {
+		return id
+	}
+	if id := p.Graph.Lookup(extraction.CanonicalSuper(term)); id != graph.NoNode {
+		return id
+	}
+	if id, ok := p.conceptNode(term); ok {
+		return id
+	}
+	// Sense-qualified labels pass through.
+	return p.Graph.Lookup(term)
+}
+
+// Plausibility returns P(x, y) for an isA claim. With a live model it is
+// the noisy-or over evidence; after Load it is the stored edge value.
+func (p *Probase) Plausibility(x, y string) float64 {
+	cx, cy := extraction.CanonicalSuper(x), extraction.CanonicalSub(y)
+	if p.model != nil && p.Store != nil {
+		if v := p.model.Plausibility(cx, cy); v > 0 {
+			return v
+		}
+		// Fall through: the pair may exist only in the graph (merged or
+		// inferred), not in Γ.
+	}
+	// x sits in super-concept position: prefer its concept sense over a
+	// dangling leaf that happens to share the label.
+	from, ok := p.conceptNode(cx)
+	if !ok {
+		from = p.lookupTerm(cx)
+	}
+	to := p.lookupTerm(cy)
+	if from == graph.NoNode || to == graph.NoNode {
+		return 0
+	}
+	if e, ok := p.Graph.EdgeBetween(from, to); ok && e.Plausibility > 0 {
+		return e.Plausibility
+	}
+	// No scored direct edge: fall back to the Algorithm 3 reachability
+	// P(x,y) — the probability that at least one path connects x to y.
+	return p.typ.Reach(from, to)
+}
+
+// Typicality exposes the typicality engine for advanced callers
+// (applications that need Reach or sense-level scoring).
+func (p *Probase) Typicality() *prob.Typicality { return p.typ }
+
+// Merge imports another taxonomy's edges by label and returns a new
+// Probase — the Section 5.2 remark that "the instances of large concepts
+// in Freebase ... can be easily merged into Probase". A source concept
+// label that matches one of ours attaches to our dominant sense;
+// everything else is interned fresh. Counts accumulate; imported edges
+// keep their plausibility.
+func (p *Probase) Merge(other *graph.Store) (*Probase, error) {
+	g := p.Graph.Clone()
+	resolve := func(label string, conceptPosition bool) graph.NodeID {
+		if conceptPosition {
+			if senses := p.Senses[extraction.CanonicalSuper(label)]; len(senses) > 0 {
+				return g.Intern(senses[0])
+			}
+		}
+		if id := g.Lookup(label); id != graph.NoNode {
+			return id
+		}
+		return g.Intern(label)
+	}
+	type pending struct {
+		from, to graph.NodeID
+		e        graph.Edge
+	}
+	var edges []pending
+	for id := 0; id < other.NumNodes(); id++ {
+		fromLabel := other.Label(graph.NodeID(id))
+		for _, e := range other.Children(graph.NodeID(id)) {
+			edges = append(edges, pending{
+				from: resolve(fromLabel, true),
+				to:   resolve(other.Label(e.To), false),
+				e:    e,
+			})
+		}
+	}
+	skipped := 0
+	for _, pe := range edges {
+		if pe.from == pe.to || g.HasPath(pe.to, pe.from) {
+			skipped++
+			continue
+		}
+		g.AddEdge(pe.from, pe.to, pe.e.Count, pe.e.Plausibility)
+	}
+	typ, err := prob.NewTypicality(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: merge broke the DAG: %w", err)
+	}
+	merged := &Probase{
+		Store:      p.Store,
+		Graph:      g,
+		Senses:     make(map[string][]string, len(p.Senses)),
+		Info:       p.Info,
+		Extraction: p.Extraction,
+		typ:        typ,
+		model:      p.model,
+	}
+	for _, id := range g.Concepts() {
+		label := g.Label(id)
+		merged.Senses[BaseLabel(label)] = append(merged.Senses[BaseLabel(label)], label)
+	}
+	for _, list := range merged.Senses {
+		sort.Slice(list, func(i, j int) bool { return senseIndex(list[i]) < senseIndex(list[j]) })
+	}
+	return merged, nil
+}
+
+// Save writes the taxonomy snapshot (graph, counts, plausibilities).
+// Γ and the evidence model are rebuildable from the corpus and are not
+// persisted.
+func (p *Probase) Save(w io.Writer) error { return p.Graph.Save(w) }
+
+// Load reads a snapshot written by Save and rebuilds the query engine.
+func Load(r io.Reader) (*Probase, error) {
+	g, err := graph.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	typ, err := prob.NewTypicality(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot is not a DAG: %w", err)
+	}
+	senses := make(map[string][]string)
+	for _, id := range g.Concepts() {
+		label := g.Label(id)
+		senses[BaseLabel(label)] = append(senses[BaseLabel(label)], label)
+	}
+	// Sense names are ordered by dominance at build time; restore that
+	// order numerically ("x#2" before "x#10").
+	for _, list := range senses {
+		sort.Slice(list, func(i, j int) bool {
+			return senseIndex(list[i]) < senseIndex(list[j])
+		})
+	}
+	return &Probase{Graph: g, Senses: senses, typ: typ}, nil
+}
+
+// senseIndex extracts the numeric sense suffix ("plant#2" -> 2); bare
+// labels rank first.
+func senseIndex(label string) int {
+	i := strings.LastIndex(label, "#")
+	if i <= 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range label[i+1:] {
+		if r < '0' || r > '9' {
+			return 0
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}

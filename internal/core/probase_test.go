@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+)
+
+// buildFixture builds a Probase over a deterministic synthetic corpus,
+// with the world itself as the training oracle (standing in for WordNet).
+func buildFixture(t testing.TB, sentences int) (*Probase, *corpus.World) {
+	t.Helper()
+	w := corpus.DefaultWorld(1)
+	c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: sentences, Seed: 11}).Generate()
+	inputs := make([]extraction.Input, len(c.Sentences))
+	for i, s := range c.Sentences {
+		inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+	}
+	oracle := func(x, y string) (bool, bool) {
+		if !w.KnownTerm(x) || !w.KnownTerm(y) {
+			return false, false
+		}
+		return w.IsTrueIsA(x, y), true
+	}
+	pb, err := Build(inputs, Config{Oracle: oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb, w
+}
+
+func TestBuildEndToEnd(t *testing.T) {
+	pb, _ := buildFixture(t, 10000)
+	if pb.Graph.NumNodes() < 200 {
+		t.Fatalf("taxonomy too small: %d nodes", pb.Graph.NumNodes())
+	}
+	if len(pb.Info.Rounds) < 2 {
+		t.Errorf("rounds = %d", len(pb.Info.Rounds))
+	}
+	if pb.Info.Parsed == 0 {
+		t.Error("nothing parsed")
+	}
+}
+
+func TestInstantiation(t *testing.T) {
+	pb, w := buildFixture(t, 10000)
+	top := pb.InstancesOf("companies", 10)
+	if len(top) == 0 {
+		t.Fatal("no instances of companies")
+	}
+	correct := 0
+	for _, r := range top {
+		if w.IsTrueIsA("companies", r.Label) {
+			correct++
+		}
+	}
+	if correct < len(top)*7/10 {
+		t.Errorf("only %d/%d top companies are true", correct, len(top))
+	}
+	// Scores descend.
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Error("ranking not sorted")
+		}
+	}
+	if got := pb.InstancesOf("no such concept", 5); got != nil {
+		t.Errorf("unknown concept returned %v", got)
+	}
+}
+
+func TestAbstraction(t *testing.T) {
+	pb, _ := buildFixture(t, 10000)
+	concepts := pb.ConceptsOf("IBM", 10)
+	if len(concepts) == 0 {
+		t.Fatal("no concepts for IBM")
+	}
+	found := false
+	for _, r := range concepts {
+		if BaseLabel(r.Label) == "company" || BaseLabel(r.Label) == "it company" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("IBM's concepts miss company: %v", concepts)
+	}
+}
+
+func TestConceptualizeSet(t *testing.T) {
+	pb, _ := buildFixture(t, 10000)
+	ranked, ok := pb.Conceptualize([]string{"China", "India", "Brazil"}, 8)
+	if !ok || len(ranked) == 0 {
+		t.Fatal("set conceptualisation failed")
+	}
+	// The tight concepts should outrank plain "country" (Example 1).
+	pos := map[string]int{}
+	for i, r := range ranked {
+		pos[BaseLabel(r.Label)] = i + 1
+	}
+	tight := -1
+	for _, c := range []string{"bric country", "developing country", "emerging market"} {
+		if p, ok := pos[c]; ok && (tight == -1 || p < tight) {
+			tight = p
+		}
+	}
+	if tight == -1 {
+		t.Fatalf("no tight concept in %v", ranked)
+	}
+	if p, ok := pos["country"]; ok && p < tight {
+		t.Errorf("plain country (rank %d) beats tight concept (rank %d): %v", p, tight, ranked)
+	}
+	if _, ok := pb.Conceptualize([]string{"zzz unknown"}, 5); ok {
+		t.Error("unknown set conceptualised")
+	}
+}
+
+func TestSenseSeparationSurvivesPipeline(t *testing.T) {
+	pb, _ := buildFixture(t, 14000)
+	senses := pb.SensesOf("plants")
+	if len(senses) < 2 {
+		t.Fatalf("plant senses = %v, want 2", senses)
+	}
+	organic := pb.InstancesOfSense(senses[0], 50)
+	industrial := pb.InstancesOfSense(senses[1], 50)
+	if len(organic) == 0 || len(industrial) == 0 {
+		t.Fatal("a sense has no instances")
+	}
+	org := map[string]bool{}
+	for _, r := range organic {
+		org[r.Label] = true
+	}
+	ind := map[string]bool{}
+	for _, r := range industrial {
+		ind[r.Label] = true
+	}
+	// One sense is botanical, the other industrial; they must not both
+	// contain the same marker instances.
+	botMarkers := []string{"moss", "ivy", "bamboo"}
+	indMarkers := []string{"pump", "boiler", "generator"}
+	botIn := func(m map[string]bool) int {
+		n := 0
+		for _, b := range botMarkers {
+			if m[b] {
+				n++
+			}
+		}
+		return n
+	}
+	indIn := func(m map[string]bool) int {
+		n := 0
+		for _, b := range indMarkers {
+			if m[b] {
+				n++
+			}
+		}
+		return n
+	}
+	// Whichever sense is botanical should dominate botanical markers, and
+	// vice versa.
+	if botIn(org)+indIn(ind) > 0 && botIn(ind)+indIn(org) >= botIn(org)+indIn(ind) {
+		t.Errorf("senses not separated: org(bot=%d,ind=%d) ind(bot=%d,ind=%d)",
+			botIn(org), indIn(org), botIn(ind), indIn(ind))
+	}
+}
+
+func TestPlausibilityQueries(t *testing.T) {
+	pb, _ := buildFixture(t, 10000)
+	good := pb.Plausibility("companies", "IBM")
+	if good < 0.5 {
+		t.Errorf("P(company, IBM) = %v, want >= 0.5", good)
+	}
+	if got := pb.Plausibility("companies", "zzz never seen"); got != 0 {
+		t.Errorf("unknown pair plausibility = %v", got)
+	}
+	if good <= pb.Plausibility("dogs", "cat") {
+		t.Error("true pair not more plausible than the classic error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	pb, _ := buildFixture(t, 8000)
+	var buf bytes.Buffer
+	if err := pb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Graph.NumNodes() != pb.Graph.NumNodes() || loaded.Graph.NumEdges() != pb.Graph.NumEdges() {
+		t.Fatal("snapshot changed graph shape")
+	}
+	a := pb.InstancesOf("companies", 5)
+	b := loaded.InstancesOf("companies", 5)
+	if len(a) != len(b) {
+		t.Fatalf("rankings differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Errorf("rank %d: %q vs %q", i, a[i].Label, b[i].Label)
+		}
+	}
+	// Loaded snapshots answer plausibility from edges.
+	if loaded.Plausibility("companies", a[0].Label) <= 0 {
+		t.Error("loaded plausibility is zero for a top instance")
+	}
+}
+
+func TestBaseLabel(t *testing.T) {
+	if BaseLabel("plant#2") != "plant" || BaseLabel("plant") != "plant" || BaseLabel("#weird") != "#weird" {
+		t.Error("BaseLabel wrong")
+	}
+}

@@ -1,0 +1,33 @@
+package corpus
+
+import "testing"
+
+func BenchmarkExpand(b *testing.B) {
+	seed := SeedConcepts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Expand(seed, ExpandOptions{Scale: 1, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	w := DefaultWorld(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewGenerator(w, GenConfig{Sentences: 10000, Seed: int64(i)}).Generate()
+		if len(c.Sentences) != 10000 {
+			b.Fatal("bad corpus")
+		}
+	}
+}
+
+func BenchmarkIsTrueIsA(b *testing.B) {
+	w := DefaultWorld(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.IsTrueIsA("companies", "IBM")
+		w.IsTrueIsA("dogs", "cat")
+	}
+}

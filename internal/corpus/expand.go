@@ -1,0 +1,292 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/nlp"
+)
+
+// ExpandOptions controls the procedural growth of the seed world.
+// Scale=1 yields a world of a few hundred concepts and a couple of
+// thousand instances; larger scales grow both roughly linearly, mirroring
+// the paper's long-tailed concept-size distribution (Figure 8): "company"
+// stays the largest concept by far.
+type ExpandOptions struct {
+	Scale float64 // growth multiplier; <= 0 means 1
+	Seed  int64   // PRNG seed for the synthetic names
+}
+
+// instanceWeights sets the relative synthetic-instance budget of each
+// benchmark concept at Scale=1, echoing the relative concept sizes of
+// Table 5 (company 85391 ... aircraft model 21).
+var instanceWeights = map[string]int{
+	"company":              400,
+	"artist":               280,
+	"city":                 120,
+	"book":                 90,
+	"disease":              80,
+	"celebrity":            80,
+	"movie":                70,
+	"film":                 60,
+	"drug":                 50,
+	"food":                 45,
+	"restaurant":           40,
+	"website":              35,
+	"actor":                34,
+	"festival":             30,
+	"river":                30,
+	"chemical compound":    28,
+	"museum":               24,
+	"university":           20,
+	"album":                20,
+	"country":              16,
+	"airline":              12,
+	"politician":           10,
+	"religion":             10,
+	"architect":            9,
+	"mountain":             8,
+	"airport":              8,
+	"file format":          7,
+	"theater":              6,
+	"programming language": 5,
+	"political party":      3,
+	"web browser":          2,
+	"internet protocol":    2,
+	"skyscraper":           1,
+	"operating system":     1,
+	"cancer center":        1,
+	"game publisher":       1,
+	"olympic sport":        1,
+	"public library":       1,
+	"tennis player":        1,
+	"football team":        1,
+	"digital camera":       1,
+	"aircraft model":       0,
+}
+
+// conceptModifiers generate synthetic modified sub-concepts
+// ("famous artists", "regional airlines", ...), growing the concept space
+// the way the web's long tail of fine-grained concepts does.
+var conceptModifiers = []string{
+	"famous", "popular", "major", "regional", "modern", "traditional",
+	"leading", "independent", "historic", "local", "well-known",
+	"influential", "award-winning", "international", "emerging",
+}
+
+// Expand grows the seed world: synthetic instances are appended to each
+// weighted concept, and synthetic modified sub-concepts are carved out of
+// the larger ones. The result is a fresh World; the input is not mutated.
+func Expand(seed []*Concept, opts ExpandOptions) (*World, error) {
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	names := newNameGen(rng)
+
+	out := make([]*Concept, 0, len(seed)*2)
+	for _, c := range seed {
+		cc := *c
+		cc.Instances = append([]string(nil), c.Instances...)
+		out = append(out, &cc)
+	}
+	byKey := make(map[string]*Concept, len(out))
+	for _, c := range out {
+		byKey[c.Key] = c
+	}
+
+	// Synthetic instances.
+	for _, c := range out {
+		w := instanceWeights[c.Key]
+		extra := int(float64(w) * scale)
+		if w > 0 && extra == 0 {
+			extra = 1
+		}
+		for i := 0; i < extra; i++ {
+			c.Instances = append(c.Instances, names.instance(c.Key))
+		}
+	}
+
+	// Synthetic modified sub-concepts on concepts that have enough
+	// instances to share.
+	var synth []*Concept
+	for _, c := range out {
+		if len(c.Instances) < 12 {
+			continue
+		}
+		nmods := 2 + rng.Intn(4)
+		if scale > 4 {
+			nmods += 2
+		}
+		perm := rng.Perm(len(conceptModifiers))
+		for m := 0; m < nmods && m < len(perm); m++ {
+			mod := conceptModifiers[perm[m]]
+			label := mod + " " + c.Label
+			key := label
+			if byKey[key] != nil {
+				continue
+			}
+			// Members: a random subset of the parent's instances.
+			k := 4 + rng.Intn(len(c.Instances)/3+1)
+			if k > len(c.Instances) {
+				k = len(c.Instances)
+			}
+			// A random subset of the parent's instances, keeping the
+			// parent's typicality order so that mention frequency under
+			// the sub-concept does not promote arbitrary tail instances.
+			idxs := make([]int, 0, k)
+			seen := make(map[int]bool)
+			for len(idxs) < k {
+				idx := rng.Intn(len(c.Instances))
+				if seen[idx] {
+					continue
+				}
+				seen[idx] = true
+				idxs = append(idxs, idx)
+			}
+			sort.Ints(idxs)
+			members := make([]string, 0, k)
+			for _, idx := range idxs {
+				members = append(members, c.Instances[idx])
+			}
+			sc := &Concept{Key: key, Label: label, Parents: []string{c.Key}, Instances: members}
+			synth = append(synth, sc)
+			byKey[key] = sc
+		}
+	}
+	out = append(out, synth...)
+	w, err := NewWorld(out)
+	if err != nil {
+		return nil, err
+	}
+	// Relational ground truth: every organisation is based in a country
+	// (drives the two-concept query-interpretation experiment). Seed
+	// organisations get their real homes; synthetic ones draw at random.
+	for inst, home := range seedHomes {
+		w.SetHome(inst, home)
+	}
+	countries := w.Concept("country").Instances
+	for _, key := range []string{"company", "it company", "software company", "oil company", "airline", "game publisher", "restaurant", "university"} {
+		c := w.Concept(key)
+		if c == nil {
+			continue
+		}
+		for _, inst := range c.Instances {
+			if w.Home(inst) == "" {
+				w.SetHome(inst, countries[rng.Intn(len(countries))])
+			}
+		}
+	}
+	return w, nil
+}
+
+// seedHomes are the real home countries of the hand-written seed
+// organisations.
+var seedHomes = map[string]string{
+	"IBM": "USA", "Microsoft": "USA", "Google": "USA", "Apple": "USA",
+	"Intel": "USA", "HP": "USA", "Oracle": "USA", "Amazon": "USA",
+	"Nokia": "Sweden", "Samsung": "South Korea", "Sony": "Japan",
+	"Toyota": "Japan", "Siemens": "Germany", "Boeing": "USA",
+	"Shell": "UK", "ExxonMobil": "USA", "Walmart": "USA",
+	"Proctor and Gamble": "USA", "Johnson and Johnson": "USA",
+	"China Mobile": "China", "Tata Group": "India", "PetroBras": "Brazil",
+	"General Electric": "USA", "Ford": "USA", "Honda": "Japan",
+	"Nestle": "France", "Unilever": "UK", "Pfizer": "USA",
+	"Cisco": "USA", "Dell": "USA", "SAP": "Germany", "Adobe": "USA",
+	"British Airways": "UK", "Delta": "USA", "Lufthansa": "Germany",
+	"Emirates": "UK", "Qantas": "Australia", "Air France": "France",
+	"KLM": "France", "Singapore Airlines": "Singapore",
+	"Cathay Pacific": "China", "Harvard": "USA", "Stanford": "USA",
+	"Yale": "USA", "MIT": "USA", "Oxford": "UK", "Cambridge": "UK",
+	"Tsinghua": "China", "BP": "UK", "Chevron": "USA", "Total": "France",
+}
+
+// DefaultWorld returns the seed world expanded at the given scale with a
+// fixed seed, the standard fixture used by tests and benchmarks.
+func DefaultWorld(scale float64) *World {
+	w, err := Expand(SeedConcepts(), ExpandOptions{Scale: scale, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// nameGen produces deterministic synthetic proper names and common nouns.
+type nameGen struct {
+	rng  *rand.Rand
+	used map[string]bool
+}
+
+func newNameGen(rng *rand.Rand) *nameGen {
+	return &nameGen{rng: rng, used: make(map[string]bool)}
+}
+
+var (
+	nameOnsets  = []string{"b", "br", "c", "cl", "d", "dr", "f", "g", "gr", "h", "j", "k", "kr", "l", "m", "n", "p", "pr", "qu", "r", "s", "st", "t", "tr", "v", "w", "z"}
+	nameVowels  = []string{"a", "e", "i", "o", "u", "ia", "ea", "io"}
+	nameCodas   = []string{"", "n", "r", "l", "s", "x", "th", "m", "nd", "rk"}
+	companySfx  = []string{"Systems", "Corp", "Industries", "Group", "Technologies", "Holdings", "Labs", "Partners", "Dynamics", "Solutions"}
+	personFirst = []string{"Alan", "Bruno", "Carla", "Dmitri", "Elena", "Felix", "Greta", "Hugo", "Irene", "Jonas", "Karin", "Lars", "Mira", "Nadia", "Oscar", "Petra", "Quentin", "Rosa", "Stefan", "Tanya"}
+	citySfx     = []string{"ville", "burg", "ton", " City", "port", "field", "haven", "dale"}
+	commonAdj   = []string{"red", "silver", "northern", "golden", "twin", "ancient", "coastal", "royal"}
+	commonNoun  = []string{"fever", "syndrome", "stew", "salad", "sonata", "gazette", "quartet", "crossing", "harvest", "remedy"}
+)
+
+func (g *nameGen) syllable() string {
+	return nameOnsets[g.rng.Intn(len(nameOnsets))] +
+		nameVowels[g.rng.Intn(len(nameVowels))] +
+		nameCodas[g.rng.Intn(len(nameCodas))]
+}
+
+func (g *nameGen) properWord() string {
+	n := 2
+	if g.rng.Intn(3) == 0 {
+		n = 3
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(g.syllable())
+	}
+	s := b.String()
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// instance produces a fresh synthetic instance name styled for the given
+// concept key.
+func (g *nameGen) instance(conceptKey string) string {
+	for attempt := 0; ; attempt++ {
+		var s string
+		switch conceptKey {
+		case "company", "it company", "software company", "airline", "game publisher", "restaurant":
+			s = g.properWord() + " " + companySfx[g.rng.Intn(len(companySfx))]
+		case "actor", "artist", "architect", "celebrity", "politician", "tennis player", "person":
+			s = personFirst[g.rng.Intn(len(personFirst))] + " " + g.properWord()
+		case "city", "asian city", "european city", "large city":
+			s = g.properWord() + citySfx[g.rng.Intn(len(citySfx))]
+		case "disease", "drug", "food", "chemical compound", "olympic sport":
+			s = strings.ToLower(g.properWord())
+			if g.rng.Intn(3) == 0 {
+				s = commonAdj[g.rng.Intn(len(commonAdj))] + " " + commonNoun[g.rng.Intn(len(commonNoun))]
+			}
+		default:
+			s = g.properWord()
+			if g.rng.Intn(4) == 0 {
+				s += " " + g.properWord()
+			}
+		}
+		key := strings.ToLower(s)
+		if !g.used[key] && !nlp.IsStopWord(s) {
+			g.used[key] = true
+			return s
+		}
+		if attempt > 50 {
+			// Guaranteed-unique fallback.
+			s = fmt.Sprintf("%s %d", s, g.rng.Intn(1_000_000))
+			g.used[strings.ToLower(s)] = true
+			return s
+		}
+	}
+}

@@ -1,0 +1,532 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/nlp"
+)
+
+// GenConfig controls the synthetic web corpus. Zero values select the
+// defaults noted on each field.
+type GenConfig struct {
+	Sentences     int     // number of sentences to emit (default 10000)
+	Seed          int64   // PRNG seed
+	NoiseRate     float64 // fraction of pattern-free prose (default 0.15)
+	ErrorRate     float64 // fraction of erroneous isA sentences (default 0.02)
+	OtherThanRate float64 // fraction of pattern sentences with an "other than" decoy (default 0.08)
+	JunkListRate  float64 // fraction of backward-pattern sentences with junk list prefixes (default 0.10)
+	AttributeRate float64 // fraction of attribute sentences (default 0.10)
+	PartOfRate    float64 // fraction of part-whole sentences (default 0.03)
+	BasedInRate   float64 // fraction of location sentences (default 0.05)
+	PageMean      int     // mean sentences per page (default 8)
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Sentences == 0 {
+		c.Sentences = 10000
+	}
+	if c.NoiseRate == 0 {
+		c.NoiseRate = 0.15
+	}
+	if c.ErrorRate == 0 {
+		c.ErrorRate = 0.02
+	}
+	if c.OtherThanRate == 0 {
+		c.OtherThanRate = 0.08
+	}
+	if c.JunkListRate == 0 {
+		c.JunkListRate = 0.10
+	}
+	if c.AttributeRate == 0 {
+		c.AttributeRate = 0.10
+	}
+	if c.PartOfRate == 0 {
+		c.PartOfRate = 0.03
+	}
+	if c.BasedInRate == 0 {
+		c.BasedInRate = 0.05
+	}
+	if c.PageMean == 0 {
+		c.PageMean = 8
+	}
+	return c
+}
+
+// Sentence is one corpus sentence with its page provenance.
+type Sentence struct {
+	Text      string
+	PageID    int32
+	PageScore float64 // PageRank-like score in (0, 1]
+}
+
+// Corpus is a generated synthetic web corpus plus the world it came from.
+type Corpus struct {
+	Sentences []Sentence
+	World     *World
+}
+
+// memberPool precomputes, for one concept, the renderable members
+// (children rendered as plural labels, instances as-is) with Zipf-decaying
+// weights so that ground-truth-typical members dominate.
+type memberPool struct {
+	key     string
+	members []string // rendered surface forms
+	isChild []bool
+	cum     []float64 // cumulative weights
+	total   float64
+}
+
+func newMemberPool(w *World, key string) *memberPool {
+	c := w.Concept(key)
+	p := &memberPool{key: key}
+	// Rank order drives mention frequency (Zipf): the hand-ranked typical
+	// instances come first, then the sub-concept labels, then the long
+	// tail — text mentions "companies such as IBM" far more often than
+	// "companies such as game publishers".
+	head := 3
+	if head > len(c.Instances) {
+		head = len(c.Instances)
+	}
+	add := func(m string, child bool) {
+		p.members = append(p.members, m)
+		p.isChild = append(p.isChild, child)
+	}
+	for _, inst := range c.Instances[:head] {
+		add(inst, false)
+	}
+	for _, ch := range c.Children {
+		add(w.Concept(ch).PluralLabel(), true)
+	}
+	for _, inst := range c.Instances[head:] {
+		add(inst, false)
+	}
+	p.cum = make([]float64, len(p.members))
+	for i := range p.members {
+		w := 1.0 / math.Pow(float64(i+1), 0.85)
+		p.total += w
+		p.cum[i] = p.total
+	}
+	return p
+}
+
+func (p *memberPool) sample(rng *rand.Rand) int {
+	if len(p.members) == 0 {
+		return -1
+	}
+	x := rng.Float64() * p.total
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// sampleDistinct draws up to k distinct member indexes.
+func (p *memberPool) sampleDistinct(rng *rand.Rand, k int) []int {
+	if k > len(p.members) {
+		k = len(p.members)
+	}
+	seen := make(map[int]bool, k)
+	var out []int
+	for tries := 0; len(out) < k && tries < 20*k+20; tries++ {
+		i := p.sample(rng)
+		if i < 0 {
+			break
+		}
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Generator produces the synthetic corpus.
+type Generator struct {
+	cfg   GenConfig
+	world *World
+	rng   *rand.Rand
+	pools []*memberPool
+	// concept sampling weights (by member count).
+	cumConcept []float64
+	totConcept float64
+	// concepts that have attributes, for attribute sentences.
+	attrConcepts []string
+	// concepts that have parts, for part-whole sentences.
+	partConcepts []string
+	// instances with a home country, for location sentences.
+	homed []string
+}
+
+// NewGenerator prepares a generator over the given world.
+func NewGenerator(w *World, cfg GenConfig) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{cfg: cfg, world: w, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for _, key := range w.Keys() {
+		pool := newMemberPool(w, key)
+		if len(pool.members) == 0 {
+			continue
+		}
+		g.pools = append(g.pools, pool)
+		g.totConcept += float64(len(pool.members))
+		g.cumConcept = append(g.cumConcept, g.totConcept)
+		if len(w.Concept(key).Attributes) > 0 {
+			g.attrConcepts = append(g.attrConcepts, key)
+		}
+		if len(w.Concept(key).Parts) > 0 {
+			g.partConcepts = append(g.partConcepts, key)
+		}
+	}
+	g.homed = w.HomedInstances()
+	return g
+}
+
+func (g *Generator) pickPool() *memberPool {
+	x := g.rng.Float64() * g.totConcept
+	lo, hi := 0, len(g.cumConcept)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cumConcept[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return g.pools[lo]
+}
+
+// Generate emits the corpus.
+func (g *Generator) Generate() *Corpus {
+	sentences := make([]Sentence, 0, g.cfg.Sentences)
+	pageID := int32(0)
+	pageLeft := 0
+	pageScore := 0.0
+	for len(sentences) < g.cfg.Sentences {
+		if pageLeft == 0 {
+			pageID++
+			pageLeft = 1 + g.rng.Intn(2*g.cfg.PageMean)
+			// Skewed-low score distribution: few high-authority pages.
+			pageScore = g.rng.Float64() * g.rng.Float64()
+			if pageScore < 0.01 {
+				pageScore = 0.01
+			}
+		}
+		text := g.sentence()
+		sentences = append(sentences, Sentence{Text: text, PageID: pageID, PageScore: pageScore})
+		pageLeft--
+	}
+	return &Corpus{Sentences: sentences, World: g.world}
+}
+
+// sentence draws one sentence of a random kind.
+func (g *Generator) sentence() string {
+	r := g.rng.Float64()
+	switch {
+	case r < g.cfg.NoiseRate:
+		return g.noiseSentence()
+	case r < g.cfg.NoiseRate+g.cfg.AttributeRate:
+		return g.attributeSentence()
+	case r < g.cfg.NoiseRate+g.cfg.AttributeRate+g.cfg.ErrorRate:
+		return g.errorSentence()
+	case r < g.cfg.NoiseRate+g.cfg.AttributeRate+g.cfg.ErrorRate+g.cfg.PartOfRate:
+		return g.partOfSentence()
+	case r < g.cfg.NoiseRate+g.cfg.AttributeRate+g.cfg.ErrorRate+g.cfg.PartOfRate+g.cfg.BasedInRate:
+		return g.basedInSentence()
+	default:
+		return g.patternSentence()
+	}
+}
+
+// basedInSentence renders relational evidence ("IBM is based in USA."),
+// the co-occurrence signal behind two-concept query interpretation.
+func (g *Generator) basedInSentence() string {
+	if len(g.homed) == 0 {
+		return g.noiseSentence()
+	}
+	inst := g.homed[int(math.Pow(g.rng.Float64(), 2)*float64(len(g.homed)))%len(g.homed)]
+	home := g.world.Home(inst)
+	if g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("Everyone knows that %s is based in %s.", inst, home)
+	}
+	return fmt.Sprintf("%s is headquartered in %s.", inst, home)
+}
+
+// partOfSentence renders composition evidence ("trees are comprised of
+// branches, leaves and roots"), the negative-evidence source of
+// Section 4.1.
+func (g *Generator) partOfSentence() string {
+	if len(g.partConcepts) == 0 {
+		return g.noiseSentence()
+	}
+	key := g.partConcepts[g.rng.Intn(len(g.partConcepts))]
+	c := g.world.Concept(key)
+	k := 2 + g.rng.Intn(2)
+	if k > len(c.Parts) {
+		k = len(c.Parts)
+	}
+	perm := g.rng.Perm(len(c.Parts))[:k]
+	parts := make([]string, k)
+	for i, j := range perm {
+		parts[i] = nlp.PluralizePhrase(c.Parts[j])
+	}
+	if g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("%s are comprised of %s.", c.PluralLabel(), joinList(parts, "and"))
+	}
+	return fmt.Sprintf("%s consist of %s.", c.PluralLabel(), joinList(parts, "and"))
+}
+
+func (g *Generator) noiseSentence() string {
+	a := junkVocabulary[g.rng.Intn(len(junkVocabulary))]
+	b := junkVocabulary[g.rng.Intn(len(junkVocabulary))]
+	return fmt.Sprintf("The meeting about %s covered %s in depth.", a, b)
+}
+
+// attributeSentence renders attribute evidence for Figure 12:
+// "the <attr> of <Instance> is widely discussed."
+func (g *Generator) attributeSentence() string {
+	if len(g.attrConcepts) == 0 {
+		return g.noiseSentence()
+	}
+	key := g.attrConcepts[g.rng.Intn(len(g.attrConcepts))]
+	c := g.world.Concept(key)
+	if len(c.Instances) == 0 {
+		return g.noiseSentence()
+	}
+	// Typicality-skewed instance choice.
+	idx := int(math.Pow(g.rng.Float64(), 2) * float64(len(c.Instances)))
+	if idx >= len(c.Instances) {
+		idx = len(c.Instances) - 1
+	}
+	inst := c.Instances[idx]
+	attr := c.Attributes[g.rng.Intn(len(c.Attributes))]
+	if g.rng.Float64() < 0.2 {
+		attr = junkAttributes[g.rng.Intn(len(junkAttributes))]
+	}
+	if g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("The %s of %s is widely discussed.", attr, inst)
+	}
+	return fmt.Sprintf("Everyone knows %s's %s quite well.", inst, attr)
+}
+
+// errorSentence claims membership of members from an unrelated concept —
+// the extraction noise that keeps precision below 100%. Half the time,
+// when the concept has parts, the error confuses composition with
+// membership ("trees such as branches") — the error class that part-of
+// negative evidence (Section 4.1) exists to suppress.
+func (g *Generator) errorSentence() string {
+	x := g.pickPool()
+	if c := g.world.Concept(x.key); len(c.Parts) > 0 && g.rng.Intn(2) == 0 {
+		part := nlp.PluralizePhrase(c.Parts[g.rng.Intn(len(c.Parts))])
+		return fmt.Sprintf("Some say %s such as %s matter most.", c.PluralLabel(), part)
+	}
+	y := g.pickPool()
+	if x == y {
+		return g.noiseSentence()
+	}
+	idxs := y.sampleDistinct(g.rng, 1+g.rng.Intn(2))
+	if len(idxs) == 0 {
+		return g.noiseSentence()
+	}
+	items := make([]string, len(idxs))
+	for i, j := range idxs {
+		items[i] = y.members[j]
+	}
+	label := g.world.Concept(x.key).PluralLabel()
+	return fmt.Sprintf("Some say %s such as %s matter most.", label, joinList(items, "and"))
+}
+
+// patternSentence renders a truthful Hearst-pattern sentence with the
+// configured ambiguity features.
+func (g *Generator) patternSentence() string {
+	pool := g.pickPool()
+	c := g.world.Concept(pool.key)
+	k := 1 + g.rng.Intn(5)
+	idxs := pool.sampleDistinct(g.rng, k)
+	if len(idxs) == 0 {
+		return g.noiseSentence()
+	}
+	items := make([]string, len(idxs))
+	for i, j := range idxs {
+		items[i] = pool.members[j]
+	}
+	plural := c.PluralLabel()
+	prefix := prosePrefixes[g.rng.Intn(len(prosePrefixes))]
+	suffix := proseSuffixes[g.rng.Intn(len(proseSuffixes))]
+
+	// Pattern choice: weights echo real Hearst-pattern frequency.
+	p := g.rng.Float64()
+	switch {
+	case p < 0.40:
+		return prefix + g.forwardPattern(plural, pool, items, "such as") + suffix
+	case p < 0.55:
+		return prefix + g.forwardPattern(plural, pool, items, "including") + suffix
+	case p < 0.65:
+		return prefix + g.forwardPattern(plural, pool, items, "especially") + suffix
+	case p < 0.75:
+		// such NP as ...
+		return prefix + "such " + plural + " as " + joinList(items, "and") + suffix
+	case p < 0.92:
+		return prefix + g.backwardPattern(plural, items, "and other") + suffix
+	default:
+		return prefix + g.backwardPattern(plural, items, "or other") + suffix
+	}
+}
+
+// forwardPattern renders "X [other than D] <kw> Y1, Y2 and Y3".
+func (g *Generator) forwardPattern(plural string, pool *memberPool, items []string, kw string) string {
+	head := plural
+	if g.rng.Float64() < g.cfg.OtherThanRate {
+		if decoy := g.decoyFor(pool, items); decoy != "" {
+			head = plural + " other than " + decoy
+		}
+	}
+	sep := "and"
+	if kw == "including" && g.rng.Intn(4) == 0 {
+		sep = "or"
+	}
+	body := head + " " + kw + " " + joinList(items, sep)
+	if kw != "such as" && g.rng.Intn(2) == 0 {
+		body = head + ", " + kw + " " + joinList(items, sep)
+	}
+	return body
+}
+
+// backwardPattern renders "[junk,] Y3, Y2, Y1, <kw> Xs". Items that embed
+// stop words (e.g. "Gone with the Wind") are kept away from the first list
+// slot, where real extractors also mangle them.
+func (g *Generator) backwardPattern(plural string, items []string, kw string) string {
+	// Move a stop-word-bearing item off the first slot when possible.
+	for i := 1; i < len(items); i++ {
+		if !containsInnerStopWord(items[0]) {
+			break
+		}
+		items[0], items[i] = items[i], items[0]
+	}
+	list := make([]string, 0, len(items)+2)
+	if g.rng.Float64() < g.cfg.JunkListRate {
+		list = append(list, "representatives in "+g.junkItem())
+		if g.rng.Intn(2) == 0 {
+			list = append(list, g.junkItem())
+		}
+	}
+	list = append(list, items...)
+	return strings.Join(list, ", ") + ", " + kw + " " + plural
+}
+
+// decoyFor picks an "other than" decoy: a plural sub-concept label of the
+// same concept when one exists (the paper's "animals other than dogs"),
+// otherwise empty.
+func (g *Generator) decoyFor(pool *memberPool, items []string) string {
+	var childIdx []int
+	for i, isc := range pool.isChild {
+		if isc {
+			childIdx = append(childIdx, i)
+		}
+	}
+	if len(childIdx) == 0 {
+		return ""
+	}
+	i := childIdx[g.rng.Intn(len(childIdx))]
+	d := pool.members[i]
+	for _, it := range items {
+		if it == d {
+			return ""
+		}
+	}
+	return d
+}
+
+// junkItem picks a phrase that is not an instance of the super-concept:
+// either prose junk or a member of an unrelated concept (continents before
+// countries, per Example 2(4)).
+func (g *Generator) junkItem() string {
+	if g.rng.Intn(2) == 0 {
+		return junkVocabulary[g.rng.Intn(len(junkVocabulary))]
+	}
+	p := g.pickPool()
+	if i := p.sample(g.rng); i >= 0 {
+		return p.members[i]
+	}
+	return junkVocabulary[0]
+}
+
+func containsInnerStopWord(s string) bool {
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		if i == 0 {
+			continue
+		}
+		if nlp.IsStopWord(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// joinList renders "A", "A and B", or "A, B and C" (Oxford comma
+// randomly omitted is not needed for determinism; we always omit it).
+func joinList(items []string, sep string) string {
+	switch len(items) {
+	case 0:
+		return ""
+	case 1:
+		return items[0]
+	default:
+		return strings.Join(items[:len(items)-1], ", ") + " " + sep + " " + items[len(items)-1]
+	}
+}
+
+// WriteTo streams the corpus as tab-separated lines: pageID, pageScore,
+// text. It implements the on-disk format shared by cmd/corpusgen and
+// cmd/probase-build.
+func (c *Corpus) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, s := range c.Sentences {
+		m, err := fmt.Fprintf(bw, "%d\t%.6f\t%s\n", s.PageID, s.PageScore, s.Text)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadSentences parses the on-disk corpus format produced by WriteTo.
+func ReadSentences(r io.Reader) ([]Sentence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Sentence
+	line := 0
+	for sc.Scan() {
+		line++
+		parts := strings.SplitN(sc.Text(), "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("corpus: line %d: want 3 tab-separated fields, got %d", line, len(parts))
+		}
+		id, err := strconv.ParseInt(parts[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: bad page id: %v", line, err)
+		}
+		score, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: bad page score: %v", line, err)
+		}
+		out = append(out, Sentence{Text: parts[2], PageID: int32(id), PageScore: score})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

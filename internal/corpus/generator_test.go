@@ -1,0 +1,192 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/hearst"
+)
+
+func testCorpus(t *testing.T, n int) *Corpus {
+	t.Helper()
+	w := DefaultWorld(1)
+	g := NewGenerator(w, GenConfig{Sentences: n, Seed: 7})
+	return g.Generate()
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := DefaultWorld(1)
+	a := NewGenerator(w, GenConfig{Sentences: 500, Seed: 7}).Generate()
+	b := NewGenerator(w, GenConfig{Sentences: 500, Seed: 7}).Generate()
+	if len(a.Sentences) != len(b.Sentences) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Sentences), len(b.Sentences))
+	}
+	for i := range a.Sentences {
+		if a.Sentences[i] != b.Sentences[i] {
+			t.Fatalf("sentence %d differs:\n%q\n%q", i, a.Sentences[i].Text, b.Sentences[i].Text)
+		}
+	}
+	c := NewGenerator(w, GenConfig{Sentences: 500, Seed: 8}).Generate()
+	same := 0
+	for i := range a.Sentences {
+		if a.Sentences[i].Text == c.Sentences[i].Text {
+			same++
+		}
+	}
+	if same == len(a.Sentences) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c := testCorpus(t, 2000)
+	if len(c.Sentences) != 2000 {
+		t.Fatalf("got %d sentences", len(c.Sentences))
+	}
+	pages := map[int32]float64{}
+	matched := 0
+	for _, s := range c.Sentences {
+		if s.PageScore <= 0 || s.PageScore > 1 {
+			t.Fatalf("page score out of range: %v", s.PageScore)
+		}
+		if prev, ok := pages[s.PageID]; ok && prev != s.PageScore {
+			t.Fatalf("page %d has inconsistent scores", s.PageID)
+		}
+		pages[s.PageID] = s.PageScore
+		if _, ok := hearst.Parse(s.Text); ok {
+			matched++
+		}
+	}
+	if len(pages) < 50 {
+		t.Errorf("only %d pages", len(pages))
+	}
+	frac := float64(matched) / float64(len(c.Sentences))
+	if frac < 0.5 || frac > 0.9 {
+		t.Errorf("hearst match rate = %.2f, want within [0.5, 0.9]", frac)
+	}
+}
+
+// Most pattern sentences must parse to a candidate super set containing a
+// surface form whose ground truth validates at least one extracted pair.
+func TestGeneratedSentencesMostlyTruthful(t *testing.T) {
+	c := testCorpus(t, 3000)
+	w := c.World
+	total, truthful := 0, 0
+	for _, s := range c.Sentences {
+		m, ok := hearst.Parse(s.Text)
+		if !ok {
+			continue
+		}
+		total++
+		found := false
+		for _, x := range m.Supers {
+			for _, seg := range m.Segments {
+				if w.IsTrueIsA(x, seg.Whole) {
+					found = true
+				}
+				for _, p := range seg.Parts {
+					if w.IsTrueIsA(x, p) {
+						found = true
+					}
+				}
+			}
+		}
+		if found {
+			truthful++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no pattern sentences")
+	}
+	frac := float64(truthful) / float64(total)
+	if frac < 0.80 {
+		t.Errorf("truthful fraction = %.3f, want >= 0.80", frac)
+	}
+	if frac > 0.995 {
+		t.Errorf("truthful fraction = %.3f; error injection seems inactive", frac)
+	}
+}
+
+func TestGeneratorCoversAllPatterns(t *testing.T) {
+	c := testCorpus(t, 5000)
+	seen := map[hearst.PatternID]int{}
+	for _, s := range c.Sentences {
+		if m, ok := hearst.Parse(s.Text); ok {
+			seen[m.Pattern]++
+		}
+	}
+	for _, p := range []hearst.PatternID{
+		hearst.PatternSuchAs, hearst.PatternSuchNPAs, hearst.PatternIncluding,
+		hearst.PatternAndOther, hearst.PatternOrOther, hearst.PatternEspecially,
+	} {
+		if seen[p] == 0 {
+			t.Errorf("pattern %v never generated", p)
+		}
+	}
+}
+
+func TestGeneratorEmitsAmbiguityFeatures(t *testing.T) {
+	c := testCorpus(t, 8000)
+	otherThan, compounds, junkLists := 0, 0, 0
+	for _, s := range c.Sentences {
+		if strings.Contains(s.Text, " other than ") {
+			otherThan++
+		}
+		if strings.Contains(s.Text, "Proctor and Gamble") || strings.Contains(s.Text, "Tom and Jerry") ||
+			strings.Contains(s.Text, "War and Peace") || strings.Contains(s.Text, "Johnson and Johnson") {
+			compounds++
+		}
+		if strings.Contains(s.Text, "representatives in ") {
+			junkLists++
+		}
+	}
+	if otherThan == 0 {
+		t.Error("no 'other than' decoys generated")
+	}
+	if compounds == 0 {
+		t.Error("no compound-name instances generated")
+	}
+	if junkLists == 0 {
+		t.Error("no junk-prefixed lists generated")
+	}
+}
+
+func TestCorpusRoundTrip(t *testing.T) {
+	c := testCorpus(t, 300)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSentences(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(c.Sentences) {
+		t.Fatalf("round trip length %d != %d", len(got), len(c.Sentences))
+	}
+	for i := range got {
+		if got[i].Text != c.Sentences[i].Text || got[i].PageID != c.Sentences[i].PageID {
+			t.Fatalf("row %d mismatch: %+v vs %+v", i, got[i], c.Sentences[i])
+		}
+		if d := got[i].PageScore - c.Sentences[i].PageScore; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("row %d score mismatch", i)
+		}
+	}
+}
+
+func TestReadSentencesRejectsGarbage(t *testing.T) {
+	if _, err := ReadSentences(strings.NewReader("only one field\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ReadSentences(strings.NewReader("x\t0.5\ttext\n")); err == nil {
+		t.Error("bad page id accepted")
+	}
+	if _, err := ReadSentences(strings.NewReader("1\tnope\ttext\n")); err == nil {
+		t.Error("bad score accepted")
+	}
+	got, err := ReadSentences(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,355 @@
+// Package corpus is the web-corpus substrate. The paper extracts from
+// 1.68 billion crawled web pages; this package replaces that corpus with a
+// deterministic synthetic generator driven by a ground-truth world model.
+// The generator emits exactly the sentence shapes and ambiguity classes the
+// paper enumerates (Hearst patterns with "other than" decoys, compound
+// instance names, non-noun-phrase instances, trailing junk lists,
+// multi-sense concept labels, and erroneous claims), while retaining the
+// ground truth so that precision and typicality can be *measured* rather
+// than sampled by human judges.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/nlp"
+)
+
+// Concept is one ground-truth concept node. Concepts with the same Label
+// but different Key model word senses (e.g. plant#organism vs
+// plant#industrial); the taxonomy builder must separate them from text
+// evidence alone.
+type Concept struct {
+	Key        string   // unique key: "label" or "label#sense"
+	Label      string   // singular surface form, e.g. "plant"
+	Parents    []string // keys of parent concepts
+	Children   []string // keys of child concepts (filled by World.link)
+	Instances  []string // instances ordered by ground-truth typicality (most typical first)
+	Attributes []string // ground-truth attributes of the concept's instances
+	Parts      []string // components of the concept's instances ("tree" has "branch", "leaf"...)
+}
+
+// PluralLabel returns the plural surface form of the concept label.
+func (c *Concept) PluralLabel() string { return nlp.PluralizePhrase(c.Label) }
+
+// World is the ground-truth taxonomy that drives corpus generation and
+// against which extraction output is judged.
+type World struct {
+	concepts map[string]*Concept
+	order    []string            // deterministic key order
+	byLabel  map[string][]string // label -> keys (multi-sense labels have several)
+	// instanceOf maps a lower-cased instance surface form to the set of
+	// concept keys it directly belongs to.
+	instanceOf map[string]map[string]bool
+	// home maps an organisation instance (lower-cased) to the country
+	// instance it is based in — the relational ground truth behind the
+	// two-concept query-interpretation experiment. homeNames keeps the
+	// original surface forms.
+	home      map[string]string
+	homeNames []string
+}
+
+// NewWorld builds a world from concept definitions. It validates parent
+// references and computes the derived indexes.
+func NewWorld(concepts []*Concept) (*World, error) {
+	w := &World{
+		concepts:   make(map[string]*Concept, len(concepts)),
+		byLabel:    make(map[string][]string),
+		instanceOf: make(map[string]map[string]bool),
+	}
+	for _, c := range concepts {
+		if c.Key == "" || c.Label == "" {
+			return nil, fmt.Errorf("corpus: concept with empty key or label: %+v", c)
+		}
+		if _, dup := w.concepts[c.Key]; dup {
+			return nil, fmt.Errorf("corpus: duplicate concept key %q", c.Key)
+		}
+		cc := *c
+		cc.Children = nil
+		w.concepts[c.Key] = &cc
+		w.order = append(w.order, c.Key)
+		nl := nlp.Normalize(cc.Label)
+		w.byLabel[nl] = append(w.byLabel[nl], c.Key)
+	}
+	for _, key := range w.order {
+		c := w.concepts[key]
+		for _, p := range c.Parents {
+			pc, ok := w.concepts[p]
+			if !ok {
+				return nil, fmt.Errorf("corpus: concept %q references unknown parent %q", key, p)
+			}
+			pc.Children = append(pc.Children, key)
+		}
+		for _, inst := range c.Instances {
+			li := strings.ToLower(inst)
+			set := w.instanceOf[li]
+			if set == nil {
+				set = make(map[string]bool)
+				w.instanceOf[li] = set
+			}
+			set[key] = true
+		}
+	}
+	if err := w.checkAcyclic(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *World) checkAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(w.concepts))
+	var visit func(k string) error
+	visit = func(k string) error {
+		switch color[k] {
+		case gray:
+			return fmt.Errorf("corpus: concept cycle through %q", k)
+		case black:
+			return nil
+		}
+		color[k] = gray
+		for _, ch := range w.concepts[k].Children {
+			if err := visit(ch); err != nil {
+				return err
+			}
+		}
+		color[k] = black
+		return nil
+	}
+	for _, k := range w.order {
+		if err := visit(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Concept returns the concept with the given key, or nil.
+func (w *World) Concept(key string) *Concept { return w.concepts[key] }
+
+// Keys returns all concept keys in definition order.
+func (w *World) Keys() []string {
+	out := make([]string, len(w.order))
+	copy(out, w.order)
+	return out
+}
+
+// KeysForLabel returns the concept keys sharing a singular label
+// (case-insensitive).
+func (w *World) KeysForLabel(label string) []string {
+	keys := w.byLabel[nlp.Normalize(label)]
+	out := make([]string, len(keys))
+	copy(out, keys)
+	return out
+}
+
+// NumConcepts returns the number of concept nodes.
+func (w *World) NumConcepts() int { return len(w.concepts) }
+
+// descendants returns the closure of child keys under key, inclusive.
+func (w *World) descendants(key string) map[string]bool {
+	seen := map[string]bool{key: true}
+	stack := []string{key}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ch := range w.concepts[k].Children {
+			if !seen[ch] {
+				seen[ch] = true
+				stack = append(stack, ch)
+			}
+		}
+	}
+	return seen
+}
+
+// InstancesOf returns all instances in the closure of key, most typical
+// first within each concept, without duplicates.
+func (w *World) InstancesOf(key string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	desc := w.descendants(key)
+	keys := make([]string, 0, len(desc))
+	for k := range desc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// The root concept's own instances first (they carry the typicality
+	// ordering), then descendants'.
+	ordered := append([]string{key}, keys...)
+	for _, k := range ordered {
+		if !desc[k] {
+			continue
+		}
+		for _, inst := range w.concepts[k].Instances {
+			li := strings.ToLower(inst)
+			if !seen[li] {
+				seen[li] = true
+				out = append(out, inst)
+			}
+		}
+	}
+	return out
+}
+
+// IsInstanceOfKey reports whether inst is an instance of the concept key's
+// closure.
+func (w *World) IsInstanceOfKey(inst, key string) bool {
+	set := w.instanceOf[strings.ToLower(inst)]
+	if set == nil {
+		return false
+	}
+	for k := range set {
+		if w.reachable(key, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// reachable reports whether to is in the descendant closure of from.
+func (w *World) reachable(from, to string) bool {
+	if from == to {
+		return true
+	}
+	return w.descendants(from)[to]
+}
+
+// IsTrueIsA judges an extracted pair: x is a (possibly plural) concept
+// surface form, y either an instance or a concept surface form. The pair
+// is true when, for *some* sense of x, y is an instance in its closure or
+// a descendant concept. This is the ground-truth oracle behind the
+// precision figures (Figures 9 and 11).
+func (w *World) IsTrueIsA(x, y string) bool {
+	xs := w.keysForSurface(x)
+	if len(xs) == 0 {
+		return false
+	}
+	ykeys := w.keysForSurface(y)
+	yn := nlp.Normalize(y)
+	ysing := nlp.SingularizePhrase(yn)
+	yplur := nlp.PluralizePhrase(yn)
+	for _, xk := range xs {
+		if w.IsInstanceOfKey(y, xk) || w.IsInstanceOfKey(ysing, xk) || w.IsInstanceOfKey(yplur, xk) {
+			return true
+		}
+		for _, yk := range ykeys {
+			if xk != yk && w.reachable(xk, yk) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// KnownTerm reports whether the surface form names any concept or
+// instance in the world, tolerating case and number variation.
+func (w *World) KnownTerm(s string) bool {
+	if len(w.keysForSurface(s)) > 0 {
+		return true
+	}
+	if _, ok := w.instanceOf[strings.ToLower(s)]; ok {
+		return true
+	}
+	n := nlp.Normalize(s)
+	if _, ok := w.instanceOf[nlp.SingularizePhrase(n)]; ok {
+		return true
+	}
+	_, ok := w.instanceOf[nlp.PluralizePhrase(n)]
+	return ok
+}
+
+// keysForSurface resolves a (possibly plural, possibly cased) concept
+// surface form to concept keys.
+func (w *World) keysForSurface(s string) []string {
+	label := nlp.Normalize(s)
+	if keys := w.byLabel[label]; len(keys) > 0 {
+		return keys
+	}
+	return w.byLabel[nlp.SingularizePhrase(label)]
+}
+
+// ConceptSurface reports whether s is the (singular or plural) label of
+// some concept.
+func (w *World) ConceptSurface(s string) bool { return len(w.keysForSurface(s)) > 0 }
+
+// SetHome records that the instance is based in the given country.
+func (w *World) SetHome(instance, country string) {
+	if w.home == nil {
+		w.home = make(map[string]string)
+	}
+	key := strings.ToLower(instance)
+	if _, seen := w.home[key]; !seen {
+		w.homeNames = append(w.homeNames, instance)
+	}
+	w.home[key] = country
+}
+
+// Home returns the country an instance is based in, or "".
+func (w *World) Home(instance string) string {
+	return w.home[strings.ToLower(instance)]
+}
+
+// HomedInstances returns the instances (original surface forms) that have
+// a recorded home, sorted.
+func (w *World) HomedInstances() []string {
+	out := append([]string(nil), w.homeNames...)
+	sort.Strings(out)
+	return out
+}
+
+// IsPart reports whether y is a ground-truth component of the concept
+// surface form x ("branch" is a part of trees, not a kind of tree).
+func (w *World) IsPart(x, y string) bool {
+	yn := nlp.SingularizePhrase(nlp.Normalize(y))
+	for _, xk := range w.keysForSurface(x) {
+		for _, p := range w.concepts[xk].Parts {
+			if p == yn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TypicalityRank returns the ground-truth typicality rank (0 = most
+// typical) of inst within the concept key's own instance list, or -1.
+func (w *World) TypicalityRank(key, inst string) int {
+	c := w.concepts[key]
+	if c == nil {
+		return -1
+	}
+	li := strings.ToLower(inst)
+	for i, have := range c.Instances {
+		if strings.ToLower(have) == li {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stats summarises the world for reporting.
+type WorldStats struct {
+	Concepts  int
+	Instances int
+	Labels    int
+	IsAPairs  int // direct concept-subconcept + concept-instance links
+}
+
+// Stats returns summary counts.
+func (w *World) Stats() WorldStats {
+	var st WorldStats
+	st.Concepts = len(w.concepts)
+	st.Labels = len(w.byLabel)
+	st.Instances = len(w.instanceOf)
+	for _, c := range w.concepts {
+		st.IsAPairs += len(c.Children) + len(c.Instances)
+	}
+	return st
+}

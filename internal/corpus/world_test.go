@@ -1,0 +1,225 @@
+package corpus
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSeedWorldValid(t *testing.T) {
+	w := SeedWorld()
+	if w.NumConcepts() < 80 {
+		t.Errorf("seed world has %d concepts, want >= 80", w.NumConcepts())
+	}
+	st := w.Stats()
+	if st.Instances < 300 {
+		t.Errorf("seed world has %d instances, want >= 300", st.Instances)
+	}
+}
+
+func TestNewWorldRejectsBadInput(t *testing.T) {
+	if _, err := NewWorld([]*Concept{{Key: "", Label: "x"}}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := NewWorld([]*Concept{{Key: "a", Label: "a"}, {Key: "a", Label: "a"}}); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	if _, err := NewWorld([]*Concept{{Key: "a", Label: "a", Parents: []string{"missing"}}}); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	cyc := []*Concept{
+		{Key: "a", Label: "a", Parents: []string{"b"}},
+		{Key: "b", Label: "b", Parents: []string{"a"}},
+	}
+	if _, err := NewWorld(cyc); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestMultiSenseLabels(t *testing.T) {
+	w := SeedWorld()
+	keys := w.KeysForLabel("plant")
+	if len(keys) != 2 {
+		t.Fatalf("plant senses = %v, want 2", keys)
+	}
+	if !w.IsTrueIsA("plants", "tree") {
+		t.Error("plants/tree should be true (organism sense)")
+	}
+	if !w.IsTrueIsA("plants", "steam turbine") {
+		t.Error("plants/steam turbine should be true (industrial sense)")
+	}
+	if w.IsTrueIsA("trees", "steam turbine") {
+		t.Error("trees/steam turbine should be false")
+	}
+}
+
+func TestIsTrueIsA(t *testing.T) {
+	w := SeedWorld()
+	tests := []struct {
+		x, y string
+		want bool
+	}{
+		{"animals", "cat", true},
+		{"animals", "cats", true}, // plural y resolves via concept surface or instance form
+		{"domestic animals", "cat", true},
+		{"animals", "domestic animal", true}, // concept-subconcept
+		{"animals", "domestic animals", true},
+		{"dogs", "cat", false},
+		{"companies", "IBM", true},
+		{"companies", "ibm", true}, // case-insensitive instances
+		{"countries", "Singapore", true},
+		{"BRIC countries", "Brazil", true},
+		{"bric countries", "Russia", true},
+		{"countries", "Europe", false}, // continent, not country
+		{"organisms", "cat", true},     // transitive through animal
+		{"things", "IBM", true},        // transitive to root
+		{"animals", "IBM", false},
+		{"nonexistent concepts", "cat", false},
+		{"animals", "unheard-of beast", false},
+	}
+	for _, tt := range tests {
+		if got := w.IsTrueIsA(tt.x, tt.y); got != tt.want {
+			t.Errorf("IsTrueIsA(%q, %q) = %v, want %v", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestInstancesOfClosure(t *testing.T) {
+	w := SeedWorld()
+	keys := w.KeysForLabel("plant")
+	var organism string
+	for _, k := range keys {
+		if strings.Contains(k, "organism") {
+			organism = k
+		}
+	}
+	insts := w.InstancesOf(organism)
+	has := func(s string) bool {
+		for _, i := range insts {
+			if i == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("oak") || !has("basil") || !has("moss") {
+		t.Errorf("closure instances missing: %v", insts)
+	}
+	if has("steam turbine") {
+		t.Error("closure crossed senses")
+	}
+	// No duplicates.
+	seen := map[string]bool{}
+	for _, i := range insts {
+		if seen[i] {
+			t.Errorf("duplicate instance %q", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestKnownTermAndConceptSurface(t *testing.T) {
+	w := SeedWorld()
+	if !w.KnownTerm("IBM") || !w.KnownTerm("companies") || !w.KnownTerm("tropical countries") {
+		t.Error("KnownTerm misses seed terms")
+	}
+	if w.KnownTerm("flibbertigibbet") {
+		t.Error("KnownTerm accepts junk")
+	}
+	if !w.ConceptSurface("BRIC countries") || w.ConceptSurface("IBM") {
+		t.Error("ConceptSurface misclassifies")
+	}
+}
+
+func TestTypicalityRank(t *testing.T) {
+	w := SeedWorld()
+	key := w.KeysForLabel("company")[0]
+	if got := w.TypicalityRank(key, "IBM"); got != 0 {
+		t.Errorf("rank of IBM = %d, want 0", got)
+	}
+	if got := w.TypicalityRank(key, "unknown corp"); got != -1 {
+		t.Errorf("rank of unknown = %d, want -1", got)
+	}
+	if got := w.TypicalityRank("no such key", "IBM"); got != -1 {
+		t.Errorf("rank under bad key = %d, want -1", got)
+	}
+}
+
+func TestExpandDeterministicAndGrowing(t *testing.T) {
+	w1 := DefaultWorld(1)
+	w2 := DefaultWorld(1)
+	if !reflect.DeepEqual(w1.Keys(), w2.Keys()) {
+		t.Error("expansion is not deterministic across runs")
+	}
+	seed := SeedWorld()
+	if w1.NumConcepts() <= seed.NumConcepts() {
+		t.Errorf("expansion added no concepts: %d vs %d", w1.NumConcepts(), seed.NumConcepts())
+	}
+	if w1.Stats().Instances <= seed.Stats().Instances {
+		t.Error("expansion added no instances")
+	}
+	w4 := DefaultWorld(4)
+	if w4.Stats().Instances <= w1.Stats().Instances {
+		t.Error("scale=4 should add more instances than scale=1")
+	}
+	// Seed typical instances keep their leading ranks after expansion.
+	key := w1.KeysForLabel("company")[0]
+	if got := w1.TypicalityRank(key, "IBM"); got != 0 {
+		t.Errorf("expansion disturbed typicality rank of IBM: %d", got)
+	}
+}
+
+func TestExpandedWorldIsAStillHolds(t *testing.T) {
+	w := DefaultWorld(1)
+	if !w.IsTrueIsA("companies", "IBM") || !w.IsTrueIsA("animals", "cat") {
+		t.Error("expanded world lost seed truths")
+	}
+	// Synthetic modified concepts are wired under their parents.
+	for _, key := range w.Keys() {
+		c := w.Concept(key)
+		if len(c.Parents) == 0 && key != "thing" {
+			t.Errorf("concept %q has no parent", key)
+		}
+	}
+}
+
+func TestIsPart(t *testing.T) {
+	w := SeedWorld()
+	if !w.IsPart("trees", "branch") || !w.IsPart("tree", "branches") {
+		t.Error("IsPart misses tree parts")
+	}
+	if w.IsPart("trees", "oak") {
+		t.Error("instance misjudged as part")
+	}
+	if w.IsPart("no such concept", "branch") {
+		t.Error("unknown concept has parts")
+	}
+}
+
+func TestHomes(t *testing.T) {
+	w := DefaultWorld(1)
+	if got := w.Home("IBM"); got != "USA" {
+		t.Errorf("Home(IBM) = %q", got)
+	}
+	if got := w.Home("ibm"); got != "USA" {
+		t.Errorf("Home is case-sensitive: %q", got)
+	}
+	if w.Home("not a company") != "" {
+		t.Error("unknown instance has a home")
+	}
+	homed := w.HomedInstances()
+	if len(homed) < 100 {
+		t.Errorf("only %d homed instances", len(homed))
+	}
+	// Every home is a real country instance.
+	for _, inst := range homed[:50] {
+		if !w.IsTrueIsA("countries", w.Home(inst)) {
+			t.Errorf("home of %q is %q, not a country", inst, w.Home(inst))
+		}
+	}
+	// Deterministic across expansions.
+	w2 := DefaultWorld(1)
+	if w2.Home(homed[len(homed)-1]) != w.Home(homed[len(homed)-1]) {
+		t.Error("homes differ across identical expansions")
+	}
+}

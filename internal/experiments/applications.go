@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/eval"
+	"repro/internal/extraction"
+	"repro/internal/taxonomy"
+)
+
+// searchConcepts are the fine-grained concepts used as semantic queries.
+var searchConcepts = []string{
+	"tropical country", "it company", "domestic animal",
+	"european city", "bric country", "oil company", "wild animal",
+	"developing country", "asian city", "classic movie",
+}
+
+// Search runs the Section 5.3.1 semantic-search comparison.
+func (s *Setup) Search() (apps.SearchReport, string) {
+	idx := apps.NewPageIndex(s.Corpus.Sentences)
+	rep := apps.EvaluateSearch(s.PB, idx, s.World, searchConcepts, 10)
+	return rep, table("Semantic web search (Section 5.3.1): relevance of top-10 results",
+		[]string{"Engine", "Relevance"},
+		[][]string{
+			{"keyword (word-for-word)", pct(rep.KeywordRelevance)},
+			{"semantic (Probase rewrite)", pct(rep.SemanticRelevance)},
+		})
+}
+
+// Fig12 runs the attribute-seeding comparison.
+func (s *Setup) Fig12() (apps.AttributeReport, string) {
+	keys := []string{
+		"company", "city", "country", "disease", "book", "university",
+		"river", "festival", "airline", "museum", "actor", "drug",
+		"film", "restaurant", "mountain", "website",
+	}
+	rep := apps.EvaluateAttributes(s.PB, s.World, s.Corpus.Sentences, keys, 5, 5)
+	return rep, table("Figure 12: attribute precision by seed policy",
+		[]string{"Seeds", "Precision"},
+		[][]string{
+			{"Pasca (manual seeds)", pct(rep.PascaPrecision)},
+			{"Probase (typicality seeds)", pct(rep.ProbasePrecision)},
+		})
+}
+
+// ShortText runs the tweet-clustering comparison of Section 5.3.2.
+func (s *Setup) ShortText() (apps.ShortTextReport, string) {
+	topics := []string{"company", "city", "animal", "disease", "movie", "food"}
+	rep := apps.EvaluateShortText(s.PB, s.World, topics, 40, 5)
+	return rep, table("Short-text clustering (Section 5.3.2): purity",
+		[]string{"Representation", "Purity"},
+		[][]string{
+			{"bag of words", pct(rep.BoWPurity)},
+			{"Probase concepts", pct(rep.ConceptPurity)},
+		})
+}
+
+// WebTables runs the column-header inference of Section 5.3.2.
+func (s *Setup) WebTables() (apps.TableReport, string) {
+	rep := apps.EvaluateTables(s.PB, s.World, 200, 9)
+	return rep, table("Web tables (Section 5.3.2): header inference",
+		[]string{"Metric", "Value"},
+		[][]string{
+			{"tables", itoa(rep.Tables)},
+			{"headers inferred", itoa(rep.Inferred)},
+			{"precision", pct(rep.Precision())},
+		})
+}
+
+// BaselineReport compares semantic and syntactic extraction.
+type BaselineReport struct {
+	SyntacticPrecision float64
+	SyntacticPairs     int
+	SyntacticRecall    float64
+	SemanticPrecision  float64
+	SemanticPairs      int
+	SemanticRecall     float64
+}
+
+// Baseline runs the Section 2.1 comparison on the shared corpus.
+func (s *Setup) Baseline() (BaselineReport, string) {
+	synStore := baseline.SyntacticExtractor{}.Run(s.Inputs)
+	var rep BaselineReport
+	rep.SyntacticPrecision, rep.SyntacticPairs = eval.StorePrecision(synStore, s.World)
+	rep.SyntacticRecall, _, _ = eval.Recall(synStore, s.World)
+	rep.SemanticPrecision, rep.SemanticPairs = eval.StorePrecision(s.PB.Store, s.World)
+	rep.SemanticRecall, _, _ = eval.Recall(s.PB.Store, s.World)
+	return rep, table("Section 2.1: semantic vs syntactic iteration",
+		[]string{"Extractor", "Pairs", "Precision", "Recall"},
+		[][]string{
+			{"syntactic (KnowItAll-style)", itoa(rep.SyntacticPairs), pct(rep.SyntacticPrecision), pct(rep.SyntacticRecall)},
+			{"semantic (Probase)", itoa(rep.SemanticPairs), pct(rep.SemanticPrecision), pct(rep.SemanticRecall)},
+		})
+}
+
+// JaccardReport is the Section 3.5 similarity ablation. The builds run
+// without the fragment-adoption pass so the similarity function alone
+// determines the merges (pure Algorithm 2).
+type JaccardReport struct {
+	AbsSenses, AbsMulti   int
+	AbsHorizontal         int
+	JacSenses, JacMulti   int
+	JacHorizontal         int
+	JacConfluenceFailures int // seeds (of 20) where merge order changed the result
+	PaperExampleFails     bool
+}
+
+// Jaccard rebuilds the taxonomy with the rejected relative similarity and
+// measures the order-dependence the paper predicts (Section 3.5: Jaccard
+// violates Property 4, so merge results depend on operation order).
+func (s *Setup) Jaccard() (JaccardReport, string) {
+	groups := s.PB.Extraction.Groups
+	abs := taxonomy.Build(groups, taxonomy.Config{DisableAdoption: true})
+	jac := taxonomy.Build(groups, taxonomy.Config{Sim: taxonomy.Jaccard{Tau: 0.5}, DisableAdoption: true})
+	rep := JaccardReport{
+		AbsSenses: abs.Stats.Senses, AbsMulti: abs.Stats.MultiSense,
+		AbsHorizontal: abs.Stats.HorizontalOps,
+		JacSenses:     jac.Stats.Senses, JacMulti: jac.Stats.MultiSense,
+		JacHorizontal: jac.Stats.HorizontalOps,
+	}
+	// Confluence probes. First a constructed witness of Property 4's
+	// violation: A can merge with either C or D, but whichever union
+	// forms first dilutes the Jaccard score below τ for the other — the
+	// final partition depends on merge order.
+	witness := []*taxonomy.Local{
+		taxonomy.NewLocal("it company", []string{"Microsoft", "IBM"}),
+		taxonomy.NewLocal("it company", []string{"Microsoft", "IBM", "HP"}),
+		taxonomy.NewLocal("it company", []string{"Microsoft", "IBM", "Intel", "Google"}),
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		if _, _, same := taxonomy.OrderExperiment(witness, taxonomy.Jaccard{Tau: 0.5}, seed); !same {
+			rep.PaperExampleFails = true
+		}
+	}
+	// Then a subsample of real groups under busy super-concepts.
+	locals := busyLocals(groups, 120)
+	for seed := int64(0); seed < 20; seed++ {
+		if _, _, same := taxonomy.OrderExperiment(locals, taxonomy.Jaccard{Tau: 0.5}, seed); !same {
+			rep.JacConfluenceFailures++
+		}
+	}
+	return rep, table("Section 3.5 ablation: absolute overlap vs Jaccard (no adoption pass)",
+		[]string{"Similarity", "Horizontal merges", "Senses", "Multi-sense labels", "Order-dependent"},
+		[][]string{
+			{"absolute overlap (paper)", itoa(rep.AbsHorizontal), itoa(rep.AbsSenses), itoa(rep.AbsMulti), "no (Theorem 1)"},
+			{"Jaccard tau=0.5", itoa(rep.JacHorizontal), itoa(rep.JacSenses), itoa(rep.JacMulti),
+				fmt.Sprintf("paper example: %s; corpus sample: %d/20 seeds", boolStr(rep.PaperExampleFails), rep.JacConfluenceFailures)},
+		})
+}
+
+// busyLocals selects up to n groups belonging to the three most frequent
+// super-concepts, so merge candidates actually overlap.
+func busyLocals(groups []extraction.Group, n int) []*taxonomy.Local {
+	freq := map[string]int{}
+	for _, g := range groups {
+		freq[g.Super]++
+	}
+	top := make([]string, 0, 3)
+	for len(top) < 3 {
+		best, bestN := "", 0
+		for s, c := range freq {
+			if c > bestN {
+				best, bestN = s, c
+			}
+		}
+		if best == "" {
+			break
+		}
+		top = append(top, best)
+		delete(freq, best)
+	}
+	busy := make(map[string]bool, len(top))
+	for _, s := range top {
+		busy[s] = true
+	}
+	var locals []*taxonomy.Local
+	for _, g := range groups {
+		if busy[g.Super] && len(g.Subs) >= 2 {
+			locals = append(locals, taxonomy.NewLocal(g.Super, g.Subs))
+			if len(locals) == n {
+				break
+			}
+		}
+	}
+	return locals
+}
+
+// MergeOrderReport is the Theorem 2 operation-count experiment.
+type MergeOrderReport struct {
+	StagedOps    int
+	RandomOpsMin int
+	RandomOpsMax int
+	Confluent    bool
+}
+
+// MergeOrder compares the staged schedule against random schedules on a
+// subsample of the real extraction groups under busy super-concepts,
+// where merges are frequent.
+func (s *Setup) MergeOrder() (MergeOrderReport, string) {
+	locals := busyLocals(s.PB.Extraction.Groups, 120)
+	rep := MergeOrderReport{Confluent: true}
+	for seed := int64(0); seed < 10; seed++ {
+		staged, random, same := taxonomy.OrderExperiment(locals, taxonomy.AbsoluteOverlap{Delta: 2}, seed)
+		rep.StagedOps = staged
+		if !same {
+			rep.Confluent = false
+		}
+		if seed == 0 || random < rep.RandomOpsMin {
+			rep.RandomOpsMin = random
+		}
+		if random > rep.RandomOpsMax {
+			rep.RandomOpsMax = random
+		}
+	}
+	return rep, table("Theorems 1-2: merge-order experiment (150-sentence subsample)",
+		[]string{"Schedule", "Operations"},
+		[][]string{
+			{"horizontal-first (staged)", itoa(rep.StagedOps)},
+			{"random order (min over 10 seeds)", itoa(rep.RandomOpsMin)},
+			{"random order (max over 10 seeds)", itoa(rep.RandomOpsMax)},
+			{"confluent", boolStr(rep.Confluent)},
+		})
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// Extras reports overall corpus-level quality used in EXPERIMENTS.md.
+type ExtrasReport struct {
+	Precision float64
+	Pairs     int
+	Recall    float64
+	Nodes     int
+	Edges     int
+}
+
+// Extras summarises Γ quality and taxonomy size.
+func (s *Setup) Extras() (ExtrasReport, string) {
+	var rep ExtrasReport
+	rep.Precision, rep.Pairs = eval.StorePrecision(s.PB.Store, s.World)
+	rep.Recall, _, _ = eval.Recall(s.PB.Store, s.World)
+	rep.Nodes = s.PB.Graph.NumNodes()
+	rep.Edges = s.PB.Graph.NumEdges()
+	return rep, table("Overall extraction quality",
+		[]string{"Metric", "Value"},
+		[][]string{
+			{"distinct pairs", itoa(rep.Pairs)},
+			{"precision (all pairs judged)", pct(rep.Precision)},
+			{"recall (world direct pairs)", pct(rep.Recall)},
+			{"taxonomy nodes", itoa(rep.Nodes)},
+			{"taxonomy edges", itoa(rep.Edges)},
+		})
+}
+
+// InterpretExp runs the two-concept query-interpretation prototype of
+// Section 5.3.1 ("database conferences in asian cities"): both concepts
+// rewrite into typical instances, and instance pairs are ranked by
+// PMI-style word association at sentence granularity.
+func (s *Setup) InterpretExp() (apps.InterpretReport, string) {
+	idx := apps.NewSentenceIndex(s.Corpus.Sentences)
+	rep := apps.EvaluateInterpretation(s.PB, idx, s.World,
+		[]string{"companies", "IT companies", "airlines"},
+		[]string{"countries", "european countries"}, 5)
+	return rep, table("Two-concept query interpretation (Section 5.3.1)",
+		[]string{"Metric", "Value"},
+		[][]string{
+			{"queries", itoa(rep.Queries)},
+			{"instance pairs returned", itoa(rep.Pairs)},
+			{"pairs matching ground truth", itoa(rep.Correct)},
+			{"precision", pct(rep.Precision())},
+		})
+}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	setupOnce sync.Once
+	setupVal  *Setup
+	setupErr  error
+)
+
+func testSetup(t testing.TB) *Setup {
+	t.Helper()
+	setupOnce.Do(func() {
+		setupVal, setupErr = NewSetup(Options{Sentences: 14000})
+	})
+	if setupErr != nil {
+		t.Fatal(setupErr)
+	}
+	return setupVal
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := testSetup(t)
+	rows, text := s.Table1()
+	if !strings.Contains(text, "Probase") {
+		t.Error("table text missing Probase")
+	}
+	by := map[string]int{}
+	for _, r := range rows {
+		by[r.Name] = r.Concepts
+	}
+	// The paper's ordering: Probase has by far the largest concept space.
+	if by["Probase"] <= by["YAGO"] {
+		t.Errorf("Probase %d <= YAGO %d", by["Probase"], by["YAGO"])
+	}
+	if by["Freebase"] >= by["WordNet"] {
+		t.Errorf("Freebase %d >= WordNet %d", by["Freebase"], by["WordNet"])
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	s := testSetup(t)
+	rows, _, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]int{}
+	for _, r := range rows {
+		by[r.Name] = r.IsAPairs
+	}
+	if by["Freebase"] != 0 {
+		t.Errorf("Freebase isA pairs = %d, want 0", by["Freebase"])
+	}
+	if by["Probase"] <= by["WordNet"] {
+		t.Errorf("Probase concept-subconcept pairs %d <= WordNet %d", by["Probase"], by["WordNet"])
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	s := testSetup(t)
+	rows, _ := s.Table5()
+	if len(rows) != 40 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	withTypical := 0
+	for _, r := range rows {
+		if len(r.Typical) > 0 {
+			withTypical++
+		}
+	}
+	if withTypical < 30 {
+		t.Errorf("only %d/40 benchmark concepts have typical instances", withTypical)
+	}
+	// Spot-check the paper's signature examples.
+	for _, r := range rows {
+		if r.Concept == "company" {
+			joined := strings.Join(r.Typical, " ")
+			if !strings.Contains(joined, "IBM") && !strings.Contains(joined, "Microsoft") {
+				t.Errorf("company typical instances = %v", r.Typical)
+			}
+		}
+	}
+}
+
+func TestCoverageShape(t *testing.T) {
+	s := testSetup(t)
+	res, _ := s.Coverage(20000)
+	byName := map[string][]int64{}
+	for _, series := range res.Series {
+		var cov []int64
+		for _, p := range series.Points {
+			cov = append(cov, p.Covered)
+		}
+		byName[series.Name] = cov
+	}
+	last := len(res.Ks) - 1
+	// Figure 6: Probase covers the most queries at full k.
+	for _, other := range []string{"WordNet", "WikiTaxonomy", "YAGO", "Freebase"} {
+		if byName["Probase"][last] < byName[other][last] {
+			t.Errorf("Probase coverage %d < %s %d", byName["Probase"][last], other, byName[other][last])
+		}
+	}
+	// Figure 7 shape: Freebase concept coverage is much smaller than its
+	// taxonomy coverage.
+	for _, series := range res.Series {
+		if series.Name != "Freebase" {
+			continue
+		}
+		p := series.Points[last]
+		if p.ConceptCovered*3 > p.Covered {
+			t.Errorf("Freebase concept coverage %d not far below total %d", p.ConceptCovered, p.Covered)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	s := testSetup(t)
+	ds, _ := s.Fig8()
+	probase, freebase := ds[0], ds[1]
+	if freebase.Top10Share <= probase.Top10Share {
+		t.Errorf("Freebase top-10 share %.2f <= Probase %.2f (paper: 70%% vs 4.5%%)",
+			freebase.Top10Share, probase.Top10Share)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	s := testSetup(t)
+	cps, text := s.Fig9()
+	if len(cps) != 40 {
+		t.Fatalf("concepts = %d", len(cps))
+	}
+	avg := 0.0
+	n := 0
+	for _, cp := range cps {
+		if cp.Sampled > 0 {
+			avg += cp.Precision()
+			n++
+		}
+	}
+	avg /= float64(n)
+	if avg < 0.85 {
+		t.Errorf("average benchmark precision %.3f, want >= 0.85 (paper: 92.8%%)", avg)
+	}
+	if !strings.Contains(text, "AVERAGE") {
+		t.Error("table missing average row")
+	}
+}
+
+func TestFig10And11Shape(t *testing.T) {
+	s := testSetup(t)
+	rows10, _ := s.Fig10()
+	if len(rows10) < 3 {
+		t.Fatalf("rounds = %d", len(rows10))
+	}
+	// Monotone accumulation, and the biggest gain after round 1 lands in
+	// round 2 (the paper's signature).
+	var maxLater int64
+	for i := 2; i < len(rows10); i++ {
+		if rows10[i].NewPairs > maxLater {
+			maxLater = rows10[i].NewPairs
+		}
+	}
+	if rows10[1].NewPairs < maxLater {
+		t.Errorf("round 2 gain %d below a later round's %d", rows10[1].NewPairs, maxLater)
+	}
+
+	rows11, _ := s.Fig11()
+	first, lastRow := rows11[0], rows11[len(rows11)-1]
+	if first.Precision < 0.9 {
+		t.Errorf("round 1 benchmark precision %.3f, want >= 0.9 (paper: 97.3%%)", first.Precision)
+	}
+	// The paper sees a slight decay from 97.3%; our round 1 already
+	// carries the Observation-1 fallback noise, so the curve drifts
+	// mildly in either direction. Assert the magnitude: high throughout,
+	// small total drift (see EXPERIMENTS.md).
+	if d := lastRow.Precision - first.Precision; d > 0.07 || d < -0.07 {
+		t.Errorf("precision drifted too much: %.3f -> %.3f", first.Precision, lastRow.Precision)
+	}
+	if lastRow.Precision < 0.9 {
+		t.Errorf("final benchmark precision %.3f, want >= 0.9", lastRow.Precision)
+	}
+}
+
+func TestApplicationShapes(t *testing.T) {
+	s := testSetup(t)
+	search, _ := s.Search()
+	if search.SemanticRelevance <= search.KeywordRelevance {
+		t.Errorf("semantic %.2f <= keyword %.2f", search.SemanticRelevance, search.KeywordRelevance)
+	}
+	attrs, _ := s.Fig12()
+	if attrs.ProbasePrecision < attrs.PascaPrecision-0.15 {
+		t.Errorf("probase seeds %.2f far below pasca %.2f", attrs.ProbasePrecision, attrs.PascaPrecision)
+	}
+	st, _ := s.ShortText()
+	if st.ConceptPurity <= st.BoWPurity {
+		t.Errorf("concept purity %.2f <= bow %.2f", st.ConceptPurity, st.BoWPurity)
+	}
+	wt, _ := s.WebTables()
+	if wt.Precision() < 0.7 {
+		t.Errorf("web table precision %.2f", wt.Precision())
+	}
+}
+
+func TestBaselineAndAblationShapes(t *testing.T) {
+	s := testSetup(t)
+	base, _ := s.Baseline()
+	if base.SemanticRecall <= base.SyntacticRecall {
+		t.Errorf("semantic recall %.3f <= syntactic %.3f", base.SemanticRecall, base.SyntacticRecall)
+	}
+	jac, text := s.Jaccard()
+	if jac.AbsSenses == 0 || jac.JacSenses == 0 {
+		t.Error("ablation produced empty taxonomies")
+	}
+	if !strings.Contains(text, "Jaccard") {
+		t.Error("ablation table malformed")
+	}
+	mo, _ := s.MergeOrder()
+	if !mo.Confluent {
+		t.Error("absolute-overlap merging not confluent")
+	}
+	if mo.StagedOps > mo.RandomOpsMin {
+		t.Errorf("staged ops %d > random min %d (Theorem 2)", mo.StagedOps, mo.RandomOpsMin)
+	}
+	extras, _ := s.Extras()
+	if extras.Precision < 0.85 {
+		t.Errorf("overall precision %.3f", extras.Precision)
+	}
+}
+
+func TestPlausibilityFilterShape(t *testing.T) {
+	s := testSetup(t)
+	rep, text := s.Plausibility()
+	if rep.Pairs == 0 {
+		t.Fatal("no pairs")
+	}
+	// The Section 4 claim: thresholding on plausibility raises precision
+	// above the unfiltered base while keeping most pairs.
+	last := rep.NoisyOr[len(rep.NoisyOr)-1]
+	if last.Precision <= rep.BasePrecision {
+		t.Errorf("noisy-or filter did not raise precision: %.3f vs base %.3f",
+			last.Precision, rep.BasePrecision)
+	}
+	if last.Kept < rep.Pairs/2 {
+		t.Errorf("noisy-or filter kept only %d of %d pairs", last.Kept, rep.Pairs)
+	}
+	// Raw-count filtering pays for its precision with far lower retention.
+	rawLast := rep.RawCount[len(rep.RawCount)-1]
+	if rawLast.Kept >= last.Kept {
+		t.Errorf("raw-count filter kept %d >= noisy-or %d at the top threshold",
+			rawLast.Kept, last.Kept)
+	}
+	if len(text) == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestGrowthShape(t *testing.T) {
+	s := testSetup(t)
+	points, _ := s.Growth()
+	if len(points) < 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Pairs <= points[i-1].Pairs {
+			t.Errorf("pairs did not grow: %d -> %d", points[i-1].Pairs, points[i].Pairs)
+		}
+	}
+	for _, p := range points {
+		if p.Precision < 0.85 {
+			t.Errorf("precision at %d sentences = %.3f", p.Sentences, p.Precision)
+		}
+	}
+}
+
+func TestMergeFreebaseShape(t *testing.T) {
+	s := testSetup(t)
+	rep, _ := s.MergeFreebase()
+	if rep.InstancesAfter <= rep.InstancesBefore {
+		t.Errorf("merge added no instances: %d -> %d", rep.InstancesBefore, rep.InstancesAfter)
+	}
+	if rep.CoveredAfter < rep.CoveredBefore {
+		t.Errorf("merge reduced coverage: %d -> %d", rep.CoveredBefore, rep.CoveredAfter)
+	}
+}
+
+func TestInterpretShape(t *testing.T) {
+	s := testSetup(t)
+	rep, text := s.InterpretExp()
+	if rep.Pairs == 0 {
+		t.Fatal("no interpretation pairs")
+	}
+	if rep.Precision() < 0.4 {
+		t.Errorf("interpretation precision = %.2f", rep.Precision())
+	}
+	if !strings.Contains(text, "interpretation") {
+		t.Error("table malformed")
+	}
+}

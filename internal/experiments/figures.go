@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/querylog"
+)
+
+// CoverageSeries is one taxonomy's Figures 5-7 curves.
+type CoverageSeries struct {
+	Name   string
+	Points []querylog.Point
+}
+
+// CoverageResult bundles the three query-coverage figures, which share
+// one query log and one sweep.
+type CoverageResult struct {
+	Ks     []int
+	Series []CoverageSeries
+}
+
+// probaseVocabulary derives the coverage vocabulary from the built
+// taxonomy: concept base labels and instance labels.
+func probaseVocabulary(pb *core.Probase) *querylog.Vocabulary {
+	var concepts, instances []string
+	for _, id := range pb.Graph.Concepts() {
+		concepts = append(concepts, core.BaseLabel(pb.Graph.Label(id)))
+	}
+	for _, id := range pb.Graph.Instances() {
+		instances = append(instances, pb.Graph.Label(id))
+	}
+	return querylog.NewVocabulary(concepts, instances)
+}
+
+func refVocabulary(concepts, instances []string) *querylog.Vocabulary {
+	return querylog.NewVocabulary(concepts, instances)
+}
+
+// Coverage runs the Figures 5-7 sweep: a frequency-sorted query log
+// (down-scaled from the paper's 50M to nQueries) analysed against every
+// taxonomy's vocabulary.
+func (s *Setup) Coverage(nQueries int) (*CoverageResult, string) {
+	if nQueries == 0 {
+		nQueries = 50000
+	}
+	queries := querylog.Generate(s.World, querylog.Config{Queries: nQueries, Seed: 3})
+	// Geometric k sweep (the paper's 1M..50M down-scaled): the early
+	// points separate the head, the late ones the tail.
+	ks := []int{nQueries / 50, nQueries / 10, nQueries / 5, nQueries / 2, nQueries}
+	vocabs := []struct {
+		name string
+		v    *querylog.Vocabulary
+	}{
+		{"WordNet", refVocabulary(s.WordNet.Concepts, s.WordNet.Instances)},
+		{"WikiTaxonomy", refVocabulary(s.WikiTax.Concepts, s.WikiTax.Instances)},
+		{"YAGO", refVocabulary(s.YAGO.Concepts, s.YAGO.Instances)},
+		{"Freebase", refVocabulary(s.Freebase.Concepts, s.Freebase.Instances)},
+		{"Probase", probaseVocabulary(s.PB)},
+	}
+	res := &CoverageResult{Ks: ks}
+	for _, v := range vocabs {
+		res.Series = append(res.Series, CoverageSeries{
+			Name:   v.name,
+			Points: querylog.Analyze(queries, v.v, ks),
+		})
+	}
+
+	out := ""
+	render := func(title string, get func(querylog.Point) string) string {
+		header := []string{"Taxonomy"}
+		for _, k := range ks {
+			header = append(header, fmt.Sprintf("top %d", k))
+		}
+		var cells [][]string
+		for _, series := range res.Series {
+			row := []string{series.Name}
+			for _, p := range series.Points {
+				row = append(row, get(p))
+			}
+			cells = append(cells, row)
+		}
+		return table(title, header, cells)
+	}
+	out += render("Figure 5: relevant concepts in top-k queries",
+		func(p querylog.Point) string { return itoa(p.RelevantConcepts) })
+	out += "\n" + render("Figure 6: taxonomy coverage of top-k queries",
+		func(p querylog.Point) string { return i64(p.Covered) })
+	out += "\n" + render("Figure 7: concept coverage of top-k queries",
+		func(p querylog.Point) string { return i64(p.ConceptCovered) })
+	return res, out
+}
+
+// Fig8 compares the concept-size distributions of Probase and the
+// Freebase reference.
+func (s *Setup) Fig8() ([]eval.SizeDistribution, string) {
+	ds := []eval.SizeDistribution{
+		eval.Distribution("Probase", s.PB.Graph),
+		eval.Distribution("Freebase", s.Freebase.Graph),
+	}
+	header := []string{"Bucket"}
+	for _, d := range ds {
+		header = append(header, d.Name)
+	}
+	var cells [][]string
+	for i := range ds[0].Buckets {
+		row := []string{ds[0].Buckets[i].Label}
+		for _, d := range ds {
+			row = append(row, itoa(d.Buckets[i].Count))
+		}
+		cells = append(cells, row)
+	}
+	cells = append(cells, []string{"top-10 share",
+		pct(ds[0].Top10Share), pct(ds[1].Top10Share)})
+	return ds, table("Figure 8: concept-size distribution", header, cells)
+}
+
+// Fig9 samples per-benchmark-concept precision.
+func (s *Setup) Fig9() ([]eval.ConceptPrecision, string) {
+	cps := eval.SampleConceptPrecision(s.PB.Store, s.World, eval.BenchmarkConcepts, 50, 17)
+	var cells [][]string
+	for _, cp := range cps {
+		cells = append(cells, []string{cp.Concept, itoa(cp.Sampled), pct(cp.Precision())})
+	}
+	cells = append(cells, []string{"AVERAGE", "", pct(eval.Average(cps))})
+	return cps, table("Figure 9: precision of extracted pairs per benchmark concept",
+		[]string{"Concept", "Sampled", "Precision"}, cells)
+}
+
+// Fig10Row is one iteration's accumulated counts.
+type Fig10Row struct {
+	Round    int
+	Pairs    int64
+	Concepts int
+	NewPairs int64
+}
+
+// Fig10 reports the accumulated isA pairs and concepts per iteration.
+func (s *Setup) Fig10() ([]Fig10Row, string) {
+	var rows []Fig10Row
+	var cells [][]string
+	for _, r := range s.PB.Info.Rounds {
+		rows = append(rows, Fig10Row{Round: r.Round, Pairs: r.TotalPairs, Concepts: r.TotalConcepts, NewPairs: r.NewPairs})
+		cells = append(cells, []string{itoa(r.Round), i64(r.TotalPairs), itoa(r.TotalConcepts), i64(r.NewPairs)})
+	}
+	return rows, table("Figure 10: accumulated isA pairs and concepts per iteration",
+		[]string{"Iteration", "isA pairs", "Concepts", "New pairs"}, cells)
+}
+
+// Fig11Row is one iteration's benchmark precision.
+type Fig11Row struct {
+	Round     int
+	Pairs     int
+	Precision float64
+}
+
+// Fig11 reports the precision of the pairs accumulated through each
+// iteration, restricted to the benchmark concepts as in the paper.
+func (s *Setup) Fig11() ([]Fig11Row, string) {
+	bench := make(map[string]bool, len(eval.BenchmarkConcepts))
+	for _, c := range eval.BenchmarkConcepts {
+		bench[c] = true
+	}
+	var rows []Fig11Row
+	var cells [][]string
+	for _, r := range s.PB.Info.Rounds {
+		pairs := s.PB.Extraction.PairsThroughRound(r.Round)
+		filtered := pairs[:0]
+		for _, p := range pairs {
+			if bench[p.X] {
+				filtered = append(filtered, p)
+			}
+		}
+		prec := eval.PairSetPrecision(filtered, s.World)
+		rows = append(rows, Fig11Row{Round: r.Round, Pairs: len(filtered), Precision: prec})
+		cells = append(cells, []string{itoa(r.Round), itoa(len(filtered)), pct(prec)})
+	}
+	return rows, table("Figure 11: benchmark precision per iteration",
+		[]string{"Iteration", "Benchmark pairs", "Precision"}, cells)
+}

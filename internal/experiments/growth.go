@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/extraction"
+	"repro/internal/querylog"
+)
+
+// GrowthPoint is one corpus size of the scaling sweep.
+type GrowthPoint struct {
+	Sentences int
+	Pairs     int64
+	Concepts  int
+	Precision float64
+	Recall    float64
+	BuildMS   int64
+}
+
+// Growth sweeps corpus sizes and reports how the knowledge base and its
+// quality grow — the laptop-scale analogue of the paper's central claim
+// that the approach scales to web corpora while holding precision.
+func (s *Setup) Growth() ([]GrowthPoint, string) {
+	sizes := []int{5000, 10000, 20000, 40000}
+	oracle := func(x, y string) (bool, bool) {
+		if !s.World.KnownTerm(x) || !s.World.KnownTerm(y) {
+			return false, false
+		}
+		return s.World.IsTrueIsA(x, y), true
+	}
+	var points []GrowthPoint
+	var cells [][]string
+	for _, n := range sizes {
+		c := corpus.NewGenerator(s.World, corpus.GenConfig{Sentences: n, Seed: 11}).Generate()
+		inputs := make([]extraction.Input, len(c.Sentences))
+		for i, sent := range c.Sentences {
+			inputs[i] = extraction.Input{Text: sent.Text, PageScore: sent.PageScore}
+		}
+		start := time.Now()
+		pb, err := core.Build(inputs, core.Config{Oracle: oracle})
+		if err != nil {
+			continue
+		}
+		elapsed := time.Since(start)
+		prec, _ := eval.StorePrecision(pb.Store, s.World)
+		rec, _, _ := eval.Recall(pb.Store, s.World)
+		p := GrowthPoint{
+			Sentences: n,
+			Pairs:     pb.Store.NumPairs(),
+			Concepts:  len(pb.Graph.Concepts()),
+			Precision: prec,
+			Recall:    rec,
+			BuildMS:   elapsed.Milliseconds(),
+		}
+		points = append(points, p)
+		cells = append(cells, []string{
+			itoa(p.Sentences), i64(p.Pairs), itoa(p.Concepts),
+			pct(p.Precision), pct(p.Recall), fmt.Sprintf("%dms", p.BuildMS),
+		})
+	}
+	return points, table("Scaling sweep: knowledge growth with corpus size",
+		[]string{"Sentences", "Pairs", "Concepts", "Precision", "Recall", "Build"}, cells)
+}
+
+// MergeReport summarises the Section 5.2 Freebase-merge remark.
+type MergeReport struct {
+	InstancesBefore int
+	InstancesAfter  int
+	CoveredBefore   int64
+	CoveredAfter    int64
+	Queries         int
+}
+
+// MergeFreebase imports the Freebase reference's instance mass into the
+// built Probase and measures the query-coverage gain.
+func (s *Setup) MergeFreebase() (MergeReport, string) {
+	fb := baseline.NewFreebaseRef(s.World)
+	merged, err := s.PB.Merge(fb.Graph)
+	if err != nil {
+		return MergeReport{}, "merge failed: " + err.Error()
+	}
+	rep := MergeReport{
+		InstancesBefore: len(s.PB.Graph.Instances()),
+		InstancesAfter:  len(merged.Graph.Instances()),
+	}
+	queries := querylog.Generate(s.World, querylog.Config{Queries: 20000, Seed: 3})
+	rep.Queries = len(queries)
+	before := querylog.Analyze(queries, probaseVocabulary(s.PB), []int{len(queries)})
+	after := querylog.Analyze(queries, probaseVocabulary(merged), []int{len(queries)})
+	rep.CoveredBefore = before[0].Covered
+	rep.CoveredAfter = after[0].Covered
+	return rep, table("Section 5.2: merging Freebase instances into Probase",
+		[]string{"Metric", "Before", "After"},
+		[][]string{
+			{"instances", itoa(rep.InstancesBefore), itoa(rep.InstancesAfter)},
+			{"queries covered (of 20000)", i64(rep.CoveredBefore), i64(rep.CoveredAfter)},
+		})
+}

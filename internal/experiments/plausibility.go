@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/prob"
+)
+
+// FilterPoint is one threshold of the error-detection sweep.
+type FilterPoint struct {
+	Threshold float64
+	Kept      int
+	Precision float64
+}
+
+// PlausibilityReport compares error detection by three scorers: the
+// paper's Naive-Bayes + noisy-or plausibility, the Urns redundancy model
+// the paper cites as the sophisticated alternative, and a raw-frequency
+// baseline. Section 4's claim under test: "plausibility is useful for
+// detecting errors".
+type PlausibilityReport struct {
+	NoisyOr       []FilterPoint
+	Urns          []FilterPoint
+	RawCount      []FilterPoint // threshold interpreted as a minimum count quantile
+	BasePrecision float64
+	Pairs         int
+}
+
+// Plausibility sweeps retention thresholds over all extracted pairs and
+// reports precision of the retained subset under each scorer.
+func (s *Setup) Plausibility() (PlausibilityReport, string) {
+	oracle := func(x, y string) (bool, bool) {
+		if !s.World.KnownTerm(x) || !s.World.KnownTerm(y) {
+			return false, false
+		}
+		return s.World.IsTrueIsA(x, y), true
+	}
+	model := prob.Train(s.PB.Store, oracle)
+	urns := prob.FitUrns(s.PB.Store, oracle)
+
+	type scored struct {
+		x, y    string
+		noisyOr float64
+		urns    float64
+		count   int64
+		isTrue  bool
+	}
+	var pairs []scored
+	s.PB.Store.ForEachPair(func(x, y string, n int64) {
+		pairs = append(pairs, scored{
+			x: x, y: y,
+			noisyOr: model.Plausibility(x, y),
+			urns:    urns.Plausibility(n),
+			count:   n,
+			isTrue:  s.World.IsTrueIsA(x, y),
+		})
+	})
+
+	thresholds := []float64{0, 0.5, 0.7, 0.9, 0.95}
+	sweep := func(score func(scored) float64) []FilterPoint {
+		var out []FilterPoint
+		for _, th := range thresholds {
+			kept, correct := 0, 0
+			for _, p := range pairs {
+				if score(p) >= th {
+					kept++
+					if p.isTrue {
+						correct++
+					}
+				}
+			}
+			fp := FilterPoint{Threshold: th, Kept: kept}
+			if kept > 0 {
+				fp.Precision = float64(correct) / float64(kept)
+			}
+			out = append(out, fp)
+		}
+		return out
+	}
+
+	rep := PlausibilityReport{
+		NoisyOr: sweep(func(p scored) float64 { return p.noisyOr }),
+		Urns:    sweep(func(p scored) float64 { return p.urns }),
+		// Raw-count baseline: map counts to [0,1] via 1 - 1/(1+n) so the
+		// same thresholds apply.
+		RawCount: sweep(func(p scored) float64 { return 1 - 1/float64(1+p.count) }),
+		Pairs:    len(pairs),
+	}
+	correct := 0
+	for _, p := range pairs {
+		if p.isTrue {
+			correct++
+		}
+	}
+	if len(pairs) > 0 {
+		rep.BasePrecision = float64(correct) / float64(len(pairs))
+	}
+
+	header := []string{"Threshold", "noisy-or kept/prec", "urns kept/prec", "raw-count kept/prec"}
+	var cells [][]string
+	for i, th := range thresholds {
+		cells = append(cells, []string{
+			fmt.Sprintf("%.2f", th),
+			fmt.Sprintf("%d / %s", rep.NoisyOr[i].Kept, pct(rep.NoisyOr[i].Precision)),
+			fmt.Sprintf("%d / %s", rep.Urns[i].Kept, pct(rep.Urns[i].Precision)),
+			fmt.Sprintf("%d / %s", rep.RawCount[i].Kept, pct(rep.RawCount[i].Precision)),
+		})
+	}
+	title := fmt.Sprintf("Section 4 ablation: error detection by plausibility (base precision %s over %d pairs)",
+		pct(rep.BasePrecision), rep.Pairs)
+	return rep, table(title, header, cells)
+}

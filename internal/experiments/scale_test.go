@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// TestScaleUp runs the full pipeline on a 4x world with a 60k-sentence
+// corpus — the closest this suite gets to the paper's web-scale run.
+// Skipped under -short.
+func TestScaleUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-up test skipped in -short mode")
+	}
+	s, err := NewSetup(Options{Scale: 4, Sentences: 60000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extras, _ := s.Extras()
+	if extras.Pairs < 8000 {
+		t.Errorf("scale-4 run extracted only %d pairs", extras.Pairs)
+	}
+	if extras.Precision < 0.85 {
+		t.Errorf("scale-4 precision = %.3f", extras.Precision)
+	}
+	// The concept space grows with the world (Table 1's mechanism).
+	rows, _ := s.Table1()
+	for _, r := range rows {
+		if r.Name == "Probase" && r.Concepts < 220 {
+			t.Errorf("scale-4 concept space = %d", r.Concepts)
+		}
+	}
+	// Sense separation still holds at scale.
+	if senses := s.PB.SensesOf("plants"); len(senses) < 2 {
+		t.Errorf("plant senses at scale 4 = %v", senses)
+	}
+}

@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) on the synthetic substrate. Each experiment
+// returns a typed result plus a formatted table; cmd/probase-bench prints
+// them and the root benchmarks time them. The per-experiment index lives
+// in DESIGN.md; measured-vs-paper numbers in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+)
+
+// Setup fixes the shared inputs of all experiments: the expanded world,
+// the generated corpus, the comparator references, and a fully built
+// Probase.
+type Setup struct {
+	World     *corpus.World
+	Corpus    *corpus.Corpus
+	Inputs    []extraction.Input
+	PB        *core.Probase
+	WordNet   *baseline.Reference
+	WikiTax   *baseline.Reference
+	YAGO      *baseline.Reference
+	Freebase  *baseline.Reference
+	Scale     float64
+	Sentences int
+}
+
+// Options sizes a Setup. The zero value selects the standard evaluation
+// configuration (scale 1, 20000 sentences).
+type Options struct {
+	Scale     float64
+	Sentences int
+	Seed      int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Sentences == 0 {
+		o.Sentences = 20000
+	}
+	if o.Seed == 0 {
+		o.Seed = 11
+	}
+	return o
+}
+
+// NewSetup builds everything once. The world doubles as the training
+// oracle for the plausibility model (the WordNet role of Section 4.1).
+func NewSetup(o Options) (*Setup, error) {
+	o = o.withDefaults()
+	w := corpus.DefaultWorld(o.Scale)
+	c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: o.Sentences, Seed: o.Seed}).Generate()
+	inputs := make([]extraction.Input, len(c.Sentences))
+	for i, s := range c.Sentences {
+		inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+	}
+	oracle := func(x, y string) (bool, bool) {
+		if !w.KnownTerm(x) || !w.KnownTerm(y) {
+			return false, false
+		}
+		return w.IsTrueIsA(x, y), true
+	}
+	pb, err := core.Build(inputs, core.Config{Oracle: oracle})
+	if err != nil {
+		return nil, err
+	}
+	return &Setup{
+		World:     w,
+		Corpus:    c,
+		Inputs:    inputs,
+		PB:        pb,
+		WordNet:   baseline.NewWordNetRef(w),
+		WikiTax:   baseline.NewWikiTaxonomyRef(w),
+		YAGO:      baseline.NewYAGORef(w),
+		Freebase:  baseline.NewFreebaseRef(w),
+		Scale:     o.Scale,
+		Sentences: o.Sentences,
+	}, nil
+}
+
+// table renders rows as a fixed-width text table with a title.
+func table(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+func itoa(v int) string    { return fmt.Sprintf("%d", v) }
+func i64(v int64) string   { return fmt.Sprintf("%d", v) }

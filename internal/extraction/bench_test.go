@@ -1,0 +1,44 @@
+package extraction
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func benchInputs(n int) []Input {
+	w := corpus.DefaultWorld(1)
+	c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: n, Seed: 11}).Generate()
+	inputs := make([]Input, len(c.Sentences))
+	for i, s := range c.Sentences {
+		inputs[i] = Input{Text: s.Text, PageScore: s.PageScore}
+	}
+	return inputs
+}
+
+// BenchmarkRun measures the full iterative extraction (all rounds to
+// fixpoint) over a 10k-sentence corpus.
+func BenchmarkRun(b *testing.B) {
+	inputs := benchInputs(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(inputs, DefaultConfig())
+		if res.Store.NumPairs() == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+// BenchmarkRunSerial isolates the worker-pool benefit.
+func BenchmarkRunSerial(b *testing.B) {
+	inputs := benchInputs(10000)
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(inputs, cfg)
+		if res.Store.NumPairs() == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}

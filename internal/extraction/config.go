@@ -1,0 +1,86 @@
+// Package extraction implements the semantic iterative isA-extraction
+// framework of Section 2 (Algorithm 1). A fixed set of Hearst patterns is
+// matched syntactically (internal/hearst); the ambiguity in the matches —
+// which noun phrase is the super-concept, whether "Proctor and Gamble" is
+// one company or two, where a candidate list really ends — is resolved
+// with likelihood ratios computed from the knowledge Γ accumulated in
+// earlier rounds. Sentences that cannot be resolved yet are retried in
+// later rounds, when Γ knows more.
+package extraction
+
+import "runtime"
+
+// Config holds the thresholds of Algorithm 1. The zero value is unusable;
+// start from DefaultConfig.
+type Config struct {
+	// SuperRatio is the likelihood-ratio threshold for super-concept
+	// detection (Section 2.3.2): the best candidate must beat the runner-up
+	// by this factor.
+	SuperRatio float64
+	// SubRatio is the likelihood-ratio threshold for resolving ambiguous
+	// sub-concept readings (Section 2.3.3), e.g. "Proctor and Gamble" as
+	// one name versus two.
+	SubRatio float64
+	// SubMinCount is the minimum n(x, y) for a candidate at position k to
+	// anchor the valid-scope search (Observation 2): the largest k whose
+	// candidate reaches this count bounds the accepted positions.
+	SubMinCount int64
+	// Epsilon replaces zero probabilities in likelihood ratios
+	// (Section 2.3.2: "we let p(y|x) = ε ... when (x,y) is not in Γ").
+	Epsilon float64
+	// ModifierDiscount weights probabilities borrowed from the
+	// modifier-stripped concept when a candidate super-concept is not yet
+	// in Γ ("domestic animals" borrowing from "animals").
+	ModifierDiscount float64
+	// MaxRounds caps the number of iterations; the driver also stops at
+	// the fixpoint (no new pairs).
+	MaxRounds int
+	// Workers is the map-phase parallelism.
+	Workers int
+	// MaxEvidencePerPair caps stored evidence per pair (the noisy-or
+	// saturates quickly); 0 keeps everything.
+	MaxEvidencePerPair int
+}
+
+// DefaultConfig returns the thresholds used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		SuperRatio:         5,
+		SubRatio:           2,
+		SubMinCount:        2,
+		Epsilon:            1e-6,
+		ModifierDiscount:   0.5,
+		MaxRounds:          12,
+		Workers:            runtime.GOMAXPROCS(0),
+		MaxEvidencePerPair: 32,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.SuperRatio <= 0 {
+		c.SuperRatio = d.SuperRatio
+	}
+	if c.SubRatio <= 0 {
+		c.SubRatio = d.SubRatio
+	}
+	if c.SubMinCount <= 0 {
+		c.SubMinCount = d.SubMinCount
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = d.Epsilon
+	}
+	if c.ModifierDiscount <= 0 {
+		c.ModifierDiscount = d.ModifierDiscount
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = d.MaxRounds
+	}
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.MaxEvidencePerPair < 0 {
+		c.MaxEvidencePerPair = 0
+	}
+	return c
+}

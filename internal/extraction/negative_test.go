@@ -1,0 +1,50 @@
+package extraction
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestRunRecordsPartOfNegatives(t *testing.T) {
+	inputs := []Input{
+		{Text: "trees are comprised of branches, leaves and roots.", PageScore: 0.5},
+		{Text: "trees such as oak and pine", PageScore: 0.5},
+		{Text: "trees such as oak and pine", PageScore: 0.5},
+	}
+	res := Run(inputs, DefaultConfig())
+	if res.PartOf != 3 {
+		t.Errorf("PartOf = %d, want 3 recorded negatives", res.PartOf)
+	}
+	evs := res.Store.Evidence("tree", "branch")
+	if len(evs) != 1 || !evs[0].Negative {
+		t.Errorf("negative evidence for (tree, branch) = %+v", evs)
+	}
+	// Negative evidence alone does not create an isA pair.
+	if res.Store.Count("tree", "branch") != 0 {
+		t.Error("part-of created an isA count")
+	}
+}
+
+func TestCorpusEmitsPartOfSentences(t *testing.T) {
+	w := corpus.DefaultWorld(1)
+	c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: 8000, Seed: 11}).Generate()
+	found := 0
+	for _, s := range c.Sentences {
+		if strings.Contains(s.Text, "comprised of") || strings.Contains(s.Text, "consist of") {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no part-of sentences generated")
+	}
+	inputs := make([]Input, len(c.Sentences))
+	for i, s := range c.Sentences {
+		inputs[i] = Input{Text: s.Text, PageScore: s.PageScore}
+	}
+	res := Run(inputs, DefaultConfig())
+	if res.PartOf == 0 {
+		t.Error("extraction recorded no part-of negatives")
+	}
+}

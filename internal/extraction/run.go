@@ -1,0 +1,238 @@
+package extraction
+
+import (
+	"sync"
+
+	"repro/internal/hearst"
+	"repro/internal/kb"
+)
+
+// RoundStats summarises one iteration of Algorithm 1; the per-round series
+// regenerate Figures 10 and 11.
+type RoundStats struct {
+	Round             int
+	NewPairs          int64 // distinct pairs first discovered this round
+	TotalPairs        int64 // accumulated distinct pairs
+	TotalConcepts     int   // accumulated distinct super-concepts
+	SentencesResolved int   // sentences fully decided during this round
+	SentencesPending  int   // sentences still undecided after this round
+}
+
+// Group is the set of isA pairs extracted from one sentence —
+// s = {(x, y1), ..., (x, ym)} in the paper's notation. Per Property 1 all
+// occurrences of x in a group share one sense, which makes groups the unit
+// from which taxonomy construction builds its local taxonomies.
+type Group struct {
+	Super string
+	Subs  []string
+}
+
+// Result is the output of a full extraction run.
+type Result struct {
+	Store      *kb.Store       // Γ
+	Rounds     []RoundStats    // one entry per executed round
+	FirstRound map[kb.Pair]int // round in which each pair was first found
+	Parsed     int             // sentences that matched a Hearst pattern
+	Groups     []Group         // per-sentence pair groups, for taxonomy construction
+	PartOf     int             // part-whole sentences recorded as negative evidence
+}
+
+// PairsThroughRound returns the distinct pairs discovered in rounds
+// 1..r, for per-iteration precision (Figure 11).
+func (r *Result) PairsThroughRound(round int) []kb.Pair {
+	var out []kb.Pair
+	for p, fr := range r.FirstRound {
+		if fr <= round {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Run executes the iterative extraction over the corpus sentences.
+// Each round reads an immutable snapshot of Γ (the store is only written
+// in the single-threaded reduce step between rounds), so the result is
+// independent of goroutine scheduling.
+func Run(inputs []Input, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+
+	// Syntactic pass: parse every sentence once. Composition sentences
+	// ("trees are comprised of branches") become negative evidence
+	// against the corresponding isA claims (Section 4.1).
+	states := make([]*sentenceState, 0, len(inputs))
+	type negEvidence struct {
+		x, y string
+		ev   kb.Evidence
+	}
+	var negatives []negEvidence
+	for _, in := range inputs {
+		if po, ok := hearst.ParsePartOf(in.Text); ok {
+			x := CanonicalSuper(po.Whole)
+			for i, part := range po.Parts {
+				negatives = append(negatives, negEvidence{
+					x: x, y: CanonicalSub(part),
+					ev: kb.Evidence{
+						PageScore: in.PageScore,
+						ListLen:   len(po.Parts),
+						Pos:       i + 1,
+						Negative:  true,
+					},
+				})
+			}
+			continue
+		}
+		m, ok := hearst.Parse(in.Text)
+		if !ok {
+			continue
+		}
+		states = append(states, &sentenceState{
+			match:     m,
+			pageScore: in.PageScore,
+			status:    make([]posState, len(m.Segments)),
+			readings:  make([][]string, len(m.Segments)),
+		})
+	}
+
+	res := &Result{
+		Store:      kb.NewStore(cfg.MaxEvidencePerPair),
+		FirstRound: make(map[kb.Pair]int),
+		Parsed:     len(states),
+		PartOf:     len(negatives),
+	}
+
+	pending := make([]int, len(states))
+	for i := range states {
+		pending[i] = i
+	}
+
+	for round := 1; round <= cfg.MaxRounds && len(pending) > 0; round++ {
+		decisions := mapPhase(states, pending, cfg, res.Store)
+		progress, resolved, newPairs := reducePhase(states, pending, decisions, res, round, cfg)
+
+		var next []int
+		for _, idx := range pending {
+			if !states[idx].done {
+				next = append(next, idx)
+			}
+		}
+		pending = next
+
+		st := res.Store.Stats()
+		res.Rounds = append(res.Rounds, RoundStats{
+			Round:             round,
+			NewPairs:          newPairs,
+			TotalPairs:        st.Pairs,
+			TotalConcepts:     st.Supers,
+			SentencesResolved: resolved,
+			SentencesPending:  len(pending),
+		})
+		if !progress {
+			break
+		}
+	}
+	for _, st := range states {
+		if st.super != "" && len(st.accepted) > 0 {
+			res.Groups = append(res.Groups, Group{
+				Super: st.super,
+				Subs:  append([]string(nil), st.accepted...),
+			})
+		}
+	}
+	for _, n := range negatives {
+		res.Store.AddEvidence(n.x, n.y, n.ev)
+	}
+	return res
+}
+
+// mapPhase resolves the pending sentences in parallel against the current
+// Γ snapshot. Decisions are returned in pending order for a deterministic
+// reduce.
+func mapPhase(states []*sentenceState, pending []int, cfg Config, store *kb.Store) []decision {
+	r := &resolver{cfg: cfg, store: store}
+	decisions := make([]decision, len(pending))
+	workers := cfg.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 1 {
+		for i, idx := range pending {
+			decisions[i] = r.resolve(idx, states[idx])
+		}
+		return decisions
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pending) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pending) {
+			hi = len(pending)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				idx := pending[i]
+				decisions[i] = r.resolve(idx, states[idx])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return decisions
+}
+
+// reducePhase applies decisions to Γ single-threaded, in pending order.
+func reducePhase(states []*sentenceState, pending []int, decisions []decision, res *Result, round int, cfg Config) (progress bool, resolved int, newPairs int64) {
+	for i, idx := range pending {
+		d := decisions[i]
+		st := states[idx]
+		if d.progress {
+			progress = true
+		}
+		if d.super != "" {
+			st.super = d.super
+			st.superDone = true
+		}
+		counted := make(map[string]bool, len(st.accepted))
+		for _, s := range st.accepted {
+			counted[s] = true
+		}
+		for _, a := range d.accepts {
+			st.status[a.pos] = posAccepted
+			st.readings[a.pos] = a.reading
+			for _, sub := range a.reading {
+				if sub == "" || sub == st.super || counted[sub] {
+					continue
+				}
+				pair := kb.Pair{X: st.super, Y: sub}
+				if _, seen := res.FirstRound[pair]; !seen {
+					res.FirstRound[pair] = round
+					newPairs++
+				}
+				res.Store.Add(st.super, sub, 1)
+				res.Store.AddEvidence(st.super, sub, kb.Evidence{
+					Pattern:   int(st.match.Pattern),
+					PageScore: st.pageScore,
+					ListLen:   len(st.match.Segments),
+					Pos:       a.pos + 1,
+				})
+				for _, prev := range st.accepted {
+					res.Store.AddCo(st.super, sub, prev, 1)
+				}
+				st.accepted = append(st.accepted, sub)
+				counted[sub] = true
+			}
+		}
+		for _, j := range d.rejects {
+			st.status[j] = posRejected
+		}
+		if d.done && !st.done {
+			st.done = true
+			resolved++
+		}
+	}
+	return progress, resolved, newPairs
+}

@@ -1,0 +1,194 @@
+package extraction
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/kb"
+)
+
+// runOnCorpus generates a deterministic corpus and extracts from it.
+func runOnCorpus(t testing.TB, sentences int, cfg Config) (*Result, *corpus.World) {
+	t.Helper()
+	w := corpus.DefaultWorld(1)
+	c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: sentences, Seed: 11}).Generate()
+	inputs := make([]Input, len(c.Sentences))
+	for i, s := range c.Sentences {
+		inputs[i] = Input{Text: s.Text, PageScore: s.PageScore}
+	}
+	return Run(inputs, cfg), w
+}
+
+func precisionOf(res *Result, w *corpus.World) (float64, int) {
+	total, correct := 0, 0
+	res.Store.ForEachPair(func(x, y string, n int64) {
+		total++
+		if w.IsTrueIsA(x, y) {
+			correct++
+		}
+	})
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(total), total
+}
+
+func TestRunEndToEndPrecisionAndRecall(t *testing.T) {
+	res, w := runOnCorpus(t, 12000, DefaultConfig())
+	if res.Parsed == 0 {
+		t.Fatal("nothing parsed")
+	}
+	prec, total := precisionOf(res, w)
+	if total < 300 {
+		t.Fatalf("only %d pairs extracted", total)
+	}
+	if prec < 0.85 {
+		t.Errorf("precision = %.3f over %d pairs, want >= 0.85", prec, total)
+	}
+	// Core pairs from the paper's examples must be present.
+	if res.Store.Count("animal", "cat") == 0 {
+		t.Error("(animal, cat) missing")
+	}
+	if res.Store.Count("company", "IBM") == 0 {
+		t.Error("(company, IBM) missing")
+	}
+	// The classic wrong reading must not dominate.
+	if bad := res.Store.Count("dog", "cat"); bad > res.Store.Count("animal", "cat")/5 {
+		t.Errorf("(dog, cat) count %d too high", bad)
+	}
+}
+
+func TestRunCompoundNameResolved(t *testing.T) {
+	res, _ := runOnCorpus(t, 12000, DefaultConfig())
+	pg := res.Store.Count("company", "Proctor and Gamble")
+	proctor := res.Store.Count("company", "Proctor")
+	if pg == 0 {
+		t.Error("(company, Proctor and Gamble) missing")
+	}
+	if proctor > 0 && proctor >= pg {
+		t.Errorf("split reading won: Proctor=%d, P&G=%d", proctor, pg)
+	}
+}
+
+func TestRunIterationDynamics(t *testing.T) {
+	res, _ := runOnCorpus(t, 12000, DefaultConfig())
+	if len(res.Rounds) < 2 {
+		t.Fatalf("only %d rounds", len(res.Rounds))
+	}
+	r1, r2 := res.Rounds[0], res.Rounds[1]
+	if r2.TotalPairs <= r1.TotalPairs {
+		t.Errorf("round 2 added nothing: %d -> %d", r1.TotalPairs, r2.TotalPairs)
+	}
+	// Figure 10's signature: with ambiguity in the corpus, round 2 brings
+	// a large share of the later gains because round 1 could not resolve
+	// ambiguous sentences.
+	if r2.NewPairs == 0 {
+		t.Error("round 2 discovered no new pairs")
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.TotalPairs != res.Store.NumPairs() {
+		t.Errorf("final stats inconsistent: %d vs %d", last.TotalPairs, res.Store.NumPairs())
+	}
+	// Monotone accumulation.
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].TotalPairs < res.Rounds[i-1].TotalPairs {
+			t.Errorf("pair count regressed at round %d", i+1)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg1 := DefaultConfig()
+	cfg1.Workers = 1
+	cfgN := DefaultConfig()
+	cfgN.Workers = 8
+	res1, _ := runOnCorpus(t, 4000, cfg1)
+	resN, _ := runOnCorpus(t, 4000, cfgN)
+	if res1.Store.NumPairs() != resN.Store.NumPairs() {
+		t.Fatalf("pair counts differ: %d vs %d", res1.Store.NumPairs(), resN.Store.NumPairs())
+	}
+	mismatch := false
+	res1.Store.ForEachPair(func(x, y string, n int64) {
+		if resN.Store.Count(x, y) != n {
+			mismatch = true
+		}
+	})
+	if mismatch {
+		t.Error("pair counts differ between worker counts")
+	}
+}
+
+func TestRunFirstRoundTracking(t *testing.T) {
+	res, _ := runOnCorpus(t, 6000, DefaultConfig())
+	if len(res.FirstRound) != int(res.Store.NumPairs()) {
+		t.Errorf("FirstRound has %d entries, store %d pairs", len(res.FirstRound), res.Store.NumPairs())
+	}
+	for p, r := range res.FirstRound {
+		if r < 1 || r > len(res.Rounds) {
+			t.Fatalf("pair %v has round %d outside [1,%d]", p, r, len(res.Rounds))
+		}
+	}
+	through1 := len(res.PairsThroughRound(1))
+	throughAll := len(res.PairsThroughRound(len(res.Rounds)))
+	if through1 >= throughAll {
+		t.Errorf("round 1 already had all pairs: %d vs %d", through1, throughAll)
+	}
+	if throughAll != int(res.Store.NumPairs()) {
+		t.Errorf("PairsThroughRound(last) = %d, want %d", throughAll, res.Store.NumPairs())
+	}
+}
+
+func TestRunEmptyAndNoiseInputs(t *testing.T) {
+	res := Run(nil, DefaultConfig())
+	if res.Parsed != 0 || res.Store.NumPairs() != 0 {
+		t.Errorf("empty input produced output: %+v", res.Store.Stats())
+	}
+	res = Run([]Input{
+		{Text: "no patterns here at all", PageScore: 0.5},
+		{Text: "another plain sentence", PageScore: 0.5},
+	}, DefaultConfig())
+	if res.Parsed != 0 {
+		t.Errorf("noise parsed as patterns: %d", res.Parsed)
+	}
+}
+
+func TestRunRecordsEvidence(t *testing.T) {
+	res, _ := runOnCorpus(t, 6000, DefaultConfig())
+	evs := res.Store.Evidence("company", "IBM")
+	if len(evs) == 0 {
+		t.Fatal("no evidence recorded for (company, IBM)")
+	}
+	for _, ev := range evs {
+		if ev.Pattern < 1 || ev.Pattern > 6 {
+			t.Errorf("bad pattern id %d", ev.Pattern)
+		}
+		if ev.PageScore <= 0 || ev.PageScore > 1 {
+			t.Errorf("bad page score %v", ev.PageScore)
+		}
+		if ev.Pos < 1 {
+			t.Errorf("bad position %d", ev.Pos)
+		}
+	}
+}
+
+func TestRunModifiedConceptsHarvested(t *testing.T) {
+	// Section 2.3.2's recall claim: modified concepts like "tropical
+	// country" are harvested even though they are rarer.
+	res, _ := runOnCorpus(t, 12000, DefaultConfig())
+	found := 0
+	for _, x := range []string{"tropical country", "developing country", "domestic animal", "it company"} {
+		if res.Store.HasSuper(x) {
+			found++
+		}
+	}
+	if found < 3 {
+		t.Errorf("only %d/4 modified concepts harvested", found)
+	}
+}
+
+func TestPairsThroughRoundEmpty(t *testing.T) {
+	res := &Result{FirstRound: map[kb.Pair]int{}}
+	if got := res.PairsThroughRound(3); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchGraph builds a layered DAG: 50 roots -> 500 mid concepts -> 5000
+// leaves, roughly the shape of a built taxonomy.
+func benchGraph() *Store {
+	rng := rand.New(rand.NewSource(1))
+	s := NewStore()
+	var roots, mids, leaves []NodeID
+	for i := 0; i < 50; i++ {
+		roots = append(roots, s.Intern(fmt.Sprintf("root%d", i)))
+	}
+	for i := 0; i < 500; i++ {
+		mids = append(mids, s.Intern(fmt.Sprintf("mid%d", i)))
+	}
+	for i := 0; i < 5000; i++ {
+		leaves = append(leaves, s.Intern(fmt.Sprintf("leaf%d", i)))
+	}
+	for _, m := range mids {
+		s.AddEdge(roots[rng.Intn(len(roots))], m, int64(rng.Intn(20)+1), rng.Float64())
+	}
+	for _, l := range leaves {
+		s.AddEdge(mids[rng.Intn(len(mids))], l, int64(rng.Intn(20)+1), rng.Float64())
+		if rng.Intn(4) == 0 {
+			s.AddEdge(roots[rng.Intn(len(roots))], l, 1, rng.Float64())
+		}
+	}
+	return s
+}
+
+func BenchmarkDescendants(b *testing.B) {
+	s := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Descendants(NodeID(i % 50))
+	}
+}
+
+func BenchmarkTopoLevels(b *testing.B) {
+	s := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TopoLevels(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSave(b *testing.B) {
+	s := benchGraph()
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := s.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkLoad(b *testing.B) {
+	s := benchGraph()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Binary snapshot format (little-endian):
+//
+//	magic   [4]byte  "PBGR"
+//	version uvarint  (currently 1)
+//	nodes   uvarint
+//	labels  nodes x (uvarint len, bytes)
+//	edges   uvarint (total count)
+//	         per node: uvarint fan-out, then per edge:
+//	           uvarint to, uvarint count, float64 bits plausibility
+//	crc32   uint32 (IEEE, over everything before it)
+const (
+	snapshotMagic   = "PBGR"
+	snapshotVersion = 1
+)
+
+var (
+	// ErrBadSnapshot reports a structurally invalid snapshot.
+	ErrBadSnapshot = errors.New("graph: bad snapshot")
+	// ErrChecksum reports snapshot corruption.
+	ErrChecksum = errors.New("graph: snapshot checksum mismatch")
+)
+
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	cw.n += int64(len(p))
+	return cw.w.Write(p)
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// Save writes a checksummed binary snapshot of the store.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write([]byte(snapshotMagic)); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, snapshotVersion); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, uint64(len(s.labels))); err != nil {
+		return err
+	}
+	for _, l := range s.labels {
+		if err := writeUvarint(cw, uint64(len(l))); err != nil {
+			return err
+		}
+		if _, err := cw.Write([]byte(l)); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(cw, uint64(s.NumEdges())); err != nil {
+		return err
+	}
+	var f64 [8]byte
+	for id := range s.labels {
+		es := s.out[id]
+		if err := writeUvarint(cw, uint64(len(es))); err != nil {
+			return err
+		}
+		for _, e := range es {
+			if err := writeUvarint(cw, uint64(e.To)); err != nil {
+				return err
+			}
+			if err := writeUvarint(cw, uint64(e.Count)); err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(f64[:], math.Float64bits(e.Plausibility))
+			if _, err := cw.Write(f64[:]); err != nil {
+				return err
+			}
+		}
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+// Load reads a snapshot written by Save.
+func Load(r io.Reader) (*Store, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadSnapshot, magic)
+	}
+	version, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: version: %v", ErrBadSnapshot, err)
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
+	}
+	nodes, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: node count: %v", ErrBadSnapshot, err)
+	}
+	const maxNodes = 1 << 28
+	if nodes > maxNodes {
+		return nil, fmt.Errorf("%w: implausible node count %d", ErrBadSnapshot, nodes)
+	}
+	s := NewStore()
+	for i := uint64(0); i < nodes; i++ {
+		ln, err := binary.ReadUvarint(cr)
+		if err != nil || ln > 1<<20 {
+			return nil, fmt.Errorf("%w: label length", ErrBadSnapshot)
+		}
+		buf := make([]byte, ln)
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return nil, fmt.Errorf("%w: label bytes: %v", ErrBadSnapshot, err)
+		}
+		if got := s.Intern(string(buf)); got != NodeID(i) {
+			return nil, fmt.Errorf("%w: duplicate label %q", ErrBadSnapshot, buf)
+		}
+	}
+	if _, err := binary.ReadUvarint(cr); err != nil { // total edges (informational)
+		return nil, fmt.Errorf("%w: edge count: %v", ErrBadSnapshot, err)
+	}
+	var f64 [8]byte
+	for id := uint64(0); id < nodes; id++ {
+		fan, err := binary.ReadUvarint(cr)
+		if err != nil || fan > nodes {
+			return nil, fmt.Errorf("%w: fan-out of node %d", ErrBadSnapshot, id)
+		}
+		for j := uint64(0); j < fan; j++ {
+			to, err := binary.ReadUvarint(cr)
+			if err != nil || to >= nodes {
+				return nil, fmt.Errorf("%w: edge target", ErrBadSnapshot)
+			}
+			count, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: edge count: %v", ErrBadSnapshot, err)
+			}
+			if _, err := io.ReadFull(cr, f64[:]); err != nil {
+				return nil, fmt.Errorf("%w: plausibility: %v", ErrBadSnapshot, err)
+			}
+			p := math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
+			s.AddEdge(NodeID(id), NodeID(to), int64(count), p)
+		}
+	}
+	want := cr.crc
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: trailer: %v", ErrBadSnapshot, err)
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != want {
+		return nil, ErrChecksum
+	}
+	return s, nil
+}

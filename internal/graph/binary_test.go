@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s, _ := diamond()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != s.NumNodes() || got.NumEdges() != s.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			got.NumNodes(), got.NumEdges(), s.NumNodes(), s.NumEdges())
+	}
+	for id := 0; id < s.NumNodes(); id++ {
+		n := NodeID(id)
+		if got.Label(n) != s.Label(n) {
+			t.Fatalf("label %d mismatch", id)
+		}
+		for _, e := range s.Children(n) {
+			ge, ok := got.EdgeBetween(n, e.To)
+			if !ok || ge.Count != e.Count || ge.Plausibility != e.Plausibility {
+				t.Fatalf("edge %d->%d mismatch: %+v vs %+v", n, e.To, ge, e)
+			}
+		}
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 0 || got.NumEdges() != 0 {
+		t.Error("empty store round trip not empty")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	s, _ := diamond()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip one byte in the middle.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupted snapshot accepted")
+	}
+
+	// Truncate.
+	if _, err := Load(bytes.NewReader(data[:len(data)-6])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	copy(bad, "XXXX")
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("bad magic: err = %v", err)
+	}
+
+	// Empty input.
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestLoadChecksumError(t *testing.T) {
+	s, _ := diamond()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0x01 // flip checksum byte only
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("err = %v, want ErrChecksum", err)
+	}
+}
+
+// Property: random DAG-ish graphs survive a save/load round trip exactly.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		n := 2 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			s.Intern(randLabel(rng))
+		}
+		edges := rng.Intn(3 * n)
+		for i := 0; i < edges; i++ {
+			from := NodeID(rng.Intn(s.NumNodes()))
+			to := NodeID(rng.Intn(s.NumNodes()))
+			if from == to {
+				continue
+			}
+			s.AddEdge(from, to, int64(rng.Intn(100)+1), rng.Float64())
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumNodes() != s.NumNodes() || got.NumEdges() != s.NumEdges() {
+			return false
+		}
+		for id := 0; id < s.NumNodes(); id++ {
+			nid := NodeID(id)
+			if got.Label(nid) != s.Label(nid) {
+				return false
+			}
+			for _, e := range s.Children(nid) {
+				ge, ok := got.EdgeBetween(nid, e.To)
+				if !ok || ge != e {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randLabel(rng *rand.Rand) string {
+	letters := "abcdefghijklmnopqrstuvwxyz "
+	n := 1 + rng.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b) + string(rune('0'+rng.Intn(10))) + randSuffix(rng)
+}
+
+func randSuffix(rng *rand.Rand) string {
+	// ensure uniqueness pressure is low but collisions possible; Intern dedups
+	return string(rune('a' + rng.Intn(26)))
+}

@@ -1,0 +1,316 @@
+// Package graph is the embedded graph store that hosts the final Probase
+// taxonomy — the laptop-scale stand-in for the Trinity graph engine the
+// paper deploys ([29, 30]). Nodes are string-interned labels; edges carry
+// the discovery count n(x, y) and the plausibility P(x, y). The store
+// supports the traversals the probabilistic layer needs (parents,
+// children, descendant closures, topological levels for Algorithm 3) and
+// a checksummed binary snapshot format.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies an interned node.
+type NodeID uint32
+
+// NoNode is returned by Lookup for unknown labels.
+const NoNode = NodeID(^uint32(0))
+
+// Kind distinguishes concept nodes from instance (leaf) nodes. Per
+// Section 3.1: nodes without out-edges are instances, others are concepts.
+type Kind uint8
+
+const (
+	// KindConcept marks a node with out-edges.
+	KindConcept Kind = iota
+	// KindInstance marks a leaf node.
+	KindInstance
+)
+
+// Edge is a directed isA edge from a super-concept to a sub-node.
+type Edge struct {
+	To           NodeID
+	Count        int64   // n(x, y)
+	Plausibility float64 // P(x, y), 0 when not yet computed
+}
+
+// Store is an in-memory directed graph with interned labels. The zero
+// value is not usable; call NewStore.
+type Store struct {
+	labels  []string
+	byLabel map[string]NodeID
+	out     [][]Edge
+	in      [][]Edge
+}
+
+// NewStore returns an empty graph store.
+func NewStore() *Store {
+	return &Store{byLabel: make(map[string]NodeID)}
+}
+
+// Intern returns the node for the label, creating it if needed.
+func (s *Store) Intern(label string) NodeID {
+	if id, ok := s.byLabel[label]; ok {
+		return id
+	}
+	id := NodeID(len(s.labels))
+	s.labels = append(s.labels, label)
+	s.byLabel[label] = id
+	s.out = append(s.out, nil)
+	s.in = append(s.in, nil)
+	return id
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	c.labels = append([]string(nil), s.labels...)
+	for l, id := range s.byLabel {
+		c.byLabel[l] = id
+	}
+	c.out = make([][]Edge, len(s.out))
+	c.in = make([][]Edge, len(s.in))
+	for i := range s.out {
+		c.out[i] = append([]Edge(nil), s.out[i]...)
+		c.in[i] = append([]Edge(nil), s.in[i]...)
+	}
+	return c
+}
+
+// Lookup returns the node for the label, or NoNode.
+func (s *Store) Lookup(label string) NodeID {
+	if id, ok := s.byLabel[label]; ok {
+		return id
+	}
+	return NoNode
+}
+
+// Label returns the label of a node.
+func (s *Store) Label(id NodeID) string { return s.labels[id] }
+
+// NumNodes returns the node count.
+func (s *Store) NumNodes() int { return len(s.labels) }
+
+// NumEdges returns the edge count.
+func (s *Store) NumEdges() int {
+	n := 0
+	for _, es := range s.out {
+		n += len(es)
+	}
+	return n
+}
+
+// AddEdge inserts or accumulates the edge (from -> to). Counts add up;
+// a non-zero plausibility overwrites.
+func (s *Store) AddEdge(from, to NodeID, count int64, plausibility float64) {
+	for i := range s.out[from] {
+		if s.out[from][i].To == to {
+			s.out[from][i].Count += count
+			if plausibility != 0 {
+				s.out[from][i].Plausibility = plausibility
+			}
+			for j := range s.in[to] {
+				if s.in[to][j].To == from {
+					s.in[to][j].Count += count
+					if plausibility != 0 {
+						s.in[to][j].Plausibility = plausibility
+					}
+					return
+				}
+			}
+			return
+		}
+	}
+	s.out[from] = append(s.out[from], Edge{To: to, Count: count, Plausibility: plausibility})
+	s.in[to] = append(s.in[to], Edge{To: from, Count: count, Plausibility: plausibility})
+}
+
+// EdgeBetween returns the edge from -> to.
+func (s *Store) EdgeBetween(from, to NodeID) (Edge, bool) {
+	for _, e := range s.out[from] {
+		if e.To == to {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// Children returns the out-edges of a node.
+func (s *Store) Children(id NodeID) []Edge { return s.out[id] }
+
+// Parents returns the in-edges of a node (Edge.To is the parent).
+func (s *Store) Parents(id NodeID) []Edge { return s.in[id] }
+
+// Kind classifies the node: out-edges make a concept, none an instance.
+func (s *Store) Kind(id NodeID) Kind {
+	if len(s.out[id]) > 0 {
+		return KindConcept
+	}
+	return KindInstance
+}
+
+// Roots returns all nodes without parents, sorted by label.
+func (s *Store) Roots() []NodeID {
+	var roots []NodeID
+	for id := range s.labels {
+		if len(s.in[id]) == 0 {
+			roots = append(roots, NodeID(id))
+		}
+	}
+	s.sortByLabel(roots)
+	return roots
+}
+
+// Concepts returns all concept nodes, sorted by label.
+func (s *Store) Concepts() []NodeID {
+	var out []NodeID
+	for id := range s.labels {
+		if len(s.out[id]) > 0 {
+			out = append(out, NodeID(id))
+		}
+	}
+	s.sortByLabel(out)
+	return out
+}
+
+// Instances returns all instance (leaf) nodes, sorted by label.
+func (s *Store) Instances() []NodeID {
+	var out []NodeID
+	for id := range s.labels {
+		if len(s.out[id]) == 0 {
+			out = append(out, NodeID(id))
+		}
+	}
+	s.sortByLabel(out)
+	return out
+}
+
+func (s *Store) sortByLabel(ids []NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return s.labels[ids[i]] < s.labels[ids[j]] })
+}
+
+// Descendants returns the descendant closure of id (excluding id),
+// deduplicated, in BFS order.
+func (s *Store) Descendants(id NodeID) []NodeID {
+	seen := map[NodeID]bool{id: true}
+	var out []NodeID
+	queue := []NodeID{id}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range s.out[n] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				out = append(out, e.To)
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// Ancestors returns the ancestor closure of id (excluding id) in BFS
+// order.
+func (s *Store) Ancestors(id NodeID) []NodeID {
+	seen := map[NodeID]bool{id: true}
+	var out []NodeID
+	queue := []NodeID{id}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range s.in[n] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				out = append(out, e.To)
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// HasPath reports whether to is reachable from from along out-edges.
+func (s *Store) HasPath(from, to NodeID) bool {
+	if from == to {
+		return true
+	}
+	seen := map[NodeID]bool{from: true}
+	queue := []NodeID{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range s.out[n] {
+			if e.To == to {
+				return true
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return false
+}
+
+// TopoLevels partitions the nodes into the levels of Algorithm 3:
+// L1 holds nodes with no parents; L(k) holds nodes all of whose parents
+// lie in L1..L(k-1). An error is returned when the graph has a cycle.
+func (s *Store) TopoLevels() ([][]NodeID, error) {
+	remaining := make([]int, len(s.labels))
+	placed := 0
+	for id := range s.labels {
+		remaining[id] = len(s.in[id])
+	}
+	var levels [][]NodeID
+	var current []NodeID
+	for id := range s.labels {
+		if remaining[id] == 0 {
+			current = append(current, NodeID(id))
+		}
+	}
+	for len(current) > 0 {
+		s.sortByLabel(current)
+		levels = append(levels, current)
+		placed += len(current)
+		var next []NodeID
+		for _, n := range current {
+			for _, e := range s.out[n] {
+				remaining[e.To]--
+				if remaining[e.To] == 0 {
+					next = append(next, e.To)
+				}
+			}
+		}
+		current = next
+	}
+	if placed != len(s.labels) {
+		return nil, fmt.Errorf("graph: cycle detected; %d of %d nodes unplaced", len(s.labels)-placed, len(s.labels))
+	}
+	return levels, nil
+}
+
+// Level returns, for every node, the length of the longest path from the
+// node down to a leaf — the paper's definition of a concept's level
+// (Table 4): instances have level 0, their direct concepts level >= 1.
+func (s *Store) Level() ([]int, error) {
+	levels, err := s.TopoLevels()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, len(s.labels))
+	// Process in reverse topological order: children before parents.
+	for i := len(levels) - 1; i >= 0; i-- {
+		for _, n := range levels[i] {
+			best := 0
+			for _, e := range s.out[n] {
+				if d := depth[e.To] + 1; d > best {
+					best = d
+				}
+			}
+			depth[n] = best
+		}
+	}
+	return depth, nil
+}

@@ -1,0 +1,24 @@
+package hearst
+
+import "testing"
+
+var benchSentences = []string{
+	"domestic animals such as cats, dogs and rabbits live with humans.",
+	"representatives in North America, Europe, Australia, Japan, China, and other countries were present.",
+	"companies such as IBM, Nokia, Proctor and Gamble",
+	"the quick brown fox jumps over the lazy dog",
+	"such tropical countries as Singapore, Malaysia",
+	"large cities, including New York, Chicago and Los Angeles.",
+}
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Parse(benchSentences[i%len(benchSentences)])
+	}
+}
+
+func BenchmarkParseNoMatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Parse("the quick brown fox jumps over the lazy dog near the river bank")
+	}
+}

@@ -1,0 +1,77 @@
+package hearst
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Parse and ParsePartOf must never panic and must return structurally
+// sane matches on arbitrary input.
+func TestParseRobustnessProperty(t *testing.T) {
+	pieces := []string{
+		"such", "as", "and", "or", "other", "including", "especially",
+		"than", ",", ".", ";", "!", "animals", "cats", "dogs", "companies",
+		"IBM", "the", "of", "comprised", "consist", "", "  ", "\t",
+		"Gone", "with", "Wind", "Proctor", "Gamble", "plants", "x",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = pieces[rng.Intn(len(pieces))]
+		}
+		sentence := strings.Join(parts, " ")
+		if m, ok := Parse(sentence); ok {
+			if len(m.Supers) == 0 || len(m.Segments) == 0 {
+				return false
+			}
+			for _, s := range m.Supers {
+				if strings.TrimSpace(s) == "" {
+					return false
+				}
+			}
+			for _, seg := range m.Segments {
+				if strings.TrimSpace(seg.Whole) == "" {
+					return false
+				}
+			}
+		}
+		if po, ok := ParsePartOf(sentence); ok {
+			if po.Whole == "" || len(po.Parts) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Raw byte noise (including invalid UTF-8) must not panic.
+func TestParseBinaryNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		b := make([]byte, rng.Intn(120))
+		rng.Read(b)
+		s := string(b)
+		Parse(s)
+		ParsePartOf(s)
+	}
+}
+
+// Parse is a pure function: identical inputs give identical outputs.
+func TestParseDeterministic(t *testing.T) {
+	s := "domestic animals other than dogs such as cats, wolves and fish live here."
+	a, okA := Parse(s)
+	b, okB := Parse(s)
+	if okA != okB {
+		t.Fatal("determinism broken")
+	}
+	if len(a.Supers) != len(b.Supers) || len(a.Segments) != len(b.Segments) {
+		t.Fatal("outputs differ")
+	}
+}

@@ -1,0 +1,60 @@
+package hearst
+
+import (
+	"strings"
+
+	"repro/internal/nlp"
+)
+
+// PartOf is a harvested part-whole claim: each Part is a component of
+// Whole. Section 4.1 uses such claims as *negative* evidence against the
+// corresponding isA reading ("B is comprised of A, C, ..." lowers the
+// plausibility that A isA B).
+type PartOf struct {
+	Whole string
+	Parts []string
+	Raw   string
+}
+
+// partOfKeywords are the patterns that signal composition. Each maps to
+// whether the whole precedes the parts.
+var partOfKeywords = []struct {
+	kw string
+}{
+	{" are comprised of "},
+	{" is comprised of "},
+	{" consist of "},
+	{" consists of "},
+	{" are made up of "},
+	{" is made up of "},
+}
+
+// ParsePartOf matches composition sentences such as "trees are comprised
+// of branches, leaves and roots".
+func ParsePartOf(sentence string) (PartOf, bool) {
+	lower := strings.ToLower(sentence)
+	for _, p := range partOfKeywords {
+		i := strings.Index(lower, p.kw)
+		if i < 0 {
+			continue
+		}
+		whole := nlp.TrailingNounPhrase(strings.TrimRight(sentence[:i], " ,"))
+		if whole == "" {
+			return PartOf{}, false
+		}
+		after := cutAtClauseEnd(sentence[i+len(p.kw):])
+		var parts []string
+		for _, seg := range forwardSegments(after) {
+			if seg.Ambiguous() {
+				parts = append(parts, seg.Parts...)
+			} else {
+				parts = append(parts, seg.Whole)
+			}
+		}
+		if len(parts) == 0 {
+			return PartOf{}, false
+		}
+		return PartOf{Whole: whole, Parts: parts, Raw: sentence}, true
+	}
+	return PartOf{}, false
+}

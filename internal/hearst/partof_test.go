@@ -1,0 +1,52 @@
+package hearst
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParsePartOf(t *testing.T) {
+	po, ok := ParsePartOf("trees are comprised of branches, leaves and roots.")
+	if !ok {
+		t.Fatal("no match")
+	}
+	if po.Whole != "trees" {
+		t.Errorf("whole = %q", po.Whole)
+	}
+	if !reflect.DeepEqual(po.Parts, []string{"branches", "leaves", "roots"}) {
+		t.Errorf("parts = %v", po.Parts)
+	}
+}
+
+func TestParsePartOfVariants(t *testing.T) {
+	for _, s := range []string{
+		"companies consist of departments and subsidiaries.",
+		"a country is made up of provinces and regions.",
+		"the engine is comprised of pistons, valves",
+	} {
+		if _, ok := ParsePartOf(s); !ok {
+			t.Errorf("no match for %q", s)
+		}
+	}
+}
+
+func TestParsePartOfNoMatch(t *testing.T) {
+	for _, s := range []string{
+		"animals such as cats",
+		"trees are green",
+		"",
+		"are comprised of things", // no whole NP
+	} {
+		if _, ok := ParsePartOf(s); ok {
+			t.Errorf("false match for %q", s)
+		}
+	}
+}
+
+func TestPartOfDoesNotShadowIsA(t *testing.T) {
+	// A sentence with both patterns is rare; isA parsing still works on
+	// ordinary pattern sentences after the part-of check.
+	if _, ok := ParsePartOf("animals such as cats and dogs"); ok {
+		t.Error("isA sentence matched part-of")
+	}
+}

@@ -1,0 +1,317 @@
+// Package hearst implements the six Hearst patterns of Table 2 in the
+// Probase paper and the SyntacticExtraction procedure of Section 2.3.1:
+// from a sentence it produces the candidate super-concepts Xs and the
+// candidate sub-concepts Ys, deliberately keeping every ambiguous reading
+// (wrong-attachment super-concepts from "other than" clauses, compound
+// sub-concepts containing "and"/"or", and over-long candidate lists) so
+// that the semantic layer in internal/extraction can resolve them.
+package hearst
+
+import (
+	"strings"
+
+	"repro/internal/nlp"
+)
+
+// PatternID identifies one of the six Hearst patterns (Table 2).
+type PatternID int
+
+// The six Hearst patterns. NP stands for noun phrase.
+const (
+	PatternNone       PatternID = 0
+	PatternSuchAs     PatternID = 1 // NP such as {NP,}* {(or|and)} NP
+	PatternSuchNPAs   PatternID = 2 // such NP as {NP,}* {(or|and)} NP
+	PatternIncluding  PatternID = 3 // NP{,} including {NP,}* {(or|and)} NP
+	PatternAndOther   PatternID = 4 // NP{, NP}*{,} and other NP
+	PatternOrOther    PatternID = 5 // NP{, NP}*{,} or other NP
+	PatternEspecially PatternID = 6 // NP{,} especially {NP,}* {(or|and)} NP
+)
+
+// String returns the pattern's keyword form.
+func (p PatternID) String() string {
+	switch p {
+	case PatternSuchAs:
+		return "such as"
+	case PatternSuchNPAs:
+		return "such NP as"
+	case PatternIncluding:
+		return "including"
+	case PatternAndOther:
+		return "and other"
+	case PatternOrOther:
+		return "or other"
+	case PatternEspecially:
+		return "especially"
+	default:
+		return "none"
+	}
+}
+
+// Segment is one candidate sub-concept position in Ys. When the underlying
+// list element contains an embedded "and"/"or", the element has two
+// readings: the whole phrase as a single sub-concept (Whole), or the split
+// parts as multiple sub-concepts (Parts). Parts is nil for unambiguous
+// elements.
+type Segment struct {
+	Whole string
+	Parts []string
+}
+
+// Ambiguous reports whether the segment has more than one reading.
+func (s Segment) Ambiguous() bool { return len(s.Parts) > 0 }
+
+// Match is the result of SyntacticExtraction on one sentence: the candidate
+// super-concepts Xs (each a plural noun phrase, possibly including the
+// wrong attachment from an "other than" clause) and the candidate
+// sub-concept segments Ys ordered by closeness to the pattern keywords
+// (position 1 first, per Observations 1 and 2 of Section 2.3.3).
+type Match struct {
+	Pattern  PatternID
+	Supers   []string
+	Segments []Segment
+	Raw      string
+}
+
+// cutAtClauseEnd truncates at the first sentence terminator, except a
+// period that ends a single-letter abbreviation ("I. M. Pei").
+func cutAtClauseEnd(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ';', ':', '!', '?':
+			return s[:i]
+		case '.':
+			if i >= 1 && isUpperByte(s[i-1]) && (i == 1 || s[i-2] == ' ') {
+				continue // abbreviation initial
+			}
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func isUpperByte(b byte) bool { return b >= 'A' && b <= 'Z' }
+
+// Parse matches a sentence against the six Hearst patterns and, on
+// success, performs syntactic extraction. It returns ok=false when the
+// sentence matches no pattern or yields no usable candidates.
+func Parse(sentence string) (Match, bool) {
+	lower := strings.ToLower(sentence)
+
+	if i := strings.Index(lower, " such as "); i >= 0 {
+		return parseForward(sentence, lower, PatternSuchAs, i, i+len(" such as "))
+	}
+	if m, ok := parseSuchNPAs(sentence, lower); ok {
+		return m, true
+	}
+	if i := strings.Index(lower, " including "); i >= 0 {
+		return parseForward(sentence, lower, PatternIncluding, i, i+len(" including "))
+	}
+	if i := strings.Index(lower, " especially "); i >= 0 {
+		return parseForward(sentence, lower, PatternEspecially, i, i+len(" especially "))
+	}
+	if i := strings.Index(lower, " and other "); i >= 0 {
+		return parseBackward(sentence, lower, PatternAndOther, i, i+len(" and other "))
+	}
+	if i := strings.Index(lower, " or other "); i >= 0 {
+		return parseBackward(sentence, lower, PatternOrOther, i, i+len(" or other "))
+	}
+	return Match{}, false
+}
+
+// parseSuchNPAs handles pattern 2: "such NP as Y1, Y2 ...". The NP sits
+// between the words "such" and "as".
+func parseSuchNPAs(sentence, lower string) (Match, bool) {
+	i := strings.Index(lower, "such ")
+	if i < 0 || (i > 0 && lower[i-1] != ' ') {
+		if i != 0 {
+			return Match{}, false
+		}
+	}
+	rest := lower[i+len("such "):]
+	j := strings.Index(rest, " as ")
+	if j <= 0 {
+		return Match{}, false
+	}
+	np := nlp.CollapseSpaces(sentence[i+len("such ") : i+len("such ")+j])
+	if np == "" || nlp.ContainsDelimiterWord(np) || !nlp.IsPluralPhrase(np) {
+		return Match{}, false
+	}
+	subStart := i + len("such ") + j + len(" as ")
+	segs := forwardSegments(sentence[subStart:])
+	if len(segs) == 0 {
+		return Match{}, false
+	}
+	return Match{
+		Pattern:  PatternSuchNPAs,
+		Supers:   []string{np},
+		Segments: segs,
+		Raw:      sentence,
+	}, true
+}
+
+// parseForward handles patterns whose keyword precedes the sub-concept
+// list (1, 3, 6). kwStart/kwEnd are byte offsets of the keyword in the
+// sentence; text after kwEnd is the candidate list, text before kwStart
+// holds the super-concept candidates.
+func parseForward(sentence, lower string, p PatternID, kwStart, kwEnd int) (Match, bool) {
+	left := strings.TrimRight(sentence[:kwStart], " ,")
+	supers := superCandidates(left)
+	if len(supers) == 0 {
+		return Match{}, false
+	}
+	segs := forwardSegments(sentence[kwEnd:])
+	if len(segs) == 0 {
+		return Match{}, false
+	}
+	return Match{Pattern: p, Supers: supers, Segments: segs, Raw: sentence}, true
+}
+
+// parseBackward handles patterns 4 and 5, where the sub-concept list
+// precedes "and other NP" / "or other NP".
+func parseBackward(sentence, lower string, p PatternID, kwStart, kwEnd int) (Match, bool) {
+	super := nlp.LeadingNounPhrase(cutAtClauseEnd(sentence[kwEnd:]))
+	if super == "" || !nlp.IsPluralPhrase(super) {
+		return Match{}, false
+	}
+	elems := nlp.SplitList(sentence[:kwStart])
+	if len(elems) == 0 {
+		return Match{}, false
+	}
+	// The first element may carry a prose prefix ("representatives in
+	// North America"); keep only its trailing noun phrase — except that a
+	// compound name would be cut at its "and" ("Proctor and Gamble" ->
+	// "Gamble"), so delimiter-bearing elements keep both readings as an
+	// ambiguous segment.
+	var first Segment
+	haveFirst := false
+	if chunks := splitOnDelimiter(elems[0]); len(chunks) > 1 {
+		if np := nlp.TrailingNounPhrase(chunks[0]); np != "" {
+			parts := append([]string{np}, chunks[1:]...)
+			first = Segment{Whole: strings.Join(parts, " and "), Parts: parts}
+			haveFirst = true
+		} else {
+			// No leading NP: fall back to the trailing NP of the whole
+			// element ("other than X and Europe" -> "Europe").
+			if np := nlp.TrailingNounPhrase(elems[0]); np != "" {
+				first = makeSegment(np)
+				haveFirst = true
+			}
+		}
+	} else if np := nlp.TrailingNounPhrase(elems[0]); np != "" {
+		first = makeSegment(np)
+		haveFirst = true
+	}
+	elems = elems[1:]
+	// Position 1 is closest to the keyword, i.e. the *last* listed item.
+	var segs []Segment
+	for i := len(elems) - 1; i >= 0; i-- {
+		segs = append(segs, makeSegment(elems[i]))
+	}
+	if haveFirst {
+		segs = append(segs, first)
+	}
+	if len(segs) == 0 {
+		return Match{}, false
+	}
+	return Match{Pattern: p, Supers: []string{super}, Segments: segs, Raw: sentence}, true
+}
+
+// superCandidates extracts the candidate super-concepts Xs from the text
+// preceding a forward pattern keyword. Per Section 2.3.1 every candidate
+// must be a plural noun phrase; an "other than" clause contributes both the
+// NP before it and the NP after it ("animals other than dogs such as cats"
+// yields {animals, dogs}).
+func superCandidates(left string) []string {
+	var out []string
+	add := func(np string) {
+		np = nlp.CollapseSpaces(np)
+		if np == "" || !nlp.IsPluralPhrase(np) {
+			return
+		}
+		for _, have := range out {
+			if strings.EqualFold(have, np) {
+				return
+			}
+		}
+		out = append(out, np)
+	}
+	lowerLeft := strings.ToLower(left)
+	if i := strings.Index(lowerLeft, " other than "); i >= 0 {
+		add(nlp.TrailingNounPhrase(left[:i]))
+		add(nlp.TrailingNounPhrase(left)) // NP right before the keyword (the decoy)
+	} else {
+		add(nlp.TrailingNounPhrase(left))
+	}
+	return out
+}
+
+// forwardSegments builds the position-ordered candidate segments for
+// patterns whose list follows the keyword. The final comma element is
+// split on "and"/"or" per Section 2.3.1, producing the ambiguous readings
+// that Example 2(3) requires (Y = {IBM, Nokia, Proctor, Gamble,
+// Proctor and Gamble}).
+func forwardSegments(after string) []Segment {
+	elems := nlp.SplitList(cutAtClauseEnd(after))
+	var segs []Segment
+	for i, e := range elems {
+		e = strings.TrimSpace(e)
+		le := strings.ToLower(e)
+		// A trailing "A and B" / "A or B" that arrived as one comma element
+		// (no Oxford comma) represents *two* list items unless it is a
+		// compound name: split the leading "and"/"or" list terminator.
+		if strings.HasPrefix(le, "and ") {
+			e = strings.TrimSpace(e[4:])
+		} else if strings.HasPrefix(le, "or ") {
+			e = strings.TrimSpace(e[3:])
+		}
+		if i == len(elems)-1 {
+			// The final element may carry trailing prose the commas could
+			// not separate ("cats exist in many regions"); cut it at the
+			// first verb boundary, which names like "Gone with the Wind"
+			// never contain.
+			e = nlp.TrimTrailingClause(e)
+		}
+		if e == "" {
+			continue
+		}
+		segs = append(segs, makeSegment(e))
+	}
+	return segs
+}
+
+// makeSegment wraps a list element, recording the split reading when the
+// element embeds a bare "and"/"or".
+func makeSegment(e string) Segment {
+	e = nlp.CollapseSpaces(e)
+	seg := Segment{Whole: e}
+	if parts := splitOnDelimiter(e); len(parts) > 1 {
+		seg.Parts = parts
+	}
+	return seg
+}
+
+// splitOnDelimiter splits a phrase on standalone "and"/"or" words. It
+// returns nil when the phrase has no embedded delimiter.
+func splitOnDelimiter(e string) []string {
+	fields := strings.Fields(e)
+	var parts []string
+	cur := make([]string, 0, len(fields))
+	for _, f := range fields {
+		lf := strings.ToLower(f)
+		if lf == "and" || lf == "or" {
+			if len(cur) > 0 {
+				parts = append(parts, strings.Join(cur, " "))
+				cur = cur[:0]
+			}
+			continue
+		}
+		cur = append(cur, f)
+	}
+	if len(cur) > 0 {
+		parts = append(parts, strings.Join(cur, " "))
+	}
+	if len(parts) <= 1 {
+		return nil
+	}
+	return parts
+}

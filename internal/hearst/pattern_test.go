@@ -1,0 +1,219 @@
+package hearst
+
+import (
+	"reflect"
+	"testing"
+)
+
+func wholes(segs []Segment) []string {
+	out := make([]string, len(segs))
+	for i, s := range segs {
+		out[i] = s.Whole
+	}
+	return out
+}
+
+func TestParseSuchAsSimple(t *testing.T) {
+	m, ok := Parse("domestic animals such as cats, dogs and rabbits live with humans.")
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.Pattern != PatternSuchAs {
+		t.Errorf("pattern = %v", m.Pattern)
+	}
+	if !reflect.DeepEqual(m.Supers, []string{"domestic animals"}) {
+		t.Errorf("supers = %v", m.Supers)
+	}
+	got := wholes(m.Segments)
+	want := []string{"cats", "dogs and rabbits"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("segments = %v, want %v", got, want)
+	}
+	if !m.Segments[1].Ambiguous() || !reflect.DeepEqual(m.Segments[1].Parts, []string{"dogs", "rabbits"}) {
+		t.Errorf("last segment parts = %v", m.Segments[1].Parts)
+	}
+}
+
+func TestParseOtherThanAmbiguity(t *testing.T) {
+	// Example 2(1): both "animals" and "dogs" must be candidate supers.
+	m, ok := Parse("animals other than dogs such as cats")
+	if !ok {
+		t.Fatal("no match")
+	}
+	if !reflect.DeepEqual(m.Supers, []string{"animals", "dogs"}) {
+		t.Errorf("supers = %v", m.Supers)
+	}
+	if !reflect.DeepEqual(wholes(m.Segments), []string{"cats"}) {
+		t.Errorf("segments = %v", m.Segments)
+	}
+}
+
+func TestParseOtherThanSingularDecoy(t *testing.T) {
+	// "Japan" is not plural, so it is not a candidate super-concept.
+	m, ok := Parse("countries other than Japan such as USA")
+	if !ok {
+		t.Fatal("no match")
+	}
+	if !reflect.DeepEqual(m.Supers, []string{"countries"}) {
+		t.Errorf("supers = %v", m.Supers)
+	}
+}
+
+func TestParseCompoundName(t *testing.T) {
+	// Example 2(3): "Proctor and Gamble" must keep both readings.
+	m, ok := Parse("companies such as IBM, Nokia, Proctor and Gamble")
+	if !ok {
+		t.Fatal("no match")
+	}
+	got := wholes(m.Segments)
+	want := []string{"IBM", "Nokia", "Proctor and Gamble"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("segments = %v, want %v", got, want)
+	}
+	last := m.Segments[2]
+	if !last.Ambiguous() || !reflect.DeepEqual(last.Parts, []string{"Proctor", "Gamble"}) {
+		t.Errorf("last parts = %v", last.Parts)
+	}
+}
+
+func TestParseNonNPSubConcept(t *testing.T) {
+	// Example 2(2): sub-concepts need not be noun phrases.
+	m, ok := Parse("classic movies such as Gone with the Wind")
+	if !ok {
+		t.Fatal("no match")
+	}
+	if !reflect.DeepEqual(m.Supers, []string{"classic movies"}) {
+		t.Errorf("supers = %v", m.Supers)
+	}
+	if !reflect.DeepEqual(wholes(m.Segments), []string{"Gone with the Wind"}) {
+		t.Errorf("segments = %v", m.Segments)
+	}
+}
+
+func TestParseAndOtherBackward(t *testing.T) {
+	// Example 2(4): position 1 must be the element closest to the keyword.
+	m, ok := Parse("representatives in North America, Europe, the Middle East, Australia, Mexico, Brazil, Japan, China, and other countries were present.")
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.Pattern != PatternAndOther {
+		t.Errorf("pattern = %v", m.Pattern)
+	}
+	if !reflect.DeepEqual(m.Supers, []string{"countries"}) {
+		t.Errorf("supers = %v", m.Supers)
+	}
+	got := wholes(m.Segments)
+	want := []string{"China", "Japan", "Brazil", "Mexico", "Australia", "the Middle East", "Europe", "North America"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("segments = %v, want %v", got, want)
+	}
+}
+
+func TestParseOrOther(t *testing.T) {
+	m, ok := Parse("Linux, Solaris, or other operating systems")
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.Pattern != PatternOrOther {
+		t.Errorf("pattern = %v", m.Pattern)
+	}
+	if !reflect.DeepEqual(m.Supers, []string{"operating systems"}) {
+		t.Errorf("supers = %v", m.Supers)
+	}
+	if !reflect.DeepEqual(wholes(m.Segments), []string{"Solaris", "Linux"}) {
+		t.Errorf("segments = %v", m.Segments)
+	}
+}
+
+func TestParseSuchNPAs(t *testing.T) {
+	m, ok := Parse("such tropical countries as Singapore, Malaysia")
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.Pattern != PatternSuchNPAs {
+		t.Errorf("pattern = %v", m.Pattern)
+	}
+	if !reflect.DeepEqual(m.Supers, []string{"tropical countries"}) {
+		t.Errorf("supers = %v", m.Supers)
+	}
+	if !reflect.DeepEqual(wholes(m.Segments), []string{"Singapore", "Malaysia"}) {
+		t.Errorf("segments = %v", m.Segments)
+	}
+}
+
+func TestParseIncluding(t *testing.T) {
+	m, ok := Parse("large cities, including New York, Chicago and Los Angeles.")
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.Pattern != PatternIncluding {
+		t.Errorf("pattern = %v", m.Pattern)
+	}
+	if !reflect.DeepEqual(m.Supers, []string{"large cities"}) {
+		t.Errorf("supers = %v", m.Supers)
+	}
+	got := wholes(m.Segments)
+	want := []string{"New York", "Chicago and Los Angeles"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("segments = %v, want %v", got, want)
+	}
+}
+
+func TestParseEspecially(t *testing.T) {
+	m, ok := Parse("european countries, especially France, Germany")
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.Pattern != PatternEspecially {
+		t.Errorf("pattern = %v", m.Pattern)
+	}
+	if !reflect.DeepEqual(m.Supers, []string{"european countries"}) {
+		t.Errorf("supers = %v", m.Supers)
+	}
+}
+
+func TestParseNoMatch(t *testing.T) {
+	for _, s := range []string{
+		"the quick brown fox jumps over the lazy dog",
+		"",
+		"such as",      // keyword with nothing around it
+		"cats such as", // no sub-concepts
+	} {
+		if _, ok := Parse(s); ok {
+			t.Errorf("Parse(%q) matched, want no match", s)
+		}
+	}
+}
+
+func TestParseSingularSuperRejected(t *testing.T) {
+	// Candidate super-concepts must be plural noun phrases.
+	if _, ok := Parse("a cat such as Tom"); ok {
+		t.Error("singular super-concept should not match")
+	}
+}
+
+func TestParseClauseEndCut(t *testing.T) {
+	m, ok := Parse("animals such as cats, dogs. They are cute and other things happen.")
+	if !ok {
+		t.Fatal("no match")
+	}
+	got := wholes(m.Segments)
+	want := []string{"cats", "dogs"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("segments = %v, want %v", got, want)
+	}
+}
+
+func TestPatternIDString(t *testing.T) {
+	ids := map[PatternID]string{
+		PatternSuchAs: "such as", PatternSuchNPAs: "such NP as",
+		PatternIncluding: "including", PatternAndOther: "and other",
+		PatternOrOther: "or other", PatternEspecially: "especially",
+		PatternNone: "none",
+	}
+	for id, want := range ids {
+		if id.String() != want {
+			t.Errorf("%d.String() = %q, want %q", id, id.String(), want)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package kb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchStore(n int) *Store {
+	s := NewStore(32)
+	for i := 0; i < n; i++ {
+		x := fmt.Sprintf("concept%d", i%100)
+		y := fmt.Sprintf("instance%d", i)
+		s.Add(x, y, int64(i%7+1))
+	}
+	return s
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := NewStore(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(fmt.Sprintf("c%d", i%100), fmt.Sprintf("i%d", i%10000), 1)
+	}
+}
+
+func BenchmarkPYgivenX(b *testing.B) {
+	s := benchStore(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PYgivenX(fmt.Sprintf("instance%d", i%10000), fmt.Sprintf("concept%d", i%100))
+	}
+}
+
+func BenchmarkSubsOf(b *testing.B) {
+	s := benchStore(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SubsOf(fmt.Sprintf("concept%d", i%100))
+	}
+}
+
+func BenchmarkCoOccurrence(b *testing.B) {
+	s := benchStore(1000)
+	for i := 0; i < 1000; i++ {
+		s.AddCo("concept1", fmt.Sprintf("a%d", i%50), fmt.Sprintf("b%d", i%50), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CoCount("concept1", fmt.Sprintf("a%d", i%50), fmt.Sprintf("b%d", i%50))
+	}
+}

@@ -1,0 +1,361 @@
+package kb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+// Binary snapshot format for Γ (little-endian):
+//
+//	magic    "PBKB"
+//	version  uvarint (1)
+//	strings  uvarint count, then per string: uvarint len + bytes
+//	pairs    uvarint count, then per pair:
+//	           uvarint xRef, uvarint yRef, uvarint n,
+//	           uvarint evidence count, then per evidence:
+//	             uvarint pattern, float64 pageScore, uvarint listLen,
+//	             uvarint pos, byte negative
+//	co       uvarint count, then per entry:
+//	           uvarint xRef, uvarint aRef, uvarint bRef, uvarint n
+//	crc32    uint32 (IEEE, over everything before it)
+//
+// Strings are interned once and referenced by index.
+const (
+	kbMagic   = "PBKB"
+	kbVersion = 1
+)
+
+var (
+	// ErrBadKBSnapshot reports a structurally invalid Γ snapshot.
+	ErrBadKBSnapshot = errors.New("kb: bad snapshot")
+	// ErrKBChecksum reports Γ snapshot corruption.
+	ErrKBChecksum = errors.New("kb: snapshot checksum mismatch")
+)
+
+type kbCRCWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *kbCRCWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+func putUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// Save writes a checksummed binary snapshot of Γ, including evidence and
+// co-occurrence statistics.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	// Intern all strings deterministically.
+	refs := make(map[string]uint64)
+	var strs []string
+	intern := func(v string) uint64 {
+		if id, ok := refs[v]; ok {
+			return id
+		}
+		id := uint64(len(strs))
+		refs[v] = id
+		strs = append(strs, v)
+		return id
+	}
+	type pairRow struct {
+		x, y string
+	}
+	var pairs []pairRow
+	xs := make([]string, 0, len(s.bySuper))
+	for x := range s.bySuper {
+		xs = append(xs, x)
+	}
+	sort.Strings(xs)
+	for _, x := range xs {
+		ys := make([]string, 0, len(s.bySuper[x]))
+		for y := range s.bySuper[x] {
+			ys = append(ys, y)
+		}
+		sort.Strings(ys)
+		for _, y := range ys {
+			intern(x)
+			intern(y)
+			pairs = append(pairs, pairRow{x, y})
+		}
+	}
+	// Evidence can reference pairs without counts; include those too.
+	evOnly := make([]Pair, 0)
+	for p := range s.evidence {
+		if s.bySuper[p.X][p.Y] == 0 {
+			evOnly = append(evOnly, p)
+		}
+	}
+	sort.Slice(evOnly, func(i, j int) bool {
+		if evOnly[i].X != evOnly[j].X {
+			return evOnly[i].X < evOnly[j].X
+		}
+		return evOnly[i].Y < evOnly[j].Y
+	})
+	for _, p := range evOnly {
+		intern(p.X)
+		intern(p.Y)
+		pairs = append(pairs, pairRow{p.X, p.Y})
+	}
+	coKeys := make([]string, 0, len(s.co))
+	for k := range s.co {
+		coKeys = append(coKeys, k)
+	}
+	sort.Strings(coKeys)
+	coParts := make([][3]string, len(coKeys))
+	for i, k := range coKeys {
+		var fields [3]string
+		start, fi := 0, 0
+		for j := 0; j < len(k) && fi < 2; j++ {
+			if k[j] == '\x1f' {
+				fields[fi] = k[start:j]
+				start = j + 1
+				fi++
+			}
+		}
+		fields[2] = k[start:]
+		for _, f := range fields {
+			intern(f)
+		}
+		coParts[i] = fields
+	}
+
+	bw := bufio.NewWriter(w)
+	cw := &kbCRCWriter{w: bw}
+	if _, err := cw.Write([]byte(kbMagic)); err != nil {
+		return err
+	}
+	if err := putUvarint(cw, kbVersion); err != nil {
+		return err
+	}
+	if err := putUvarint(cw, uint64(len(strs))); err != nil {
+		return err
+	}
+	for _, v := range strs {
+		if err := putUvarint(cw, uint64(len(v))); err != nil {
+			return err
+		}
+		if _, err := cw.Write([]byte(v)); err != nil {
+			return err
+		}
+	}
+	if err := putUvarint(cw, uint64(len(pairs))); err != nil {
+		return err
+	}
+	var f64 [8]byte
+	for _, pr := range pairs {
+		if err := putUvarint(cw, refs[pr.x]); err != nil {
+			return err
+		}
+		if err := putUvarint(cw, refs[pr.y]); err != nil {
+			return err
+		}
+		if err := putUvarint(cw, uint64(s.bySuper[pr.x][pr.y])); err != nil {
+			return err
+		}
+		evs := s.evidence[Pair{X: pr.x, Y: pr.y}]
+		if err := putUvarint(cw, uint64(len(evs))); err != nil {
+			return err
+		}
+		for _, ev := range evs {
+			if err := putUvarint(cw, uint64(ev.Pattern)); err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(f64[:], math.Float64bits(ev.PageScore))
+			if _, err := cw.Write(f64[:]); err != nil {
+				return err
+			}
+			if err := putUvarint(cw, uint64(ev.ListLen)); err != nil {
+				return err
+			}
+			if err := putUvarint(cw, uint64(ev.Pos)); err != nil {
+				return err
+			}
+			neg := byte(0)
+			if ev.Negative {
+				neg = 1
+			}
+			if _, err := cw.Write([]byte{neg}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := putUvarint(cw, uint64(len(coKeys))); err != nil {
+		return err
+	}
+	for i, k := range coKeys {
+		for _, f := range coParts[i] {
+			if err := putUvarint(cw, refs[f]); err != nil {
+				return err
+			}
+		}
+		if err := putUvarint(cw, uint64(s.co[k])); err != nil {
+			return err
+		}
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type kbCRCReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (cr *kbCRCReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func (cr *kbCRCReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+// Load reads a snapshot written by Save. The evidence cap of the
+// returned store is unlimited.
+func Load(r io.Reader) (*Store, error) {
+	cr := &kbCRCReader{r: bufio.NewReader(r)}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadKBSnapshot, err)
+	}
+	if string(magic) != kbMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadKBSnapshot, magic)
+	}
+	version, err := binary.ReadUvarint(cr)
+	if err != nil || version != kbVersion {
+		return nil, fmt.Errorf("%w: version", ErrBadKBSnapshot)
+	}
+	nstrs, err := binary.ReadUvarint(cr)
+	if err != nil || nstrs > 1<<28 {
+		return nil, fmt.Errorf("%w: string count", ErrBadKBSnapshot)
+	}
+	strs := make([]string, nstrs)
+	for i := range strs {
+		ln, err := binary.ReadUvarint(cr)
+		if err != nil || ln > 1<<20 {
+			return nil, fmt.Errorf("%w: string length", ErrBadKBSnapshot)
+		}
+		buf := make([]byte, ln)
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return nil, fmt.Errorf("%w: string bytes: %v", ErrBadKBSnapshot, err)
+		}
+		strs[i] = string(buf)
+	}
+	ref := func() (string, error) {
+		id, err := binary.ReadUvarint(cr)
+		if err != nil || id >= nstrs {
+			return "", fmt.Errorf("%w: string ref", ErrBadKBSnapshot)
+		}
+		return strs[id], nil
+	}
+	s := NewStore(0)
+	npairs, err := binary.ReadUvarint(cr)
+	if err != nil || npairs > 1<<30 {
+		return nil, fmt.Errorf("%w: pair count", ErrBadKBSnapshot)
+	}
+	var f64 [8]byte
+	for i := uint64(0); i < npairs; i++ {
+		x, err := ref()
+		if err != nil {
+			return nil, err
+		}
+		y, err := ref()
+		if err != nil {
+			return nil, err
+		}
+		n, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: pair count field", ErrBadKBSnapshot)
+		}
+		s.Add(x, y, int64(n))
+		nev, err := binary.ReadUvarint(cr)
+		if err != nil || nev > 1<<20 {
+			return nil, fmt.Errorf("%w: evidence count", ErrBadKBSnapshot)
+		}
+		for j := uint64(0); j < nev; j++ {
+			var ev Evidence
+			pat, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: evidence pattern", ErrBadKBSnapshot)
+			}
+			ev.Pattern = int(pat)
+			if _, err := io.ReadFull(cr, f64[:]); err != nil {
+				return nil, fmt.Errorf("%w: evidence score: %v", ErrBadKBSnapshot, err)
+			}
+			ev.PageScore = math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
+			ll, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: evidence listlen", ErrBadKBSnapshot)
+			}
+			ev.ListLen = int(ll)
+			pos, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: evidence pos", ErrBadKBSnapshot)
+			}
+			ev.Pos = int(pos)
+			neg, err := cr.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: evidence flag: %v", ErrBadKBSnapshot, err)
+			}
+			ev.Negative = neg == 1
+			s.AddEvidence(x, y, ev)
+		}
+	}
+	nco, err := binary.ReadUvarint(cr)
+	if err != nil || nco > 1<<30 {
+		return nil, fmt.Errorf("%w: co count", ErrBadKBSnapshot)
+	}
+	for i := uint64(0); i < nco; i++ {
+		x, err := ref()
+		if err != nil {
+			return nil, err
+		}
+		a, err := ref()
+		if err != nil {
+			return nil, err
+		}
+		b, err := ref()
+		if err != nil {
+			return nil, err
+		}
+		n, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: co count field", ErrBadKBSnapshot)
+		}
+		s.AddCo(x, a, b, int64(n))
+	}
+	want := cr.crc
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: trailer: %v", ErrBadKBSnapshot, err)
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != want {
+		return nil, ErrKBChecksum
+	}
+	return s, nil
+}

@@ -1,0 +1,161 @@
+package kb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleStore() *Store {
+	s := NewStore(0)
+	s.Add("animal", "cat", 12)
+	s.Add("animal", "dog", 9)
+	s.Add("company", "IBM", 30)
+	s.Add("company", "Proctor and Gamble", 4)
+	s.AddCo("animal", "cat", "dog", 6)
+	s.AddCo("company", "IBM", "Proctor and Gamble", 2)
+	s.AddEvidence("animal", "cat", Evidence{Pattern: 1, PageScore: 0.75, ListLen: 3, Pos: 1})
+	s.AddEvidence("animal", "cat", Evidence{Pattern: 4, PageScore: 0.25, ListLen: 5, Pos: 2, Negative: true})
+	// Evidence-only pair (negative evidence without an isA count).
+	s.AddEvidence("tree", "branch", Evidence{PageScore: 0.5, ListLen: 2, Pos: 1, Negative: true})
+	return s
+}
+
+func storesEqual(t *testing.T, a, b *Store) {
+	t.Helper()
+	if a.NumPairs() != b.NumPairs() || a.Total() != b.Total() {
+		t.Fatalf("shape mismatch: %v vs %v", a.Stats(), b.Stats())
+	}
+	a.ForEachPair(func(x, y string, n int64) {
+		if b.Count(x, y) != n {
+			t.Errorf("count (%s,%s) = %d vs %d", x, y, b.Count(x, y), n)
+		}
+		ae, be := a.Evidence(x, y), b.Evidence(x, y)
+		if len(ae) != len(be) {
+			t.Fatalf("evidence length (%s,%s): %d vs %d", x, y, len(ae), len(be))
+		}
+		for i := range ae {
+			if ae[i] != be[i] {
+				t.Errorf("evidence (%s,%s)[%d]: %+v vs %+v", x, y, i, ae[i], be[i])
+			}
+		}
+	})
+}
+
+func TestKBSnapshotRoundTrip(t *testing.T) {
+	s := sampleStore()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storesEqual(t, s, got)
+	if got.CoCount("animal", "dog", "cat") != 6 {
+		t.Error("co-occurrence lost")
+	}
+	evs := got.Evidence("tree", "branch")
+	if len(evs) != 1 || !evs[0].Negative {
+		t.Errorf("evidence-only pair lost: %v", evs)
+	}
+	if got.Count("tree", "branch") != 0 {
+		t.Error("evidence-only pair gained a count")
+	}
+}
+
+func TestKBSnapshotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore(0).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPairs() != 0 {
+		t.Error("empty snapshot not empty")
+	}
+}
+
+func TestKBLoadRejectsCorruption(t *testing.T) {
+	s := sampleStore()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	bad := append([]byte(nil), data...)
+	copy(bad, "XXXX")
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrBadKBSnapshot) {
+		t.Errorf("bad magic err = %v", err)
+	}
+	if _, err := Load(bytes.NewReader(data[:len(data)-8])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	flip := append([]byte(nil), data...)
+	flip[len(flip)-1] ^= 1
+	if _, err := Load(bytes.NewReader(flip)); !errors.Is(err, ErrKBChecksum) {
+		t.Errorf("flipped checksum err = %v", err)
+	}
+	mid := append([]byte(nil), data...)
+	mid[len(mid)/2] ^= 0xFF
+	if _, err := Load(bytes.NewReader(mid)); err == nil {
+		t.Error("corrupted body accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+// Property: random stores survive the round trip.
+func TestKBSnapshotRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore(0)
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			x := fmt.Sprintf("c%d", rng.Intn(8))
+			y := fmt.Sprintf("i%d", rng.Intn(30))
+			s.Add(x, y, int64(rng.Intn(10)+1))
+			if rng.Intn(2) == 0 {
+				s.AddEvidence(x, y, Evidence{
+					Pattern:   rng.Intn(6) + 1,
+					PageScore: float64(rng.Intn(100)) / 100,
+					ListLen:   rng.Intn(6) + 1,
+					Pos:       rng.Intn(4) + 1,
+					Negative:  rng.Intn(5) == 0,
+				})
+			}
+			if rng.Intn(3) == 0 {
+				s.AddCo(x, y, fmt.Sprintf("i%d", rng.Intn(30)), 1)
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumPairs() != s.NumPairs() || got.Total() != s.Total() {
+			return false
+		}
+		okAll := true
+		s.ForEachPair(func(x, y string, cnt int64) {
+			if got.Count(x, y) != cnt || len(got.Evidence(x, y)) != len(s.Evidence(x, y)) {
+				okAll = false
+			}
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

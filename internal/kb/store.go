@@ -1,0 +1,359 @@
+// Package kb implements Γ, the knowledge store of isA pairs accumulated by
+// the iterative extraction framework (Section 2.3, Table 3 of the paper).
+// It keeps the pair counts n(x,y), the conditional statistics p(x) and
+// p(y|x) used by super- and sub-concept detection, per-super co-occurrence
+// counts used to resolve compound sub-concepts, and the per-pair evidence
+// feature vectors consumed by the plausibility model.
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Pair is one isA claim: Y isA X, with X the super-concept.
+type Pair struct {
+	X, Y string
+}
+
+// Evidence records the extraction features of one sentence supporting an
+// isA pair, per Section 4.1 (the feature set F_i of Eq. 2).
+type Evidence struct {
+	Pattern   int     // Hearst pattern ID used
+	PageScore float64 // PageRank-like score of the source page, in [0,1]
+	ListLen   int     // number of sub-concepts extracted from the sentence
+	Pos       int     // 1-based position of y relative to the pattern keywords
+	Negative  bool    // negative evidence (e.g. a part-of claim) lowers plausibility
+}
+
+// Store is Γ. It is safe for concurrent readers with a single writer, and
+// fully safe under the embedded mutex for mixed use.
+type Store struct {
+	mu         sync.RWMutex
+	bySuper    map[string]map[string]int64
+	bySub      map[string]map[string]int64
+	superTotal map[string]int64
+	subTotal   map[string]int64
+	total      int64
+	npairs     int64
+	co         map[string]int64
+	evidence   map[Pair][]Evidence
+	maxEv      int
+}
+
+// NewStore returns an empty Γ. maxEvidencePerPair bounds the evidence kept
+// per pair (0 means keep everything); the noisy-or saturates quickly, so a
+// small cap loses nothing.
+func NewStore(maxEvidencePerPair int) *Store {
+	return &Store{
+		bySuper:    make(map[string]map[string]int64),
+		bySub:      make(map[string]map[string]int64),
+		superTotal: make(map[string]int64),
+		subTotal:   make(map[string]int64),
+		co:         make(map[string]int64),
+		evidence:   make(map[Pair][]Evidence),
+		maxEv:      maxEvidencePerPair,
+	}
+}
+
+// Add records n discoveries of the pair (x, y).
+func (s *Store) Add(x, y string, n int64) {
+	if n <= 0 || x == "" || y == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ys := s.bySuper[x]
+	if ys == nil {
+		ys = make(map[string]int64)
+		s.bySuper[x] = ys
+	}
+	if ys[y] == 0 {
+		s.npairs++
+	}
+	ys[y] += n
+	xs := s.bySub[y]
+	if xs == nil {
+		xs = make(map[string]int64)
+		s.bySub[y] = xs
+	}
+	xs[x] += n
+	s.superTotal[x] += n
+	s.subTotal[y] += n
+	s.total += n
+}
+
+// SubMass returns the total discovery mass of pairs with y as the
+// sub-concept, across all super-concepts.
+func (s *Store) SubMass(y string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.subTotal[y]
+}
+
+// PSubGlobal returns the corpus-wide frequency of y as a sub-concept —
+// the Downey-style term-association signal (Section 2.1) used when a
+// candidate has no per-concept statistics yet.
+func (s *Store) PSubGlobal(y string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.subTotal[y]) / float64(s.total)
+}
+
+// AddEvidence appends one evidence record for the pair (x, y), respecting
+// the per-pair cap.
+func (s *Store) AddEvidence(x, y string, ev Evidence) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := Pair{X: x, Y: y}
+	if s.maxEv > 0 && len(s.evidence[p]) >= s.maxEv {
+		return
+	}
+	s.evidence[p] = append(s.evidence[p], ev)
+}
+
+// Evidence returns a copy of the evidence recorded for (x, y).
+func (s *Store) Evidence(x, y string) []Evidence {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	evs := s.evidence[Pair{X: x, Y: y}]
+	out := make([]Evidence, len(evs))
+	copy(out, evs)
+	return out
+}
+
+func coKey(x, a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return x + "\x1f" + a + "\x1f" + b
+}
+
+// AddCo records that sub-concepts a and b were both accepted under super-
+// concept x in the same sentence. The count is symmetric in a and b.
+func (s *Store) AddCo(x, a, b string, n int64) {
+	if n <= 0 || a == b {
+		return
+	}
+	s.mu.Lock()
+	s.co[coKey(x, a, b)] += n
+	s.mu.Unlock()
+}
+
+// CoCount returns the number of sentences in which a and b were both
+// accepted as sub-concepts of x.
+func (s *Store) CoCount(x, a, b string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.co[coKey(x, a, b)]
+}
+
+// Count returns n(x, y).
+func (s *Store) Count(x, y string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bySuper[x][y]
+}
+
+// SuperTotal returns the total discovery mass of pairs with x as the
+// super-concept.
+func (s *Store) SuperTotal(x string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.superTotal[x]
+}
+
+// Total returns the total discovery mass over all pairs.
+func (s *Store) Total() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.total
+}
+
+// NumPairs returns the number of distinct isA pairs in Γ.
+func (s *Store) NumPairs() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.npairs
+}
+
+// NumSupers returns the number of distinct super-concepts in Γ.
+func (s *Store) NumSupers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.bySuper)
+}
+
+// PX returns p(x): the fraction of the total pair mass whose super-concept
+// is x (Section 2.3.2). Zero when Γ is empty or x unseen.
+func (s *Store) PX(x string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.superTotal[x]) / float64(s.total)
+}
+
+// PYgivenX returns p(y|x): the fraction of x's pair mass carried by y.
+// Zero when (x, y) is not in Γ; callers substitute their ε.
+func (s *Store) PYgivenX(y, x string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.superTotal[x]
+	if t == 0 {
+		return 0
+	}
+	return float64(s.bySuper[x][y]) / float64(t)
+}
+
+// PYgivenCX returns p(y | c, x): the likelihood that y appears as a valid
+// sub-concept in a sentence whose super-concept is x and where c is another
+// valid sub-concept (Section 2.3.3). Zero when unseen.
+func (s *Store) PYgivenCX(y, c, x string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.bySuper[x][c]
+	if n == 0 {
+		return 0
+	}
+	return float64(s.co[coKey(x, c, y)]) / float64(n)
+}
+
+// HasSuper reports whether x appears as a super-concept in Γ.
+func (s *Store) HasSuper(x string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.superTotal[x] > 0
+}
+
+// SubsOf returns the sub-concepts of x sorted by descending count, then
+// lexicographically for determinism.
+func (s *Store) SubsOf(x string) []string {
+	s.mu.RLock()
+	ys := make([]string, 0, len(s.bySuper[x]))
+	for y := range s.bySuper[x] {
+		ys = append(ys, y)
+	}
+	counts := make(map[string]int64, len(ys))
+	for _, y := range ys {
+		counts[y] = s.bySuper[x][y]
+	}
+	s.mu.RUnlock()
+	sort.Slice(ys, func(i, j int) bool {
+		if counts[ys[i]] != counts[ys[j]] {
+			return counts[ys[i]] > counts[ys[j]]
+		}
+		return ys[i] < ys[j]
+	})
+	return ys
+}
+
+// SupersOf returns the super-concepts of y sorted by descending count,
+// then lexicographically.
+func (s *Store) SupersOf(y string) []string {
+	s.mu.RLock()
+	xs := make([]string, 0, len(s.bySub[y]))
+	for x := range s.bySub[y] {
+		xs = append(xs, x)
+	}
+	counts := make(map[string]int64, len(xs))
+	for _, x := range xs {
+		counts[x] = s.bySub[y][x]
+	}
+	s.mu.RUnlock()
+	sort.Slice(xs, func(i, j int) bool {
+		if counts[xs[i]] != counts[xs[j]] {
+			return counts[xs[i]] > counts[xs[j]]
+		}
+		return xs[i] < xs[j]
+	})
+	return xs
+}
+
+// ForEachPair calls fn for every pair in Γ in deterministic order
+// (super label, then sub label).
+func (s *Store) ForEachPair(fn func(x, y string, n int64)) {
+	s.mu.RLock()
+	xs := make([]string, 0, len(s.bySuper))
+	for x := range s.bySuper {
+		xs = append(xs, x)
+	}
+	sort.Strings(xs)
+	type row struct {
+		x, y string
+		n    int64
+	}
+	var rows []row
+	for _, x := range xs {
+		ys := make([]string, 0, len(s.bySuper[x]))
+		for y := range s.bySuper[x] {
+			ys = append(ys, y)
+		}
+		sort.Strings(ys)
+		for _, y := range ys {
+			rows = append(rows, row{x, y, s.bySuper[x][y]})
+		}
+	}
+	s.mu.RUnlock()
+	for _, r := range rows {
+		fn(r.x, r.y, r.n)
+	}
+}
+
+// Merge folds other into s (the reduce step of a parallel extraction
+// round). Evidence and co-occurrence counts are merged too.
+func (s *Store) Merge(other *Store) {
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	for x, ys := range other.bySuper {
+		for y, n := range ys {
+			s.Add(x, y, n)
+		}
+	}
+	s.mu.Lock()
+	for k, n := range other.co {
+		s.co[k] += n
+	}
+	for p, evs := range other.evidence {
+		have := s.evidence[p]
+		for _, ev := range evs {
+			if s.maxEv > 0 && len(have) >= s.maxEv {
+				break
+			}
+			have = append(have, ev)
+		}
+		s.evidence[p] = have
+	}
+	s.mu.Unlock()
+}
+
+// Stats is a summary of Γ used by per-iteration reporting (Figure 10).
+type Stats struct {
+	Pairs    int64 // distinct isA pairs
+	Supers   int   // distinct super-concepts
+	Mass     int64 // total discovery count
+	Evidence int   // pairs with recorded evidence
+}
+
+// Stats returns the current summary.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Pairs:    s.npairs,
+		Supers:   len(s.bySuper),
+		Mass:     s.total,
+		Evidence: len(s.evidence),
+	}
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (s *Store) String() string {
+	st := s.Stats()
+	return fmt.Sprintf("kb.Store{pairs=%d supers=%d mass=%d}", st.Pairs, st.Supers, st.Mass)
+}

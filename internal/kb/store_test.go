@@ -1,0 +1,241 @@
+package kb
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndCount(t *testing.T) {
+	s := NewStore(0)
+	s.Add("animals", "cats", 3)
+	s.Add("animals", "dogs", 1)
+	s.Add("companies", "IBM", 2)
+	if got := s.Count("animals", "cats"); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	if got := s.Count("animals", "birds"); got != 0 {
+		t.Errorf("Count missing = %d, want 0", got)
+	}
+	if got := s.NumPairs(); got != 3 {
+		t.Errorf("NumPairs = %d, want 3", got)
+	}
+	if got := s.NumSupers(); got != 2 {
+		t.Errorf("NumSupers = %d, want 2", got)
+	}
+	if got := s.Total(); got != 6 {
+		t.Errorf("Total = %d, want 6", got)
+	}
+	if got := s.SuperTotal("animals"); got != 4 {
+		t.Errorf("SuperTotal = %d, want 4", got)
+	}
+}
+
+func TestAddIgnoresInvalid(t *testing.T) {
+	s := NewStore(0)
+	s.Add("", "y", 1)
+	s.Add("x", "", 1)
+	s.Add("x", "y", 0)
+	s.Add("x", "y", -5)
+	if s.NumPairs() != 0 || s.Total() != 0 {
+		t.Errorf("invalid adds changed store: %v", s)
+	}
+}
+
+func TestProbabilities(t *testing.T) {
+	s := NewStore(0)
+	s.Add("animals", "cats", 6)
+	s.Add("animals", "dogs", 2)
+	s.Add("companies", "IBM", 2)
+	if got := s.PX("animals"); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("PX = %v, want 0.8", got)
+	}
+	if got := s.PYgivenX("cats", "animals"); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("PYgivenX = %v, want 0.75", got)
+	}
+	if got := s.PYgivenX("cats", "companies"); got != 0 {
+		t.Errorf("PYgivenX unseen = %v, want 0", got)
+	}
+	if got := s.PX("unknown"); got != 0 {
+		t.Errorf("PX unknown = %v, want 0", got)
+	}
+	empty := NewStore(0)
+	if got := empty.PX("x"); got != 0 {
+		t.Errorf("PX on empty = %v, want 0", got)
+	}
+	if got := empty.PYgivenX("y", "x"); got != 0 {
+		t.Errorf("PYgivenX on empty = %v, want 0", got)
+	}
+}
+
+func TestCoOccurrence(t *testing.T) {
+	s := NewStore(0)
+	s.Add("companies", "IBM", 1)
+	s.Add("companies", "Proctor and Gamble", 1)
+	s.AddCo("companies", "IBM", "Proctor and Gamble", 1)
+	if got := s.CoCount("companies", "IBM", "Proctor and Gamble"); got != 1 {
+		t.Errorf("CoCount = %d, want 1", got)
+	}
+	// symmetric
+	if got := s.CoCount("companies", "Proctor and Gamble", "IBM"); got != 1 {
+		t.Errorf("CoCount reversed = %d, want 1", got)
+	}
+	if got := s.PYgivenCX("IBM", "Proctor and Gamble", "companies"); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("PYgivenCX = %v, want 1", got)
+	}
+	if got := s.PYgivenCX("IBM", "unseen", "companies"); got != 0 {
+		t.Errorf("PYgivenCX unseen c = %v, want 0", got)
+	}
+	s.AddCo("x", "a", "a", 5) // self co-occurrence ignored
+	if got := s.CoCount("x", "a", "a"); got != 0 {
+		t.Errorf("self CoCount = %d, want 0", got)
+	}
+}
+
+func TestSortedAccessors(t *testing.T) {
+	s := NewStore(0)
+	s.Add("animals", "cats", 5)
+	s.Add("animals", "dogs", 5)
+	s.Add("animals", "birds", 9)
+	want := []string{"birds", "cats", "dogs"} // count desc, then lexicographic
+	if got := s.SubsOf("animals"); !reflect.DeepEqual(got, want) {
+		t.Errorf("SubsOf = %v, want %v", got, want)
+	}
+	s.Add("pets", "cats", 50)
+	if got := s.SupersOf("cats"); !reflect.DeepEqual(got, []string{"pets", "animals"}) {
+		t.Errorf("SupersOf = %v", got)
+	}
+	if got := s.SubsOf("nothing"); len(got) != 0 {
+		t.Errorf("SubsOf missing = %v", got)
+	}
+}
+
+func TestEvidenceCap(t *testing.T) {
+	s := NewStore(2)
+	for i := 0; i < 5; i++ {
+		s.AddEvidence("x", "y", Evidence{Pattern: i})
+	}
+	if got := len(s.Evidence("x", "y")); got != 2 {
+		t.Errorf("capped evidence = %d, want 2", got)
+	}
+	unlimited := NewStore(0)
+	for i := 0; i < 5; i++ {
+		unlimited.AddEvidence("x", "y", Evidence{Pattern: i})
+	}
+	if got := len(unlimited.Evidence("x", "y")); got != 5 {
+		t.Errorf("uncapped evidence = %d, want 5", got)
+	}
+}
+
+func TestForEachPairDeterministic(t *testing.T) {
+	s := NewStore(0)
+	s.Add("b", "z", 1)
+	s.Add("a", "y", 2)
+	s.Add("a", "x", 3)
+	var got []Pair
+	s.ForEachPair(func(x, y string, n int64) {
+		got = append(got, Pair{x, y})
+	})
+	want := []Pair{{"a", "x"}, {"a", "y"}, {"b", "z"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewStore(3)
+	a.Add("animals", "cats", 1)
+	a.AddEvidence("animals", "cats", Evidence{Pattern: 1})
+	b := NewStore(3)
+	b.Add("animals", "cats", 2)
+	b.Add("animals", "dogs", 1)
+	b.AddCo("animals", "cats", "dogs", 1)
+	b.AddEvidence("animals", "cats", Evidence{Pattern: 2})
+	a.Merge(b)
+	if got := a.Count("animals", "cats"); got != 3 {
+		t.Errorf("merged count = %d, want 3", got)
+	}
+	if got := a.NumPairs(); got != 2 {
+		t.Errorf("merged pairs = %d, want 2", got)
+	}
+	if got := a.CoCount("animals", "dogs", "cats"); got != 1 {
+		t.Errorf("merged co = %d, want 1", got)
+	}
+	if got := len(a.Evidence("animals", "cats")); got != 2 {
+		t.Errorf("merged evidence = %d, want 2", got)
+	}
+}
+
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	s := NewStore(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			s.Add("x", "y", 1)
+			s.AddCo("x", "y", "z", 1)
+			s.AddEvidence("x", "y", Evidence{})
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Count("x", "y")
+				s.PX("x")
+				s.PYgivenX("y", "x")
+				s.SubsOf("x")
+				s.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Count("x", "y"); got != 1000 {
+		t.Errorf("final count = %d, want 1000", got)
+	}
+}
+
+// Property: total always equals the sum of per-super totals, and
+// per-super totals the sum of their pair counts.
+func TestStoreInvariantsProperty(t *testing.T) {
+	f := func(ops []struct {
+		X, Y uint8
+		N    int8
+	}) bool {
+		s := NewStore(0)
+		for _, op := range ops {
+			x := string(rune('a' + op.X%5))
+			y := string(rune('m' + op.Y%7))
+			s.Add(x, y, int64(op.N))
+		}
+		var mass int64
+		var pairs int64
+		for _, x := range []string{"a", "b", "c", "d", "e"} {
+			var st int64
+			for _, y := range s.SubsOf(x) {
+				st += s.Count(x, y)
+				pairs++
+			}
+			if st != s.SuperTotal(x) {
+				return false
+			}
+			mass += st
+		}
+		return mass == s.Total() && pairs == s.NumPairs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreString(t *testing.T) {
+	s := NewStore(0)
+	s.Add("a", "b", 2)
+	if got := s.String(); got != "kb.Store{pairs=1 supers=1 mass=2}" {
+		t.Errorf("String = %q", got)
+	}
+}

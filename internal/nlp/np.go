@@ -1,0 +1,153 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopWords are determiners, prepositions and auxiliaries that terminate a
+// noun phrase when scanning leftwards from a head noun.
+var stopWords = map[string]bool{
+	"a": true, "an": true, "the": true, "of": true, "in": true, "on": true,
+	"at": true, "for": true, "to": true, "with": true, "by": true,
+	"from": true, "is": true, "are": true, "was": true, "were": true,
+	"be": true, "been": true, "and": true, "or": true, "but": true,
+	"as": true, "than": true, "that": true, "this": true, "these": true,
+	"those": true, "many": true, "some": true, "all": true, "most": true,
+	"other": true, "such": true, "including": true, "especially": true,
+	"like": true, "about": true, "into": true, "over": true, "under": true,
+	"we": true, "they": true, "it": true, "he": true, "she": true,
+	"his": true, "her": true, "its": true, "their": true, "our": true,
+	"your": true, "my": true, "there": true, "here": true, "not": true,
+	"no": true, "very": true, "so": true, "if": true, "when": true,
+	"where": true, "which": true, "who": true, "how": true, "what": true,
+	"do": true, "does": true, "did": true, "can": true, "could": true,
+	"will": true, "would": true, "should": true, "may": true, "might": true,
+	"have": true, "has": true, "had": true,
+}
+
+// verbBoundaries are frequent verbs that terminate a noun phrase in
+// running text. They are kept apart from stopWords because verbs never
+// occur *inside* a multi-word name ("Gone with the Wind" contains stop
+// words but no verb), which lets TrimTrailingClause cut trailing prose
+// without destroying such names.
+var verbBoundaries = map[string]bool{
+	"live": true, "exist": true, "thrive": true, "occur": true,
+	"happen": true, "remain": true, "grow": true, "grew": true,
+	"make": true, "made": true, "become": true, "became": true,
+	"come": true, "came": true, "go": true, "went": true,
+	"offer": true, "provide": true, "serve": true, "operate": true,
+	"compete": true, "perform": true, "attract": true, "appear": true,
+	"covers": true, "mentions": true, "discusses": true, "describes": true,
+	"knows": true, "says": true, "say": true, "see": true, "sees": true,
+	"visit": true, "matter": true, "matters": true, "belong": true,
+}
+
+// IsStopWord reports whether w (any case) is a noun-phrase boundary word.
+func IsStopWord(w string) bool {
+	lw := strings.ToLower(w)
+	return stopWords[lw] || verbBoundaries[lw]
+}
+
+// TrimTrailingClause cuts a list element at the first verb boundary,
+// removing trailing prose that the comma structure could not separate
+// ("cats exist in many regions" -> "cats") while preserving names that
+// contain mere stop words ("Gone with the Wind").
+func TrimTrailingClause(s string) string {
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		if verbBoundaries[strings.ToLower(f)] {
+			return strings.Join(fields[:i], " ")
+		}
+	}
+	return s
+}
+
+// TrailingNounPhrase extracts the longest noun phrase ending at the last
+// word of the fragment, scanning leftwards until a stop word or punctuation
+// boundary. Used to find the super-concept NP immediately before pattern
+// keywords ("... in tropical countries such as" -> "tropical countries").
+func TrailingNounPhrase(fragment string) string {
+	words := strings.Fields(fragment)
+	i := len(words)
+	for i > 0 {
+		raw := words[i-1]
+		w := strings.Trim(raw, ",.;:!?\"()")
+		if w == "" || IsStopWord(w) {
+			break
+		}
+		// A word carrying trailing punctuation ends the previous clause:
+		// include nothing beyond it ("In recent years, domestic animals"
+		// must yield "domestic animals").
+		if i < len(words) && strings.IndexAny(raw, ",.;:!?") >= 0 {
+			break
+		}
+		words[i-1] = w
+		i--
+	}
+	if i == len(words) {
+		return ""
+	}
+	return strings.Join(words[i:], " ")
+}
+
+// LeadingNounPhrase extracts the longest noun phrase starting at the first
+// word of the fragment, scanning rightwards until a stop word.
+func LeadingNounPhrase(fragment string) string {
+	words := strings.Fields(fragment)
+	i := 0
+	for i < len(words) {
+		w := strings.Trim(words[i], ",.;:!?\"()")
+		if w == "" || IsStopWord(w) {
+			break
+		}
+		words[i] = w
+		i++
+	}
+	return strings.Join(words[:i], " ")
+}
+
+// IsProperNounPhrase reports whether every content word of the phrase is
+// capitalised — the proper-noun heuristic used by the syntactic baseline
+// (Section 2.1: state-of-the-art systems keep only proper-noun instances).
+func IsProperNounPhrase(p string) bool {
+	fields := strings.Fields(p)
+	if len(fields) == 0 {
+		return false
+	}
+	seen := false
+	for _, f := range fields {
+		lf := strings.ToLower(f)
+		if lf == "and" || lf == "or" || lf == "of" || lf == "the" || lf == "de" {
+			continue // connectives inside names: "Proctor and Gamble"
+		}
+		r := []rune(f)[0]
+		if !unicode.IsUpper(r) && !unicode.IsDigit(r) {
+			return false
+		}
+		seen = true
+	}
+	return seen
+}
+
+// HeadNoun returns the final word of a noun phrase, lower-cased:
+// the head of "industrialized countries" is "countries".
+func HeadNoun(p string) string {
+	fields := strings.Fields(strings.ToLower(p))
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[len(fields)-1]
+}
+
+// StripModifier removes the leading modifier word of a noun phrase:
+// "domestic animals" -> "animals". It returns the phrase unchanged when it
+// is a single word. Used by super-concept detection (Section 2.3.2) to fall
+// back to the more general concept when the modified one is not yet in Γ.
+func StripModifier(p string) string {
+	fields := strings.Fields(p)
+	if len(fields) <= 1 {
+		return p
+	}
+	return strings.Join(fields[1:], " ")
+}

@@ -1,0 +1,90 @@
+package nlp
+
+import "testing"
+
+func TestTrailingNounPhrase(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"we compete with the largest companies", "largest companies"},
+		{"in tropical countries", "tropical countries"},
+		{"representatives in North America", "North America"},
+		{"such as", ""},
+		{"the", ""},
+		{"domestic animals", "domestic animals"},
+	}
+	for _, tt := range tests {
+		if got := TrailingNounPhrase(tt.in); got != tt.want {
+			t.Errorf("TrailingNounPhrase(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLeadingNounPhrase(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"classic movies such as", "classic movies"},
+		{"cats and dogs", "cats"},
+		{"the movies", ""},
+	}
+	for _, tt := range tests {
+		if got := LeadingNounPhrase(tt.in); got != tt.want {
+			t.Errorf("LeadingNounPhrase(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIsProperNounPhrase(t *testing.T) {
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"IBM", true},
+		{"Proctor and Gamble", true},
+		{"New York", true},
+		{"cats", false},
+		{"Gone with the Wind", false}, // "with" is lower-case and not a connective
+		{"the Louvre", true},          // leading article skipped as connective
+		{"", false},
+		{"and", false}, // connectives alone are not a proper noun
+	}
+	for _, tt := range tests {
+		if got := IsProperNounPhrase(tt.in); got != tt.want {
+			t.Errorf("IsProperNounPhrase(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestHeadNounAndStripModifier(t *testing.T) {
+	if got := HeadNoun("industrialized countries"); got != "countries" {
+		t.Errorf("HeadNoun = %q", got)
+	}
+	if got := StripModifier("domestic animals"); got != "animals" {
+		t.Errorf("StripModifier = %q", got)
+	}
+	if got := StripModifier("animals"); got != "animals" {
+		t.Errorf("StripModifier single word = %q", got)
+	}
+	if got := StripModifier("very large software companies"); got != "large software companies" {
+		t.Errorf("StripModifier multi = %q", got)
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	if !IsStopWord("The") || IsStopWord("companies") {
+		t.Error("IsStopWord misclassifies")
+	}
+}
+
+func TestTrimTrailingClause(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"cats exist in many regions", "cats"},
+		{"Gone with the Wind", "Gone with the Wind"},
+		{"dogs and rabbits live with humans", "dogs and rabbits"},
+		{"IBM", "IBM"},
+		{"", ""},
+		{"say what", ""},
+	}
+	for _, tt := range tests {
+		if got := TrimTrailingClause(tt.in); got != tt.want {
+			t.Errorf("TrimTrailingClause(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

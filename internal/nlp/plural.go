@@ -1,0 +1,240 @@
+package nlp
+
+import "strings"
+
+// irregularPlurals maps irregular singular forms to their plurals. The
+// reverse map is derived in init.
+var irregularPlurals = map[string]string{
+	"bus":          "buses",
+	"gas":          "gases",
+	"virus":        "viruses",
+	"campus":       "campuses",
+	"person":       "people",
+	"child":        "children",
+	"man":          "men",
+	"woman":        "women",
+	"foot":         "feet",
+	"tooth":        "teeth",
+	"goose":        "geese",
+	"mouse":        "mice",
+	"ox":           "oxen",
+	"phenomenon":   "phenomena",
+	"criterion":    "criteria",
+	"datum":        "data",
+	"medium":       "media",
+	"analysis":     "analyses",
+	"crisis":       "crises",
+	"thesis":       "theses",
+	"fungus":       "fungi",
+	"cactus":       "cacti",
+	"nucleus":      "nuclei",
+	"syllabus":     "syllabi",
+	"alumnus":      "alumni",
+	"appendix":     "appendices",
+	"index":        "indices",
+	"matrix":       "matrices",
+	"vertex":       "vertices",
+	"axis":         "axes",
+	"wolf":         "wolves",
+	"leaf":         "leaves",
+	"loaf":         "loaves",
+	"knife":        "knives",
+	"life":         "lives",
+	"wife":         "wives",
+	"shelf":        "shelves",
+	"thief":        "thieves",
+	"half":         "halves",
+	"calf":         "calves",
+	"sheep":        "sheep",
+	"fish":         "fish",
+	"movie":        "movies",
+	"cookie":       "cookies",
+	"calorie":      "calories",
+	"zombie":       "zombies",
+	"rookie":       "rookies",
+	"selfie":       "selfies",
+	"smoothie":     "smoothies",
+	"gymnastics":   "gymnastics",
+	"athletics":    "athletics",
+	"economics":    "economics",
+	"physics":      "physics",
+	"mathematics":  "mathematics",
+	"politics":     "politics",
+	"news":         "news",
+	"diabetes":     "diabetes",
+	"measles":      "measles",
+	"aerobics":     "aerobics",
+	"deer":         "deer",
+	"species":      "species",
+	"series":       "series",
+	"aircraft":     "aircraft",
+	"spacecraft":   "spacecraft",
+	"hero":         "heroes",
+	"potato":       "potatoes",
+	"tomato":       "tomatoes",
+	"echo":         "echoes",
+	"volcano":      "volcanoes",
+	"university":   "universities",
+	"city":         "cities",
+	"country":      "countries",
+	"company":      "companies",
+	"technology":   "technologies",
+	"celebrity":    "celebrities",
+	"library":      "libraries",
+	"party":        "parties",
+	"industry":     "industries",
+	"currency":     "currencies",
+	"economy":      "economies",
+	"disability":   "disabilities",
+	"body":         "bodies",
+	"berry":        "berries",
+	"battery":      "batteries",
+	"facility":     "facilities",
+	"activity":     "activities",
+	"deity":        "deities",
+	"galaxy":       "galaxies",
+	"observatory":  "observatories",
+	"laboratory":   "laboratories",
+	"territory":    "territories",
+	"category":     "categories",
+	"commodity":    "commodities",
+	"utility":      "utilities",
+	"ministry":     "ministries",
+	"treaty":       "treaties",
+	"county":       "counties",
+	"agency":       "agencies",
+	"charity":      "charities",
+	"academy":      "academies",
+	"gallery":      "galleries",
+	"refinery":     "refineries",
+	"brewery":      "breweries",
+	"winery":       "wineries",
+	"factory":      "factories",
+	"dictionary":   "dictionaries",
+	"documentary":  "documentaries",
+	"dynasty":      "dynasties",
+	"therapy":      "therapies",
+	"allergy":      "allergies",
+	"surgery":      "surgeries",
+	"injury":       "injuries",
+	"delicacy":     "delicacies",
+	"pharmacy":     "pharmacies",
+	"vacancy":      "vacancies",
+	"variety":      "varieties",
+	"society":      "societies",
+	"authority":    "authorities",
+	"personality":  "personalities",
+	"municipality": "municipalities",
+}
+
+var irregularSingulars map[string]string
+
+func init() {
+	irregularSingulars = make(map[string]string, len(irregularPlurals))
+	for s, p := range irregularPlurals {
+		irregularSingulars[p] = s
+	}
+}
+
+func isVowel(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// PluralizeWord returns the plural form of a single lower-case noun.
+func PluralizeWord(w string) string {
+	if p, ok := irregularPlurals[w]; ok {
+		return p
+	}
+	n := len(w)
+	switch {
+	case n == 0:
+		return w
+	case strings.HasSuffix(w, "s") || strings.HasSuffix(w, "x") ||
+		strings.HasSuffix(w, "z") || strings.HasSuffix(w, "ch") ||
+		strings.HasSuffix(w, "sh"):
+		return w + "es"
+	case strings.HasSuffix(w, "y") && n > 1 && !isVowel(w[n-2]):
+		return w[:n-1] + "ies"
+	default:
+		return w + "s"
+	}
+}
+
+// SingularizeWord returns the singular form of a single lower-case noun.
+// It is the (approximate) inverse of PluralizeWord.
+func SingularizeWord(w string) string {
+	if s, ok := irregularSingulars[w]; ok {
+		return s
+	}
+	if _, ok := irregularPlurals[w]; ok {
+		return w // already singular and invariant forms like "sheep"
+	}
+	n := len(w)
+	switch {
+	case strings.HasSuffix(w, "ies") && n > 4:
+		return w[:n-3] + "y"
+	case strings.HasSuffix(w, "xes") || strings.HasSuffix(w, "zes") ||
+		strings.HasSuffix(w, "ches") || strings.HasSuffix(w, "shes") ||
+		strings.HasSuffix(w, "sses"):
+		return w[:n-2]
+	case strings.HasSuffix(w, "ss"):
+		return w
+	case strings.HasSuffix(w, "s") && n > 1:
+		return w[:n-1]
+	default:
+		return w
+	}
+}
+
+// IsPluralWord reports whether a lower-case word looks plural: either it is
+// a known irregular plural or singularising then re-pluralising round-trips.
+func IsPluralWord(w string) bool {
+	if _, ok := irregularSingulars[w]; ok {
+		return true
+	}
+	if _, ok := irregularPlurals[w]; ok {
+		// Invariant plurals (sheep, fish, series) count as plural; a word
+		// that has a *different* plural form is singular.
+		return irregularPlurals[w] == w
+	}
+	if !strings.HasSuffix(w, "s") || strings.HasSuffix(w, "ss") {
+		return false
+	}
+	return PluralizeWord(SingularizeWord(w)) == w
+}
+
+// PluralizePhrase pluralises the head (final) word of a noun phrase:
+// "tropical country" -> "tropical countries".
+func PluralizePhrase(p string) string {
+	fields := strings.Fields(p)
+	if len(fields) == 0 {
+		return p
+	}
+	fields[len(fields)-1] = PluralizeWord(fields[len(fields)-1])
+	return strings.Join(fields, " ")
+}
+
+// SingularizePhrase singularises the head (final) word of a noun phrase:
+// "tropical countries" -> "tropical country".
+func SingularizePhrase(p string) string {
+	fields := strings.Fields(p)
+	if len(fields) == 0 {
+		return p
+	}
+	fields[len(fields)-1] = SingularizeWord(fields[len(fields)-1])
+	return strings.Join(fields, " ")
+}
+
+// IsPluralPhrase reports whether the head word of the phrase is plural —
+// the Section 2.3.1 requirement for candidate super-concepts.
+func IsPluralPhrase(p string) bool {
+	fields := strings.Fields(strings.ToLower(p))
+	if len(fields) == 0 {
+		return false
+	}
+	return IsPluralWord(fields[len(fields)-1])
+}

@@ -1,0 +1,134 @@
+package nlp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPluralizeWord(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"cat", "cats"},
+		{"company", "companies"},
+		{"country", "countries"},
+		{"city", "cities"},
+		{"box", "boxes"},
+		{"church", "churches"},
+		{"bush", "bushes"},
+		{"person", "people"},
+		{"child", "children"},
+		{"wolf", "wolves"},
+		{"sheep", "sheep"},
+		{"hero", "heroes"},
+		{"day", "days"}, // vowel before y
+		{"bus", "buses"},
+	}
+	for _, tt := range tests {
+		if got := PluralizeWord(tt.in); got != tt.want {
+			t.Errorf("PluralizeWord(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSingularizeWord(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"cats", "cat"},
+		{"companies", "company"},
+		{"countries", "country"},
+		{"boxes", "box"},
+		{"churches", "church"},
+		{"people", "person"},
+		{"children", "child"},
+		{"wolves", "wolf"},
+		{"sheep", "sheep"},
+		{"heroes", "hero"},
+		{"glass", "glass"}, // -ss is singular
+		{"classes", "class"},
+		{"buses", "bus"},
+	}
+	for _, tt := range tests {
+		if got := SingularizeWord(tt.in); got != tt.want {
+			t.Errorf("SingularizeWord(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIsPluralWord(t *testing.T) {
+	plurals := []string{"cats", "companies", "countries", "people", "children", "boxes", "wolves", "sheep", "movies"}
+	for _, w := range plurals {
+		if !IsPluralWord(w) {
+			t.Errorf("IsPluralWord(%q) = false, want true", w)
+		}
+	}
+	singulars := []string{"cat", "company", "country", "person", "child", "box", "wolf", "glass", "bus"}
+	for _, w := range singulars {
+		if IsPluralWord(w) {
+			t.Errorf("IsPluralWord(%q) = true, want false", w)
+		}
+	}
+}
+
+func TestPhraseMorphology(t *testing.T) {
+	if got := PluralizePhrase("tropical country"); got != "tropical countries" {
+		t.Errorf("PluralizePhrase = %q", got)
+	}
+	if got := SingularizePhrase("tropical countries"); got != "tropical country" {
+		t.Errorf("SingularizePhrase = %q", got)
+	}
+	if !IsPluralPhrase("domestic animals") {
+		t.Error("IsPluralPhrase(domestic animals) = false")
+	}
+	if IsPluralPhrase("domestic animal") {
+		t.Error("IsPluralPhrase(domestic animal) = true")
+	}
+	if PluralizePhrase("") != "" || SingularizePhrase("") != "" {
+		t.Error("empty phrase must round-trip to empty")
+	}
+}
+
+// Property: for the regular noun shapes the generator below produces,
+// singularize(pluralize(w)) == w.
+func TestPluralRoundTripProperty(t *testing.T) {
+	letters := []rune("bcdfglmnprt")
+	vowels := []rune("aeiou")
+	gen := func(seed int64) string {
+		// Build a small CVC(+suffix) pseudo-noun deterministically from seed.
+		s := seed
+		next := func(n int64) int64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := s >> 33
+			if v < 0 {
+				v = -v
+			}
+			return v % n
+		}
+		w := string(letters[next(int64(len(letters)))]) +
+			string(vowels[next(int64(len(vowels)))]) +
+			string(letters[next(int64(len(letters)))])
+		switch next(4) {
+		case 1:
+			w += "y"
+		case 2:
+			w += "ch"
+		case 3:
+			w += "x"
+		}
+		return w
+	}
+	f := func(seed int64) bool {
+		w := gen(seed)
+		return SingularizeWord(PluralizeWord(w)) == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PluralizeWord output always satisfies IsPluralWord.
+func TestPluralDetectionProperty(t *testing.T) {
+	words := []string{"cat", "company", "box", "church", "wolf", "person", "festival", "drug", "museum", "river", "website", "browser", "protocol", "airline", "airport", "album", "artist", "book", "camera", "disease"}
+	for _, w := range words {
+		if !IsPluralWord(PluralizeWord(w)) {
+			t.Errorf("IsPluralWord(PluralizeWord(%q)) = false", w)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package nlp provides the lightweight natural-language substrate that the
+// Probase extraction pipeline depends on: tokenisation, English
+// plural/singular morphology, and noun-phrase heuristics.
+//
+// The paper's extractor does not use a full parser; it relies on pattern
+// keywords, comma structure, plural detection for candidate super-concepts,
+// and capitalisation for proper nouns. This package implements exactly that
+// surface machinery.
+package nlp
+
+import "strings"
+
+// Token is a single word or punctuation mark with its original spelling.
+type Token struct {
+	Text  string
+	Punct bool // true when the token is punctuation (comma, period, ...)
+}
+
+// Tokenize splits a sentence into word and punctuation tokens. Commas and
+// sentence-final punctuation become their own tokens; apostrophes and
+// hyphens stay inside words so that possessives and compounds survive.
+func Tokenize(s string) []Token {
+	var toks []Token
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, Token{Text: cur.String()})
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			flush()
+		case r == ',' || r == '.' || r == ';' || r == ':' || r == '?' || r == '!' || r == '(' || r == ')' || r == '"':
+			flush()
+			toks = append(toks, Token{Text: string(r), Punct: true})
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+// Words returns only the non-punctuation token texts.
+func Words(toks []Token) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if !t.Punct {
+			out = append(out, t.Text)
+		}
+	}
+	return out
+}
+
+// Normalize lower-cases a phrase and collapses interior whitespace. It is
+// the canonical form used for keys in the knowledge store, except that
+// proper nouns keep their case (callers decide via IsProperNounPhrase).
+func Normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// CollapseSpaces trims and collapses interior whitespace without folding
+// case. Instance surface forms keep their capitalisation.
+func CollapseSpaces(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// SplitList splits a comma-separated list into trimmed elements, dropping
+// empties. It is the first-stage sub-concept splitter of Section 2.3.1.
+func SplitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ContainsDelimiterWord reports whether the phrase contains a bare "and" or
+// "or" — the well-formedness check of Section 2.3.3 (a candidate kept under
+// Observation 1 must not itself contain list delimiters).
+func ContainsDelimiterWord(s string) bool {
+	for _, w := range strings.Fields(strings.ToLower(s)) {
+		if w == "and" || w == "or" {
+			return true
+		}
+	}
+	return false
+}

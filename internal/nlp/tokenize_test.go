@@ -1,0 +1,72 @@
+package nlp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []Token
+	}{
+		{"animals such as cats", []Token{{Text: "animals"}, {Text: "such"}, {Text: "as"}, {Text: "cats"}}},
+		{"IBM, Nokia, Proctor and Gamble", []Token{
+			{Text: "IBM"}, {Text: ",", Punct: true}, {Text: "Nokia"},
+			{Text: ",", Punct: true}, {Text: "Proctor"}, {Text: "and"}, {Text: "Gamble"},
+		}},
+		{"  spaced   out.", []Token{{Text: "spaced"}, {Text: "out"}, {Text: ".", Punct: true}}},
+		{"", nil},
+	}
+	for _, tt := range tests {
+		if got := Tokenize(tt.in); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := Words(Tokenize("a, b and c."))
+	want := []string{"a", "b", "and", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  Tropical   Countries "); got != "tropical countries" {
+		t.Errorf("Normalize = %q", got)
+	}
+}
+
+func TestCollapseSpaces(t *testing.T) {
+	if got := CollapseSpaces("  New   York "); got != "New York" {
+		t.Errorf("CollapseSpaces = %q", got)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := SplitList("IBM, Nokia, , Proctor and Gamble")
+	want := []string{"IBM", "Nokia", "Proctor and Gamble"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitList = %v, want %v", got, want)
+	}
+}
+
+func TestContainsDelimiterWord(t *testing.T) {
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"Proctor and Gamble", true},
+		{"cats or dogs", true},
+		{"Portland", false},
+		{"android phones", false}, // "and" must be a standalone word
+		{"oregon", false},
+	}
+	for _, tt := range tests {
+		if got := ContainsDelimiterWord(tt.in); got != tt.want {
+			t.Errorf("ContainsDelimiterWord(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package prob
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kb"
+)
+
+func benchTaxonomy() *graph.Store {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.NewStore()
+	root := g.Intern("thing")
+	for c := 0; c < 60; c++ {
+		concept := g.Intern(fmt.Sprintf("concept%d", c))
+		g.AddEdge(root, concept, int64(rng.Intn(10)+1), 0.9)
+		for s := 0; s < 3; s++ {
+			sub := g.Intern(fmt.Sprintf("concept%d/sub%d", c, s))
+			g.AddEdge(concept, sub, int64(rng.Intn(8)+1), 0.9)
+			for i := 0; i < 20; i++ {
+				inst := g.Intern(fmt.Sprintf("inst%d-%d-%d", c, s, i))
+				g.AddEdge(sub, inst, int64(rng.Intn(30)+1), 0.95)
+				if rng.Intn(3) == 0 {
+					g.AddEdge(concept, inst, int64(rng.Intn(30)+1), 0.95)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkNewTypicality(b *testing.B) {
+	g := benchTaxonomy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewTypicality(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInstancesOf(b *testing.B) {
+	g := benchTaxonomy()
+	ty, err := NewTypicality(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := g.Concepts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ty.InstancesOf(ids[i%len(ids)])
+	}
+}
+
+func BenchmarkConceptsOf(b *testing.B) {
+	g := benchTaxonomy()
+	ty, err := NewTypicality(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	insts := g.Instances()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ty.ConceptsOf(insts[i%len(insts)])
+	}
+}
+
+func BenchmarkPlausibility(b *testing.B) {
+	s := kb.NewStore(32)
+	for i := 0; i < 5000; i++ {
+		x := fmt.Sprintf("c%d", i%50)
+		y := fmt.Sprintf("i%d", i%1000)
+		s.Add(x, y, 1)
+		s.AddEvidence(x, y, kb.Evidence{Pattern: i%6 + 1, PageScore: 0.5, ListLen: 3, Pos: i%4 + 1})
+	}
+	m := Train(s, func(x, y string) (bool, bool) { return len(y)%2 == 0, true })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Plausibility(fmt.Sprintf("c%d", i%50), fmt.Sprintf("i%d", i%1000))
+	}
+}

@@ -1,0 +1,59 @@
+package prob_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/prob"
+)
+
+// ExampleTypicality_InstancesOf shows Eq. 4 at work: indirect evidence
+// through a sub-concept promotes Microsoft over IBM despite fewer direct
+// sightings.
+func ExampleTypicality_InstancesOf() {
+	g := graph.NewStore()
+	company := g.Intern("company")
+	it := g.Intern("it company")
+	ibm := g.Intern("IBM")
+	ms := g.Intern("Microsoft")
+	g.AddEdge(company, ibm, 50, 0.99)
+	g.AddEdge(company, ms, 40, 0.99)
+	g.AddEdge(company, it, 20, 0.95)
+	g.AddEdge(it, ms, 30, 0.99)
+
+	ty, err := prob.NewTypicality(g)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range ty.InstancesOf(company) {
+		fmt.Printf("%s %.3f\n", r.Label, r.Score)
+	}
+	// Output:
+	// Microsoft 0.578
+	// IBM 0.422
+}
+
+// ExampleTypicality_ConceptsOfSet reproduces the paper's Example 1: a
+// set of instances picks out the tightest concept describing all of them.
+func ExampleTypicality_ConceptsOfSet() {
+	g := graph.NewStore()
+	country := g.Intern("country")
+	bric := g.Intern("BRIC country")
+	for _, c := range []string{"China", "India", "Brazil", "Russia"} {
+		id := g.Intern(c)
+		g.AddEdge(country, id, 20, 0.99)
+		g.AddEdge(bric, id, 15, 0.99)
+	}
+	g.AddEdge(country, g.Intern("USA"), 80, 0.99)
+	g.AddEdge(country, bric, 10, 0.9)
+
+	ty, err := prob.NewTypicality(g)
+	if err != nil {
+		panic(err)
+	}
+	set := []graph.NodeID{g.Lookup("China"), g.Lookup("India"), g.Lookup("Brazil")}
+	ranked, _ := ty.ConceptsOfSet(set)
+	fmt.Println(ranked[0].Label)
+	// Output:
+	// BRIC country
+}

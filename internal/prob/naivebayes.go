@@ -1,0 +1,94 @@
+// Package prob implements the probabilistic layer of Section 4: the
+// plausibility P(x,y) of each isA claim (a noisy-or over per-sentence
+// evidence probabilities produced by a Naive Bayes model, Eqs. 1-2) and
+// the typicality T(i|x) / T(x|i) (Eqs. 3-4), with the reachability
+// probabilities computed by the level-order dynamic program of
+// Algorithm 3.
+package prob
+
+import "math"
+
+// Feature is one discrete extraction feature of an evidence sentence
+// (the set F_i of Eq. 2).
+type Feature struct {
+	Name  string
+	Value int
+}
+
+// NaiveBayes is a two-class Naive Bayes model over discrete features with
+// Laplace smoothing. The positive class means "this evidence supports a
+// true isA claim".
+type NaiveBayes struct {
+	classCounts [2]float64
+	// counts[name][value][class]
+	counts map[string]map[int][2]float64
+	// distinct values seen per feature, for smoothing
+	values map[string]map[int]bool
+}
+
+// NewNaiveBayes returns an empty model.
+func NewNaiveBayes() *NaiveBayes {
+	return &NaiveBayes{
+		counts: make(map[string]map[int][2]float64),
+		values: make(map[string]map[int]bool),
+	}
+}
+
+// Train adds one example with the given label.
+func (nb *NaiveBayes) Train(features []Feature, positive bool) {
+	cls := 0
+	if positive {
+		cls = 1
+	}
+	nb.classCounts[cls]++
+	for _, f := range features {
+		m := nb.counts[f.Name]
+		if m == nil {
+			m = make(map[int][2]float64)
+			nb.counts[f.Name] = m
+		}
+		c := m[f.Value]
+		c[cls]++
+		m[f.Value] = c
+		v := nb.values[f.Name]
+		if v == nil {
+			v = make(map[int]bool)
+			nb.values[f.Name] = v
+		}
+		v[f.Value] = true
+	}
+}
+
+// Trained reports whether both classes have examples.
+func (nb *NaiveBayes) Trained() bool {
+	return nb.classCounts[0] > 0 && nb.classCounts[1] > 0
+}
+
+// Prob returns the posterior probability of the positive class given the
+// features (Eq. 2 with Laplace smoothing).
+func (nb *NaiveBayes) Prob(features []Feature) float64 {
+	if !nb.Trained() {
+		// An untrained model is uninformative.
+		return 0.5
+	}
+	total := nb.classCounts[0] + nb.classCounts[1]
+	logP := [2]float64{
+		math.Log(nb.classCounts[0] / total),
+		math.Log(nb.classCounts[1] / total),
+	}
+	for _, f := range features {
+		vals := float64(len(nb.values[f.Name]))
+		if vals == 0 {
+			continue // unseen feature name: uninformative
+		}
+		c := nb.counts[f.Name][f.Value]
+		for cls := 0; cls < 2; cls++ {
+			logP[cls] += math.Log((c[cls] + 1) / (nb.classCounts[cls] + vals))
+		}
+	}
+	// Normalise in log space.
+	m := math.Max(logP[0], logP[1])
+	p0 := math.Exp(logP[0] - m)
+	p1 := math.Exp(logP[1] - m)
+	return p1 / (p0 + p1)
+}

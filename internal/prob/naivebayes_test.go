@@ -1,0 +1,84 @@
+package prob
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNaiveBayesSeparates(t *testing.T) {
+	nb := NewNaiveBayes()
+	for i := 0; i < 50; i++ {
+		nb.Train([]Feature{{Name: "pattern", Value: 1}, {Name: "pos", Value: 1}}, true)
+		nb.Train([]Feature{{Name: "pattern", Value: 4}, {Name: "pos", Value: 3}}, false)
+	}
+	pGood := nb.Prob([]Feature{{Name: "pattern", Value: 1}, {Name: "pos", Value: 1}})
+	pBad := nb.Prob([]Feature{{Name: "pattern", Value: 4}, {Name: "pos", Value: 3}})
+	if pGood < 0.9 {
+		t.Errorf("pGood = %v, want > 0.9", pGood)
+	}
+	if pBad > 0.1 {
+		t.Errorf("pBad = %v, want < 0.1", pBad)
+	}
+}
+
+func TestNaiveBayesUntrained(t *testing.T) {
+	nb := NewNaiveBayes()
+	if got := nb.Prob([]Feature{{Name: "x", Value: 1}}); got != 0.5 {
+		t.Errorf("untrained prob = %v, want 0.5", got)
+	}
+	nb.Train([]Feature{{Name: "x", Value: 1}}, true)
+	if nb.Trained() {
+		t.Error("one-class model reported trained")
+	}
+	if got := nb.Prob([]Feature{{Name: "x", Value: 1}}); got != 0.5 {
+		t.Errorf("one-class prob = %v, want 0.5", got)
+	}
+}
+
+func TestNaiveBayesUnseenValueSmoothing(t *testing.T) {
+	nb := NewNaiveBayes()
+	for i := 0; i < 10; i++ {
+		nb.Train([]Feature{{Name: "pattern", Value: 1}}, true)
+		nb.Train([]Feature{{Name: "pattern", Value: 2}}, false)
+	}
+	// Value 3 was never seen: the posterior must stay finite and near the
+	// class prior (0.5 here).
+	p := nb.Prob([]Feature{{Name: "pattern", Value: 3}})
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Fatalf("smoothing failed: %v", p)
+	}
+	if p < 0.3 || p > 0.7 {
+		t.Errorf("unseen value prob = %v, want near 0.5", p)
+	}
+	// An entirely unseen feature name is ignored.
+	p = nb.Prob([]Feature{{Name: "unknown", Value: 7}})
+	if p < 0.45 || p > 0.55 {
+		t.Errorf("unseen feature prob = %v, want 0.5", p)
+	}
+}
+
+func TestNaiveBayesImbalancedPrior(t *testing.T) {
+	nb := NewNaiveBayes()
+	for i := 0; i < 90; i++ {
+		nb.Train([]Feature{{Name: "f", Value: 1}}, true)
+	}
+	for i := 0; i < 10; i++ {
+		nb.Train([]Feature{{Name: "f", Value: 1}}, false)
+	}
+	p := nb.Prob([]Feature{{Name: "f", Value: 1}})
+	if p < 0.8 {
+		t.Errorf("prior-dominated prob = %v, want ~0.9", p)
+	}
+}
+
+func TestFeatureBuckets(t *testing.T) {
+	if bucketScore(-1) != 0 || bucketScore(2) != 10 || bucketScore(0.55) != 5 {
+		t.Error("bucketScore wrong")
+	}
+	if logBucket(0) != 0 || logBucket(1) != 1 || logBucket(1024) != 11 || logBucket(1<<40) != 16 {
+		t.Errorf("logBucket wrong: %d %d %d %d", logBucket(0), logBucket(1), logBucket(1024), logBucket(1<<40))
+	}
+	if clampInt(9, 1, 6) != 6 || clampInt(0, 1, 6) != 1 || clampInt(3, 1, 6) != 3 {
+		t.Error("clampInt wrong")
+	}
+}

@@ -1,0 +1,143 @@
+package prob
+
+import (
+	"math"
+
+	"repro/internal/kb"
+)
+
+// EvidenceFeatures maps one extraction evidence record and its pair's
+// aggregate statistics to the discrete feature vector of Section 4.1:
+// the Hearst pattern used, the PageRank bucket of the source page, the
+// number of sub-concepts in the sentence, the position of y, and the
+// log-bucketed corpus frequencies of x as a super-concept and y as a
+// sub-concept.
+func EvidenceFeatures(ev kb.Evidence, superFreq, subFreq int64) []Feature {
+	return []Feature{
+		{Name: "pattern", Value: ev.Pattern},
+		{Name: "pagerank", Value: bucketScore(ev.PageScore)},
+		{Name: "listlen", Value: clampInt(ev.ListLen, 1, 6)},
+		{Name: "pos", Value: clampInt(ev.Pos, 1, 4)},
+		{Name: "superfreq", Value: logBucket(superFreq)},
+		{Name: "subfreq", Value: logBucket(subFreq)},
+	}
+}
+
+func bucketScore(s float64) int {
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return int(s * 10)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func logBucket(n int64) int {
+	b := 0
+	for n > 0 {
+		n >>= 1
+		b++
+	}
+	return clampInt(b, 0, 16)
+}
+
+// Oracle labels a pair for training: ok=false when the oracle does not
+// know both terms (the pair is skipped, exactly as the paper skips pairs
+// not fully covered by WordNet).
+type Oracle func(x, y string) (isTrue, ok bool)
+
+// Model scores evidence and computes plausibilities.
+type Model struct {
+	nb    *NaiveBayes
+	store *kb.Store
+}
+
+// Train builds the plausibility model from Γ, labelling training pairs
+// with the oracle (the paper uses WordNet: positive when a path connects
+// x and y, negative when both are known but unconnected — Section 4.1).
+func Train(store *kb.Store, oracle Oracle) *Model {
+	m := &Model{nb: NewNaiveBayes(), store: store}
+	store.ForEachPair(func(x, y string, n int64) {
+		isTrue, known := oracle(x, y)
+		if !known {
+			return
+		}
+		sf, yf := store.SuperTotal(x), store.SubMass(y)
+		for _, ev := range store.Evidence(x, y) {
+			m.nb.Train(EvidenceFeatures(ev, sf, yf), isTrue)
+		}
+	})
+	return m
+}
+
+// EvidenceProb returns p_i for one evidence record (Eq. 2), clamped away
+// from 0 and 1 so a single sentence can never saturate the noisy-or.
+func (m *Model) EvidenceProb(x, y string, ev kb.Evidence) float64 {
+	p := m.nb.Prob(EvidenceFeatures(ev, m.store.SuperTotal(x), m.store.SubMass(y)))
+	return clampProb(p)
+}
+
+func clampProb(p float64) float64 {
+	const lo, hi = 0.02, 0.95
+	if p < lo {
+		return lo
+	}
+	if p > hi {
+		return hi
+	}
+	return p
+}
+
+// Plausibility returns P(x, y) = 1 - Π (1 - p_i), the noisy-or of Eq. 1.
+// Negative evidence contributes its factor as p_i instead of 1 - p_i.
+// Pairs without recorded evidence fall back to a count-based estimate so
+// that capped evidence lists stay meaningful.
+func (m *Model) Plausibility(x, y string) float64 {
+	evs := m.store.Evidence(x, y)
+	if len(evs) == 0 {
+		n := m.store.Count(x, y)
+		if n == 0 {
+			return 0
+		}
+		// Count-only fallback: each sighting is a median-quality evidence.
+		return 1 - math.Pow(1-0.5, float64(minInt64(n, 16)))
+	}
+	q := 1.0 // probability that every evidence is false
+	for _, ev := range evs {
+		p := m.EvidenceProb(x, y, ev)
+		if ev.Negative {
+			q *= p
+		} else {
+			q *= 1 - p
+		}
+	}
+	// Sightings beyond the evidence cap still count, at the average
+	// strength of the recorded ones.
+	if extra := m.store.Count(x, y) - int64(len(evs)); extra > 0 {
+		var sum float64
+		for _, ev := range evs {
+			sum += m.EvidenceProb(x, y, ev)
+		}
+		avg := sum / float64(len(evs))
+		q *= math.Pow(1-avg, float64(minInt64(extra, 32)))
+	}
+	return 1 - q
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package prob
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+)
+
+// trainingStore builds a Γ where good pairs carry early-position,
+// high-authority evidence and bad pairs carry tail-position, low-authority
+// evidence.
+func trainingStore() *kb.Store {
+	s := kb.NewStore(0)
+	for i := 0; i < 30; i++ {
+		s.Add("animal", "cat", 1)
+		s.AddEvidence("animal", "cat", kb.Evidence{Pattern: 1, PageScore: 0.8, ListLen: 3, Pos: 1})
+	}
+	for i := 0; i < 3; i++ {
+		s.Add("dog", "cat", 1)
+		s.AddEvidence("dog", "cat", kb.Evidence{Pattern: 4, PageScore: 0.05, ListLen: 6, Pos: 5})
+	}
+	for i := 0; i < 25; i++ {
+		s.Add("company", "IBM", 1)
+		s.AddEvidence("company", "IBM", kb.Evidence{Pattern: 1, PageScore: 0.7, ListLen: 2, Pos: 1})
+	}
+	for i := 0; i < 2; i++ {
+		s.Add("country", "Europe", 1)
+		s.AddEvidence("country", "Europe", kb.Evidence{Pattern: 5, PageScore: 0.1, ListLen: 6, Pos: 6})
+	}
+	return s
+}
+
+func trainingOracle(x, y string) (bool, bool) {
+	truths := map[[2]string]bool{
+		{"animal", "cat"}:     true,
+		{"company", "IBM"}:    true,
+		{"dog", "cat"}:        false,
+		{"country", "Europe"}: false,
+	}
+	v, ok := truths[[2]string{x, y}]
+	return v, ok
+}
+
+func TestPlausibilitySeparatesGoodFromBad(t *testing.T) {
+	s := trainingStore()
+	m := Train(s, trainingOracle)
+	good := m.Plausibility("animal", "cat")
+	bad := m.Plausibility("dog", "cat")
+	if good <= bad {
+		t.Errorf("plausibility does not separate: good=%v bad=%v", good, bad)
+	}
+	if good < 0.9 {
+		t.Errorf("good plausibility = %v, want >= 0.9 (30 sightings)", good)
+	}
+	if bad > 0.7 {
+		t.Errorf("bad plausibility = %v, want < 0.7", bad)
+	}
+}
+
+func TestPlausibilityUnknownPair(t *testing.T) {
+	s := trainingStore()
+	m := Train(s, trainingOracle)
+	if got := m.Plausibility("animal", "unseen"); got != 0 {
+		t.Errorf("unknown pair plausibility = %v, want 0", got)
+	}
+}
+
+func TestPlausibilityCountFallback(t *testing.T) {
+	s := kb.NewStore(0)
+	s.Add("animal", "cat", 4) // counts without evidence records
+	m := Train(s, func(x, y string) (bool, bool) { return false, false })
+	got := m.Plausibility("animal", "cat")
+	want := 1 - 0.5*0.5*0.5*0.5
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("fallback plausibility = %v, want %v", got, want)
+	}
+}
+
+func TestPlausibilityNegativeEvidence(t *testing.T) {
+	// A trained model scores the strong evidence shape near 0.95; turning
+	// one of two such records negative must lower the noisy-or (the
+	// paper's Eq. 1 extension: replace the 1-p_i factor with p_i).
+	strong := kb.Evidence{Pattern: 1, PageScore: 0.8, ListLen: 3, Pos: 1}
+	build := func(negative bool) float64 {
+		s := trainingStore()
+		s.Add("b", "a", 2)
+		s.AddEvidence("b", "a", strong)
+		ev := strong
+		ev.Negative = negative
+		s.AddEvidence("b", "a", ev)
+		return Train(s, trainingOracle).Plausibility("b", "a")
+	}
+	withNeg, withoutNeg := build(true), build(false)
+	if withNeg >= withoutNeg {
+		t.Errorf("negative evidence did not lower plausibility: %v vs %v", withNeg, withoutNeg)
+	}
+}
+
+func TestEvidenceProbClamped(t *testing.T) {
+	s := trainingStore()
+	m := Train(s, trainingOracle)
+	p := m.EvidenceProb("animal", "cat", kb.Evidence{Pattern: 1, PageScore: 0.8, ListLen: 3, Pos: 1})
+	if p < 0.02 || p > 0.95 {
+		t.Errorf("evidence prob %v escaped clamp", p)
+	}
+}
+
+func TestPlausibilityMonotoneInEvidence(t *testing.T) {
+	// More supporting evidence must never lower the noisy-or.
+	s := kb.NewStore(0)
+	prev := 0.0
+	m := Train(s, func(x, y string) (bool, bool) { return false, false })
+	for i := 1; i <= 8; i++ {
+		s.Add("x", "y", 1)
+		s.AddEvidence("x", "y", kb.Evidence{Pattern: 1, PageScore: 0.5, ListLen: 2, Pos: 1})
+		p := m.Plausibility("x", "y")
+		if p < prev {
+			t.Fatalf("plausibility decreased with evidence: %v -> %v", prev, p)
+		}
+		prev = p
+	}
+	if prev <= 0.9 {
+		t.Errorf("eight sightings only reach %v", prev)
+	}
+}

@@ -1,0 +1,275 @@
+package prob
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Ranked is a label with a probability score, sorted descending in all
+// APIs that return slices of it.
+type Ranked struct {
+	Label string
+	Score float64
+}
+
+// Typicality computes T(i|x) (instantiation) and T(x|i) (abstraction)
+// over a plausibility-annotated taxonomy DAG, per Section 4.2.
+type Typicality struct {
+	g *graph.Store
+	// reach holds P(x,y): the probability that at least one path connects
+	// x down to y, from Algorithm 3. Keyed by x<<32|y. P(x,x)=1 implicit.
+	reach map[uint64]float64
+	// instCache memoises the normalised T(i|x) table per concept.
+	instCache map[graph.NodeID][]Ranked
+	// conceptMass is the prior weight of each concept (its outgoing
+	// evidence mass), used by the Bayes inversion for T(x|i).
+	conceptMass map[graph.NodeID]float64
+	totalMass   float64
+}
+
+func key(x, y graph.NodeID) uint64 { return uint64(x)<<32 | uint64(y) }
+
+// NewTypicality runs Algorithm 3 over the DAG and prepares the caches.
+// The graph's edges must carry counts; plausibilities default to a
+// count-saturating estimate when absent (0).
+func NewTypicality(g *graph.Store) (*Typicality, error) {
+	t := &Typicality{
+		g:           g,
+		reach:       make(map[uint64]float64),
+		instCache:   make(map[graph.NodeID][]Ranked),
+		conceptMass: make(map[graph.NodeID]float64),
+	}
+	levels, err := g.TopoLevels()
+	if err != nil {
+		return nil, err
+	}
+	// Algorithm 3: traverse top-down; when a node y is reached, every
+	// ancestor x of its parents already has P(x, parent) computed.
+	//
+	//	P(x,y) = 1 - Π_{z ∈ Parent(y)} (1 - P(z,y) · P(x,z))
+	for _, level := range levels {
+		for _, y := range level {
+			parents := g.Parents(y)
+			if len(parents) == 0 {
+				continue
+			}
+			// Candidate ancestors: parents plus every x with P(x,z) known.
+			anc := make(map[graph.NodeID]bool)
+			for _, pe := range parents {
+				anc[pe.To] = true
+			}
+			for _, pe := range parents {
+				for _, x := range g.Ancestors(pe.To) {
+					anc[x] = true
+				}
+			}
+			xs := make([]graph.NodeID, 0, len(anc))
+			for x := range anc {
+				xs = append(xs, x)
+			}
+			sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+			for _, x := range xs {
+				q := 1.0
+				for _, pe := range parents {
+					pxz := 1.0
+					if x != pe.To {
+						pxz = t.reach[key(x, pe.To)]
+					}
+					q *= 1 - edgePlausibility(pe)*pxz
+				}
+				if p := 1 - q; p > 0 {
+					t.reach[key(x, y)] = p
+				}
+			}
+		}
+	}
+	for _, x := range g.Concepts() {
+		var m float64
+		for _, e := range g.Children(x) {
+			m += float64(e.Count) * edgePlausibility(e)
+		}
+		t.conceptMass[x] = m
+		t.totalMass += m
+	}
+	return t, nil
+}
+
+// edgePlausibility returns the edge's plausibility, substituting a
+// count-saturating estimate when the edge was never scored.
+func edgePlausibility(e graph.Edge) float64 {
+	if e.Plausibility > 0 {
+		return e.Plausibility
+	}
+	// 1 - 2^-n, capped: repeated sightings make a claim plausible.
+	n := e.Count
+	if n > 10 {
+		n = 10
+	}
+	p := 1.0
+	for i := int64(0); i < n; i++ {
+		p *= 0.5
+	}
+	return 1 - p
+}
+
+// Reach returns P(x, y), the probability that some path connects x to y.
+func (t *Typicality) Reach(x, y graph.NodeID) float64 {
+	if x == y {
+		return 1
+	}
+	return t.reach[key(x, y)]
+}
+
+// InstancesOf returns the instances of concept x ranked by typicality
+// T(i|x) (Eq. 4): evidence from x itself and from every descendant
+// concept y, weighted by P(x,y) · n(y,i) · P(y,i), normalised over Ix.
+func (t *Typicality) InstancesOf(x graph.NodeID) []Ranked {
+	if cached, ok := t.instCache[x]; ok {
+		return cached
+	}
+	scores := make(map[graph.NodeID]float64)
+	concepts := append([]graph.NodeID{x}, t.g.Descendants(x)...)
+	for _, y := range concepts {
+		if t.g.Kind(y) != graph.KindConcept {
+			continue
+		}
+		pxy := t.Reach(x, y)
+		if pxy == 0 {
+			continue
+		}
+		for _, e := range t.g.Children(y) {
+			if t.g.Kind(e.To) != graph.KindInstance {
+				continue
+			}
+			scores[e.To] += pxy * float64(e.Count) * edgePlausibility(e)
+		}
+	}
+	var total float64
+	for _, s := range scores {
+		total += s
+	}
+	out := make([]Ranked, 0, len(scores))
+	for i, s := range scores {
+		score := s
+		if total > 0 {
+			score = s / total
+		}
+		out = append(out, Ranked{Label: t.g.Label(i), Score: score})
+	}
+	sortRanked(out)
+	t.instCache[x] = out
+	return out
+}
+
+// ConceptsOf returns the concepts an instance belongs to, ranked by the
+// abstraction typicality T(x|i) obtained from T(i|x) by Bayes' rule with
+// the concept-mass prior.
+func (t *Typicality) ConceptsOf(i graph.NodeID) []Ranked {
+	type cand struct {
+		x graph.NodeID
+		p float64
+	}
+	var cands []cand
+	var norm float64
+	for _, x := range t.g.Ancestors(i) {
+		if t.g.Kind(x) != graph.KindConcept {
+			continue
+		}
+		tix := t.instanceScore(x, i)
+		if tix <= 0 {
+			continue
+		}
+		prior := t.conceptMass[x] / t.totalMass
+		p := tix * prior
+		cands = append(cands, cand{x, p})
+		norm += p
+	}
+	out := make([]Ranked, 0, len(cands))
+	for _, c := range cands {
+		p := c.p
+		if norm > 0 {
+			p = c.p / norm
+		}
+		out = append(out, Ranked{Label: t.g.Label(c.x), Score: p})
+	}
+	sortRanked(out)
+	return out
+}
+
+// instanceScore returns T(i|x) for one instance from the cached table.
+func (t *Typicality) instanceScore(x, i graph.NodeID) float64 {
+	label := t.g.Label(i)
+	for _, r := range t.InstancesOf(x) {
+		if r.Label == label {
+			return r.Score
+		}
+	}
+	return 0
+}
+
+// ConceptsOfSet conceptualises a set of instances jointly: assuming the
+// instances are independently drawn from one concept (the Bayesian
+// reading of Section 5.3.2), score(x) ∝ prior(x) · Π_i T(i|x). Instances
+// unknown to the taxonomy are ignored; ok=false when none is known.
+func (t *Typicality) ConceptsOfSet(instances []graph.NodeID) ([]Ranked, bool) {
+	known := instances[:0:0]
+	for _, i := range instances {
+		if i != graph.NoNode {
+			known = append(known, i)
+		}
+	}
+	if len(known) == 0 {
+		return nil, false
+	}
+	// Candidate concepts: ancestors of every known instance.
+	counts := make(map[graph.NodeID]int)
+	for _, i := range known {
+		for _, x := range t.g.Ancestors(i) {
+			if t.g.Kind(x) == graph.KindConcept {
+				counts[x]++
+			}
+		}
+	}
+	var cands []graph.NodeID
+	for x, c := range counts {
+		if c == len(known) {
+			cands = append(cands, x)
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+	var out []Ranked
+	var norm float64
+	for _, x := range cands {
+		score := t.conceptMass[x] / t.totalMass
+		for _, i := range known {
+			score *= t.instanceScore(x, i)
+		}
+		if score > 0 {
+			out = append(out, Ranked{Label: t.g.Label(x), Score: score})
+			norm += score
+		}
+	}
+	for i := range out {
+		out[i].Score /= norm
+	}
+	sortRanked(out)
+	return out, len(out) > 0
+}
+
+func sortRanked(rs []Ranked) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Label < rs[j].Label
+	})
+}
+
+// TopK truncates a ranked list to its first k entries.
+func TopK(rs []Ranked, k int) []Ranked {
+	if k < len(rs) {
+		return rs[:k]
+	}
+	return rs
+}

@@ -1,0 +1,67 @@
+package prob
+
+import (
+	"math"
+
+	"repro/internal/kb"
+)
+
+// Urns is the redundancy model of Downey, Etzioni and Soderland (IJCAI
+// 2005), which the paper cites as the more sophisticated alternative to
+// the noisy-or (Section 4.1). The extractor is modelled as drawing
+// labelled balls from an urn containing C distinct correct labels and E
+// distinct error labels; correct labels are repeated more often. The
+// probability that a label extracted k times is correct is
+//
+//	P(correct | k) = C·pc^k / (C·pc^k + E·pe^k)
+//
+// with pc and pe the per-draw repetition rates of correct and error
+// labels (the single-urn, uniform-prior form).
+type Urns struct {
+	C, E   float64 // distinct correct / error labels
+	PC, PE float64 // per-draw hit rates
+}
+
+// FitUrns estimates the urn parameters from Γ and a labelling oracle:
+// the label populations are the counts of distinct true/false pairs, and
+// the hit rates follow from the average sightings of each population.
+func FitUrns(store *kb.Store, oracle Oracle) Urns {
+	var nTrue, nFalse float64
+	var massTrue, massFalse float64
+	store.ForEachPair(func(x, y string, n int64) {
+		isTrue, known := oracle(x, y)
+		if !known {
+			return
+		}
+		if isTrue {
+			nTrue++
+			massTrue += float64(n)
+		} else {
+			nFalse++
+			massFalse += float64(n)
+		}
+	})
+	u := Urns{C: nTrue, E: nFalse, PC: 0.5, PE: 0.5}
+	total := massTrue + massFalse
+	if total > 0 && nTrue > 0 && nFalse > 0 {
+		u.PC = massTrue / nTrue / total
+		u.PE = massFalse / nFalse / total
+	}
+	if u.C == 0 {
+		u.C = 1
+	}
+	if u.E == 0 {
+		u.E = 1
+	}
+	return u
+}
+
+// Plausibility returns P(correct | k sightings). k <= 0 yields 0.
+func (u Urns) Plausibility(k int64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	// Work in logs: the ratio r = (E/C)·(pe/pc)^k decides.
+	logR := math.Log(u.E/u.C) + float64(k)*math.Log(u.PE/u.PC)
+	return 1 / (1 + math.Exp(logR))
+}

@@ -1,0 +1,77 @@
+package prob
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+)
+
+// urnsStore: true pairs sighted often, false pairs rarely.
+func urnsStore() (*kb.Store, Oracle) {
+	s := kb.NewStore(0)
+	truths := map[kb.Pair]bool{}
+	for i := 0; i < 20; i++ {
+		x, y := "animal", string(rune('a'+i))
+		s.Add(x, y, int64(8+i%5))
+		truths[kb.Pair{X: x, Y: y}] = true
+	}
+	for i := 0; i < 10; i++ {
+		x, y := "animal", "junk"+string(rune('a'+i))
+		s.Add(x, y, 1)
+		truths[kb.Pair{X: x, Y: y}] = false
+	}
+	oracle := func(x, y string) (bool, bool) {
+		v, ok := truths[kb.Pair{X: x, Y: y}]
+		return v, ok
+	}
+	return s, oracle
+}
+
+func TestFitUrnsSeparates(t *testing.T) {
+	s, oracle := urnsStore()
+	u := FitUrns(s, oracle)
+	if u.PC <= u.PE {
+		t.Fatalf("fit did not find pc > pe: %+v", u)
+	}
+	many := u.Plausibility(10)
+	once := u.Plausibility(1)
+	if many <= once {
+		t.Errorf("urns not monotone: P(10)=%v <= P(1)=%v", many, once)
+	}
+	if many < 0.99 {
+		t.Errorf("P(10 sightings) = %v, want >= 0.99", many)
+	}
+	if once > many-0.02 {
+		t.Errorf("P(1 sighting) = %v not clearly below P(10) = %v", once, many)
+	}
+	if got := u.Plausibility(0); got != 0 {
+		t.Errorf("P(0) = %v", got)
+	}
+}
+
+func TestFitUrnsDegenerate(t *testing.T) {
+	// No labelled data: parameters stay at their uninformative defaults.
+	s := kb.NewStore(0)
+	s.Add("a", "b", 3)
+	u := FitUrns(s, func(x, y string) (bool, bool) { return false, false })
+	if u.C != 1 || u.E != 1 {
+		t.Errorf("degenerate fit = %+v", u)
+	}
+	p := u.Plausibility(5)
+	if p < 0.4 || p > 0.6 {
+		t.Errorf("uninformative plausibility = %v, want ~0.5", p)
+	}
+}
+
+func TestUrnsMonotoneInK(t *testing.T) {
+	s, oracle := urnsStore()
+	u := FitUrns(s, oracle)
+	prev := 0.0
+	for k := int64(1); k <= 20; k++ {
+		p := u.Plausibility(k)
+		if p < prev {
+			t.Fatalf("P(%d)=%v < P(%d)=%v", k, p, k-1, prev)
+		}
+		prev = p
+	}
+}

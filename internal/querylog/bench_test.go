@@ -1,0 +1,38 @@
+package querylog
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func BenchmarkGenerate(b *testing.B) {
+	w := corpus.DefaultWorld(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qs := Generate(w, Config{Queries: 10000, Seed: int64(i)})
+		if len(qs) != 10000 {
+			b.Fatal("bad log")
+		}
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	w := corpus.DefaultWorld(1)
+	qs := Generate(w, Config{Queries: 10000, Seed: 3})
+	var concepts, instances []string
+	for _, key := range w.Keys() {
+		c := w.Concept(key)
+		concepts = append(concepts, c.Label)
+		instances = append(instances, c.Instances...)
+	}
+	v := NewVocabulary(concepts, instances)
+	ks := []int{2500, 5000, 10000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := Analyze(qs, v, ks)
+		if len(pts) != 3 {
+			b.Fatal("bad points")
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package querylog generates the synthetic search-query workload behind
+// Figures 5-7 and measures taxonomy coverage over it. The paper sorts two
+// years of Bing queries by frequency and asks, for growing top-k
+// prefixes: how many taxonomy concepts are *relevant* (appear in some
+// query), how many queries are *covered* (mention a concept or
+// instance), and how many mention a concept. The generator reproduces the
+// long-tailed query mix: head queries name popular instances and basic
+// concepts, tail queries reach for fine-grained modified concepts, and a
+// large slice of queries mentions nothing a taxonomy could know.
+package querylog
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/nlp"
+)
+
+// Query is one distinct query with its frequency.
+type Query struct {
+	Text string
+	Freq int64
+}
+
+// Config controls generation.
+type Config struct {
+	Queries int   // number of distinct queries (default 50000)
+	Seed    int64 // PRNG seed
+}
+
+// Generate produces distinct queries sorted by decreasing frequency.
+func Generate(w *corpus.World, cfg Config) []Query {
+	if cfg.Queries == 0 {
+		cfg.Queries = 50000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Weighted term pools.
+	type weighted struct {
+		text string
+		w    float64
+	}
+	// Concept popularity follows concept size, so basic concepts
+	// ("companies") dominate the query head while fine-grained modified
+	// concepts ("BRIC countries") only surface in the long tail — the
+	// distribution behind Figure 5's growth with k.
+	var instances, concepts []weighted
+	maxSize := 1.0
+	for _, key := range w.Keys() {
+		c := w.Concept(key)
+		if s := float64(len(c.Instances) + 2*len(c.Children)); s > maxSize {
+			maxSize = s
+		}
+	}
+	for _, key := range w.Keys() {
+		c := w.Concept(key)
+		size := float64(len(c.Instances)+2*len(c.Children)) / maxSize
+		cw := 0.04 + size
+		if cw > 1 {
+			cw = 1
+		}
+		concepts = append(concepts, weighted{nlp.PluralizePhrase(c.Label), cw})
+		for i, inst := range c.Instances {
+			instances = append(instances, weighted{inst, 1.0 / math.Pow(float64(i+1), 0.8)})
+		}
+	}
+	pick := func(pool []weighted) weighted {
+		// Weighted reservoir-free pick: rejection sampling over ranks.
+		for {
+			cand := pool[rng.Intn(len(pool))]
+			if rng.Float64() < cand.w {
+				return cand
+			}
+		}
+	}
+	fillers := []string{"best", "cheap", "top", "new", "near me", "reviews",
+		"history of", "facts about", "list of", "pictures of", "how to find"}
+	junkWords := []string{"weather", "news", "login", "email", "games",
+		"free", "download", "online", "youtube video", "recipes", "horoscope",
+		"lyrics", "translate", "maps", "calculator", "timer", "wallpaper"}
+
+	seen := make(map[string]bool, cfg.Queries)
+	type scored struct {
+		text string
+		pop  float64
+	}
+	var out []scored
+	for len(out) < cfg.Queries {
+		var text string
+		pop := rng.Float64()
+		switch r := rng.Float64(); {
+		case r < 0.28: // instance queries, often with attributes
+			iw := pick(instances)
+			text = strings.ToLower(iw.text)
+			if rng.Intn(3) == 0 {
+				text += " " + junkWords[rng.Intn(len(junkWords))]
+			}
+			pop += iw.w
+		case r < 0.40: // instance + attribute
+			iw := pick(instances)
+			text = strings.ToLower(iw.text) + " " + fillers[rng.Intn(len(fillers))]
+			pop += iw.w * 0.8
+		case r < 0.55: // concept queries
+			cw := pick(concepts)
+			text = strings.ToLower(cw.text)
+			if rng.Intn(2) == 0 {
+				text = fillers[rng.Intn(len(fillers))] + " " + text
+			}
+			pop += cw.w * 2
+		case r < 0.62: // concept + instance
+			cw := pick(concepts)
+			iw := pick(instances)
+			text = strings.ToLower(cw.text) + " like " + strings.ToLower(iw.text)
+			pop += (cw.w + iw.w) * 0.3
+		default: // junk: nothing a taxonomy knows
+			a := junkWords[rng.Intn(len(junkWords))]
+			b := junkWords[rng.Intn(len(junkWords))]
+			text = a
+			if rng.Intn(2) == 0 && a != b {
+				text = a + " " + b
+			}
+			if rng.Intn(4) == 0 {
+				text = fillers[rng.Intn(len(fillers))] + " " + text
+			}
+			pop += rng.Float64() * 1.2
+		}
+		if seen[text] {
+			continue
+		}
+		seen[text] = true
+		out = append(out, scored{text, pop})
+	}
+	// Popularity rank -> Zipf frequency.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pop != out[j].pop {
+			return out[i].pop > out[j].pop
+		}
+		return out[i].text < out[j].text
+	})
+	queries := make([]Query, len(out))
+	for i, s := range out {
+		queries[i] = Query{
+			Text: s.text,
+			Freq: int64(math.Max(1, 1e7/math.Pow(float64(i+1), 1.05))),
+		}
+	}
+	return queries
+}
+
+// Vocabulary is a taxonomy's term inventory for coverage matching:
+// concept surface forms (singular and plural) and instance surface forms,
+// all lower-cased.
+type Vocabulary struct {
+	Concepts  map[string]bool
+	Instances map[string]bool
+	maxWords  int
+}
+
+// NewVocabulary builds a vocabulary from concept labels (singular) and
+// instance names.
+func NewVocabulary(conceptLabels, instanceNames []string) *Vocabulary {
+	v := &Vocabulary{
+		Concepts:  make(map[string]bool, 2*len(conceptLabels)),
+		Instances: make(map[string]bool, len(instanceNames)),
+	}
+	note := func(s string) {
+		if n := len(strings.Fields(s)); n > v.maxWords {
+			v.maxWords = n
+		}
+	}
+	for _, c := range conceptLabels {
+		c = nlp.Normalize(c)
+		if c == "" {
+			continue
+		}
+		v.Concepts[c] = true
+		v.Concepts[nlp.PluralizePhrase(c)] = true
+		note(c)
+	}
+	for _, i := range instanceNames {
+		i = nlp.Normalize(i)
+		if i == "" {
+			continue
+		}
+		v.Instances[i] = true
+		note(i)
+	}
+	if v.maxWords > 5 {
+		v.maxWords = 5
+	}
+	if v.maxWords == 0 {
+		v.maxWords = 1
+	}
+	return v
+}
+
+// match scans the query's word n-grams; it returns the concept terms
+// found and whether any instance term was found.
+func (v *Vocabulary) match(query string) (concepts []string, instanceHit bool) {
+	words := strings.Fields(query)
+	for n := v.maxWords; n >= 1; n-- {
+		for i := 0; i+n <= len(words); i++ {
+			g := strings.Join(words[i:i+n], " ")
+			if v.Concepts[g] {
+				concepts = append(concepts, nlp.SingularizePhrase(g))
+			}
+			if v.Instances[g] {
+				instanceHit = true
+			}
+		}
+	}
+	return concepts, instanceHit
+}
+
+// Point is one top-k measurement for Figures 5-7.
+type Point struct {
+	K                int
+	RelevantConcepts int   // Fig. 5: concepts appearing in >= 1 of the top-k queries
+	Covered          int64 // Fig. 6: queries mentioning any concept or instance
+	ConceptCovered   int64 // Fig. 7: queries mentioning a concept
+}
+
+// Analyze sweeps the frequency-sorted queries and reports the three
+// curves at each requested k (ks must be ascending).
+func Analyze(queries []Query, v *Vocabulary, ks []int) []Point {
+	points := make([]Point, 0, len(ks))
+	relevant := make(map[string]bool)
+	var covered, conceptCovered int64
+	next := 0
+	for i, q := range queries {
+		cs, instHit := v.match(q.Text)
+		for _, c := range cs {
+			relevant[c] = true
+		}
+		if len(cs) > 0 {
+			conceptCovered++
+		}
+		if len(cs) > 0 || instHit {
+			covered++
+		}
+		for next < len(ks) && i+1 == ks[next] {
+			points = append(points, Point{
+				K:                ks[next],
+				RelevantConcepts: len(relevant),
+				Covered:          covered,
+				ConceptCovered:   conceptCovered,
+			})
+			next++
+		}
+	}
+	for next < len(ks) {
+		points = append(points, Point{
+			K:                len(queries),
+			RelevantConcepts: len(relevant),
+			Covered:          covered,
+			ConceptCovered:   conceptCovered,
+		})
+		next++
+	}
+	return points
+}

@@ -1,0 +1,159 @@
+package querylog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func testQueries(t *testing.T, n int) ([]Query, *corpus.World) {
+	t.Helper()
+	w := corpus.DefaultWorld(1)
+	return Generate(w, Config{Queries: n, Seed: 3}), w
+}
+
+func TestGenerateShape(t *testing.T) {
+	qs, _ := testQueries(t, 5000)
+	if len(qs) != 5000 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	seen := map[string]bool{}
+	for i, q := range qs {
+		if q.Text == "" || q.Freq < 1 {
+			t.Fatalf("bad query %+v", q)
+		}
+		if seen[q.Text] {
+			t.Fatalf("duplicate query %q", q.Text)
+		}
+		seen[q.Text] = true
+		if i > 0 && q.Freq > qs[i-1].Freq {
+			t.Fatal("queries not sorted by frequency")
+		}
+	}
+	// Long tail: head query much more frequent than median.
+	if qs[0].Freq < 100*qs[len(qs)/2].Freq {
+		t.Errorf("no long tail: head %d vs median %d", qs[0].Freq, qs[len(qs)/2].Freq)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := corpus.DefaultWorld(1)
+	a := Generate(w, Config{Queries: 1000, Seed: 3})
+	b := Generate(w, Config{Queries: 1000, Seed: 3})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestVocabularyMatch(t *testing.T) {
+	v := NewVocabulary([]string{"tropical country", "company"}, []string{"IBM", "New York"})
+	cs, inst := v.match("best tropical countries to visit")
+	if len(cs) != 1 || cs[0] != "tropical country" {
+		t.Errorf("concepts = %v", cs)
+	}
+	if inst {
+		t.Error("false instance hit")
+	}
+	cs, inst = v.match("ibm quarterly report")
+	if len(cs) != 0 || !inst {
+		t.Errorf("instance match failed: %v %v", cs, inst)
+	}
+	cs, inst = v.match("flights to new york")
+	if !inst {
+		t.Error("multi-word instance missed")
+	}
+	if cs, inst = v.match("weather tomorrow"); len(cs) != 0 || inst {
+		t.Error("junk matched")
+	}
+}
+
+func TestAnalyzeCurvesMonotone(t *testing.T) {
+	qs, w := testQueries(t, 8000)
+	var concepts, instances []string
+	for _, key := range w.Keys() {
+		c := w.Concept(key)
+		concepts = append(concepts, c.Label)
+		instances = append(instances, c.Instances...)
+	}
+	v := NewVocabulary(concepts, instances)
+	ks := []int{1000, 2000, 4000, 8000}
+	pts := Analyze(qs, v, ks)
+	if len(pts) != len(ks) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := range pts {
+		if pts[i].K != ks[i] {
+			t.Errorf("point %d k = %d", i, pts[i].K)
+		}
+		if i > 0 {
+			if pts[i].RelevantConcepts < pts[i-1].RelevantConcepts ||
+				pts[i].Covered < pts[i-1].Covered ||
+				pts[i].ConceptCovered < pts[i-1].ConceptCovered {
+				t.Error("curves not monotone")
+			}
+		}
+		if pts[i].Covered < pts[i].ConceptCovered {
+			t.Error("concept coverage exceeds total coverage")
+		}
+	}
+	last := pts[len(pts)-1]
+	frac := float64(last.Covered) / float64(last.K)
+	if frac < 0.4 || frac > 0.95 {
+		t.Errorf("full-vocabulary coverage = %.2f, want mid-range", frac)
+	}
+}
+
+// A richer vocabulary must never cover fewer queries — the Figure 6
+// ordering between Probase and the smaller taxonomies.
+func TestAnalyzeVocabularyDominance(t *testing.T) {
+	qs, w := testQueries(t, 6000)
+	var concepts, instances []string
+	for _, key := range w.Keys() {
+		c := w.Concept(key)
+		concepts = append(concepts, c.Label)
+		instances = append(instances, c.Instances...)
+	}
+	full := NewVocabulary(concepts, instances)
+	// "WordNet-like": single-word concepts, few instances.
+	var smallC, smallI []string
+	for _, c := range concepts {
+		if !strings.Contains(c, " ") {
+			smallC = append(smallC, c)
+		}
+	}
+	smallI = instances[:len(instances)/10]
+	small := NewVocabulary(smallC, smallI)
+	ks := []int{3000, 6000}
+	fullPts := Analyze(qs, full, ks)
+	smallPts := Analyze(qs, small, ks)
+	for i := range ks {
+		if fullPts[i].Covered < smallPts[i].Covered {
+			t.Errorf("k=%d: full vocabulary covers less (%d < %d)", ks[i], fullPts[i].Covered, smallPts[i].Covered)
+		}
+		if fullPts[i].RelevantConcepts < smallPts[i].RelevantConcepts {
+			t.Errorf("k=%d: fewer relevant concepts in richer vocabulary", ks[i])
+		}
+	}
+}
+
+func TestAnalyzeKSBeyondQueries(t *testing.T) {
+	qs, w := testQueries(t, 100)
+	v := NewVocabulary([]string{w.Concept(w.Keys()[0]).Label}, nil)
+	pts := Analyze(qs, v, []int{50, 1000})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[1].K != 100 {
+		t.Errorf("clamped k = %d, want 100", pts[1].K)
+	}
+}
+
+func TestNewVocabularyEmpty(t *testing.T) {
+	v := NewVocabulary(nil, nil)
+	if cs, inst := v.match("anything at all"); len(cs) != 0 || inst {
+		t.Error("empty vocabulary matched")
+	}
+}

@@ -1,0 +1,70 @@
+package taxonomy
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+)
+
+func benchGroups(n int) []extraction.Group {
+	w := corpus.DefaultWorld(1)
+	c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: n, Seed: 11}).Generate()
+	inputs := make([]extraction.Input, len(c.Sentences))
+	for i, s := range c.Sentences {
+		inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+	}
+	return extraction.Run(inputs, extraction.DefaultConfig()).Groups
+}
+
+// BenchmarkBuild measures staged taxonomy construction (Algorithm 2 with
+// fragment adoption) over real extraction groups.
+func BenchmarkBuild(b *testing.B) {
+	groups := benchGroups(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Build(groups, Config{})
+		if res.Graph.NumNodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkBuildJaccard measures the ablation similarity.
+func BenchmarkBuildJaccard(b *testing.B) {
+	groups := benchGroups(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Build(groups, Config{Sim: Jaccard{Tau: 0.5}})
+		if res.Graph.NumNodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkMergeOrderStagedVsRandom measures the Theorem 2 effect on a
+// subsample.
+func BenchmarkMergeOrderStagedVsRandom(b *testing.B) {
+	groups := benchGroups(2000)
+	if len(groups) > 120 {
+		groups = groups[:120]
+	}
+	locals := make([]*Local, 0, len(groups))
+	for _, g := range groups {
+		locals = append(locals, NewLocal(g.Super, g.Subs))
+	}
+	b.Run("staged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := newEngine(locals, AbsoluteOverlap{Delta: 2})
+			e.runStaged()
+		}
+	})
+	b.Run("random", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			staged, random, _ := OrderExperiment(locals, AbsoluteOverlap{Delta: 2}, int64(i))
+			if staged > random {
+				b.Fatal("Theorem 2 violated")
+			}
+		}
+	})
+}

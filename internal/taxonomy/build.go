@@ -1,0 +1,224 @@
+package taxonomy
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/extraction"
+	"repro/internal/graph"
+)
+
+// Config controls taxonomy construction.
+type Config struct {
+	// Sim is the child-set similarity; defaults to AbsoluteOverlap{Delta: 2}.
+	Sim Similarity
+	// MinSenseEvidence drops sense clusters backed by fewer than this many
+	// sentences *when the label has a dominant cluster*; tiny fragment
+	// clusters are usually extraction noise. 0 keeps everything.
+	MinSenseEvidence int
+	// DisableAdoption skips the fragment-adoption pass between the
+	// horizontal and vertical stages (see engine.adoptFragments); mainly
+	// for the merge-order experiments, which study the pure Algorithm 2.
+	DisableAdoption bool
+	// Workers parallelises the horizontal stage over root labels;
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sim == nil {
+		c.Sim = AbsoluteOverlap{Delta: 2}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// BuildStats reports construction work, for the Theorem 2 benchmarks and
+// the cycle-refusal audit.
+type BuildStats struct {
+	Locals          int // input local taxonomies (sentences)
+	HorizontalOps   int
+	VerticalOps     int
+	Adoptions       int // fragment adoptions (reproduction-scale pass)
+	Senses          int // sense clusters after merging
+	MultiSense      int // labels with more than one sense
+	SkippedCycles   int // candidate edges refused to keep the DAG acyclic
+	DroppedClusters int // clusters dropped by MinSenseEvidence
+}
+
+// Result is a constructed taxonomy.
+type Result struct {
+	Graph  *graph.Store
+	Senses map[string][]string // root label -> node labels of its senses
+	Stats  BuildStats
+}
+
+// SenseLabel names the i-th sense (0-based) of a label: the bare label
+// when the label has a single sense, otherwise "label#i+1".
+func SenseLabel(label string, i, total int) string {
+	if total <= 1 {
+		return label
+	}
+	return fmt.Sprintf("%s#%d", label, i+1)
+}
+
+// Build assembles the taxonomy DAG from per-sentence extraction groups.
+func Build(groups []extraction.Group, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	locals := make([]*Local, 0, len(groups))
+	for _, g := range groups {
+		if g.Super == "" || len(g.Subs) == 0 {
+			continue
+		}
+		locals = append(locals, NewLocal(g.Super, g.Subs))
+	}
+	eng := newEngine(locals, cfg.Sim)
+	eng.runHorizontalParallel(cfg.Workers)
+	hops := eng.hops
+	adoptions := 0
+	if !cfg.DisableAdoption {
+		adoptions = eng.adoptFragments()
+	}
+	eng.runVertical()
+
+	res := &Result{
+		Graph:  graph.NewStore(),
+		Senses: make(map[string][]string),
+		Stats: BuildStats{
+			Locals:        len(locals),
+			HorizontalOps: hops,
+			VerticalOps:   eng.vops,
+			Adoptions:     adoptions,
+		},
+	}
+
+	// Collect sense clusters per label, largest (by child mass) first.
+	live := eng.alive()
+	byRoot := make(map[string][]int)
+	for _, i := range live {
+		byRoot[eng.nodes[i].Root] = append(byRoot[eng.nodes[i].Root], i)
+	}
+	mass := func(i int) int64 {
+		var m int64
+		for _, v := range eng.nodes[i].Children {
+			m += v
+		}
+		return m
+	}
+	roots := make([]string, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+
+	senseName := make(map[int]string, len(live)) // engine id -> node label
+	for _, r := range roots {
+		ids := byRoot[r]
+		sort.Slice(ids, func(a, b int) bool {
+			ma, mb := mass(ids[a]), mass(ids[b])
+			if ma != mb {
+				return ma > mb
+			}
+			return ids[a] < ids[b]
+		})
+		// Optionally drop tiny fragment clusters behind a dominant one.
+		if cfg.MinSenseEvidence > 0 && len(ids) > 1 {
+			kept := ids[:1]
+			for _, id := range ids[1:] {
+				if int(mass(id)) >= cfg.MinSenseEvidence {
+					kept = append(kept, id)
+				} else {
+					res.Stats.DroppedClusters++
+				}
+			}
+			ids = kept
+		}
+		for i, id := range ids {
+			senseName[id] = SenseLabel(r, i, len(ids))
+		}
+		byRoot[r] = ids
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = senseName[id]
+		}
+		res.Senses[r] = names
+		res.Stats.Senses += len(ids)
+		if len(ids) > 1 {
+			res.Stats.MultiSense++
+		}
+	}
+
+	// Materialise nodes, then edges. A child slot y resolves to the sense
+	// clusters it is vertically linked to; an unlinked slot becomes the
+	// plain node "y" — which coincides with y's concept node when y has a
+	// single sense, and stays a dangling leaf when y is multi-sense (the
+	// sentence did not disambiguate it).
+	for _, r := range roots {
+		for _, id := range byRoot[r] {
+			res.Graph.Intern(senseName[id])
+		}
+	}
+	type pendingEdge struct {
+		from, to string
+		count    int64
+	}
+	var edges []pendingEdge
+	linkTargets := make(map[int]map[string][]int) // from id -> child label -> linked ids
+	for k := range eng.links {
+		from, to := eng.find(k[0]), eng.find(k[1])
+		if senseName[from] == "" || senseName[to] == "" {
+			continue // dropped cluster
+		}
+		m := linkTargets[from]
+		if m == nil {
+			m = make(map[string][]int)
+			linkTargets[from] = m
+		}
+		lbl := eng.nodes[to].Root
+		m[lbl] = append(m[lbl], to)
+	}
+	for _, r := range roots {
+		for _, id := range byRoot[r] {
+			from := senseName[id]
+			l := eng.nodes[id]
+			for _, y := range l.childLabels() {
+				n := l.Children[y]
+				if targets := linkTargets[id][y]; len(targets) > 0 {
+					sort.Ints(targets)
+					for _, tid := range targets {
+						edges = append(edges, pendingEdge{from, senseName[tid], n})
+					}
+					continue
+				}
+				edges = append(edges, pendingEdge{from, y, n})
+			}
+		}
+	}
+	// Deterministic, heaviest-first edge insertion with cycle refusal.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].count != edges[j].count {
+			return edges[i].count > edges[j].count
+		}
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		from := res.Graph.Intern(e.from)
+		to := res.Graph.Intern(e.to)
+		if from == to {
+			res.Stats.SkippedCycles++
+			continue
+		}
+		if res.Graph.HasPath(to, from) {
+			res.Stats.SkippedCycles++
+			continue
+		}
+		res.Graph.AddEdge(from, to, e.count, 0)
+	}
+	return res
+}

@@ -1,0 +1,193 @@
+package taxonomy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func example3Locals() []*Local {
+	var out []*Local
+	for _, g := range example3() {
+		out = append(out, NewLocal(g.Super, g.Subs))
+	}
+	return out
+}
+
+// Theorem 1: any order of merge operations yields the same final graph.
+func TestTheorem1ConfluenceExample3(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		staged, random, same := OrderExperiment(example3Locals(), AbsoluteOverlap{Delta: 2}, seed)
+		if !same {
+			t.Fatalf("seed %d: final graphs differ", seed)
+		}
+		if staged > random {
+			t.Errorf("seed %d: staged ops %d > random ops %d (violates Theorem 2)", seed, staged, random)
+		}
+	}
+}
+
+// randomLocals builds a random local-taxonomy population over a small
+// vocabulary so that overlaps actually occur.
+func randomLocals(rng *rand.Rand) []*Local {
+	rootVocab := []string{"a", "b", "c", "d"}
+	childVocab := []string{"p", "q", "r", "s", "t", "u", "a", "b", "c"}
+	n := 4 + rng.Intn(10)
+	out := make([]*Local, 0, n)
+	for i := 0; i < n; i++ {
+		root := rootVocab[rng.Intn(len(rootVocab))]
+		k := 2 + rng.Intn(4)
+		subs := make([]string, 0, k)
+		for j := 0; j < k; j++ {
+			c := childVocab[rng.Intn(len(childVocab))]
+			if c == root {
+				continue
+			}
+			subs = append(subs, c)
+		}
+		if len(subs) == 0 {
+			subs = append(subs, "p")
+		}
+		out = append(out, NewLocal(root, subs))
+	}
+	return out
+}
+
+// Theorem 1 as a property over random populations.
+func TestTheorem1ConfluenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		locals := randomLocals(rng)
+		_, _, same := OrderExperiment(locals, AbsoluteOverlap{Delta: 2}, seed+1)
+		return same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 2: the staged schedule never uses more operations than a random
+// one.
+func TestTheorem2MinimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		locals := randomLocals(rng)
+		staged, random, _ := OrderExperiment(locals, AbsoluteOverlap{Delta: 2}, seed+1)
+		return staged <= random
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Example 4 of the paper: vertical-first costs extra horizontal merges.
+func TestExample4VerticalFirstCostsMore(t *testing.T) {
+	locals := []*Local{
+		NewLocal("A", []string{"B", "C", "D"}),
+		NewLocal("A", []string{"B", "C", "D", "E"}),
+		NewLocal("B", []string{"C", "D"}),
+		NewLocal("B", []string{"C", "E"}),
+	}
+	foundCostlier := false
+	for seed := int64(0); seed < 50; seed++ {
+		staged, random, same := OrderExperiment(locals, AbsoluteOverlap{Delta: 2}, seed)
+		if !same {
+			t.Fatalf("seed %d: not confluent", seed)
+		}
+		if random > staged {
+			foundCostlier = true
+		}
+		if random < staged {
+			t.Fatalf("seed %d: random beat staged (%d < %d)", seed, random, staged)
+		}
+	}
+	if !foundCostlier {
+		t.Log("no random order was costlier; example may be too small to exhibit Theorem 2 strictly")
+	}
+}
+
+// The Section 3.5 argument: Jaccard violates Property 4, so A similar to
+// B does not imply A similar to a superset of B.
+func TestJaccardViolatesProperty4(t *testing.T) {
+	mk := func(items ...string) map[string]int64 {
+		m := make(map[string]int64)
+		for _, i := range items {
+			m[i]++
+		}
+		return m
+	}
+	a := mk("Microsoft", "IBM", "HP")
+	b := mk("Microsoft", "IBM", "Intel")
+	c := mk("Microsoft", "IBM", "HP", "EMC", "Intel", "Google", "Apple")
+	j := Jaccard{Tau: 0.5}
+	if !j.Similar(a, b) {
+		t.Error("J(A,B) = 0.5 should pass at tau 0.5")
+	}
+	if j.Similar(a, c) {
+		t.Error("J(A,C) = 0.43 should fail at tau 0.5 (the absurdity: A ⊂ C)")
+	}
+	abs := AbsoluteOverlap{Delta: 2}
+	if !abs.Similar(a, b) || !abs.Similar(a, c) {
+		t.Error("absolute overlap must accept both (Property 4)")
+	}
+}
+
+func TestSimilarityNames(t *testing.T) {
+	if (AbsoluteOverlap{}).Name() != "absolute-overlap" || (Jaccard{}).Name() != "jaccard" {
+		t.Error("similarity names changed")
+	}
+}
+
+func TestEngineFingerprintStable(t *testing.T) {
+	a := newEngine(example3Locals(), AbsoluteOverlap{Delta: 2})
+	a.runStaged()
+	b := newEngine(example3Locals(), AbsoluteOverlap{Delta: 2})
+	b.runStaged()
+	if a.fingerprint() != b.fingerprint() {
+		t.Error("staged runs disagree")
+	}
+	if a.fingerprint() == "" {
+		t.Error("empty fingerprint")
+	}
+}
+
+func TestHorizontalMergeRetargetsLinks(t *testing.T) {
+	// d links to one plant cluster; merging plant clusters must keep the
+	// link pointing at the merged representative.
+	locals := []*Local{
+		NewLocal("plant", []string{"tree", "grass"}),
+		NewLocal("plant", []string{"tree", "grass", "herb"}),
+		NewLocal("organism", []string{"plant", "tree", "grass"}),
+	}
+	e := newEngine(locals, AbsoluteOverlap{Delta: 2})
+	// Vertical first, against cluster 0.
+	if !e.canVertical(2, 0) {
+		t.Fatal("expected vertical candidate")
+	}
+	e.mergeVertical(2, 0)
+	if !e.canHorizontal(0, 1) {
+		t.Fatal("expected horizontal candidate")
+	}
+	e.mergeHorizontal(0, 1)
+	fp := e.fingerprint()
+	want := fmt.Sprintf("organism::grass=1;plant=1;tree=1; -> plant::grass=2;herb=1;tree=2;")
+	if !containsLine(fp, want) {
+		t.Errorf("fingerprint missing retargeted link:\n%s", fp)
+	}
+}
+
+func containsLine(haystack, line string) bool {
+	start := 0
+	for start <= len(haystack) {
+		end := start
+		for end < len(haystack) && haystack[end] != '\n' {
+			end++
+		}
+		if haystack[start:end] == line {
+			return true
+		}
+		start = end + 1
+	}
+	return false
+}
