@@ -21,7 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/core"
+	"repro/internal/snapshot"
 )
 
 const usageText = `usage: probase-query [-snapshot file] [-k n] <command> <args...>
@@ -46,7 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("probase-query", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		snapshot = fs.String("snapshot", "probase.bin", "taxonomy snapshot")
+		snapPath = fs.String("snapshot", "probase.bin", "taxonomy snapshot")
 		k        = fs.Int("k", 10, "number of results")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -57,7 +57,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return errUsage
 	}
 
-	pb, err := loadSnapshot(*snapshot)
+	pb, err := snapshot.Open(*snapPath)
 	if err != nil {
 		return err
 	}
@@ -98,24 +98,4 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return errUsage
 	}
 	return nil
-}
-
-// loadSnapshot auto-detects the snapshot flavour by magic.
-func loadSnapshot(path string) (*core.Probase, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(f, magic); err != nil {
-		return nil, err
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
-	}
-	if string(magic) == "PBFL" {
-		return core.LoadFull(f)
-	}
-	return core.Load(f)
 }

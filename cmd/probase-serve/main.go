@@ -1,0 +1,120 @@
+// Command probase-serve exposes a taxonomy snapshot as a long-lived
+// HTTP query service. The snapshot (either flavour written by
+// probase-build) is loaded once at startup; every request is answered
+// from memory through a sharded hot-query cache. See the package docs
+// of internal/server for the endpoint contract.
+//
+// Usage:
+//
+//	probase-serve -snapshot probase.bin -addr :8080
+//
+// Then:
+//
+//	curl 'localhost:8080/v1/instances?concept=companies&k=5'
+//	curl 'localhost:8080/v1/conceptualize?terms=China,India,Brazil'
+//	curl 'localhost:8080/debug/vars'
+//
+// On SIGINT/SIGTERM the listener closes and in-flight requests drain
+// (bounded by -drain) before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/snapshot"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "probase-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run loads the snapshot and serves until ctx is cancelled (or the
+// listener fails). When ready is non-nil, the bound address is sent on
+// it once the server accepts connections — tests bind to port 0 and
+// need to learn the port.
+func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("probase-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		snapPath = fs.String("snapshot", "probase.bin", "taxonomy snapshot from probase-build")
+		addr     = fs.String("addr", ":8080", "listen address")
+		shards   = fs.Int("cache-shards", 16, "hot-query cache shards (rounded up to a power of two)")
+		perShard = fs.Int("cache-per-shard", 512, "max cached responses per shard")
+		reqTO    = fs.Duration("request-timeout", 5*time.Second, "per-request deadline")
+		drain    = fs.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
+		maxK     = fs.Int("max-k", 1000, "cap on the k query parameter")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	pb, err := snapshot.Open(*snapPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "probase-serve: loaded %s in %v: %d nodes, %d edges\n",
+		*snapPath, time.Since(start).Round(time.Millisecond),
+		pb.Graph.NumNodes(), pb.Graph.NumEdges())
+
+	srv := server.New(pb, server.Config{
+		CacheShards:          *shards,
+		CacheEntriesPerShard: *perShard,
+		RequestTimeout:       *reqTO,
+		MaxK:                 *maxK,
+	})
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		// The handler enforces its own per-request deadline; these bound
+		// pathological clients.
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "probase-serve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stderr, "probase-serve: shutdown requested, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	// Serve returns ErrServerClosed after a clean Shutdown.
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stderr, "probase-serve: stopped")
+	return nil
+}

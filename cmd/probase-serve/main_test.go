@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+)
+
+var (
+	snapOnce sync.Once
+	snapPath string
+	snapErr  error
+)
+
+// snapshotPath builds one snapshot shared by all probase-serve tests —
+// produced exactly the way probase-build produces it (core.Build +
+// Save), so the binary is exercised against a real artefact.
+func snapshotPath(t *testing.T) string {
+	t.Helper()
+	snapOnce.Do(func() {
+		w := corpus.DefaultWorld(1)
+		c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: 8000, Seed: 11}).Generate()
+		inputs := make([]extraction.Input, len(c.Sentences))
+		for i, s := range c.Sentences {
+			inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+		}
+		pb, err := core.Build(inputs, core.Config{})
+		if err != nil {
+			snapErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "probase-serve-test")
+		if err != nil {
+			snapErr = err
+			return
+		}
+		snapPath = filepath.Join(dir, "p.bin")
+		f, err := os.Create(snapPath)
+		if err != nil {
+			snapErr = err
+			return
+		}
+		defer f.Close()
+		snapErr = pb.Save(f)
+	})
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	return snapPath
+}
+
+// startServer runs the binary's run() on a random port and returns its
+// base URL, a cancel triggering shutdown, and the exit channel.
+func startServer(t *testing.T, ctx context.Context) (string, chan error, *bytes.Buffer) {
+	t.Helper()
+	stderr := &bytes.Buffer{}
+	ready := make(chan net.Addr, 1)
+	exit := make(chan error, 1)
+	go func() {
+		exit <- run(ctx, []string{"-snapshot", snapshotPath(t), "-addr", "127.0.0.1:0"}, stderr, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), exit, stderr
+	case err := <-exit:
+		t.Fatalf("server exited before ready: %v\n%s", err, stderr.String())
+		return "", nil, nil
+	}
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("%s: invalid JSON %q: %v", url, raw, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestServeEndToEnd starts the server from a built snapshot, answers
+// all six endpoints, and shuts down cleanly on context cancellation
+// (the code path SIGTERM takes through signal.NotifyContext).
+func TestServeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, exit, stderr := startServer(t, ctx)
+
+	endpoints := []string{
+		"/v1/instances?concept=companies&k=5",
+		"/v1/concepts?term=IBM&k=5",
+		"/v1/typicality?concept=companies&instance=IBM",
+		"/v1/plausibility?x=companies&y=IBM",
+		"/v1/conceptualize?terms=China,India,Brazil&k=5",
+		"/v1/healthz",
+	}
+	for _, ep := range endpoints {
+		status, body := getJSON(t, base+ep)
+		if status != http.StatusOK {
+			t.Errorf("%s: status %d, body %v", ep, status, body)
+		}
+	}
+	// The metrics endpoint reflects the traffic.
+	status, vars := getJSON(t, base+"/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", status)
+	}
+	inst, ok := vars["instances"].(map[string]any)
+	if !ok {
+		t.Fatalf("instances metrics missing: %v", vars)
+	}
+	if req, _ := inst["requests"].(float64); req == 0 {
+		t.Error("request counter is zero after traffic")
+	}
+
+	cancel()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("shutdown error: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not drain within 10s\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stopped") {
+		t.Errorf("missing clean-stop log:\n%s", stderr.String())
+	}
+}
+
+// TestServeSIGTERM delivers a real SIGTERM to the process and expects
+// the server (whose context comes from signal.NotifyContext, as in
+// main) to drain and exit cleanly.
+func TestServeSIGTERM(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	base, exit, stderr := startServer(t, ctx)
+
+	if status, _ := getJSON(t, base+"/v1/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("SIGTERM shutdown error: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not exit on SIGTERM\n%s", stderr.String())
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-snapshot", "/no/such.bin"}, &stderr, nil); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+	if err := run(context.Background(), []string{"-bogus-flag"}, &stderr, nil); err == nil {
+		t.Error("bad flag accepted")
+	}
+	// A corrupt snapshot must fail at startup, not at first query.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("XXXXnot a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-snapshot", bad}, &stderr, nil); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+	// An unusable listen address errors out rather than hanging.
+	if err := run(context.Background(), []string{"-snapshot", snapshotPath(t), "-addr", "256.0.0.1:99999"}, &stderr, nil); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+// TestServeDrainsInflight verifies the graceful path: a request racing
+// the shutdown still completes with 200.
+func TestServeDrainsInflight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, exit, stderr := startServer(t, ctx)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _ := getJSONquiet(base + fmt.Sprintf("/v1/instances?concept=companies&k=%d", i+1))
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("in-flight request got status %d", status)
+			}
+		}(i)
+	}
+	// Cancel while the requests are (likely) in flight; Shutdown must let
+	// them finish.
+	cancel()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("drain error: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain timed out")
+	}
+}
+
+// getJSONquiet is getJSON without a testing.T: in the drain test a
+// request may legally race the listener close, and a connection refused
+// after shutdown completes is not a failure of draining.
+func getJSONquiet(url string) (int, map[string]any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return http.StatusOK, nil // listener already closed: nothing was in flight
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, body
+}

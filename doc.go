@@ -8,8 +8,11 @@
 // public facade (internal/core), the substrates (internal/corpus,
 // internal/graph, internal/querylog, internal/nlp, internal/hearst,
 // internal/kb), the comparators (internal/baseline), the applications
-// (internal/apps) and the evaluation harness (internal/eval,
-// internal/experiments).
+// (internal/apps), the serving layer (internal/server — a concurrent
+// HTTP query service with a sharded hot-query cache, fronted by
+// cmd/probase-serve; see its package docs for the endpoint contract;
+// internal/snapshot is the shared snapshot loader) and the evaluation
+// harness (internal/eval, internal/experiments).
 //
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and experiment index, and EXPERIMENTS.md for

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedStore builds a small valid store whose snapshot seeds the
+// fuzz corpus.
+func fuzzSeedStore() *Store {
+	s := NewStore()
+	company := s.Intern("company")
+	it := s.Intern("it company")
+	ibm := s.Intern("IBM")
+	msft := s.Intern("Microsoft")
+	s.AddEdge(company, it, 20, 0.95)
+	s.AddEdge(company, ibm, 50, 0.99)
+	s.AddEdge(it, ibm, 10, 0.9)
+	s.AddEdge(it, msft, 30, 0.99)
+	return s
+}
+
+// FuzzLoad feeds arbitrary bytes to the snapshot loader. Corrupt or
+// truncated input must produce an error — never a panic, a hang, or an
+// implausible allocation. A successful load must round-trip.
+func FuzzLoad(f *testing.F) {
+	var valid bytes.Buffer
+	if err := fuzzSeedStore().Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	snap := valid.Bytes()
+	f.Add(snap)
+	f.Add(snap[:len(snap)/2])           // truncated
+	f.Add(snap[:4])                     // magic only
+	f.Add([]byte{})                     // empty
+	f.Add([]byte("PBGRxxxxxxxxxxxxxx")) // magic + garbage
+	f.Add([]byte("XXXX"))               // wrong magic
+	corrupt := append([]byte(nil), snap...)
+	corrupt[len(corrupt)-1] ^= 0xFF // broken checksum
+	f.Add(corrupt)
+	bigNodes := append([]byte("PBGR\x01"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // huge node count
+	f.Add(bigNodes)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A snapshot the loader accepts must itself re-save and re-load.
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("accepted snapshot fails to save: %v", err)
+		}
+		s2, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("round-trip load failed: %v", err)
+		}
+		if s2.NumNodes() != s.NumNodes() || s2.NumEdges() != s.NumEdges() {
+			t.Fatalf("round-trip changed shape: %d/%d -> %d/%d nodes/edges",
+				s.NumNodes(), s.NumEdges(), s2.NumNodes(), s2.NumEdges())
+		}
+	})
+}

@@ -254,8 +254,10 @@ func Load(r io.Reader) (*Store, error) {
 	if err != nil || nstrs > 1<<28 {
 		return nil, fmt.Errorf("%w: string count", ErrBadKBSnapshot)
 	}
-	strs := make([]string, nstrs)
-	for i := range strs {
+	// Grow incrementally rather than pre-allocating nstrs entries: a
+	// corrupt header must not be able to demand gigabytes up front.
+	strs := make([]string, 0, minUint64(nstrs, 1<<16))
+	for i := uint64(0); i < nstrs; i++ {
 		ln, err := binary.ReadUvarint(cr)
 		if err != nil || ln > 1<<20 {
 			return nil, fmt.Errorf("%w: string length", ErrBadKBSnapshot)
@@ -264,7 +266,7 @@ func Load(r io.Reader) (*Store, error) {
 		if _, err := io.ReadFull(cr, buf); err != nil {
 			return nil, fmt.Errorf("%w: string bytes: %v", ErrBadKBSnapshot, err)
 		}
-		strs[i] = string(buf)
+		strs = append(strs, string(buf))
 	}
 	ref := func() (string, error) {
 		id, err := binary.ReadUvarint(cr)
@@ -358,4 +360,11 @@ func Load(r io.Reader) (*Store, error) {
 		return nil, ErrKBChecksum
 	}
 	return s, nil
+}
+
+func minUint64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }

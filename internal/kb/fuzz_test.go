@@ -1,0 +1,63 @@
+package kb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedStore builds a small Γ with counts, evidence and
+// co-occurrence entries whose snapshot seeds the fuzz corpus.
+func fuzzSeedStore() *Store {
+	s := NewStore(8)
+	s.Add("company", "IBM", 12)
+	s.Add("company", "Microsoft", 9)
+	s.Add("animal", "cat", 4)
+	s.AddEvidence("company", "IBM", Evidence{Pattern: 1, PageScore: 0.8, ListLen: 3, Pos: 1})
+	s.AddEvidence("company", "IBM", Evidence{Pattern: 2, PageScore: 0.4, ListLen: 5, Pos: 4, Negative: true})
+	s.AddCo("company", "IBM", "Microsoft", 3)
+	return s
+}
+
+// FuzzLoad feeds arbitrary bytes to the Γ snapshot loader. Corrupt or
+// truncated input must produce an error — never a panic or an
+// implausible allocation. A successful load must round-trip.
+func FuzzLoad(f *testing.F) {
+	var valid bytes.Buffer
+	if err := fuzzSeedStore().Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	snap := valid.Bytes()
+	f.Add(snap)
+	f.Add(snap[:len(snap)/2])           // truncated
+	f.Add(snap[:4])                     // magic only
+	f.Add([]byte{})                     // empty
+	f.Add([]byte("PBKBxxxxxxxxxxxxxx")) // magic + garbage
+	f.Add([]byte("XXXX"))               // wrong magic
+	corrupt := append([]byte(nil), snap...)
+	corrupt[len(corrupt)-1] ^= 0xFF // broken checksum
+	f.Add(corrupt)
+	bigStrings := append([]byte("PBKB\x01"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // huge string count
+	f.Add(bigStrings)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("accepted snapshot fails to save: %v", err)
+		}
+		s2, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("round-trip load failed: %v", err)
+		}
+		a, b := s.Stats(), s2.Stats()
+		if a.Pairs != b.Pairs || a.Supers != b.Supers {
+			t.Fatalf("round-trip changed shape: %+v -> %+v", a, b)
+		}
+	})
+}

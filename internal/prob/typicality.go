@@ -2,6 +2,7 @@ package prob
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -15,11 +16,18 @@ type Ranked struct {
 
 // Typicality computes T(i|x) (instantiation) and T(x|i) (abstraction)
 // over a plausibility-annotated taxonomy DAG, per Section 4.2.
+//
+// A Typicality is safe for concurrent use by multiple goroutines once
+// NewTypicality returns: the reachability table is immutable after
+// construction and the memoised T(i|x) tables are guarded by a lock.
 type Typicality struct {
 	g *graph.Store
 	// reach holds P(x,y): the probability that at least one path connects
 	// x down to y, from Algorithm 3. Keyed by x<<32|y. P(x,x)=1 implicit.
 	reach map[uint64]float64
+	// instMu guards instCache; queries memoise lazily, so concurrent
+	// readers race on the map without it.
+	instMu sync.RWMutex
 	// instCache memoises the normalised T(i|x) table per concept.
 	instCache map[graph.NodeID][]Ranked
 	// conceptMass is the prior weight of each concept (its outgoing
@@ -125,7 +133,10 @@ func (t *Typicality) Reach(x, y graph.NodeID) float64 {
 // T(i|x) (Eq. 4): evidence from x itself and from every descendant
 // concept y, weighted by P(x,y) · n(y,i) · P(y,i), normalised over Ix.
 func (t *Typicality) InstancesOf(x graph.NodeID) []Ranked {
-	if cached, ok := t.instCache[x]; ok {
+	t.instMu.RLock()
+	cached, ok := t.instCache[x]
+	t.instMu.RUnlock()
+	if ok {
 		return cached
 	}
 	scores := make(map[graph.NodeID]float64)
@@ -158,7 +169,9 @@ func (t *Typicality) InstancesOf(x graph.NodeID) []Ranked {
 		out = append(out, Ranked{Label: t.g.Label(i), Score: score})
 	}
 	sortRanked(out)
+	t.instMu.Lock()
 	t.instCache[x] = out
+	t.instMu.Unlock()
 	return out
 }
 

@@ -2,6 +2,7 @@ package prob
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/graph"
@@ -204,4 +205,35 @@ func TestTopK(t *testing.T) {
 	if got := TopK(rs, 10); len(got) != 3 {
 		t.Errorf("TopK overflow = %v", got)
 	}
+}
+
+// Typicality memoises T(i|x) lazily; concurrent queries from a serving
+// layer must not race on the cache. Run with -race.
+func TestTypicalityConcurrentQueries(t *testing.T) {
+	g, ids := companyGraph()
+	ty, err := NewTypicality(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concepts := []graph.NodeID{ids["company"], ids["it company"], ids["big company"]}
+	instances := []graph.NodeID{ids["IBM"], ids["Microsoft"], ids["Xyz Inc"]}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				x := concepts[(w+i)%len(concepts)]
+				if rs := ty.InstancesOf(x); len(rs) == 0 {
+					t.Errorf("InstancesOf(%d) empty", x)
+					return
+				}
+				inst := instances[(w+i)%len(instances)]
+				ty.ConceptsOf(inst)
+				ty.ConceptsOfSet([]graph.NodeID{inst})
+				ty.Reach(x, inst)
+			}
+		}(w)
+	}
+	wg.Wait()
 }

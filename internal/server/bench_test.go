@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchServe drives the handler directly (no network hop), the same way
+// the endpoint tests do.
+func benchServe(b *testing.B, s *Server, path string) int {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+// BenchmarkServeCold measures the cache-miss path: every iteration asks
+// a distinct query (the key varies with k), so the engine computes and
+// the JSON is marshalled fresh each time.
+func BenchmarkServeCold(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping serve benchmark in -short mode")
+	}
+	s := New(testProbase(b), Config{MaxK: 1 << 30})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A unique k per iteration defeats the cache by construction.
+		path := fmt.Sprintf("/v1/instances?concept=companies&k=%d", i+1)
+		if code := benchServe(b, s, path); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// BenchmarkServeHot measures the cache-hit path: one warmed query,
+// repeated. The gap to BenchmarkServeCold is what the sharded LRU buys.
+func BenchmarkServeHot(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping serve benchmark in -short mode")
+	}
+	s := New(testProbase(b), Config{})
+	const path = "/v1/instances?concept=companies&k=10"
+	if code := benchServe(b, s, path); code != http.StatusOK {
+		b.Fatalf("warmup status %d", code)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := benchServe(b, s, path); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// BenchmarkServeHotParallel stresses the sharded cache from all cores —
+// the concurrency the shard-per-mutex design exists for.
+func BenchmarkServeHotParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping serve benchmark in -short mode")
+	}
+	s := New(testProbase(b), Config{})
+	paths := []string{
+		"/v1/instances?concept=companies&k=10",
+		"/v1/instances?concept=animals&k=10",
+		"/v1/concepts?term=IBM&k=10",
+		"/v1/plausibility?x=companies&y=IBM",
+	}
+	for _, p := range paths {
+		if code := benchServe(b, s, p); code != http.StatusOK {
+			b.Fatalf("warmup status %d", code)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			path := paths[i%len(paths)]
+			i++
+			if code := benchServe(b, s, path); code != http.StatusOK {
+				b.Fatalf("status %d", code)
+			}
+		}
+	})
+}

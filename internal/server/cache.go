@@ -1,0 +1,116 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a sharded LRU for hot query results. Keys are hashed to one
+// of N shards (N rounded up to a power of two), each with its own lock
+// and its own LRU list, so concurrent readers of different keys almost
+// never contend on the same mutex. Values are opaque; the server stores
+// fully marshalled response bodies so a hit skips both the query engine
+// and JSON encoding.
+type Cache struct {
+	shards []*cacheShard
+	mask   uint64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key -> element; element value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache builds a cache with shardCount shards (rounded up to a power
+// of two, minimum 1) holding at most perShard entries each.
+func NewCache(shardCount, perShard int) *Cache {
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{shards: make([]*cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			cap:   perShard,
+			ll:    list.New(),
+			items: make(map[string]*list.Element, perShard),
+		}
+	}
+	return c
+}
+
+// fnv1a hashes the key for shard selection (FNV-1a, 64-bit).
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return c.shards[fnv1a(key)&c.mask]
+}
+
+// Get returns the cached value for key and bumps its recency.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
+	if !ok {
+		return nil, false
+	}
+	sh.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a value, evicting the shard's least recently used entry
+// when the shard is full.
+func (c *Cache) Put(key string, val []byte) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		sh.ll.MoveToFront(el)
+		return
+	}
+	if sh.ll.Len() >= sh.cap {
+		oldest := sh.ll.Back()
+		if oldest != nil {
+			sh.ll.Remove(oldest)
+			delete(sh.items, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	sh.items[key] = sh.ll.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// Len returns the total number of cached entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Shards returns the shard count (for observability).
+func (c *Cache) Shards() int { return len(c.shards) }

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(4, 2)
+	if c.Shards() != 4 {
+		t.Errorf("shards = %d, want 4", c.Shards())
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Error("empty cache reported a hit")
+	}
+	c.Put("a", []byte("1"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Errorf("Get(a) = %q, %v", v, ok)
+	}
+	c.Put("a", []byte("2")) // overwrite, not duplicate
+	if v, _ := c.Get("a"); string(v) != "2" {
+		t.Errorf("overwrite lost: %q", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {3, 4}, {4, 4}, {5, 8}, {16, 16},
+	} {
+		if got := NewCache(tc.in, 1).Shards(); got != tc.want {
+			t.Errorf("NewCache(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// A single-shard cache must evict its least recently used entry.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1, 2)
+	c.Put("a", []byte("a"))
+	c.Put("b", []byte("b"))
+	c.Get("a") // bump a; b is now LRU
+	c.Put("c", []byte("c"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("fresh entry c missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+// Concurrent mixed traffic over many keys; run with -race.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(8, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("key-%d", (w*31+i)%200)
+				if v, ok := c.Get(key); ok && len(v) == 0 {
+					t.Error("empty value from cache")
+					return
+				}
+				c.Put(key, []byte(key))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() == 0 {
+		t.Error("cache empty after concurrent writes")
+	}
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a fixed-bucket latency histogram implementing expvar.Var.
+// Buckets are cumulative ("le" = less-than-or-equal, Prometheus style);
+// the final bucket is +Inf, so it always equals Count.
+type histogram struct {
+	bounds []time.Duration // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Int64  // len(bounds)+1
+	count  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+var defaultBuckets = []time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+func newHistogram() *histogram {
+	return &histogram{
+		bounds: defaultBuckets,
+		counts: make([]atomic.Int64, len(defaultBuckets)+1),
+	}
+}
+
+// Observe records one latency sample.
+func (h *histogram) Observe(d time.Duration) {
+	i := len(h.bounds)
+	for j, b := range h.bounds {
+		if d <= b {
+			i = j
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// String renders the histogram as JSON, cumulative counts per bucket.
+func (h *histogram) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(&sb, "%q: %d, ", "le_"+b.String(), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(&sb, "%q: %d, ", "le_inf", cum)
+	fmt.Fprintf(&sb, "%q: %d, ", "count", h.count.Load())
+	fmt.Fprintf(&sb, "%q: %.3f}", "sum_ms", float64(h.sumNS.Load())/1e6)
+	return sb.String()
+}
+
+// endpointMetrics aggregates one endpoint's counters and latency.
+type endpointMetrics struct {
+	requests  *expvar.Int
+	errors    *expvar.Int // responses with status >= 400
+	cacheHits *expvar.Int
+	cacheMiss *expvar.Int
+	latency   *histogram
+}
+
+// Metrics is the server's observability surface. Every counter lives in
+// a private expvar.Map (not expvar.Publish'd — multiple servers in one
+// process, as in tests, must not collide on global names) and is served
+// on /debug/vars by Handler.
+type Metrics struct {
+	vars      *expvar.Map
+	endpoints map[string]*endpointMetrics
+	inflight  *expvar.Int
+}
+
+// newMetrics prepares per-endpoint metric families for the given
+// endpoint names.
+func newMetrics(endpoints []string) *Metrics {
+	m := &Metrics{
+		vars:      new(expvar.Map).Init(),
+		endpoints: make(map[string]*endpointMetrics, len(endpoints)),
+		inflight:  new(expvar.Int),
+	}
+	m.vars.Set("inflight", m.inflight)
+	for _, name := range endpoints {
+		em := &endpointMetrics{
+			requests:  new(expvar.Int),
+			errors:    new(expvar.Int),
+			cacheHits: new(expvar.Int),
+			cacheMiss: new(expvar.Int),
+			latency:   newHistogram(),
+		}
+		sub := new(expvar.Map).Init()
+		sub.Set("requests", em.requests)
+		sub.Set("errors", em.errors)
+		sub.Set("cache_hits", em.cacheHits)
+		sub.Set("cache_misses", em.cacheMiss)
+		sub.Set("latency", em.latency)
+		m.vars.Set(name, sub)
+		m.endpoints[name] = em
+	}
+	return m
+}
+
+func (m *Metrics) endpoint(name string) *endpointMetrics { return m.endpoints[name] }
+
+// Handler serves the metrics tree as JSON, like the stdlib's
+// /debug/vars but scoped to this server instance.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintln(w, m.vars.String())
+	})
+}

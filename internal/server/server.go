@@ -1,0 +1,489 @@
+// Package server exposes a built Probase taxonomy as a concurrent HTTP
+// query service — the serving shape of the paper's Section 5.3
+// applications (semantic search, short-text conceptualisation, table
+// understanding all sit on these primitives).
+//
+// The snapshot is loaded once; every request is answered from memory.
+// In front of the engine sits a sharded LRU cache for hot queries and
+// an expvar-based metrics layer (per-endpoint request/error/cache
+// counters and latency histograms) served on /debug/vars.
+//
+// # Endpoint contract
+//
+// All endpoints are GET (conceptualize also accepts POST form data),
+// return "application/json", and echo their effective parameters.
+// Errors are {"error": "..."} with a 4xx/5xx status. The X-Cache
+// response header reports "hit" or "miss" on cacheable endpoints.
+//
+//	GET /v1/instances?concept=C&k=10
+//	    Top-k typical instances of C by T(i|x).
+//	    -> {"concept": C, "k": 10, "results": [{"label": .., "score": ..}]}
+//
+//	GET /v1/concepts?term=T&k=10
+//	    Top-k concepts of T by the abstraction typicality T(x|i).
+//	    -> {"term": T, "k": 10, "results": [...]}
+//
+//	GET /v1/typicality?concept=C&instance=I
+//	    Both directed typicality scores for the pair.
+//	    -> {"concept": C, "instance": I,
+//	        "t_instance_given_concept": .., "t_concept_given_instance": ..}
+//
+//	GET /v1/plausibility?x=X&y=Y
+//	    P(x, y) of the isA claim "Y isA X".
+//	    -> {"x": X, "y": Y, "plausibility": ..}
+//
+//	GET /v1/conceptualize?terms=a,b,c&k=5
+//	GET /v1/conceptualize?text=free+text&k=5
+//	    Joint conceptualisation of a term set (Section 5.3.2). With
+//	    text=, known entity mentions are first extracted with the
+//	    fine-grained recogniser from internal/apps. 404 when no term is
+//	    known to the taxonomy.
+//	    -> {"terms": [...], "k": 5, "results": [...]}
+//
+//	GET /v1/healthz
+//	    Liveness plus snapshot shape.
+//	    -> {"status": "ok", "nodes": .., "edges": .., "uptime_ms": ..}
+//
+//	GET /debug/vars
+//	    Metrics tree: per-endpoint requests, errors, cache_hits,
+//	    cache_misses, latency histogram; global inflight gauge.
+//
+// Each request runs under a context deadline (Config.RequestTimeout);
+// exceeding it aborts the request with 503.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/extraction"
+	"repro/internal/prob"
+)
+
+// Config tunes the serving layer. The zero value is usable.
+type Config struct {
+	// CacheShards is the number of LRU shards (rounded up to a power of
+	// two). Default 16.
+	CacheShards int
+	// CacheEntriesPerShard bounds each shard. Default 512.
+	CacheEntriesPerShard int
+	// RequestTimeout aborts slow requests. Default 5s.
+	RequestTimeout time.Duration
+	// MaxK caps the k parameter. Default 1000.
+	MaxK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.CacheEntriesPerShard <= 0 {
+		c.CacheEntriesPerShard = 512
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	return c
+}
+
+// endpoint names, used for routing and metrics families.
+const (
+	epInstances     = "instances"
+	epConcepts      = "concepts"
+	epTypicality    = "typicality"
+	epPlausibility  = "plausibility"
+	epConceptualize = "conceptualize"
+	epHealthz       = "healthz"
+)
+
+var allEndpoints = []string{
+	epInstances, epConcepts, epTypicality, epPlausibility,
+	epConceptualize, epHealthz,
+}
+
+// Server answers taxonomy queries over HTTP. Safe for concurrent use;
+// construct with New and mount via Handler (or use it directly as an
+// http.Handler).
+type Server struct {
+	pb      *core.Probase
+	rec     *apps.Recognizer
+	cache   *Cache
+	metrics *Metrics
+	cfg     Config
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// New builds a Server around a loaded taxonomy.
+func New(pb *core.Probase, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		pb:      pb,
+		rec:     apps.NewRecognizer(pb),
+		cache:   NewCache(cfg.CacheShards, cfg.CacheEntriesPerShard),
+		metrics: newMetrics(allEndpoints),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.mux.Handle("/v1/instances", s.wrap(epInstances, true, s.handleInstances))
+	s.mux.Handle("/v1/concepts", s.wrap(epConcepts, true, s.handleConcepts))
+	s.mux.Handle("/v1/typicality", s.wrap(epTypicality, true, s.handleTypicality))
+	s.mux.Handle("/v1/plausibility", s.wrap(epPlausibility, true, s.handlePlausibility))
+	s.mux.Handle("/v1/conceptualize", s.wrap(epConceptualize, true, s.handleConceptualize))
+	s.mux.Handle("/v1/healthz", s.wrap(epHealthz, false, s.handleHealthz))
+	s.mux.Handle("/debug/vars", s.metrics.Handler())
+	return s
+}
+
+// Handler returns the root handler for mounting under an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP lets the Server be used directly as a handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the metrics registry (for embedding in other muxes).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// httpError is an error with an HTTP status; handlers return it to
+// signal 4xx responses.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// handlerFunc computes a response. Returning (key != "", body) makes the
+// response cacheable under that key. Errors map to JSON error bodies.
+type handlerFunc func(r *http.Request) (cacheKey string, body any, err error)
+
+// wrap applies the per-request pipeline: method check, deadline, cache
+// lookup, handler, cache fill, metrics.
+func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
+	em := s.metrics.endpoint(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		em.requests.Add(1)
+		s.metrics.inflight.Add(1)
+		defer func() {
+			s.metrics.inflight.Add(-1)
+			em.latency.Observe(time.Since(started))
+		}()
+
+		if r.Method != http.MethodGet && !(name == epConceptualize && r.Method == http.MethodPost) {
+			em.errors.Add(1)
+			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		key, body, err := h(r)
+		canCache := cacheable && key != ""
+		if err != nil {
+			status := http.StatusInternalServerError
+			var he *httpError
+			if errors.As(err, &he) {
+				status = he.status
+			}
+			if ctx.Err() != nil {
+				status = http.StatusServiceUnavailable
+			}
+			em.errors.Add(1)
+			writeJSONError(w, status, err.Error())
+			return
+		}
+		// body is either pre-marshalled cache bytes or a fresh value.
+		var payload []byte
+		if raw, ok := body.(cachedBody); ok {
+			payload = raw
+			w.Header().Set("X-Cache", "hit")
+			em.cacheHits.Add(1)
+		} else {
+			payload, err = json.Marshal(body)
+			if err != nil {
+				em.errors.Add(1)
+				writeJSONError(w, http.StatusInternalServerError, "encoding response")
+				return
+			}
+			if canCache {
+				s.cache.Put(key, payload)
+				w.Header().Set("X-Cache", "miss")
+				em.cacheMiss.Add(1)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(payload)
+		w.Write([]byte("\n"))
+	})
+}
+
+// cachedBody marks a response that came straight from the cache.
+type cachedBody []byte
+
+// cached consults the cache; handlers call it once their key is known.
+func (s *Server) cached(key string) (any, bool) {
+	if v, ok := s.cache.Get(key); ok {
+		return cachedBody(v), true
+	}
+	return nil, false
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// rankedResult is one scored label in a response.
+type rankedResult struct {
+	Label string  `json:"label"`
+	Score float64 `json:"score"`
+}
+
+func toResults(rs []prob.Ranked) []rankedResult {
+	out := make([]rankedResult, len(rs))
+	for i, r := range rs {
+		out[i] = rankedResult{Label: r.Label, Score: r.Score}
+	}
+	return out
+}
+
+// parseK reads and bounds the k parameter.
+func (s *Server) parseK(r *http.Request) (int, error) {
+	raw := r.FormValue("k")
+	if raw == "" {
+		return 10, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		return 0, badRequest("k must be a positive integer, got %q", raw)
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+	return k, nil
+}
+
+func cacheKey(parts ...string) string { return strings.Join(parts, "\x1f") }
+
+func (s *Server) handleInstances(r *http.Request) (string, any, error) {
+	concept := strings.TrimSpace(r.FormValue("concept"))
+	if concept == "" {
+		return "", nil, badRequest("missing required parameter: concept")
+	}
+	k, err := s.parseK(r)
+	if err != nil {
+		return "", nil, err
+	}
+	key := cacheKey(epInstances, concept, strconv.Itoa(k))
+	if hit, ok := s.cached(key); ok {
+		return key, hit, nil
+	}
+	return key, struct {
+		Concept string         `json:"concept"`
+		K       int            `json:"k"`
+		Results []rankedResult `json:"results"`
+	}{concept, k, toResults(s.pb.InstancesOf(concept, k))}, nil
+}
+
+func (s *Server) handleConcepts(r *http.Request) (string, any, error) {
+	term := strings.TrimSpace(r.FormValue("term"))
+	if term == "" {
+		return "", nil, badRequest("missing required parameter: term")
+	}
+	k, err := s.parseK(r)
+	if err != nil {
+		return "", nil, err
+	}
+	key := cacheKey(epConcepts, term, strconv.Itoa(k))
+	if hit, ok := s.cached(key); ok {
+		return key, hit, nil
+	}
+	return key, struct {
+		Term    string         `json:"term"`
+		K       int            `json:"k"`
+		Results []rankedResult `json:"results"`
+	}{term, k, toResults(s.pb.ConceptsOf(term, k))}, nil
+}
+
+func (s *Server) handleTypicality(r *http.Request) (string, any, error) {
+	concept := strings.TrimSpace(r.FormValue("concept"))
+	instance := strings.TrimSpace(r.FormValue("instance"))
+	if concept == "" || instance == "" {
+		return "", nil, badRequest("missing required parameters: concept and instance")
+	}
+	key := cacheKey(epTypicality, concept, instance)
+	if hit, ok := s.cached(key); ok {
+		return key, hit, nil
+	}
+	return key, struct {
+		Concept           string  `json:"concept"`
+		Instance          string  `json:"instance"`
+		TInstGivenConcept float64 `json:"t_instance_given_concept"`
+		TConceptGivenInst float64 `json:"t_concept_given_instance"`
+	}{
+		concept, instance,
+		s.scoreFor(s.pb.InstancesOf(concept, s.cfg.MaxK), instance, false),
+		s.scoreFor(s.pb.ConceptsOf(instance, s.cfg.MaxK), concept, true),
+	}, nil
+}
+
+// scoreFor finds label's score in a ranked list. Concept labels in the
+// graph are canonical singular sense nodes ("company#2"), so the query's
+// surface form is canonicalised and sense suffixes are stripped before
+// comparing; conceptPos selects the super-concept canonicaliser.
+func (s *Server) scoreFor(rs []prob.Ranked, label string, conceptPos bool) float64 {
+	want := strings.ToLower(label)
+	canon := extraction.CanonicalSub(label)
+	if conceptPos {
+		canon = extraction.CanonicalSuper(label)
+	}
+	for _, r := range rs {
+		got := strings.ToLower(core.BaseLabel(r.Label))
+		if got == want || got == strings.ToLower(canon) {
+			return r.Score
+		}
+	}
+	return 0
+}
+
+func (s *Server) handlePlausibility(r *http.Request) (string, any, error) {
+	x := strings.TrimSpace(r.FormValue("x"))
+	y := strings.TrimSpace(r.FormValue("y"))
+	if x == "" || y == "" {
+		return "", nil, badRequest("missing required parameters: x and y")
+	}
+	key := cacheKey(epPlausibility, x, y)
+	if hit, ok := s.cached(key); ok {
+		return key, hit, nil
+	}
+	return key, struct {
+		X            string  `json:"x"`
+		Y            string  `json:"y"`
+		Plausibility float64 `json:"plausibility"`
+	}{x, y, s.pb.Plausibility(x, y)}, nil
+}
+
+const (
+	maxConceptualizeTerms = 32
+	maxConceptualizeText  = 4096
+)
+
+func (s *Server) handleConceptualize(r *http.Request) (string, any, error) {
+	k, err := s.parseK(r)
+	if err != nil {
+		return "", nil, err
+	}
+	var terms []string
+	rawTerms := strings.TrimSpace(r.FormValue("terms"))
+	text := strings.TrimSpace(r.FormValue("text"))
+	switch {
+	case rawTerms != "" && text != "":
+		return "", nil, badRequest("pass either terms or text, not both")
+	case rawTerms != "":
+		for _, t := range strings.Split(rawTerms, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				terms = append(terms, t)
+			}
+		}
+	case text != "":
+		if len(text) > maxConceptualizeText {
+			return "", nil, badRequest("text exceeds %d bytes", maxConceptualizeText)
+		}
+		for _, m := range s.rec.Recognize(text) {
+			terms = append(terms, m.Text)
+		}
+		if len(terms) == 0 {
+			return "", nil, notFound("no known entity mentions in text")
+		}
+	default:
+		return "", nil, badRequest("missing required parameter: terms or text")
+	}
+	if len(terms) > maxConceptualizeTerms {
+		return "", nil, badRequest("at most %d terms", maxConceptualizeTerms)
+	}
+	key := cacheKey(epConceptualize, strings.Join(terms, ","), strconv.Itoa(k))
+	if hit, ok := s.cached(key); ok {
+		return key, hit, nil
+	}
+	ranked, ok := s.pb.Conceptualize(terms, k)
+	if !ok {
+		// Per-term abstraction fills in when the joint set is unknown —
+		// the internal/apps short-text fallback.
+		ranked = s.perTermFallback(terms, k)
+		if len(ranked) == 0 {
+			return "", nil, notFound("no term in %v is known to the taxonomy", terms)
+		}
+	}
+	return key, struct {
+		Terms   []string       `json:"terms"`
+		K       int            `json:"k"`
+		Results []rankedResult `json:"results"`
+	}{terms, k, toResults(ranked)}, nil
+}
+
+// perTermFallback merges per-term abstractions by summed score when the
+// joint conceptualisation has no candidate covering every term.
+func (s *Server) perTermFallback(terms []string, k int) []prob.Ranked {
+	scores := map[string]float64{}
+	for _, term := range terms {
+		for _, r := range s.pb.ConceptsOf(term, k) {
+			scores[core.BaseLabel(r.Label)] += r.Score
+		}
+	}
+	out := make([]prob.Ranked, 0, len(scores))
+	for label, sc := range scores {
+		out = append(out, prob.Ranked{Label: label, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Label < out[j].Label
+	})
+	return prob.TopK(out, k)
+}
+
+func (s *Server) handleHealthz(r *http.Request) (string, any, error) {
+	return "", struct {
+		Status   string `json:"status"`
+		Nodes    int    `json:"nodes"`
+		Edges    int    `json:"edges"`
+		Shards   int    `json:"cache_shards"`
+		Cached   int    `json:"cache_entries"`
+		UptimeMS int64  `json:"uptime_ms"`
+	}{
+		Status:   "ok",
+		Nodes:    s.pb.Graph.NumNodes(),
+		Edges:    s.pb.Graph.NumEdges(),
+		Shards:   s.cache.Shards(),
+		Cached:   s.cache.Len(),
+		UptimeMS: time.Since(s.start).Milliseconds(),
+	}, nil
+}

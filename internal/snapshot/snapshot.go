@@ -1,0 +1,52 @@
+// Package snapshot loads taxonomy snapshots produced by probase-build.
+// Both snapshot flavours are accepted and auto-detected by magic:
+// graph-only ("PBGR", written by Probase.Save) and full ("PBFL", written
+// by Probase.SaveFull, carrying Γ alongside the graph). The loader is
+// shared by every binary that consumes snapshots (probase-query,
+// probase-serve) so the flavour-sniffing logic lives in exactly one
+// place.
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+// fullMagic marks a full (graph + Γ) snapshot; anything else is handed
+// to the graph-only loader, which validates its own magic.
+const fullMagic = "PBFL"
+
+// Open reads the snapshot file at path, auto-detecting its flavour.
+func Open(path string) (*core.Probase, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pb, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	return pb, nil
+}
+
+// Load reads a snapshot from r, auto-detecting its flavour. The reader
+// must support seeking back to the start (os.File, bytes.Reader); the
+// four magic bytes are sniffed and then the full stream is re-read by
+// the flavour's loader.
+func Load(r io.ReadSeeker) (*core.Probase, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if string(magic) == fullMagic {
+		return core.LoadFull(r)
+	}
+	return core.Load(r)
+}

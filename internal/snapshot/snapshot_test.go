@@ -1,0 +1,146 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/extraction"
+	"repro/internal/graph"
+)
+
+// buildProbase constructs a tiny Probase with Γ from handcrafted
+// sentences, enough to exercise both snapshot flavours.
+func buildProbase(t *testing.T) *core.Probase {
+	t.Helper()
+	sentences := []string{
+		"animals such as cats, dogs and rabbits live here.",
+		"domestic animals such as cats and dogs are popular.",
+		"companies such as IBM, Microsoft and Google compete.",
+		"large companies such as IBM and Microsoft hire.",
+		"pets such as cats and dogs need care.",
+	}
+	inputs := make([]extraction.Input, len(sentences))
+	for i, s := range sentences {
+		inputs[i] = extraction.Input{Text: s, PageScore: 0.9}
+	}
+	pb, err := core.Build(inputs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb
+}
+
+func graphOnlyBytes(t *testing.T, pb *core.Probase) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func fullBytes(t *testing.T, pb *core.Probase) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pb.SaveFull(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenFlavours(t *testing.T) {
+	pb := buildProbase(t)
+	for _, tc := range []struct {
+		name string
+		data []byte
+		full bool
+	}{
+		{"graph-only", graphOnlyBytes(t, pb), false},
+		{"full", fullBytes(t, pb), true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Open(writeTemp(t, tc.data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Graph.NumNodes() != pb.Graph.NumNodes() {
+				t.Errorf("nodes = %d, want %d", got.Graph.NumNodes(), pb.Graph.NumNodes())
+			}
+			if (got.Store != nil) != tc.full {
+				t.Errorf("Store presence = %v, want %v", got.Store != nil, tc.full)
+			}
+			if rs := got.InstancesOf("animals", 5); len(rs) == 0 {
+				t.Error("loaded snapshot answers no queries")
+			}
+		})
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	pb := buildProbase(t)
+	gsnap := graphOnlyBytes(t, pb)
+	fsnap := fullBytes(t, pb)
+
+	corruptCRC := append([]byte(nil), gsnap...)
+	corruptCRC[len(corruptCRC)-1] ^= 0xFF
+
+	fullCorrupt := append([]byte(nil), fsnap...)
+	fullCorrupt[len(fullCorrupt)-1] ^= 0xFF
+
+	cases := []struct {
+		name    string
+		data    []byte // nil means: use a missing path instead
+		wantErr error  // nil means: any error is fine
+	}{
+		{name: "missing file", data: nil},
+		{name: "empty stream", data: []byte{}},
+		{name: "short magic", data: []byte("PB")},
+		{name: "bad magic", data: []byte("XXXXgarbage")},
+		{name: "truncated graph stream", data: gsnap[:len(gsnap)/2]},
+		{name: "truncated full stream", data: fsnap[:len(fsnap)/2]},
+		{name: "full magic only", data: []byte("PBFL")},
+		{name: "bad graph checksum", data: corruptCRC, wantErr: graph.ErrChecksum},
+		{name: "bad checksum inside full snapshot", data: fullCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "does-not-exist.bin")
+			if tc.data != nil {
+				path = writeTemp(t, tc.data)
+			}
+			_, err := Open(path)
+			if err == nil {
+				t.Fatal("Open succeeded on invalid input")
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Errorf("err = %v, want errors.Is(…, %v)", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Load requires a seekable reader and must leave detection to the
+// flavour loaders: a graph-only stream must not reach LoadFull.
+func TestLoadSeeksBack(t *testing.T) {
+	pb := buildProbase(t)
+	got, err := Load(bytes.NewReader(graphOnlyBytes(t, pb)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Store != nil {
+		t.Error("graph-only snapshot produced a Γ store")
+	}
+}
