@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/corpus"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,9 +32,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scale     = fs.Float64("scale", 1, "world expansion scale")
 		seed      = fs.Int64("seed", 11, "PRNG seed")
 		out       = fs.String("o", "corpus.tsv", "output file ('-' for stdout)")
+		version   = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		obs.PrintVersion(stdout, "corpusgen")
+		return nil
 	}
 
 	w := corpus.DefaultWorld(*scale)

@@ -61,3 +61,13 @@ func TestRunUnwritablePath(t *testing.T) {
 		t.Error("unwritable path accepted")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-version"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "corpusgen version") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+}

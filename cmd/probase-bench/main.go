@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 var experimentOrder = []string{
@@ -42,9 +43,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scale     = fs.Float64("scale", 1, "world scale")
 		seed      = fs.Int64("seed", 11, "corpus seed")
 		queries   = fs.Int("queries", 50000, "query-log size for the coverage figures")
+		version   = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		obs.PrintVersion(stdout, "probase-bench")
+		return nil
 	}
 
 	want := map[string]bool{}

@@ -47,3 +47,13 @@ func TestBenchBadFlag(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-version"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "probase-bench version") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+}

@@ -10,9 +10,15 @@
 // expanded world is used as the plausibility model's training oracle (the
 // role WordNet plays in the paper). With -full, Γ (evidence and
 // co-occurrence statistics) is persisted alongside the graph.
+//
+// Human progress (per-round extraction counters with an ETA, merge-stage
+// timings, the final summary) goes to stderr so stdout stays clean for
+// piping; -quiet suppresses it. With -stats-out the same telemetry is
+// written as a machine-readable JSON report ("-" for stdout).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,16 +28,36 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/extraction"
+	"repro/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stderr); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "probase-build:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stderr io.Writer) error {
+// statsReport is the -stats-out document: per-stage pipeline telemetry
+// plus the build's inputs and outputs, so one file answers "what did
+// this build do and how long did each algorithm take".
+type statsReport struct {
+	Build         obs.BuildInfo    `json:"build"`
+	Corpus        string           `json:"corpus"`
+	Sentences     int              `json:"sentences"`
+	Parsed        int              `json:"parsed"`
+	Rounds        int              `json:"rounds"`
+	Pairs         int64            `json:"pairs"`
+	Concepts      int64            `json:"concepts"`
+	GraphNodes    int              `json:"graph_nodes"`
+	GraphEdges    int              `json:"graph_edges"`
+	TotalSeconds  float64          `json:"total_seconds"`
+	Stages        []obs.StageStats `json:"stages"`
+	SnapshotPath  string           `json:"snapshot_path"`
+	SnapshotBytes int64            `json:"snapshot_bytes"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("probase-build", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -41,10 +67,29 @@ func run(args []string, stderr io.Writer) error {
 		rounds     = fs.Int("rounds", 0, "max extraction rounds (0 = default)")
 		workers    = fs.Int("workers", 0, "extraction workers (0 = GOMAXPROCS)")
 		full       = fs.Bool("full", false, "also persist Γ (evidence, co-occurrence) for richer reload")
+		quiet      = fs.Bool("quiet", false, "suppress progress output on stderr")
+		statsOut   = fs.String("stats-out", "", "write a JSON build report to this file ('-' for stdout)")
+		version    = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		obs.PrintVersion(stdout, "probase-build")
+		return nil
+	}
+
+	progress := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Fprintf(stderr, format, a...)
+		}
+	}
+	stats := obs.NewStatsCollector()
+	var reporter obs.StageReporter = stats
+	if !*quiet {
+		reporter = obs.MultiReporter{stats, obs.NewProgressReporter(stderr, "probase-build")}
+	}
+	progress("probase-build: %s\n", obs.Version())
 
 	f, err := os.Open(*corpusPath)
 	if err != nil {
@@ -68,6 +113,7 @@ func run(args []string, stderr io.Writer) error {
 			}
 			return w.IsTrueIsA(x, y), true
 		},
+		Reporter: reporter,
 	}
 	cfg.Extraction.MaxRounds = *rounds
 	cfg.Extraction.Workers = *workers
@@ -96,9 +142,42 @@ func run(args []string, stderr io.Writer) error {
 	}
 
 	st := pb.Store.Stats()
-	fmt.Fprintf(stderr,
+	progress(
 		"probase-build: %d sentences parsed, %d rounds, %d pairs, %d concepts; taxonomy %d nodes / %d edges; %v\n",
 		pb.Info.Parsed, len(pb.Info.Rounds), st.Pairs, st.Supers,
 		pb.Graph.NumNodes(), pb.Graph.NumEdges(), elapsed.Round(time.Millisecond))
+
+	if *statsOut != "" {
+		report := statsReport{
+			Build:        obs.Version(),
+			Corpus:       *corpusPath,
+			Sentences:    len(sentences),
+			Parsed:       pb.Info.Parsed,
+			Rounds:       len(pb.Info.Rounds),
+			Pairs:        st.Pairs,
+			Concepts:     int64(st.Supers),
+			GraphNodes:   pb.Graph.NumNodes(),
+			GraphEdges:   pb.Graph.NumEdges(),
+			TotalSeconds: elapsed.Seconds(),
+			Stages:       stats.Stages(),
+			SnapshotPath: *out,
+		}
+		if fi, err := os.Stat(*out); err == nil {
+			report.SnapshotBytes = fi.Size()
+		}
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding stats report: %w", err)
+		}
+		raw = append(raw, '\n')
+		if *statsOut == "-" {
+			_, err = stdout.Write(raw)
+		} else {
+			err = os.WriteFile(*statsOut, raw, 0o644)
+		}
+		if err != nil {
+			return fmt.Errorf("writing stats report: %w", err)
+		}
+	}
 	return nil
 }

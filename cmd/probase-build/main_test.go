@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,8 +31,8 @@ func writeCorpus(t *testing.T, n int) string {
 func TestBuildGraphSnapshot(t *testing.T) {
 	corpusPath := writeCorpus(t, 4000)
 	out := filepath.Join(t.TempDir(), "p.bin")
-	var stderr bytes.Buffer
-	if err := run([]string{"-corpus", corpusPath, "-o", out}, &stderr); err != nil {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-corpus", corpusPath, "-o", out}, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -49,13 +50,16 @@ func TestBuildGraphSnapshot(t *testing.T) {
 	if !strings.Contains(stderr.String(), "pairs") {
 		t.Errorf("stderr = %q", stderr.String())
 	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout not clean for piping: %q", stdout.String())
+	}
 }
 
 func TestBuildFullSnapshot(t *testing.T) {
 	corpusPath := writeCorpus(t, 4000)
 	out := filepath.Join(t.TempDir(), "p.bin")
-	var stderr bytes.Buffer
-	if err := run([]string{"-corpus", corpusPath, "-o", out, "-full"}, &stderr); err != nil {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-corpus", corpusPath, "-o", out, "-full"}, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -73,8 +77,8 @@ func TestBuildFullSnapshot(t *testing.T) {
 }
 
 func TestBuildMissingCorpus(t *testing.T) {
-	var stderr bytes.Buffer
-	if err := run([]string{"-corpus", "/no/such/file.tsv"}, &stderr); err == nil {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-corpus", "/no/such/file.tsv"}, &stdout, &stderr); err == nil {
 		t.Error("missing corpus accepted")
 	}
 }
@@ -84,8 +88,82 @@ func TestBuildMalformedCorpus(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not a corpus\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var stderr bytes.Buffer
-	if err := run([]string{"-corpus", path}, &stderr); err == nil {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-corpus", path}, &stdout, &stderr); err == nil {
 		t.Error("malformed corpus accepted")
+	}
+}
+
+func TestBuildQuiet(t *testing.T) {
+	corpusPath := writeCorpus(t, 1000)
+	out := filepath.Join(t.TempDir(), "p.bin")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-corpus", corpusPath, "-o", out, "-quiet"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("-quiet still wrote to stderr: %q", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-quiet wrote to stdout: %q", stdout.String())
+	}
+}
+
+func TestBuildStatsOut(t *testing.T) {
+	corpusPath := writeCorpus(t, 2000)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "p.bin")
+	statsPath := filepath.Join(dir, "stats.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-corpus", corpusPath, "-o", out, "-quiet", "-stats-out", statsPath}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report statsReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("stats report is not valid JSON: %v", err)
+	}
+	if report.Pairs == 0 || report.Rounds == 0 {
+		t.Errorf("empty report: %+v", report)
+	}
+	if report.SnapshotBytes == 0 {
+		t.Error("snapshot size missing from report")
+	}
+	stages := make(map[string]bool)
+	for _, s := range report.Stages {
+		stages[s.Name] = true
+	}
+	for _, want := range []string{"extraction", "taxonomy", "prob.algorithm3"} {
+		if !stages[want] {
+			t.Errorf("stage %q missing from report (have %v)", want, report.Stages)
+		}
+	}
+}
+
+func TestBuildStatsToStdout(t *testing.T) {
+	corpusPath := writeCorpus(t, 1000)
+	out := filepath.Join(t.TempDir(), "p.bin")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-corpus", corpusPath, "-o", out, "-quiet", "-stats-out", "-"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var report statsReport
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("stdout stats are not valid JSON: %v\n%s", err, stdout.String())
+	}
+}
+
+func TestBuildVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-version"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "probase-build version") {
+		t.Errorf("stdout = %q", stdout.String())
 	}
 }

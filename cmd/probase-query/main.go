@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
 
@@ -48,9 +49,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		snapPath = fs.String("snapshot", "probase.bin", "taxonomy snapshot")
 		k        = fs.Int("k", 10, "number of results")
+		version  = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		obs.PrintVersion(stdout, "probase-query")
+		return nil
 	}
 	rest := fs.Args()
 	if len(rest) < 2 {

@@ -136,3 +136,13 @@ func TestQueryUsageErrors(t *testing.T) {
 		t.Error("missing snapshot accepted")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-version"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "probase-query version") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+}

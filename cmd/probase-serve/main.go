@@ -12,7 +12,13 @@
 //
 //	curl 'localhost:8080/v1/instances?concept=companies&k=5'
 //	curl 'localhost:8080/v1/conceptualize?terms=China,India,Brazil'
+//	curl 'localhost:8080/metrics'
 //	curl 'localhost:8080/debug/vars'
+//
+// Observability: logs are structured (-log-format json|text, -log-level),
+// every response carries an X-Request-ID header, /metrics serves
+// Prometheus text exposition, -slowlog enables a sampled slow-query log,
+// and -pprof-addr starts a separate net/http/pprof listener.
 //
 // On SIGINT/SIGTERM the listener closes and in-flight requests drain
 // (bounded by -drain) before the process exits.
@@ -31,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/snapshot"
 )
@@ -52,26 +59,40 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 	fs := flag.NewFlagSet("probase-serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		snapPath = fs.String("snapshot", "probase.bin", "taxonomy snapshot from probase-build")
-		addr     = fs.String("addr", ":8080", "listen address")
-		shards   = fs.Int("cache-shards", 16, "hot-query cache shards (rounded up to a power of two)")
-		perShard = fs.Int("cache-per-shard", 512, "max cached responses per shard")
-		reqTO    = fs.Duration("request-timeout", 5*time.Second, "per-request deadline")
-		drain    = fs.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
-		maxK     = fs.Int("max-k", 1000, "cap on the k query parameter")
+		snapPath  = fs.String("snapshot", "probase.bin", "taxonomy snapshot from probase-build")
+		addr      = fs.String("addr", ":8080", "listen address")
+		shards    = fs.Int("cache-shards", 16, "hot-query cache shards (rounded up to a power of two)")
+		perShard  = fs.Int("cache-per-shard", 512, "max cached responses per shard")
+		reqTO     = fs.Duration("request-timeout", 5*time.Second, "per-request deadline")
+		drain     = fs.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
+		maxK      = fs.Int("max-k", 1000, "cap on the k query parameter")
+		logFormat = fs.String("log-format", "text", "log output format: text or json")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		slowlog   = fs.Duration("slowlog", 0, "log requests slower than this threshold (0 disables)")
+		slowEvery = fs.Int("slowlog-every", 1, "sample 1 in N slow requests")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
+		version   = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		obs.PrintVersion(stderr, "probase-serve")
+		return nil
+	}
+	logger := obs.NewLogger(stderr, *logFormat, obs.ParseLevel(*logLevel))
+	logger.Info("starting", "binary", "probase-serve", "version", obs.Version().String())
 
 	start := time.Now()
 	pb, err := snapshot.Open(*snapPath)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "probase-serve: loaded %s in %v: %d nodes, %d edges\n",
-		*snapPath, time.Since(start).Round(time.Millisecond),
-		pb.Graph.NumNodes(), pb.Graph.NumEdges())
+	logger.Info("snapshot loaded",
+		"path", *snapPath,
+		"elapsed", time.Since(start).Round(time.Millisecond).String(),
+		"nodes", pb.Graph.NumNodes(),
+		"edges", pb.Graph.NumEdges())
 
 	srv := server.New(pb, server.Config{
 		CacheShards:          *shards,
@@ -79,8 +100,18 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 		RequestTimeout:       *reqTO,
 		MaxK:                 *maxK,
 	})
+	if fi, err := os.Stat(*snapPath); err == nil {
+		size := float64(fi.Size())
+		srv.Metrics().Registry().GaugeFunc("probase_snapshot_bytes",
+			"Size of the loaded taxonomy snapshot file in bytes.",
+			func() float64 { return size })
+	}
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler: obs.Middleware(srv.Handler(), obs.MiddlewareConfig{
+			Logger:        logger,
+			SlowThreshold: *slowlog,
+			SlowEvery:     *slowEvery,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		// The handler enforces its own per-request deadline; these bound
 		// pathological clients.
@@ -88,11 +119,26 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 		WriteTimeout: 30 * time.Second,
 	}
 
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			pprofSrv := &http.Server{Handler: obs.PprofHandler(), ReadHeaderTimeout: 5 * time.Second}
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Warn("pprof server exited", "err", err.Error())
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "probase-serve: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 	if ready != nil {
 		ready <- ln.Addr()
 	}
@@ -105,7 +151,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(stderr, "probase-serve: shutdown requested, draining in-flight requests")
+	logger.Info("shutdown requested, draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -115,6 +161,6 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	fmt.Fprintln(stderr, "probase-serve: stopped")
+	logger.Info("stopped")
 	return nil
 }

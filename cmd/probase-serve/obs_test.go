@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServerArgs is startServer with extra command-line flags appended.
+func startServerArgs(t *testing.T, ctx context.Context, extra ...string) (string, chan error, *bytes.Buffer) {
+	t.Helper()
+	stderr := &bytes.Buffer{}
+	ready := make(chan net.Addr, 1)
+	exit := make(chan error, 1)
+	args := append([]string{"-snapshot", snapshotPath(t), "-addr", "127.0.0.1:0"}, extra...)
+	go func() {
+		exit <- run(ctx, args, stderr, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), exit, stderr
+	case err := <-exit:
+		t.Fatalf("server exited before ready: %v\n%s", err, stderr.String())
+		return "", nil, nil
+	}
+}
+
+func waitExit(t *testing.T, cancel context.CancelFunc, exit chan error, stderr *bytes.Buffer) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("shutdown error: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not drain\n%s", stderr.String())
+	}
+}
+
+// TestServeMetricsScrape exercises the live /metrics endpoint: after real
+// traffic the Prometheus exposition must include the request counters,
+// the corrected latency buckets (10s and +Inf), and the snapshot gauge.
+func TestServeMetricsScrape(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, exit, stderr := startServerArgs(t, ctx)
+
+	if status, _ := getJSON(t, base+"/v1/instances?concept=companies&k=5"); status != http.StatusOK {
+		t.Fatalf("instances status %d", status)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`probase_http_requests_total{endpoint="instances"} 1`,
+		`probase_http_request_duration_seconds_bucket{endpoint="instances",le="10"}`,
+		`probase_http_request_duration_seconds_bucket{endpoint="instances",le="+Inf"}`,
+		"probase_snapshot_bytes",
+		"probase_snapshot_nodes",
+		"probase_process_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	waitExit(t, cancel, exit, stderr)
+}
+
+// TestServeRequestID checks the middleware contract on a live server: a
+// fresh ID is issued when absent and an inbound ID is echoed back.
+func TestServeRequestID(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, exit, stderr := startServerArgs(t, ctx)
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); id == "" {
+		t.Error("no X-Request-ID issued")
+	}
+
+	req, _ := http.NewRequest("GET", base+"/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "test-trace-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); id != "test-trace-42" {
+		t.Errorf("inbound request ID not echoed: got %q", id)
+	}
+	waitExit(t, cancel, exit, stderr)
+}
+
+// TestServeSlowlog turns the slow-query log on with a zero-distance
+// threshold so every request qualifies, and expects warn records.
+func TestServeSlowlog(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, exit, stderr := startServerArgs(t, ctx, "-slowlog", "1ns", "-log-format", "json")
+
+	if status, _ := getJSON(t, base+"/v1/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+	waitExit(t, cancel, exit, stderr)
+	if !strings.Contains(stderr.String(), "slow query") {
+		t.Errorf("no slow-query record in logs:\n%s", stderr.String())
+	}
+}
+
+// TestServePprofListener starts the optional pprof listener and fetches
+// its index page.
+func TestServePprofListener(t *testing.T) {
+	// Reserve a port for the pprof listener; run() needs a concrete
+	// address since only the main listener's port is reported on ready.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofAddr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, exit, stderr := startServerArgs(t, ctx, "-pprof-addr", pprofAddr)
+
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(raw), "goroutine") {
+		t.Errorf("pprof index unexpected body: %.200s", raw)
+	}
+	waitExit(t, cancel, exit, stderr)
+}
+
+// TestServeVersionFlag verifies -version prints and exits cleanly.
+func TestServeVersionFlag(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &stderr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "probase-serve version") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}

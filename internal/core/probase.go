@@ -11,10 +11,12 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/extraction"
 	"repro/internal/graph"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/internal/prob"
 	"repro/internal/taxonomy"
 )
@@ -28,6 +30,10 @@ type Config struct {
 	// nil oracle the Naive Bayes layer stays uninformative and
 	// plausibility degrades to the count-based noisy-or.
 	Oracle prob.Oracle
+	// Reporter receives stage telemetry from the whole pipeline. It is
+	// propagated to the extraction and taxonomy stages unless those
+	// configs carry their own reporter. Nil discards everything.
+	Reporter obs.StageReporter
 }
 
 // BuildInfo reports what the pipeline did.
@@ -58,6 +64,13 @@ type Probase struct {
 
 // Build runs the full pipeline over corpus sentences.
 func Build(inputs []extraction.Input, cfg Config) (*Probase, error) {
+	rep := obs.ReporterOrNop(cfg.Reporter)
+	if cfg.Extraction.Reporter == nil {
+		cfg.Extraction.Reporter = rep
+	}
+	if cfg.Taxonomy.Reporter == nil {
+		cfg.Taxonomy.Reporter = rep
+	}
 	res := extraction.Run(inputs, cfg.Extraction)
 	if cfg.Taxonomy.Sim == nil && cfg.Taxonomy.MinSenseEvidence == 0 {
 		// Default: drop single-sighting fragment senses; their pairs stay
@@ -66,20 +79,29 @@ func Build(inputs []extraction.Input, cfg Config) (*Probase, error) {
 	}
 	tax := taxonomy.Build(res.Groups, cfg.Taxonomy)
 
+	rep.StageStart("prob.train")
+	trainStart := time.Now()
 	model := prob.Train(res.Store, oracleOrUnknown(cfg.Oracle))
+	rep.StageEnd("prob.train", time.Since(trainStart))
 
 	// Annotate taxonomy edges with plausibility from the evidence model.
+	rep.StageStart("prob.annotate")
+	annStart := time.Now()
 	g := tax.Graph
+	annotated := int64(0)
 	for _, from := range g.Concepts() {
 		x := BaseLabel(g.Label(from))
 		for _, e := range g.Children(from) {
 			y := BaseLabel(g.Label(e.To))
 			if p := model.Plausibility(x, y); p > 0 {
 				g.AddEdge(from, e.To, 0, p)
+				annotated++
 			}
 		}
 	}
-	typ, err := prob.NewTypicality(g)
+	rep.Count("prob.annotate", "edges_annotated", annotated)
+	rep.StageEnd("prob.annotate", time.Since(annStart))
+	typ, err := prob.NewTypicalityObserved(g, rep)
 	if err != nil {
 		return nil, fmt.Errorf("core: taxonomy is not a DAG: %w", err)
 	}

@@ -8,7 +8,11 @@
 // later rounds, when Γ knows more.
 package extraction
 
-import "runtime"
+import (
+	"runtime"
+
+	"repro/internal/obs"
+)
 
 // Config holds the thresholds of Algorithm 1. The zero value is unusable;
 // start from DefaultConfig.
@@ -40,6 +44,9 @@ type Config struct {
 	// MaxEvidencePerPair caps stored evidence per pair (the noisy-or
 	// saturates quickly); 0 keeps everything.
 	MaxEvidencePerPair int
+	// Reporter receives per-round telemetry from the Algorithm 1 driver
+	// (stage "extraction"); nil discards it.
+	Reporter obs.StageReporter
 }
 
 // DefaultConfig returns the thresholds used throughout the evaluation.

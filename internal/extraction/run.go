@@ -2,9 +2,11 @@ package extraction
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/hearst"
 	"repro/internal/kb"
+	"repro/internal/obs"
 )
 
 // RoundStats summarises one iteration of Algorithm 1; the per-round series
@@ -16,6 +18,27 @@ type RoundStats struct {
 	TotalConcepts     int   // accumulated distinct super-concepts
 	SentencesResolved int   // sentences fully decided during this round
 	SentencesPending  int   // sentences still undecided after this round
+	Candidates        int   // undecided sub-concept positions scanned this round
+	Accepted          int   // positions accepted by the likelihood-ratio tests
+	Rejected          int   // positions rejected by the likelihood-ratio tests
+	Elapsed           time.Duration
+}
+
+// counters renders the round as the counter map reported to the
+// StageReporter (and thence to probase-build's progress lines and
+// stats.json).
+func (r RoundStats) counters() map[string]int64 {
+	return map[string]int64{
+		"sentences_scanned":  int64(r.SentencesResolved + r.SentencesPending),
+		"candidates":         int64(r.Candidates),
+		"accepted":           int64(r.Accepted),
+		"rejected":           int64(r.Rejected),
+		"new_pairs":          r.NewPairs,
+		"total_pairs":        r.TotalPairs,
+		"total_concepts":     int64(r.TotalConcepts),
+		"sentences_resolved": int64(r.SentencesResolved),
+		"sentences_pending":  int64(r.SentencesPending),
+	}
 }
 
 // Group is the set of isA pairs extracted from one sentence —
@@ -55,6 +78,9 @@ func (r *Result) PairsThroughRound(round int) []kb.Pair {
 // independent of goroutine scheduling.
 func Run(inputs []Input, cfg Config) *Result {
 	cfg = cfg.withDefaults()
+	rep := obs.ReporterOrNop(cfg.Reporter)
+	rep.StageStart("extraction")
+	runStart := time.Now()
 
 	// Syntactic pass: parse every sentence once. Composition sentences
 	// ("trees are comprised of branches") become negative evidence
@@ -99,6 +125,9 @@ func Run(inputs []Input, cfg Config) *Result {
 		Parsed:     len(states),
 		PartOf:     len(negatives),
 	}
+	rep.Count("extraction", "sentences_total", int64(len(inputs)))
+	rep.Count("extraction", "sentences_parsed", int64(len(states)))
+	rep.Count("extraction", "part_of_negatives", int64(len(negatives)))
 
 	pending := make([]int, len(states))
 	for i := range states {
@@ -106,8 +135,17 @@ func Run(inputs []Input, cfg Config) *Result {
 	}
 
 	for round := 1; round <= cfg.MaxRounds && len(pending) > 0; round++ {
+		roundStart := time.Now()
+		candidates := 0
+		for _, idx := range pending {
+			for _, ps := range states[idx].status {
+				if ps == posUndecided {
+					candidates++
+				}
+			}
+		}
 		decisions := mapPhase(states, pending, cfg, res.Store)
-		progress, resolved, newPairs := reducePhase(states, pending, decisions, res, round, cfg)
+		progress, resolved, newPairs, accepted, rejected := reducePhase(states, pending, decisions, res, round, cfg)
 
 		var next []int
 		for _, idx := range pending {
@@ -118,14 +156,20 @@ func Run(inputs []Input, cfg Config) *Result {
 		pending = next
 
 		st := res.Store.Stats()
-		res.Rounds = append(res.Rounds, RoundStats{
+		rs := RoundStats{
 			Round:             round,
 			NewPairs:          newPairs,
 			TotalPairs:        st.Pairs,
 			TotalConcepts:     st.Supers,
 			SentencesResolved: resolved,
 			SentencesPending:  len(pending),
-		})
+			Candidates:        candidates,
+			Accepted:          accepted,
+			Rejected:          rejected,
+			Elapsed:           time.Since(roundStart),
+		}
+		res.Rounds = append(res.Rounds, rs)
+		rep.Round("extraction", round, rs.counters(), rs.Elapsed)
 		if !progress {
 			break
 		}
@@ -141,6 +185,8 @@ func Run(inputs []Input, cfg Config) *Result {
 	for _, n := range negatives {
 		res.Store.AddEvidence(n.x, n.y, n.ev)
 	}
+	rep.Count("extraction", "groups", int64(len(res.Groups)))
+	rep.StageEnd("extraction", time.Since(runStart))
 	return res
 }
 
@@ -185,13 +231,15 @@ func mapPhase(states []*sentenceState, pending []int, cfg Config, store *kb.Stor
 }
 
 // reducePhase applies decisions to Γ single-threaded, in pending order.
-func reducePhase(states []*sentenceState, pending []int, decisions []decision, res *Result, round int, cfg Config) (progress bool, resolved int, newPairs int64) {
+func reducePhase(states []*sentenceState, pending []int, decisions []decision, res *Result, round int, cfg Config) (progress bool, resolved int, newPairs int64, accepted, rejected int) {
 	for i, idx := range pending {
 		d := decisions[i]
 		st := states[idx]
 		if d.progress {
 			progress = true
 		}
+		accepted += len(d.accepts)
+		rejected += len(d.rejects)
 		if d.super != "" {
 			st.super = d.super
 			st.superDone = true
@@ -234,5 +282,5 @@ func reducePhase(states []*sentenceState, pending []int, decisions []decision, r
 			resolved++
 		}
 	}
-	return progress, resolved, newPairs
+	return progress, resolved, newPairs, accepted, rejected
 }

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// NewLogger builds a slog.Logger writing to w. format selects the
+// handler: "json" for machine-shippable logs, anything else (including
+// "text") for the human-readable form. level is parsed with ParseLevel.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if strings.EqualFold(format, "json") {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// ParseLevel maps a -log-level flag value ("debug", "info", "warn",
+// "error", case-insensitive) to a slog.Level; unknown values mean Info.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	}
+	return slog.LevelInfo
+}
+
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyLogger
+)
+
+// reqSeq disambiguates request IDs if the random source ever fails.
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-char request identifier.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degrade to a process-unique counter; never fail a request
+		// over an ID.
+		n := reqSeq.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID stores a request ID in the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// WithLogger stores a logger in the context; handlers retrieve it with
+// Logger to emit records already tagged with the request ID.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, ctxKeyLogger, l)
+}
+
+// Logger returns the context's logger, falling back to slog.Default.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(ctxKeyLogger).(*slog.Logger); ok {
+		return l
+	}
+	return slog.Default()
+}

@@ -1,0 +1,396 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair attached to a metric.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// DefBuckets are the default latency buckets in seconds: 100µs to 10s,
+// with the implicit +Inf bucket on top. The 10s bucket matters for a
+// service whose request deadline defaults to 5s — without it every
+// degraded request collapsed into +Inf.
+var DefBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// child is one labelled instance inside a metric family.
+type child interface {
+	labelSig() string
+}
+
+// Registry is a set of metric families, safe for concurrent use.
+// Metrics are created (or fetched, when the same name and label set is
+// requested twice) through the Counter/Gauge/GaugeFunc/Histogram
+// methods; the whole registry renders via WritePrometheus or Handler.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type family struct {
+	name, help string
+	kind       metricKind
+	bounds     []float64 // histograms only; shared by all children
+
+	mu       sync.Mutex
+	children map[string]child
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// famFor returns the family with the given name, creating it on first
+// use. Re-registering a name with a different kind is a programming
+// error and panics.
+func (r *Registry) famFor(name, help string, kind metricKind, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{
+			name:     name,
+			help:     help,
+			kind:     kind,
+			bounds:   bounds,
+			children: make(map[string]child),
+		}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// Counter returns the counter with the given name and label set,
+// creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.famFor(name, help, kindCounter, nil)
+	sig := labelSig(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[sig]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{sig: sig}
+	f.children[sig] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name and label set, creating
+// it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.famFor(name, help, kindGauge, nil)
+	sig := labelSig(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g, ok := f.children[sig]; ok {
+		return g.(*Gauge)
+	}
+	g := &Gauge{sig: sig}
+	f.children[sig] = g
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time (process stats, cache occupancy, ...).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.famFor(name, help, kindGaugeFunc, nil)
+	sig := labelSig(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.children[sig] = &gaugeFunc{sig: sig, fn: fn}
+}
+
+// Histogram returns the histogram with the given name, bucket upper
+// bounds (ascending, in the metric's natural unit — seconds for
+// latencies; +Inf is implicit) and label set, creating it on first use.
+// A nil buckets slice selects DefBuckets. All children of one family
+// share the bucket layout of the first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.famFor(name, help, kindHistogram, buckets)
+	sig := labelSig(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok := f.children[sig]; ok {
+		return h.(*Histogram)
+	}
+	h := &Histogram{sig: sig, bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+	f.children[sig] = h
+	return h
+}
+
+// Counter is a monotonically increasing int64, safe for concurrent use.
+type Counter struct {
+	sig string
+	v   atomic.Int64
+}
+
+func (c *Counter) labelSig() string { return c.sig }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down, safe for concurrent use.
+type Gauge struct {
+	sig  string
+	bits atomic.Uint64
+}
+
+func (g *Gauge) labelSig() string { return g.sig }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+type gaugeFunc struct {
+	sig string
+	fn  func() float64
+}
+
+func (g *gaugeFunc) labelSig() string { return g.sig }
+
+// Histogram counts observations into fixed buckets, tracking sum and
+// count, safe for concurrent use. Buckets are rendered cumulatively
+// (Prometheus "le" semantics) with an explicit +Inf bucket, and sum is
+// kept in the observation unit (seconds for ObserveDuration), so the
+// exposition is directly usable with histogram_quantile and
+// rate(x_sum)/rate(x_count) in PromQL.
+type Histogram struct {
+	sig     string
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func (h *Histogram) labelSig() string { return h.sig }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a latency sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a consistent-enough copy of a histogram's state
+// (each field is read atomically; the set is not a single atomic cut,
+// which is the usual Prometheus client contract).
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, ascending, excluding +Inf
+	Counts []int64   // per-bucket (NOT cumulative); len(Bounds)+1, last is +Inf
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot copies the histogram state for rendering.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// labelSig renders a label set into its canonical exposition form:
+// `name="value",...`, sorted by label name. The empty set renders "".
+func labelSig(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var sb strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, with +Inf spelled "+Inf".
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// metricLine writes one sample line: name{labels} value.
+func metricLine(sb *strings.Builder, name, sig, extra, value string) {
+	sb.WriteString(name)
+	if sig != "" || extra != "" {
+		sb.WriteByte('{')
+		sb.WriteString(sig)
+		if sig != "" && extra != "" {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extra)
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(value)
+	sb.WriteByte('\n')
+}
+
+// WritePrometheus renders every family in the text exposition format
+// (version 0.0.4). Families are sorted by name and children by label
+// signature, so the output is deterministic for a given set of values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		sigs := make([]string, 0, len(f.children))
+		for s := range f.children {
+			sigs = append(sigs, s)
+		}
+		sort.Strings(sigs)
+		children := make([]child, 0, len(sigs))
+		for _, s := range sigs {
+			children = append(children, f.children[s])
+		}
+		f.mu.Unlock()
+		if len(children) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range children {
+			switch m := c.(type) {
+			case *Counter:
+				metricLine(&sb, f.name, m.sig, "", strconv.FormatInt(m.Value(), 10))
+			case *Gauge:
+				metricLine(&sb, f.name, m.sig, "", formatFloat(m.Value()))
+			case *gaugeFunc:
+				metricLine(&sb, f.name, m.sig, "", formatFloat(m.fn()))
+			case *Histogram:
+				s := m.Snapshot()
+				cum := int64(0)
+				for i, b := range s.Bounds {
+					cum += s.Counts[i]
+					metricLine(&sb, f.name+"_bucket", m.sig,
+						`le="`+formatFloat(b)+`"`, strconv.FormatInt(cum, 10))
+				}
+				cum += s.Counts[len(s.Bounds)]
+				metricLine(&sb, f.name+"_bucket", m.sig, `le="+Inf"`, strconv.FormatInt(cum, 10))
+				metricLine(&sb, f.name+"_sum", m.sig, "", formatFloat(s.Sum))
+				metricLine(&sb, f.name+"_count", m.sig, "", strconv.FormatInt(s.Count, 10))
+			}
+		}
+	}
+	_, err := w.Write([]byte(sb.String()))
+	return err
+}
+
+// Handler serves the registry in the Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

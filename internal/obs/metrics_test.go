@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestPrometheusGolden locks the text exposition format: a registry
+// with every metric kind and deterministic values must render
+// byte-identically to testdata/exposition.golden.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("probase_http_requests_total", "Requests received.", L("endpoint", "instances")).Add(42)
+	reg.Counter("probase_http_requests_total", "Requests received.", L("endpoint", "healthz")).Add(7)
+	reg.Counter("probase_http_errors_total", "Responses with status >= 400.", L("endpoint", "instances")).Add(3)
+	reg.Gauge("probase_http_inflight_requests", "Requests currently being served.").Set(2)
+	reg.GaugeFunc("probase_snapshot_nodes", "Nodes in the loaded snapshot.", func() float64 { return 1234 })
+	h := reg.Histogram("probase_http_request_duration_seconds", "Request latency in seconds.",
+		nil, L("endpoint", "instances"))
+	h.Observe(0.00005) // le 0.0001
+	h.Observe(0.0001)  // boundary: still le 0.0001
+	h.Observe(0.002)   // le 0.01
+	h.Observe(0.5)     // le 1
+	h.Observe(5)       // le 10
+	h.Observe(60)      // +Inf only
+	// A label value needing escaping.
+	reg.Counter("probase_quoted_total", "Escaping check.", L("q", `a"b\c`)).Inc()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x_seconds", "test", []float64{1, 10})
+	h.Observe(1)    // le="1" (boundary is inclusive)
+	h.Observe(1.5)  // le="10"
+	h.Observe(10)   // le="10"
+	h.Observe(10.5) // +Inf
+	s := h.Snapshot()
+	if got := s.Counts; got[0] != 1 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("bucket counts = %v, want [1 2 1]", got)
+	}
+	if s.Count != 4 {
+		t.Errorf("count = %d, want 4", s.Count)
+	}
+	if want := 1 + 1.5 + 10 + 10.5; math.Abs(s.Sum-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, want)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`x_seconds_bucket{le="1"} 1`,
+		`x_seconds_bucket{le="10"} 3`,
+		`x_seconds_bucket{le="+Inf"} 4`,
+		`x_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSameMetricSharedState: asking twice for the same name+labels must
+// return the same underlying metric, and a different label set a
+// different one.
+func TestSameMetricSharedState(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c_total", "test", L("e", "x"))
+	b := reg.Counter("c_total", "test", L("e", "x"))
+	other := reg.Counter("c_total", "test", L("e", "y"))
+	a.Inc()
+	b.Inc()
+	other.Inc()
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	if a.Value() != 2 || other.Value() != 1 {
+		t.Errorf("values = %d / %d, want 2 / 1", a.Value(), other.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "test")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("m", "test")
+}
+
+// TestConcurrentObserves hammers one counter, one gauge, and one
+// histogram from many goroutines; under -race this is the data-race
+// check, and the totals must still add up.
+func TestConcurrentObserves(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "test")
+	g := reg.Gauge("g", "test")
+	h := reg.Histogram("h_seconds", "test", nil)
+	const (
+		workers = 16
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Add(1)
+				h.ObserveDuration(time.Duration(i%7) * time.Millisecond)
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race with writers either.
+	var scrapes sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			var buf bytes.Buffer
+			reg.WritePrometheus(&buf)
+		}()
+	}
+	wg.Wait()
+	scrapes.Wait()
+	if c.Value() != workers*perW {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*perW)
+	}
+	if g.Value() != workers*perW {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*perW)
+	}
+	if s := h.Snapshot(); s.Count != workers*perW {
+		t.Errorf("histogram count = %d, want %d", s.Count, workers*perW)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "test")
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("value = %d, want 5 (negative add must be ignored)", c.Value())
+	}
+}
+
+func TestProcessGauges(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcessGauges(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"probase_process_goroutines",
+		"probase_process_heap_alloc_bytes",
+		"probase_process_gc_cycles_total",
+	} {
+		if !strings.Contains(buf.String(), want+" ") {
+			t.Errorf("process gauge %s missing:\n%s", want, buf.String())
+		}
+	}
+}

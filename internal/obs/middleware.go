@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is echoed on every response and honoured on requests
+// so IDs propagate across proxies and retries.
+const RequestIDHeader = "X-Request-ID"
+
+// maxInboundRequestID bounds what we accept from the client header; a
+// longer value is replaced rather than truncated (it is attacker
+// controlled and lands in logs).
+const maxInboundRequestID = 64
+
+// MiddlewareConfig tunes the HTTP observability middleware.
+type MiddlewareConfig struct {
+	// Logger receives the access and slow-query records; nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// SlowThreshold marks a request as slow when its wall time reaches
+	// the threshold. Zero or negative disables the slow-query log.
+	SlowThreshold time.Duration
+	// SlowEvery samples the slow-query log: the first slow request and
+	// then every SlowEvery-th one are logged. Values <= 1 log every
+	// slow request.
+	SlowEvery int
+}
+
+// Middleware wraps next with the per-request observability pipeline:
+// it assigns (or propagates) a request ID, echoes it as X-Request-ID,
+// stores a request-scoped logger in the context, emits a debug-level
+// access record per request, and a sampled warn-level record for
+// requests slower than SlowThreshold.
+func Middleware(next http.Handler, cfg MiddlewareConfig) http.Handler {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	var slowSeen atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" || len(id) > maxInboundRequestID {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		reqLog := logger.With(slog.String("request_id", id))
+		ctx := WithLogger(WithRequestID(r.Context(), id), reqLog)
+
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		elapsed := time.Since(started)
+		attrs := []any{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("query", r.URL.RawQuery),
+			slog.Int("status", sw.status()),
+			slog.Duration("elapsed", elapsed),
+		}
+		reqLog.Debug("request", attrs...)
+		if cfg.SlowThreshold > 0 && elapsed >= cfg.SlowThreshold {
+			n := slowSeen.Add(1)
+			if cfg.SlowEvery <= 1 || (n-1)%int64(cfg.SlowEvery) == 0 {
+				reqLog.Warn("slow query", append(attrs,
+					slog.Duration("threshold", cfg.SlowThreshold),
+					slog.Int64("slow_seen", n))...)
+			}
+		}
+	})
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if s.code == 0 {
+		s.code = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusWriter) Write(b []byte) (int, error) {
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+func (s *statusWriter) status() int {
+	if s.code == 0 {
+		return http.StatusOK
+	}
+	return s.code
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mwRequest(t *testing.T, h http.Handler, header map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/test?x=1", nil)
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestRequestIDGeneratedAndEchoed(t *testing.T) {
+	var seenCtxID string
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenCtxID = RequestID(r.Context())
+		w.WriteHeader(http.StatusNoContent)
+	})
+	h := Middleware(inner, MiddlewareConfig{Logger: slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))})
+
+	rec := mwRequest(t, h, nil)
+	got := rec.Header().Get(RequestIDHeader)
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(got) {
+		t.Errorf("generated request ID %q, want 16 hex chars", got)
+	}
+	if seenCtxID != got {
+		t.Errorf("context ID %q != echoed header %q", seenCtxID, got)
+	}
+}
+
+func TestRequestIDPropagated(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Handlers log through the context logger and inherit the ID.
+		Logger(r.Context()).Info("inside handler")
+		w.Write([]byte("ok"))
+	})
+	h := Middleware(inner, MiddlewareConfig{Logger: logger})
+
+	rec := mwRequest(t, h, map[string]string{RequestIDHeader: "upstream-id-42"})
+	if got := rec.Header().Get(RequestIDHeader); got != "upstream-id-42" {
+		t.Errorf("inbound ID not propagated: got %q", got)
+	}
+	var record map[string]any
+	line, _, _ := strings.Cut(logBuf.String(), "\n")
+	if err := json.Unmarshal([]byte(line), &record); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, logBuf.String())
+	}
+	if record["request_id"] != "upstream-id-42" {
+		t.Errorf("handler log lost the request ID: %v", record)
+	}
+	// Oversized inbound IDs are replaced, not trusted.
+	rec = mwRequest(t, h, map[string]string{RequestIDHeader: strings.Repeat("x", 200)})
+	if got := rec.Header().Get(RequestIDHeader); len(got) > maxInboundRequestID {
+		t.Errorf("oversized inbound ID accepted: %q", got)
+	}
+}
+
+// slowHandler answers after d.
+func slowHandler(d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(d)
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func TestSlowQueryLogThreshold(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+
+	// Below threshold: no slow record.
+	h := Middleware(slowHandler(0), MiddlewareConfig{Logger: logger, SlowThreshold: time.Hour})
+	mwRequest(t, h, nil)
+	if strings.Contains(logBuf.String(), "slow query") {
+		t.Errorf("fast request logged as slow:\n%s", logBuf.String())
+	}
+
+	// Above (or at) threshold: logged with status and elapsed.
+	logBuf.Reset()
+	h = Middleware(slowHandler(2*time.Millisecond), MiddlewareConfig{Logger: logger, SlowThreshold: time.Millisecond})
+	mwRequest(t, h, nil)
+	out := logBuf.String()
+	if !strings.Contains(out, "slow query") || !strings.Contains(out, "path=/v1/test") || !strings.Contains(out, "status=200") {
+		t.Errorf("slow record missing or incomplete:\n%s", out)
+	}
+
+	// Threshold zero disables the slow log entirely.
+	logBuf.Reset()
+	h = Middleware(slowHandler(time.Millisecond), MiddlewareConfig{Logger: logger, SlowThreshold: 0})
+	mwRequest(t, h, nil)
+	if strings.Contains(logBuf.String(), "slow query") {
+		t.Errorf("slow log not disabled at threshold 0:\n%s", logBuf.String())
+	}
+}
+
+func TestSlowQueryLogSampling(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	h := Middleware(slowHandler(time.Millisecond), MiddlewareConfig{
+		Logger:        logger,
+		SlowThreshold: time.Microsecond,
+		SlowEvery:     3,
+	})
+	for i := 0; i < 7; i++ {
+		mwRequest(t, h, nil)
+	}
+	// 7 slow requests sampled 1-in-3 -> records for #1, #4, #7.
+	if got := strings.Count(logBuf.String(), "slow query"); got != 3 {
+		t.Errorf("sampled slow records = %d, want 3:\n%s", got, logBuf.String())
+	}
+}
+
+func TestStatusWriterCapturesHandlerStatus(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusTeapot)
+	})
+	mwRequest(t, Middleware(inner, MiddlewareConfig{Logger: logger}), nil)
+	if !strings.Contains(logBuf.String(), "status=418") {
+		t.Errorf("access record lost the status:\n%s", logBuf.String())
+	}
+}
+
+func TestLoggerFallsBackToDefault(t *testing.T) {
+	ctx := context.Background()
+	if Logger(ctx) == nil {
+		t.Error("Logger returned nil for a bare context")
+	}
+	if RequestID(ctx) != "" {
+		t.Error("bare context carries a request ID")
+	}
+}

@@ -1,0 +1,33 @@
+// Package obs is the shared observability layer: hand-rolled Prometheus
+// metrics (no external deps), structured logging helpers on log/slog,
+// HTTP middleware carrying a per-request ID and a sampled slow-query
+// log, pipeline-stage reporting for the build pipeline, build-version
+// introspection, and opt-in pprof wiring.
+//
+// The package intentionally depends only on the standard library so
+// every layer of the repository (extraction, taxonomy, prob, server,
+// the binaries) can import it without cycles.
+//
+// # Metrics
+//
+// A Registry holds metric families (counter, gauge, histogram) keyed by
+// name, each with zero or more label sets. Rendering follows the
+// Prometheus text exposition format version 0.0.4, so the output of
+// Registry.WritePrometheus is directly scrapeable:
+//
+//	reg := obs.NewRegistry()
+//	hits := reg.Counter("probase_cache_hits_total", "Cache hits.", obs.L("endpoint", "instances"))
+//	lat := reg.Histogram("probase_http_request_duration_seconds", "Latency.", obs.DefBuckets)
+//	hits.Inc()
+//	lat.ObserveDuration(elapsed)
+//	mux.Handle("/metrics", reg.Handler())
+//
+// # Pipeline stages
+//
+// StageReporter receives stage start/end events, named counters, and
+// per-round counter snapshots from the build pipeline (Algorithm 1
+// extraction rounds, Algorithm 2 merge stages, the Algorithm 3 DP).
+// StatsCollector accumulates them into a machine-readable report;
+// ProgressReporter renders them as live human progress lines with an
+// ETA.
+package obs

@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofHandler returns a mux serving the standard net/http/pprof
+// endpoints under /debug/pprof/. The handlers are registered on a
+// fresh mux (not http.DefaultServeMux), so profiling stays opt-in:
+// probase-serve only exposes it when -pprof-addr is set, and typically
+// on a loopback-only listener separate from the query port.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

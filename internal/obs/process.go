@@ -1,0 +1,31 @@
+package obs
+
+import "runtime"
+
+// RegisterProcessGauges adds the standard process-health gauges to the
+// registry: goroutine count, heap usage, GC activity. Values are read
+// at scrape time (runtime.ReadMemStats briefly stops the world, which
+// is acceptable at scrape frequency).
+func RegisterProcessGauges(r *Registry) {
+	r.GaugeFunc("probase_process_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("probase_process_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 { return float64(readMemStats().HeapAlloc) })
+	r.GaugeFunc("probase_process_heap_objects",
+		"Number of allocated heap objects.",
+		func() float64 { return float64(readMemStats().HeapObjects) })
+	r.GaugeFunc("probase_process_sys_bytes",
+		"Total bytes of memory obtained from the OS.",
+		func() float64 { return float64(readMemStats().Sys) })
+	r.GaugeFunc("probase_process_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() float64 { return float64(readMemStats().NumGC) })
+}
+
+func readMemStats() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms
+}

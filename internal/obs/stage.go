@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StageReporter receives pipeline telemetry from the build stages:
+// Algorithm 1's extraction rounds, Algorithm 2's merge passes, and the
+// Algorithm 3 reachability DP. Implementations must be safe for
+// concurrent use; the pipeline reports from its single-threaded reduce
+// steps, but nothing in the contract forbids parallel reporters.
+//
+// Stage names are dotted paths ("extraction", "taxonomy.horizontal",
+// "prob.algorithm3"); counter names are snake_case.
+type StageReporter interface {
+	// StageStart marks the beginning of a named stage.
+	StageStart(stage string)
+	// StageEnd marks stage completion with its wall time.
+	StageEnd(stage string, elapsed time.Duration)
+	// Count adds delta to one of the stage's named counters.
+	Count(stage, counter string, delta int64)
+	// Round reports one iteration of an iterative stage (round is
+	// 1-based) with the round's counters and wall time.
+	Round(stage string, round int, counters map[string]int64, elapsed time.Duration)
+}
+
+// NopReporter discards all telemetry.
+type NopReporter struct{}
+
+func (NopReporter) StageStart(string)                                  {}
+func (NopReporter) StageEnd(string, time.Duration)                     {}
+func (NopReporter) Count(string, string, int64)                        {}
+func (NopReporter) Round(string, int, map[string]int64, time.Duration) {}
+
+// ReporterOrNop substitutes a NopReporter for nil, so pipeline code
+// can call the reporter unconditionally.
+func ReporterOrNop(r StageReporter) StageReporter {
+	if r == nil {
+		return NopReporter{}
+	}
+	return r
+}
+
+// MultiReporter fans every event out to each member.
+type MultiReporter []StageReporter
+
+func (m MultiReporter) StageStart(stage string) {
+	for _, r := range m {
+		r.StageStart(stage)
+	}
+}
+
+func (m MultiReporter) StageEnd(stage string, elapsed time.Duration) {
+	for _, r := range m {
+		r.StageEnd(stage, elapsed)
+	}
+}
+
+func (m MultiReporter) Count(stage, counter string, delta int64) {
+	for _, r := range m {
+		r.Count(stage, counter, delta)
+	}
+}
+
+func (m MultiReporter) Round(stage string, round int, counters map[string]int64, elapsed time.Duration) {
+	for _, r := range m {
+		r.Round(stage, round, counters, elapsed)
+	}
+}
+
+// RoundRecord is one iteration of an iterative stage in a StatsReport.
+type RoundRecord struct {
+	Round    int              `json:"round"`
+	Seconds  float64          `json:"seconds"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// StageStats aggregates one stage for the machine-readable report.
+type StageStats struct {
+	Name     string           `json:"name"`
+	Seconds  float64          `json:"seconds"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Rounds   []RoundRecord    `json:"rounds,omitempty"`
+}
+
+// StatsCollector accumulates stage telemetry into a report, preserving
+// the order in which stages first appeared. Safe for concurrent use.
+type StatsCollector struct {
+	mu     sync.Mutex
+	stages map[string]*StageStats
+	order  []string
+}
+
+// NewStatsCollector returns an empty collector.
+func NewStatsCollector() *StatsCollector {
+	return &StatsCollector{stages: make(map[string]*StageStats)}
+}
+
+func (c *StatsCollector) stage(name string) *StageStats {
+	s, ok := c.stages[name]
+	if !ok {
+		s = &StageStats{Name: name}
+		c.stages[name] = s
+		c.order = append(c.order, name)
+	}
+	return s
+}
+
+func (c *StatsCollector) StageStart(stage string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stage(stage)
+}
+
+func (c *StatsCollector) StageEnd(stage string, elapsed time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stage(stage).Seconds = elapsed.Seconds()
+}
+
+func (c *StatsCollector) Count(stage, counter string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stage(stage)
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	s.Counters[counter] += delta
+}
+
+func (c *StatsCollector) Round(stage string, round int, counters map[string]int64, elapsed time.Duration) {
+	cp := make(map[string]int64, len(counters))
+	for k, v := range counters {
+		cp[k] = v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stage(stage)
+	s.Rounds = append(s.Rounds, RoundRecord{Round: round, Seconds: elapsed.Seconds(), Counters: cp})
+}
+
+// Stages returns a deep copy of the accumulated stages in first-seen
+// order, ready for JSON encoding.
+func (c *StatsCollector) Stages() []StageStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]StageStats, 0, len(c.order))
+	for _, name := range c.order {
+		s := c.stages[name]
+		cp := StageStats{Name: s.Name, Seconds: s.Seconds}
+		if s.Counters != nil {
+			cp.Counters = make(map[string]int64, len(s.Counters))
+			for k, v := range s.Counters {
+				cp.Counters[k] = v
+			}
+		}
+		cp.Rounds = append(cp.Rounds, s.Rounds...)
+		out = append(out, cp)
+	}
+	return out
+}
+
+// ProgressReporter renders stage telemetry as human progress lines,
+// one per round and one per completed stage. For iterative stages it
+// estimates an ETA from the observed resolution rate, using the
+// pipeline's "sentences_resolved" / "sentences_pending" counters.
+type ProgressReporter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	// per-stage round accumulators for the ETA estimate
+	elapsed  map[string]time.Duration
+	resolved map[string]int64
+}
+
+// NewProgressReporter writes progress lines to w, each prefixed with
+// "<prefix>: ".
+func NewProgressReporter(w io.Writer, prefix string) *ProgressReporter {
+	return &ProgressReporter{
+		w:        w,
+		prefix:   prefix,
+		elapsed:  make(map[string]time.Duration),
+		resolved: make(map[string]int64),
+	}
+}
+
+func (p *ProgressReporter) StageStart(stage string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "%s: stage %s started\n", p.prefix, stage)
+}
+
+func (p *ProgressReporter) StageEnd(stage string, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "%s: stage %s done in %v\n", p.prefix, stage, elapsed.Round(time.Millisecond))
+}
+
+func (p *ProgressReporter) Count(string, string, int64) {}
+
+func (p *ProgressReporter) Round(stage string, round int, counters map[string]int64, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.elapsed[stage] += elapsed
+	p.resolved[stage] += counters["sentences_resolved"]
+
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	line := fmt.Sprintf("%s: %s round %d (%v):", p.prefix, stage, round, elapsed.Round(time.Millisecond))
+	for _, k := range keys {
+		line += fmt.Sprintf(" %s=%d", k, counters[k])
+	}
+	// Linear ETA from the cumulative resolution rate; rough, but enough
+	// to tell a 10-second build from a 10-minute one.
+	if pending, ok := counters["sentences_pending"]; ok && pending > 0 && p.resolved[stage] > 0 {
+		rate := p.elapsed[stage].Seconds() / float64(p.resolved[stage])
+		eta := time.Duration(rate * float64(pending) * float64(time.Second))
+		line += fmt.Sprintf(" eta~%v", eta.Round(10*time.Millisecond))
+	}
+	fmt.Fprintln(p.w, line)
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStatsCollector(t *testing.T) {
+	c := NewStatsCollector()
+	c.StageStart("extraction")
+	c.Round("extraction", 1, map[string]int64{"new_pairs": 100, "sentences_pending": 50}, 200*time.Millisecond)
+	c.Round("extraction", 2, map[string]int64{"new_pairs": 20, "sentences_pending": 0}, 100*time.Millisecond)
+	c.StageEnd("extraction", 300*time.Millisecond)
+	c.StageStart("taxonomy")
+	c.Count("taxonomy", "horizontal_ops", 40)
+	c.Count("taxonomy", "horizontal_ops", 2)
+	c.StageEnd("taxonomy", time.Second)
+
+	stages := c.Stages()
+	if len(stages) != 2 || stages[0].Name != "extraction" || stages[1].Name != "taxonomy" {
+		t.Fatalf("stages = %+v, want extraction then taxonomy", stages)
+	}
+	ex := stages[0]
+	if len(ex.Rounds) != 2 || ex.Rounds[0].Counters["new_pairs"] != 100 || ex.Rounds[1].Round != 2 {
+		t.Errorf("extraction rounds wrong: %+v", ex.Rounds)
+	}
+	if ex.Seconds != 0.3 {
+		t.Errorf("extraction seconds = %v, want 0.3", ex.Seconds)
+	}
+	if stages[1].Counters["horizontal_ops"] != 42 {
+		t.Errorf("counter accumulation wrong: %+v", stages[1].Counters)
+	}
+	// The report must be JSON-encodable as-is.
+	if _, err := json.Marshal(stages); err != nil {
+		t.Fatalf("stages not JSON-encodable: %v", err)
+	}
+	// Mutating the caller's counters map after Round must not leak in.
+	m := map[string]int64{"x": 1}
+	c.Round("taxonomy", 1, m, 0)
+	m["x"] = 999
+	if got := c.Stages()[1].Rounds[0].Counters["x"]; got != 1 {
+		t.Errorf("Round aliased the caller's map: %d", got)
+	}
+}
+
+func TestStatsCollectorConcurrent(t *testing.T) {
+	c := NewStatsCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Count("stage", "n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Stages()[0].Counters["n"]; got != 4000 {
+		t.Errorf("concurrent counts = %d, want 4000", got)
+	}
+}
+
+func TestProgressReporter(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressReporter(&buf, "probase-build")
+	p.StageStart("extraction")
+	p.Round("extraction", 1, map[string]int64{
+		"new_pairs": 120, "sentences_resolved": 300, "sentences_pending": 100,
+	}, time.Second)
+	p.StageEnd("extraction", 2*time.Second)
+	out := buf.String()
+	for _, want := range []string{
+		"probase-build: stage extraction started",
+		"extraction round 1",
+		"new_pairs=120",
+		"eta~",
+		"stage extraction done in 2s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+	// Nothing pending -> no ETA clause.
+	buf.Reset()
+	p.Round("extraction", 2, map[string]int64{"sentences_resolved": 100, "sentences_pending": 0}, time.Second)
+	if strings.Contains(buf.String(), "eta~") {
+		t.Errorf("ETA printed with nothing pending:\n%s", buf.String())
+	}
+}
+
+func TestMultiAndNopReporter(t *testing.T) {
+	if ReporterOrNop(nil) == nil {
+		t.Fatal("ReporterOrNop(nil) returned nil")
+	}
+	// A Nop must absorb everything without blowing up.
+	n := ReporterOrNop(nil)
+	n.StageStart("x")
+	n.Count("x", "y", 1)
+	n.Round("x", 1, nil, 0)
+	n.StageEnd("x", 0)
+
+	a, b := NewStatsCollector(), NewStatsCollector()
+	m := MultiReporter{a, b}
+	m.StageStart("s")
+	m.Count("s", "c", 2)
+	m.Round("s", 1, map[string]int64{"v": 1}, time.Millisecond)
+	m.StageEnd("s", time.Second)
+	for i, c := range []*StatsCollector{a, b} {
+		st := c.Stages()
+		if len(st) != 1 || st[0].Counters["c"] != 2 || len(st[0].Rounds) != 1 || st[0].Seconds != 1 {
+			t.Errorf("collector %d missed fan-out: %+v", i, st)
+		}
+	}
+}
+
+func TestVersionInfo(t *testing.T) {
+	v := Version()
+	if v.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+	if !strings.Contains(v.String(), v.GoVersion) {
+		t.Errorf("String() = %q missing go version", v.String())
+	}
+	var buf bytes.Buffer
+	PrintVersion(&buf, "probase-test")
+	if !strings.HasPrefix(buf.String(), "probase-test version ") {
+		t.Errorf("PrintVersion output %q", buf.String())
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo describes how the running binary was built, extracted from
+// the Go build metadata embedded by the toolchain.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for plain go build).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, when built inside a checkout.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit timestamp (RFC 3339), when available.
+	Time string `json:"time,omitempty"`
+	// Modified reports uncommitted local changes at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+var versionOnce = sync.OnceValue(func() BuildInfo {
+	v := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.time":
+			v.Time = s.Value
+		case "vcs.modified":
+			v.Modified = s.Value == "true"
+		}
+	}
+	return v
+})
+
+// Version returns the binary's build information (computed once).
+func Version() BuildInfo { return versionOnce() }
+
+// String renders the build info on one line, e.g.
+// "(devel) go1.24.0 rev 1a2b3c4 (modified)".
+func (b BuildInfo) String() string {
+	s := b.Version + " " + b.GoVersion
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+	}
+	if b.Modified {
+		s += " (modified)"
+	}
+	return s
+}
+
+// PrintVersion writes "<binary> version <info>" to w; binaries call it
+// for their -version flag.
+func PrintVersion(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s version %s\n", binary, Version())
+}

@@ -3,8 +3,10 @@ package prob
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Ranked is a label with a probability score, sorted descending in all
@@ -42,6 +44,16 @@ func key(x, y graph.NodeID) uint64 { return uint64(x)<<32 | uint64(y) }
 // The graph's edges must carry counts; plausibilities default to a
 // count-saturating estimate when absent (0).
 func NewTypicality(g *graph.Store) (*Typicality, error) {
+	return NewTypicalityObserved(g, nil)
+}
+
+// NewTypicalityObserved is NewTypicality with stage telemetry: the
+// Algorithm 3 reachability DP is timed and its table size reported
+// under stage "prob.algorithm3". A nil reporter discards it.
+func NewTypicalityObserved(g *graph.Store, reporter obs.StageReporter) (*Typicality, error) {
+	rep := obs.ReporterOrNop(reporter)
+	rep.StageStart("prob.algorithm3")
+	dpStart := time.Now()
 	t := &Typicality{
 		g:           g,
 		reach:       make(map[uint64]float64),
@@ -100,6 +112,10 @@ func NewTypicality(g *graph.Store) (*Typicality, error) {
 		t.conceptMass[x] = m
 		t.totalMass += m
 	}
+	rep.Count("prob.algorithm3", "reach_entries", int64(len(t.reach)))
+	rep.Count("prob.algorithm3", "topo_levels", int64(len(levels)))
+	rep.Count("prob.algorithm3", "concepts", int64(len(t.conceptMass)))
+	rep.StageEnd("prob.algorithm3", time.Since(dpStart))
 	return t, nil
 }
 

@@ -114,3 +114,12 @@ func (c *Cache) Len() int {
 
 // Shards returns the shard count (for observability).
 func (c *Cache) Shards() int { return len(c.shards) }
+
+// ShardLen returns the number of entries in shard i (for the per-shard
+// occupancy gauges).
+func (c *Cache) ShardLen(i int) int {
+	sh := c.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ll.Len()
+}

@@ -1,124 +1,132 @@
 package server
 
 import (
-	"expvar"
+	"encoding/json"
 	"fmt"
 	"net/http"
-	"strings"
-	"sync/atomic"
-	"time"
+	"strconv"
+
+	"repro/internal/obs"
 )
 
-// histogram is a fixed-bucket latency histogram implementing expvar.Var.
-// Buckets are cumulative ("le" = less-than-or-equal, Prometheus style);
-// the final bucket is +Inf, so it always equals Count.
-type histogram struct {
-	bounds []time.Duration // upper bounds, ascending; implicit +Inf last
-	counts []atomic.Int64  // len(bounds)+1
-	count  atomic.Int64
-	sumNS  atomic.Int64
-}
-
-var defaultBuckets = []time.Duration{
-	100 * time.Microsecond,
-	time.Millisecond,
-	10 * time.Millisecond,
-	100 * time.Millisecond,
-	time.Second,
-}
-
-func newHistogram() *histogram {
-	return &histogram{
-		bounds: defaultBuckets,
-		counts: make([]atomic.Int64, len(defaultBuckets)+1),
-	}
-}
-
-// Observe records one latency sample.
-func (h *histogram) Observe(d time.Duration) {
-	i := len(h.bounds)
-	for j, b := range h.bounds {
-		if d <= b {
-			i = j
-			break
-		}
-	}
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.sumNS.Add(int64(d))
-}
-
-// String renders the histogram as JSON, cumulative counts per bucket.
-func (h *histogram) String() string {
-	var sb strings.Builder
-	sb.WriteByte('{')
-	cum := int64(0)
-	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(&sb, "%q: %d, ", "le_"+b.String(), cum)
-	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(&sb, "%q: %d, ", "le_inf", cum)
-	fmt.Fprintf(&sb, "%q: %d, ", "count", h.count.Load())
-	fmt.Fprintf(&sb, "%q: %.3f}", "sum_ms", float64(h.sumNS.Load())/1e6)
-	return sb.String()
-}
+// Metric family names exported on /metrics. Kept as constants so the
+// exposition tests and the README stay in sync with the code.
+const (
+	famRequests  = "probase_http_requests_total"
+	famErrors    = "probase_http_errors_total"
+	famCacheHit  = "probase_cache_hits_total"
+	famCacheMiss = "probase_cache_misses_total"
+	famLatency   = "probase_http_request_duration_seconds"
+	famInflight  = "probase_http_inflight_requests"
+	famShardLen  = "probase_cache_shard_entries"
+	famNodes     = "probase_snapshot_nodes"
+	famEdges     = "probase_snapshot_edges"
+)
 
 // endpointMetrics aggregates one endpoint's counters and latency.
 type endpointMetrics struct {
-	requests  *expvar.Int
-	errors    *expvar.Int // responses with status >= 400
-	cacheHits *expvar.Int
-	cacheMiss *expvar.Int
-	latency   *histogram
+	requests  *obs.Counter
+	errors    *obs.Counter // responses with status >= 400
+	cacheHits *obs.Counter
+	cacheMiss *obs.Counter
+	latency   *obs.Histogram
 }
 
-// Metrics is the server's observability surface. Every counter lives in
-// a private expvar.Map (not expvar.Publish'd — multiple servers in one
-// process, as in tests, must not collide on global names) and is served
-// on /debug/vars by Handler.
+// Metrics is the server's observability surface, backed by a private
+// obs.Registry (multiple servers in one process, as in tests, must not
+// collide on global names). It renders two ways: the Prometheus text
+// exposition on /metrics (PrometheusHandler) and the legacy expvar-
+// style JSON tree on /debug/vars (Handler).
 type Metrics struct {
-	vars      *expvar.Map
+	reg       *obs.Registry
 	endpoints map[string]*endpointMetrics
-	inflight  *expvar.Int
+	names     []string
+	inflight  *obs.Gauge
 }
 
-// newMetrics prepares per-endpoint metric families for the given
-// endpoint names.
+// newMetrics prepares per-endpoint metric families plus the process
+// gauges for the given endpoint names.
 func newMetrics(endpoints []string) *Metrics {
+	reg := obs.NewRegistry()
 	m := &Metrics{
-		vars:      new(expvar.Map).Init(),
+		reg:       reg,
 		endpoints: make(map[string]*endpointMetrics, len(endpoints)),
-		inflight:  new(expvar.Int),
+		names:     endpoints,
+		inflight:  reg.Gauge(famInflight, "Requests currently being served."),
 	}
-	m.vars.Set("inflight", m.inflight)
 	for _, name := range endpoints {
-		em := &endpointMetrics{
-			requests:  new(expvar.Int),
-			errors:    new(expvar.Int),
-			cacheHits: new(expvar.Int),
-			cacheMiss: new(expvar.Int),
-			latency:   newHistogram(),
+		l := obs.L("endpoint", name)
+		m.endpoints[name] = &endpointMetrics{
+			requests:  reg.Counter(famRequests, "Requests received, by endpoint.", l),
+			errors:    reg.Counter(famErrors, "Responses with status >= 400, by endpoint.", l),
+			cacheHits: reg.Counter(famCacheHit, "Hot-query cache hits, by endpoint.", l),
+			cacheMiss: reg.Counter(famCacheMiss, "Hot-query cache misses, by endpoint.", l),
+			latency: reg.Histogram(famLatency,
+				"Request latency in seconds, by endpoint.", obs.DefBuckets, l),
 		}
-		sub := new(expvar.Map).Init()
-		sub.Set("requests", em.requests)
-		sub.Set("errors", em.errors)
-		sub.Set("cache_hits", em.cacheHits)
-		sub.Set("cache_misses", em.cacheMiss)
-		sub.Set("latency", em.latency)
-		m.vars.Set(name, sub)
-		m.endpoints[name] = em
 	}
+	obs.RegisterProcessGauges(reg)
 	return m
+}
+
+// observeCache registers per-shard occupancy gauges for the hot-query
+// cache, evaluated at scrape time.
+func (m *Metrics) observeCache(c *Cache) {
+	for i := 0; i < c.Shards(); i++ {
+		shard := i
+		m.reg.GaugeFunc(famShardLen, "Entries per hot-query cache shard.",
+			func() float64 { return float64(c.ShardLen(shard)) },
+			obs.L("shard", strconv.Itoa(shard)))
+	}
+}
+
+// observeSnapshot registers the loaded taxonomy's shape as gauges.
+func (m *Metrics) observeSnapshot(nodes, edges func() int) {
+	m.reg.GaugeFunc(famNodes, "Nodes in the loaded taxonomy snapshot.",
+		func() float64 { return float64(nodes()) })
+	m.reg.GaugeFunc(famEdges, "Edges in the loaded taxonomy snapshot.",
+		func() float64 { return float64(edges()) })
 }
 
 func (m *Metrics) endpoint(name string) *endpointMetrics { return m.endpoints[name] }
 
+// Registry exposes the underlying registry so binaries can attach
+// their own gauges (snapshot file size, ...).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// PrometheusHandler serves the Prometheus text exposition.
+func (m *Metrics) PrometheusHandler() http.Handler { return m.reg.Handler() }
+
 // Handler serves the metrics tree as JSON, like the stdlib's
-// /debug/vars but scoped to this server instance.
+// /debug/vars but scoped to this server instance. Retained for
+// human-friendly inspection; Prometheus scrapers use /metrics.
 func (m *Metrics) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tree := map[string]any{"inflight": m.inflight.Value()}
+		for _, name := range m.names {
+			em := m.endpoints[name]
+			s := em.latency.Snapshot()
+			lat := make(map[string]any, len(s.Bounds)+3)
+			cum := int64(0)
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				lat["le_"+strconv.FormatFloat(b, 'g', -1, 64)] = cum
+			}
+			lat["le_+Inf"] = cum + s.Counts[len(s.Bounds)]
+			lat["count"] = s.Count
+			lat["sum_seconds"] = s.Sum
+			tree[name] = map[string]any{
+				"requests":     em.requests.Value(),
+				"errors":       em.errors.Value(),
+				"cache_hits":   em.cacheHits.Value(),
+				"cache_misses": em.cacheMiss.Value(),
+				"latency":      lat,
+			}
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		fmt.Fprintln(w, m.vars.String())
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(tree); err != nil {
+			fmt.Fprintf(w, `{"error": %q}`, err.Error())
+		}
 	})
 }

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// expositionLine matches one Prometheus text-format sample:
+// name{labels} value. Label values are quoted strings with escapes.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (?:[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|[-+]?Inf|NaN)$`)
+
+func scrapeMetrics(t *testing.T, s *Server) string {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q, want text/plain", ct)
+	}
+	return rec.Body.String()
+}
+
+// TestMetricsExpositionParses validates every line of /metrics against
+// the text exposition grammar and checks that traffic is reflected in
+// the right families.
+func TestMetricsExpositionParses(t *testing.T) {
+	s := newTestServer(t)
+	get(t, s, "/v1/instances?concept=companies&k=3") // miss
+	get(t, s, "/v1/instances?concept=companies&k=3") // hit
+	get(t, s, "/v1/instances")                       // 400
+
+	body := scrapeMetrics(t, s)
+	values := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Errorf("unexpected comment line: %q", line)
+			}
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+			continue
+		}
+		key, raw, _ := strings.Cut(line, " ")
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			t.Errorf("unparseable value in %q: %v", line, err)
+		}
+		values[key] = v
+	}
+
+	checks := map[string]float64{
+		`probase_http_requests_total{endpoint="instances"}`:                     3,
+		`probase_http_errors_total{endpoint="instances"}`:                       1,
+		`probase_cache_misses_total{endpoint="instances"}`:                      1,
+		`probase_cache_hits_total{endpoint="instances"}`:                        1,
+		`probase_http_request_duration_seconds_count{endpoint="instances"}`:     3,
+		`probase_http_request_duration_seconds_bucket{endpoint="instances",le="+Inf"}`: 3,
+	}
+	for key, want := range checks {
+		if got, ok := values[key]; !ok || got < want {
+			t.Errorf("%s = %v, want >= %v (present %v)", key, got, want, ok)
+		}
+	}
+	// The 10s bucket the old expvar histogram was missing.
+	if _, ok := values[`probase_http_request_duration_seconds_bucket{endpoint="instances",le="10"}`]; !ok {
+		t.Error("latency histogram missing the le=\"10\" bucket")
+	}
+	if v, ok := values["probase_snapshot_nodes"]; !ok || v <= 0 {
+		t.Errorf("probase_snapshot_nodes = %v, want > 0", v)
+	}
+	if v, ok := values["probase_process_goroutines"]; !ok || v <= 0 {
+		t.Errorf("probase_process_goroutines = %v, want > 0", v)
+	}
+	// Sum is in seconds: three sub-second requests cannot add to >10.
+	if v := values[`probase_http_request_duration_seconds_sum{endpoint="instances"}`]; v <= 0 || v > 10 {
+		t.Errorf("latency sum = %v, want (0, 10] seconds", v)
+	}
+	// Per-shard cache occupancy totals the cache length.
+	var shardTotal float64
+	for key, v := range values {
+		if strings.HasPrefix(key, "probase_cache_shard_entries{") {
+			shardTotal += v
+		}
+	}
+	if int(shardTotal) != s.cache.Len() {
+		t.Errorf("shard gauges total %v, cache holds %d", shardTotal, s.cache.Len())
+	}
+}
+
+// TestMetricsGolden locks the structure of the exposition — the exact
+// set of families, label sets, and their order — with values masked
+// (latencies and process stats are nondeterministic).
+func TestMetricsGolden(t *testing.T) {
+	s := newTestServer(t)
+	get(t, s, "/v1/healthz")
+	body := scrapeMetrics(t, s)
+
+	var masked []string
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			masked = append(masked, line)
+			continue
+		}
+		key, _, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		masked = append(masked, key+" V")
+	}
+	got := []byte(strings.Join(masked, "\n") + "\n")
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("masked /metrics drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -5,8 +5,10 @@
 //
 // The snapshot is loaded once; every request is answered from memory.
 // In front of the engine sits a sharded LRU cache for hot queries and
-// an expvar-based metrics layer (per-endpoint request/error/cache
-// counters and latency histograms) served on /debug/vars.
+// a metrics layer (per-endpoint request/error/cache counters and
+// latency histograms, plus process and cache-occupancy gauges) exposed
+// two ways: the Prometheus text exposition on /metrics and a JSON tree
+// on /debug/vars.
 //
 // # Endpoint contract
 //
@@ -44,9 +46,17 @@
 //	    Liveness plus snapshot shape.
 //	    -> {"status": "ok", "nodes": .., "edges": .., "uptime_ms": ..}
 //
+//	GET /metrics
+//	    Prometheus text exposition: probase_http_requests_total,
+//	    probase_http_errors_total, probase_cache_{hits,misses}_total,
+//	    probase_http_request_duration_seconds (histogram),
+//	    probase_http_inflight_requests, probase_cache_shard_entries,
+//	    probase_snapshot_{nodes,edges}, probase_process_* gauges.
+//
 //	GET /debug/vars
-//	    Metrics tree: per-endpoint requests, errors, cache_hits,
-//	    cache_misses, latency histogram; global inflight gauge.
+//	    The same counters as a JSON tree: per-endpoint requests,
+//	    errors, cache_hits, cache_misses, latency histogram; global
+//	    inflight gauge.
 //
 // Each request runs under a context deadline (Config.RequestTimeout);
 // exceeding it aborts the request with 503.
@@ -66,6 +76,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/extraction"
+	"repro/internal/obs"
 	"repro/internal/prob"
 )
 
@@ -145,6 +156,9 @@ func New(pb *core.Probase, cfg Config) *Server {
 	s.mux.Handle("/v1/conceptualize", s.wrap(epConceptualize, true, s.handleConceptualize))
 	s.mux.Handle("/v1/healthz", s.wrap(epHealthz, false, s.handleHealthz))
 	s.mux.Handle("/debug/vars", s.metrics.Handler())
+	s.mux.Handle("/metrics", s.metrics.PrometheusHandler())
+	s.metrics.observeCache(s.cache)
+	s.metrics.observeSnapshot(pb.Graph.NumNodes, pb.Graph.NumEdges)
 	return s
 }
 
@@ -186,15 +200,15 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 	em := s.metrics.endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		started := time.Now()
-		em.requests.Add(1)
+		em.requests.Inc()
 		s.metrics.inflight.Add(1)
 		defer func() {
 			s.metrics.inflight.Add(-1)
-			em.latency.Observe(time.Since(started))
+			em.latency.ObserveDuration(time.Since(started))
 		}()
 
 		if r.Method != http.MethodGet && !(name == epConceptualize && r.Method == http.MethodPost) {
-			em.errors.Add(1)
+			em.errors.Inc()
 			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
 			return
 		}
@@ -214,7 +228,11 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 			if ctx.Err() != nil {
 				status = http.StatusServiceUnavailable
 			}
-			em.errors.Add(1)
+			em.errors.Inc()
+			if status >= http.StatusInternalServerError {
+				obs.Logger(ctx).Warn("request failed",
+					"endpoint", name, "status", status, "error", err.Error())
+			}
 			writeJSONError(w, status, err.Error())
 			return
 		}
@@ -223,18 +241,18 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 		if raw, ok := body.(cachedBody); ok {
 			payload = raw
 			w.Header().Set("X-Cache", "hit")
-			em.cacheHits.Add(1)
+			em.cacheHits.Inc()
 		} else {
 			payload, err = json.Marshal(body)
 			if err != nil {
-				em.errors.Add(1)
+				em.errors.Inc()
 				writeJSONError(w, http.StatusInternalServerError, "encoding response")
 				return
 			}
 			if canCache {
 				s.cache.Put(key, payload)
 				w.Header().Set("X-Cache", "miss")
-				em.cacheMiss.Add(1)
+				em.cacheMiss.Inc()
 			}
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -472,12 +490,13 @@ func (s *Server) perTermFallback(terms []string, k int) []prob.Ranked {
 
 func (s *Server) handleHealthz(r *http.Request) (string, any, error) {
 	return "", struct {
-		Status   string `json:"status"`
-		Nodes    int    `json:"nodes"`
-		Edges    int    `json:"edges"`
-		Shards   int    `json:"cache_shards"`
-		Cached   int    `json:"cache_entries"`
-		UptimeMS int64  `json:"uptime_ms"`
+		Status   string        `json:"status"`
+		Nodes    int           `json:"nodes"`
+		Edges    int           `json:"edges"`
+		Shards   int           `json:"cache_shards"`
+		Cached   int           `json:"cache_entries"`
+		UptimeMS int64         `json:"uptime_ms"`
+		Build    obs.BuildInfo `json:"build"`
 	}{
 		Status:   "ok",
 		Nodes:    s.pb.Graph.NumNodes(),
@@ -485,5 +504,6 @@ func (s *Server) handleHealthz(r *http.Request) (string, any, error) {
 		Shards:   s.cache.Shards(),
 		Cached:   s.cache.Len(),
 		UptimeMS: time.Since(s.start).Milliseconds(),
+		Build:    obs.Version(),
 	}, nil
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/extraction"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Config controls taxonomy construction.
@@ -24,6 +26,10 @@ type Config struct {
 	// Workers parallelises the horizontal stage over root labels;
 	// 0 means GOMAXPROCS.
 	Workers int
+	// Reporter receives merge-stage telemetry (stages "taxonomy",
+	// "taxonomy.horizontal", "taxonomy.vertical", "taxonomy.assemble");
+	// nil discards it.
+	Reporter obs.StageReporter
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +74,9 @@ func SenseLabel(label string, i, total int) string {
 // Build assembles the taxonomy DAG from per-sentence extraction groups.
 func Build(groups []extraction.Group, cfg Config) *Result {
 	cfg = cfg.withDefaults()
+	rep := obs.ReporterOrNop(cfg.Reporter)
+	rep.StageStart("taxonomy")
+	buildStart := time.Now()
 	locals := make([]*Local, 0, len(groups))
 	for _, g := range groups {
 		if g.Super == "" || len(g.Subs) == 0 {
@@ -76,14 +85,26 @@ func Build(groups []extraction.Group, cfg Config) *Result {
 		locals = append(locals, NewLocal(g.Super, g.Subs))
 	}
 	eng := newEngine(locals, cfg.Sim)
+
+	// Algorithm 2's two merge passes, timed separately: horizontal
+	// (sense clustering within a label) then vertical (linking child
+	// slots to the merged clusters).
+	rep.StageStart("taxonomy.horizontal")
+	stageStart := time.Now()
 	eng.runHorizontalParallel(cfg.Workers)
+	rep.StageEnd("taxonomy.horizontal", time.Since(stageStart))
 	hops := eng.hops
 	adoptions := 0
 	if !cfg.DisableAdoption {
 		adoptions = eng.adoptFragments()
 	}
+	rep.StageStart("taxonomy.vertical")
+	stageStart = time.Now()
 	eng.runVertical()
+	rep.StageEnd("taxonomy.vertical", time.Since(stageStart))
 
+	rep.StageStart("taxonomy.assemble")
+	stageStart = time.Now()
 	res := &Result{
 		Graph:  graph.NewStore(),
 		Senses: make(map[string][]string),
@@ -220,5 +241,19 @@ func Build(groups []extraction.Group, cfg Config) *Result {
 		}
 		res.Graph.AddEdge(from, to, e.count, 0)
 	}
+	rep.StageEnd("taxonomy.assemble", time.Since(stageStart))
+	for counter, v := range map[string]int64{
+		"locals":           int64(res.Stats.Locals),
+		"horizontal_ops":   int64(res.Stats.HorizontalOps),
+		"vertical_ops":     int64(res.Stats.VerticalOps),
+		"adoptions":        int64(res.Stats.Adoptions),
+		"senses":           int64(res.Stats.Senses),
+		"multi_sense":      int64(res.Stats.MultiSense),
+		"skipped_cycles":   int64(res.Stats.SkippedCycles),
+		"dropped_clusters": int64(res.Stats.DroppedClusters),
+	} {
+		rep.Count("taxonomy", counter, v)
+	}
+	rep.StageEnd("taxonomy", time.Since(buildStart))
 	return res
 }
