@@ -7,9 +7,17 @@
 //
 //	probase-bench -exp all
 //	probase-bench -exp table1,fig9,fig10 -sentences 20000 -scale 1
+//
+// With -json the same run also emits a machine-readable report (schema
+// "probase-bench/v1"): per-experiment structured results and timings,
+// suitable for regression tracking across commits. -json auto picks a
+// BENCH_<timestamp>.json name; the text tables are unchanged either
+// way. -validate-json checks a previously written report against the
+// schema and exits (the CI bench-smoke job gates on it).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +28,75 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
+
+// benchSchema names the report layout; bump on breaking changes so
+// downstream tooling can dispatch on it.
+const benchSchema = "probase-bench/v1"
+
+// benchReport is the -json document.
+type benchReport struct {
+	Schema       string            `json:"schema"`
+	Build        obs.BuildInfo     `json:"build"`
+	Options      benchOptions      `json:"options"`
+	SetupSeconds float64           `json:"setup_seconds"`
+	Experiments  []experimentEntry `json:"experiments"`
+	TotalSeconds float64           `json:"total_seconds"`
+}
+
+type benchOptions struct {
+	Scale     float64 `json:"scale"`
+	Sentences int     `json:"sentences"`
+	Seed      int64   `json:"seed"`
+	Queries   int     `json:"queries"`
+}
+
+// experimentEntry holds one experiment's structured result — the same
+// value the text table renders — plus its wall time.
+type experimentEntry struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Result  any     `json:"result,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// validateBenchJSON checks that path holds a well-formed benchReport:
+// the schema marker, a build stamp, and at least one experiment with a
+// name and a non-negative duration. It is the binary-side contract test
+// the CI bench-smoke job runs on its artifact.
+func validateBenchJSON(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r benchReport
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case r.Schema != benchSchema:
+		return fmt.Errorf("%s: schema %q, want %q", path, r.Schema, benchSchema)
+	case len(r.Experiments) == 0:
+		return fmt.Errorf("%s: no experiments recorded", path)
+	case r.TotalSeconds <= 0:
+		return fmt.Errorf("%s: non-positive total_seconds %v", path, r.TotalSeconds)
+	case r.Options.Sentences <= 0:
+		return fmt.Errorf("%s: non-positive options.sentences %d", path, r.Options.Sentences)
+	}
+	for i, e := range r.Experiments {
+		if e.Name == "" {
+			return fmt.Errorf("%s: experiment %d has no name", path, i)
+		}
+		if e.Seconds < 0 {
+			return fmt.Errorf("%s: experiment %q has negative seconds", path, e.Name)
+		}
+		if e.Result == nil && e.Error == "" {
+			return fmt.Errorf("%s: experiment %q has neither result nor error", path, e.Name)
+		}
+	}
+	return nil
+}
 
 var experimentOrder = []string{
 	"table1", "table4", "table5", "coverage", "fig8", "fig9", "fig10",
@@ -43,6 +120,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scale     = fs.Float64("scale", 1, "world scale")
 		seed      = fs.Int64("seed", 11, "corpus seed")
 		queries   = fs.Int("queries", 50000, "query-log size for the coverage figures")
+		jsonOut   = fs.String("json", "", "also write a machine-readable report to this file ('auto' = BENCH_<timestamp>.json, '-' = stdout)")
+		validate  = fs.String("validate-json", "", "validate a previously written -json report and exit")
 		version   = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -50,6 +129,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *version {
 		obs.PrintVersion(stdout, "probase-bench")
+		return nil
+	}
+	if *validate != "" {
+		if err := validateBenchJSON(*validate); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: valid %s report\n", *validate, benchSchema)
 		return nil
 	}
 
@@ -82,44 +168,86 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	setupSeconds := time.Since(start).Seconds()
 	fmt.Fprintf(stdout, "setup: scale=%.1f sentences=%d seed=%d (built in %v)\n\n",
 		*scale, *sentences, *seed, time.Since(start).Round(time.Millisecond))
 
-	runOne := func(name string, fn func() string) {
+	report := benchReport{
+		Schema: benchSchema,
+		Build:  obs.Version(),
+		Options: benchOptions{
+			Scale: *scale, Sentences: *sentences, Seed: *seed, Queries: *queries,
+		},
+		SetupSeconds: setupSeconds,
+	}
+
+	// Each experiment yields both its structured result (for -json) and
+	// the rendered text table (always printed, byte-for-byte as before).
+	runOne := func(name string, fn func() (any, string, error)) {
 		if !want[name] {
 			return
 		}
 		t0 := time.Now()
-		text := fn()
+		result, text, err := fn()
+		secs := time.Since(t0).Seconds()
+		if err != nil {
+			text = name + " failed: " + err.Error()
+			report.Experiments = append(report.Experiments,
+				experimentEntry{Name: name, Seconds: secs, Error: err.Error()})
+		} else {
+			report.Experiments = append(report.Experiments,
+				experimentEntry{Name: name, Seconds: secs, Result: result})
+		}
 		fmt.Fprintln(stdout, text)
 		fmt.Fprintf(stdout, "[%s: %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
+	ok := func(fn func() (any, string)) func() (any, string, error) {
+		return func() (any, string, error) { r, s := fn(); return r, s, nil }
+	}
 
-	runOne("table1", func() string { _, s := setup.Table1(); return s })
-	runOne("table4", func() string {
-		_, s, err := setup.Table4()
-		if err != nil {
-			return "table4 failed: " + err.Error()
+	runOne("table1", ok(func() (any, string) { return setup.Table1() }))
+	runOne("table4", func() (any, string, error) { return setup.Table4() })
+	runOne("table5", ok(func() (any, string) { return setup.Table5() }))
+	runOne("coverage", ok(func() (any, string) { return setup.Coverage(*queries) }))
+	runOne("fig8", ok(func() (any, string) { return setup.Fig8() }))
+	runOne("fig9", ok(func() (any, string) { return setup.Fig9() }))
+	runOne("fig10", ok(func() (any, string) { return setup.Fig10() }))
+	runOne("fig11", ok(func() (any, string) { return setup.Fig11() }))
+	runOne("fig12", ok(func() (any, string) { return setup.Fig12() }))
+	runOne("search", ok(func() (any, string) { return setup.Search() }))
+	runOne("shorttext", ok(func() (any, string) { return setup.ShortText() }))
+	runOne("webtables", ok(func() (any, string) { return setup.WebTables() }))
+	runOne("baseline", ok(func() (any, string) { return setup.Baseline() }))
+	runOne("jaccard", ok(func() (any, string) { return setup.Jaccard() }))
+	runOne("mergeorder", ok(func() (any, string) { return setup.MergeOrder() }))
+	runOne("plausibility", ok(func() (any, string) { return setup.Plausibility() }))
+	runOne("growth", ok(func() (any, string) { return setup.Growth() }))
+	runOne("merge", ok(func() (any, string) { return setup.MergeFreebase() }))
+	runOne("interpret", ok(func() (any, string) { return setup.InterpretExp() }))
+	runOne("extras", ok(func() (any, string) { return setup.Extras() }))
+	report.TotalSeconds = time.Since(start).Seconds()
+
+	if *jsonOut != "" {
+		path := *jsonOut
+		if path == "auto" {
+			path = "BENCH_" + time.Now().UTC().Format("20060102T150405Z") + ".json"
 		}
-		return s
-	})
-	runOne("table5", func() string { _, s := setup.Table5(); return s })
-	runOne("coverage", func() string { _, s := setup.Coverage(*queries); return s })
-	runOne("fig8", func() string { _, s := setup.Fig8(); return s })
-	runOne("fig9", func() string { _, s := setup.Fig9(); return s })
-	runOne("fig10", func() string { _, s := setup.Fig10(); return s })
-	runOne("fig11", func() string { _, s := setup.Fig11(); return s })
-	runOne("fig12", func() string { _, s := setup.Fig12(); return s })
-	runOne("search", func() string { _, s := setup.Search(); return s })
-	runOne("shorttext", func() string { _, s := setup.ShortText(); return s })
-	runOne("webtables", func() string { _, s := setup.WebTables(); return s })
-	runOne("baseline", func() string { _, s := setup.Baseline(); return s })
-	runOne("jaccard", func() string { _, s := setup.Jaccard(); return s })
-	runOne("mergeorder", func() string { _, s := setup.MergeOrder(); return s })
-	runOne("plausibility", func() string { _, s := setup.Plausibility(); return s })
-	runOne("growth", func() string { _, s := setup.Growth(); return s })
-	runOne("merge", func() string { _, s := setup.MergeFreebase(); return s })
-	runOne("interpret", func() string { _, s := setup.InterpretExp(); return s })
-	runOne("extras", func() string { _, s := setup.Extras(); return s })
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding bench report: %w", err)
+		}
+		raw = append(raw, '\n')
+		if path == "-" {
+			_, err = stdout.Write(raw)
+		} else {
+			err = os.WriteFile(path, raw, 0o644)
+		}
+		if err != nil {
+			return fmt.Errorf("writing bench report: %w", err)
+		}
+		if path != "-" {
+			fmt.Fprintf(stdout, "wrote %s\n", path)
+		}
+	}
 	return nil
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -55,5 +58,100 @@ func TestVersionFlag(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "probase-bench version") {
 		t.Errorf("stdout = %q", stdout.String())
+	}
+}
+
+// TestBenchJSONReport runs one experiment with -json and checks the
+// machine-readable report round-trips through the binary's own
+// validator, with the text tables unchanged alongside.
+func TestBenchJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-exp", "table1", "-sentences", "2000", "-json", path}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Table 1") {
+		t.Error("-json must not suppress the text tables")
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Schema != benchSchema {
+		t.Errorf("schema = %q", report.Schema)
+	}
+	if report.Options.Sentences != 2000 || report.Options.Seed != 11 {
+		t.Errorf("options = %+v", report.Options)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].Name != "table1" {
+		t.Fatalf("experiments = %+v", report.Experiments)
+	}
+	if report.Experiments[0].Result == nil {
+		t.Error("table1 result missing from report")
+	}
+	if report.TotalSeconds <= 0 || report.SetupSeconds <= 0 {
+		t.Errorf("timings not recorded: total=%v setup=%v", report.TotalSeconds, report.SetupSeconds)
+	}
+
+	// The binary's own validator accepts what the binary wrote.
+	stdout.Reset()
+	if err := run([]string{"-validate-json", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("self-validation failed: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "valid") {
+		t.Errorf("validator output: %q", stdout.String())
+	}
+}
+
+// TestBenchJSONStdout routes the report to stdout with -json -.
+func TestBenchJSONStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-exp", "table1", "-sentences", "2000", "-json", "-"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(stdout.String(), `{`)
+	if idx < 0 {
+		t.Fatal("no JSON on stdout")
+	}
+	// The report is the last thing printed; decode from the first brace
+	// of the final block.
+	tail := stdout.String()[strings.LastIndex(stdout.String(), "\n{"):]
+	var report benchReport
+	if err := json.Unmarshal([]byte(tail), &report); err != nil {
+		t.Fatalf("stdout report invalid: %v\n%s", err, tail)
+	}
+	if report.Schema != benchSchema {
+		t.Errorf("schema = %q", report.Schema)
+	}
+}
+
+func TestValidateJSONRejectsBadReports(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"missing":        "",
+		"not-json":       "not json",
+		"wrong-schema":   `{"schema":"other/v9","build":{},"options":{"sentences":1},"experiments":[{"name":"x","seconds":1,"result":{}}],"total_seconds":1}`,
+		"no-experiments": `{"schema":"probase-bench/v1","build":{},"options":{"sentences":1},"experiments":[],"total_seconds":1}`,
+		"unknown-field":  `{"schema":"probase-bench/v1","bogus":1,"build":{},"options":{"sentences":1},"experiments":[{"name":"x","seconds":1,"result":{}}],"total_seconds":1}`,
+		"unnamed":        `{"schema":"probase-bench/v1","build":{},"options":{"sentences":1},"experiments":[{"name":"","seconds":1,"result":{}}],"total_seconds":1}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name+".json")
+		if name != "missing" {
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-validate-json", path}, &stdout, &stderr); err == nil {
+			t.Errorf("%s: validator accepted a bad report", name)
+		}
 	}
 }

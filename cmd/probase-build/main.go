@@ -53,8 +53,45 @@ type statsReport struct {
 	GraphEdges    int              `json:"graph_edges"`
 	TotalSeconds  float64          `json:"total_seconds"`
 	Stages        []obs.StageStats `json:"stages"`
+	Trace         *traceSummary    `json:"trace,omitempty"`
 	SnapshotPath  string           `json:"snapshot_path"`
 	SnapshotBytes int64            `json:"snapshot_bytes"`
+}
+
+// traceSummary is the build trace rendered for the report: every stage
+// and round as a span, tagged with the paper algorithm it implements,
+// so the report joins span timings to Algorithms 1-3 directly.
+type traceSummary struct {
+	TraceID    string      `json:"trace_id"`
+	DurationUS int64       `json:"duration_us"`
+	Spans      []traceSpan `json:"spans"`
+}
+
+type traceSpan struct {
+	Name       string            `json:"name"`
+	Algorithm  string            `json:"algorithm,omitempty"`
+	OffsetUS   int64             `json:"offset_us"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// summarizeTrace flattens a finished build trace into the report shape.
+func summarizeTrace(td obs.TraceData) *traceSummary {
+	ts := &traceSummary{
+		TraceID:    td.TraceID,
+		DurationUS: td.DurationUS,
+		Spans:      make([]traceSpan, 0, len(td.Spans)),
+	}
+	for _, sp := range td.Spans {
+		ts.Spans = append(ts.Spans, traceSpan{
+			Name:       sp.Name,
+			Algorithm:  obs.AlgorithmForStage(sp.Name),
+			OffsetUS:   sp.OffsetUS,
+			DurationUS: sp.DurationUS,
+			Attrs:      sp.Attrs,
+		})
+	}
+	return ts
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -85,10 +122,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	stats := obs.NewStatsCollector()
-	var reporter obs.StageReporter = stats
+	reporters := obs.MultiReporter{stats}
 	if !*quiet {
-		reporter = obs.MultiReporter{stats, obs.NewProgressReporter(stderr, "probase-build")}
+		reporters = append(reporters, obs.NewProgressReporter(stderr, "probase-build"))
 	}
+	// A build is one trace: the -stats-out report includes every stage
+	// and round as spans tagged with the algorithm they implement.
+	var spanRep *obs.SpanReporter
+	if *statsOut != "" {
+		tracer := obs.NewTracer(obs.TracerConfig{SampleRate: 1, BufferSize: 4})
+		spanRep = obs.NewSpanReporter(tracer, "probase-build")
+		reporters = append(reporters, spanRep)
+	}
+	var reporter obs.StageReporter = reporters
 	progress("probase-build: %s\n", obs.Version())
 
 	f, err := os.Open(*corpusPath)
@@ -123,7 +169,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
 
 	of, err := os.Create(*out)
 	if err != nil {
@@ -133,13 +178,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *full {
 		save = pb.SaveFull
 	}
+	saveStart := time.Now()
+	reporter.StageStart(obs.StageSnapshotSave)
 	if err := save(of); err != nil {
 		of.Close()
 		return err
 	}
-	if err := of.Close(); err != nil {
+	err = of.Close()
+	reporter.StageEnd(obs.StageSnapshotSave, time.Since(saveStart))
+	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 
 	st := pb.Store.Stats()
 	progress(
@@ -161,6 +211,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 			TotalSeconds: elapsed.Seconds(),
 			Stages:       stats.Stages(),
 			SnapshotPath: *out,
+		}
+		if spanRep != nil {
+			if td, ok := spanRep.Finish(); ok {
+				report.Trace = summarizeTrace(td)
+			}
 		}
 		if fi, err := os.Stat(*out); err == nil {
 			report.SnapshotBytes = fi.Size()

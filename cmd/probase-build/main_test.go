@@ -142,6 +142,41 @@ func TestBuildStatsOut(t *testing.T) {
 			t.Errorf("stage %q missing from report (have %v)", want, report.Stages)
 		}
 	}
+
+	// The trace section maps every span onto the paper's algorithms.
+	if report.Trace == nil {
+		t.Fatal("trace section missing from report")
+	}
+	if report.Trace.TraceID == "" || report.Trace.DurationUS <= 0 {
+		t.Errorf("trace header incomplete: %+v", report.Trace)
+	}
+	spans := map[string]traceSpan{}
+	for _, sp := range report.Trace.Spans {
+		spans[sp.Name] = sp
+	}
+	if sp, ok := spans["probase-build"]; !ok || sp.Algorithm != "" {
+		t.Errorf("root span wrong: %+v", sp)
+	}
+	for name, wantAlgo := range map[string]string{
+		"extraction":         "algorithm1",
+		"extraction.round.1": "algorithm1",
+		"taxonomy":           "algorithm2",
+		"prob.algorithm3":    "algorithm3",
+		"prob.train":         "section4.1",
+		"snapshot.save":      "",
+	} {
+		sp, ok := spans[name]
+		if !ok {
+			t.Errorf("trace missing span %q", name)
+			continue
+		}
+		if sp.Algorithm != wantAlgo {
+			t.Errorf("span %q algorithm = %q, want %q", name, sp.Algorithm, wantAlgo)
+		}
+	}
+	if rs := spans["extraction.round.1"]; rs.Attrs["accepted"] == "" {
+		t.Errorf("round span lost its counters: %+v", rs)
+	}
 }
 
 func TestBuildStatsToStdout(t *testing.T) {

@@ -20,6 +20,13 @@
 // Prometheus text exposition, -slowlog enables a sampled slow-query log,
 // and -pprof-addr starts a separate net/http/pprof listener.
 //
+// Tracing: -trace-sample and/or -trace-slow turn on per-request spans
+// with W3C traceparent propagation; kept traces (head-sampled, slow, or
+// errored) land in a ring buffer served as JSON or an HTML waterfall on
+// the pprof listener's /debug/traces. Log records for traced requests
+// carry trace_id/span_id, and latency histogram buckets carry trace-ID
+// exemplars in the OpenMetrics exposition.
+//
 // On SIGINT/SIGTERM the listener closes and in-flight requests drain
 // (bounded by -drain) before the process exits.
 package main
@@ -59,19 +66,22 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 	fs := flag.NewFlagSet("probase-serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		snapPath  = fs.String("snapshot", "probase.bin", "taxonomy snapshot from probase-build")
-		addr      = fs.String("addr", ":8080", "listen address")
-		shards    = fs.Int("cache-shards", 16, "hot-query cache shards (rounded up to a power of two)")
-		perShard  = fs.Int("cache-per-shard", 512, "max cached responses per shard")
-		reqTO     = fs.Duration("request-timeout", 5*time.Second, "per-request deadline")
-		drain     = fs.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
-		maxK      = fs.Int("max-k", 1000, "cap on the k query parameter")
-		logFormat = fs.String("log-format", "text", "log output format: text or json")
-		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
-		slowlog   = fs.Duration("slowlog", 0, "log requests slower than this threshold (0 disables)")
-		slowEvery = fs.Int("slowlog-every", 1, "sample 1 in N slow requests")
-		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
-		version   = fs.Bool("version", false, "print build version and exit")
+		snapPath    = fs.String("snapshot", "probase.bin", "taxonomy snapshot from probase-build")
+		addr        = fs.String("addr", ":8080", "listen address")
+		shards      = fs.Int("cache-shards", 16, "hot-query cache shards (rounded up to a power of two)")
+		perShard    = fs.Int("cache-per-shard", 512, "max cached responses per shard")
+		reqTO       = fs.Duration("request-timeout", 5*time.Second, "per-request deadline")
+		drain       = fs.Duration("drain", 10*time.Second, "shutdown drain window for in-flight requests")
+		maxK        = fs.Int("max-k", 1000, "cap on the k query parameter")
+		logFormat   = fs.String("log-format", "text", "log output format: text or json")
+		logLevel    = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		slowlog     = fs.Duration("slowlog", 0, "log requests slower than this threshold (0 disables)")
+		slowEvery   = fs.Int("slowlog-every", 1, "sample 1 in N slow requests")
+		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof and /debug/traces on this address (empty disables)")
+		traceSample = fs.Float64("trace-sample", 0, "head-sample this fraction of requests into /debug/traces (0 disables head sampling)")
+		traceSlow   = fs.Duration("trace-slow", 0, "always keep traces of requests slower than this (0 disables the tail rule)")
+		traceBuf    = fs.Int("trace-buf", 256, "kept traces ring-buffer capacity")
+		version     = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,11 +116,25 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 			"Size of the loaded taxonomy snapshot file in bytes.",
 			func() float64 { return size })
 	}
+	// Tracing is on when either retention rule is: head sampling by
+	// rate, or the tail "always keep slow traces" rule. Kept traces are
+	// browsable on the pprof listener's /debug/traces.
+	var tracer *obs.Tracer
+	if *traceSample > 0 || *traceSlow > 0 {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			SampleRate:    *traceSample,
+			SlowThreshold: *traceSlow,
+			BufferSize:    *traceBuf,
+		})
+		logger.Info("tracing enabled",
+			"sample", *traceSample, "slow", traceSlow.String(), "buffer", *traceBuf)
+	}
 	httpSrv := &http.Server{
 		Handler: obs.Middleware(srv.Handler(), obs.MiddlewareConfig{
 			Logger:        logger,
 			SlowThreshold: *slowlog,
 			SlowEvery:     *slowEvery,
+			Tracer:        tracer,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		// The handler enforces its own per-request deadline; these bound
@@ -126,8 +150,13 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 		}
 		defer pln.Close()
 		logger.Info("pprof listening", "addr", pln.Addr().String())
+		debugMux := http.NewServeMux()
+		debugMux.Handle("/", obs.PprofHandler())
+		if tracer != nil {
+			debugMux.Handle("/debug/traces", tracer.Handler())
+		}
 		go func() {
-			pprofSrv := &http.Server{Handler: obs.PprofHandler(), ReadHeaderTimeout: 5 * time.Second}
+			pprofSrv := &http.Server{Handler: debugMux, ReadHeaderTimeout: 5 * time.Second}
 			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, net.ErrClosed) {
 				logger.Warn("pprof server exited", "err", err.Error())
 			}

@@ -6,11 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"syscall"
@@ -69,19 +69,7 @@ func snapshotPath(t *testing.T) string {
 // base URL, a cancel triggering shutdown, and the exit channel.
 func startServer(t *testing.T, ctx context.Context) (string, chan error, *bytes.Buffer) {
 	t.Helper()
-	stderr := &bytes.Buffer{}
-	ready := make(chan net.Addr, 1)
-	exit := make(chan error, 1)
-	go func() {
-		exit <- run(ctx, []string{"-snapshot", snapshotPath(t), "-addr", "127.0.0.1:0"}, stderr, ready)
-	}()
-	select {
-	case addr := <-ready:
-		return "http://" + addr.String(), exit, stderr
-	case err := <-exit:
-		t.Fatalf("server exited before ready: %v\n%s", err, stderr.String())
-		return "", nil, nil
-	}
+	return startServerArgs(t, ctx)
 }
 
 func getJSON(t *testing.T, url string) (int, map[string]any) {
@@ -232,6 +220,143 @@ func TestServeDrainsInflight(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("drain timed out")
+	}
+}
+
+// TestServeTracingEndToEnd drives the full traceability loop: a request
+// carrying a W3C traceparent is answered with the server span's
+// traceparent on the same trace, the trace (with per-stage child spans)
+// is browsable on the pprof listener's /debug/traces, and the latency
+// histogram's OpenMetrics exposition carries the trace ID as an
+// exemplar.
+func TestServeTracingEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, exit, stderr := startServerArgs(t, ctx,
+		"-pprof-addr", "127.0.0.1:0", "-trace-sample", "1", "-trace-buf", "16")
+
+	// The pprof listener port is random; it is announced on stderr
+	// before the ready signal, so reading here does not race the server.
+	m := regexp.MustCompile(`pprof listening.*addr=([0-9.]+:[0-9]+)`).FindStringSubmatch(stderr.String())
+	if m == nil {
+		t.Fatalf("pprof listener address not logged:\n%s", stderr.String())
+	}
+	debugBase := "http://" + m[1]
+
+	const inbound = "00-af7651916cd43dd8448eb211c80319c3-b7ad6b7169203331-01"
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/instances?concept=companies&k=3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", inbound)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out := resp.Header.Get("traceparent")
+	wantTrace := "af7651916cd43dd8448eb211c80319c3"
+	if !strings.Contains(out, wantTrace) {
+		t.Fatalf("response traceparent %q does not continue trace %s", out, wantTrace)
+	}
+
+	// Same query again: the second request must be answered from cache
+	// and traced as a hit.
+	status, _ := getJSON(t, base+"/v1/instances?concept=companies&k=3")
+	if status != http.StatusOK {
+		t.Fatalf("second request status %d", status)
+	}
+
+	// The trace is on /debug/traces with the request's child spans.
+	tresp, err := http.Get(debugBase + "/debug/traces?trace=" + wantTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var tdoc struct {
+		Traces []struct {
+			TraceID      string `json:"trace_id"`
+			Root         string `json:"root"`
+			RemoteParent string `json:"remote_parent"`
+			Spans        []struct {
+				Name  string            `json:"name"`
+				Attrs map[string]string `json:"attrs"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&tdoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(tdoc.Traces) != 1 {
+		t.Fatalf("want exactly the propagated trace, got %d traces", len(tdoc.Traces))
+	}
+	td := tdoc.Traces[0]
+	if td.RemoteParent != "b7ad6b7169203331" {
+		t.Errorf("remote parent = %q", td.RemoteParent)
+	}
+	spans := map[string]map[string]string{}
+	for _, sp := range td.Spans {
+		spans[sp.Name] = sp.Attrs
+	}
+	for _, want := range []string{"GET /v1/instances", "server.instances", "cache.lookup", "snapshot.query"} {
+		if _, ok := spans[want]; !ok {
+			t.Errorf("trace missing span %q (have %v)", want, td.Spans)
+		}
+	}
+	if got := spans["cache.lookup"]["hit"]; got != "false" {
+		t.Errorf("first request cache.lookup hit = %q, want false", got)
+	}
+	if got := spans["snapshot.query"]["op"]; got != "instances_of" {
+		t.Errorf("snapshot.query op = %q", got)
+	}
+
+	// The waterfall renders.
+	hreq, _ := http.NewRequest(http.MethodGet, debugBase+"/debug/traces?format=html", nil)
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if !strings.Contains(string(html), wantTrace) {
+		t.Errorf("HTML waterfall missing trace %s", wantTrace)
+	}
+
+	// The OpenMetrics exposition carries the trace ID as an exemplar on
+	// the latency histogram; the plain Prometheus exposition does not.
+	mreq, _ := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	mreq.Header.Set("Accept", "application/openmetrics-text")
+	mresp, err := http.DefaultClient.Do(mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(om), `trace_id="`+wantTrace) {
+		t.Error("OpenMetrics exposition has no exemplar for the traced request")
+	}
+	plain, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainBody, _ := io.ReadAll(plain.Body)
+	plain.Body.Close()
+	if strings.Contains(string(plainBody), "trace_id=") {
+		t.Error("plain Prometheus exposition leaks exemplars (breaks strict 0.0.4 parsers)")
+	}
+
+	cancel()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("shutdown error: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
 	}
 }
 

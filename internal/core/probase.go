@@ -79,13 +79,13 @@ func Build(inputs []extraction.Input, cfg Config) (*Probase, error) {
 	}
 	tax := taxonomy.Build(res.Groups, cfg.Taxonomy)
 
-	rep.StageStart("prob.train")
+	rep.StageStart(obs.StageProbTrain)
 	trainStart := time.Now()
 	model := prob.Train(res.Store, oracleOrUnknown(cfg.Oracle))
-	rep.StageEnd("prob.train", time.Since(trainStart))
+	rep.StageEnd(obs.StageProbTrain, time.Since(trainStart))
 
 	// Annotate taxonomy edges with plausibility from the evidence model.
-	rep.StageStart("prob.annotate")
+	rep.StageStart(obs.StageProbAnnotate)
 	annStart := time.Now()
 	g := tax.Graph
 	annotated := int64(0)
@@ -99,8 +99,8 @@ func Build(inputs []extraction.Input, cfg Config) (*Probase, error) {
 			}
 		}
 	}
-	rep.Count("prob.annotate", "edges_annotated", annotated)
-	rep.StageEnd("prob.annotate", time.Since(annStart))
+	rep.Count(obs.StageProbAnnotate, "edges_annotated", annotated)
+	rep.StageEnd(obs.StageProbAnnotate, time.Since(annStart))
 	typ, err := prob.NewTypicalityObserved(g, rep)
 	if err != nil {
 		return nil, fmt.Errorf("core: taxonomy is not a DAG: %w", err)

@@ -79,7 +79,7 @@ func (r *Result) PairsThroughRound(round int) []kb.Pair {
 func Run(inputs []Input, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	rep := obs.ReporterOrNop(cfg.Reporter)
-	rep.StageStart("extraction")
+	rep.StageStart(obs.StageExtraction)
 	runStart := time.Now()
 
 	// Syntactic pass: parse every sentence once. Composition sentences
@@ -125,9 +125,9 @@ func Run(inputs []Input, cfg Config) *Result {
 		Parsed:     len(states),
 		PartOf:     len(negatives),
 	}
-	rep.Count("extraction", "sentences_total", int64(len(inputs)))
-	rep.Count("extraction", "sentences_parsed", int64(len(states)))
-	rep.Count("extraction", "part_of_negatives", int64(len(negatives)))
+	rep.Count(obs.StageExtraction, "sentences_total", int64(len(inputs)))
+	rep.Count(obs.StageExtraction, "sentences_parsed", int64(len(states)))
+	rep.Count(obs.StageExtraction, "part_of_negatives", int64(len(negatives)))
 
 	pending := make([]int, len(states))
 	for i := range states {
@@ -169,7 +169,7 @@ func Run(inputs []Input, cfg Config) *Result {
 			Elapsed:           time.Since(roundStart),
 		}
 		res.Rounds = append(res.Rounds, rs)
-		rep.Round("extraction", round, rs.counters(), rs.Elapsed)
+		rep.Round(obs.StageExtraction, round, rs.counters(), rs.Elapsed)
 		if !progress {
 			break
 		}
@@ -185,8 +185,8 @@ func Run(inputs []Input, cfg Config) *Result {
 	for _, n := range negatives {
 		res.Store.AddEvidence(n.x, n.y, n.ev)
 	}
-	rep.Count("extraction", "groups", int64(len(res.Groups)))
-	rep.StageEnd("extraction", time.Since(runStart))
+	rep.Count(obs.StageExtraction, "groups", int64(len(res.Groups)))
+	rep.StageEnd(obs.StageExtraction, time.Since(runStart))
 	return res
 }
 

@@ -156,7 +156,12 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	if h, ok := f.children[sig]; ok {
 		return h.(*Histogram)
 	}
-	h := &Histogram{sig: sig, bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+	h := &Histogram{
+		sig:       sig,
+		bounds:    f.bounds,
+		counts:    make([]atomic.Int64, len(f.bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(f.bounds)+1),
+	}
 	f.children[sig] = h
 	return h
 }
@@ -226,14 +231,34 @@ type Histogram struct {
 	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
 	count   atomic.Int64
 	sumBits atomic.Uint64
+	// exemplars holds the most recent exemplar per bucket (last write
+	// wins); slow buckets thus carry the trace ID of a recent slow
+	// request, joining the metrics pillar to /debug/traces.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it, in
+// the OpenMetrics sense.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 func (h *Histogram) labelSig() string { return h.sig }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v, "") }
+
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// attaches it as the bucket's exemplar.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) { h.observe(v, traceID) }
+
+func (h *Histogram) observe(v float64, traceID string) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -247,6 +272,11 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a latency sample in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveDurationExemplar is ObserveDuration with an exemplar trace ID.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	h.observe(d.Seconds(), traceID)
+}
+
 // HistogramSnapshot is a consistent-enough copy of a histogram's state
 // (each field is read atomically; the set is not a single atomic cut,
 // which is the usual Prometheus client contract).
@@ -255,18 +285,23 @@ type HistogramSnapshot struct {
 	Counts []int64   // per-bucket (NOT cumulative); len(Bounds)+1, last is +Inf
 	Sum    float64
 	Count  int64
+	// Exemplars holds the latest exemplar per bucket; entries are nil
+	// for buckets that never saw an exemplar.
+	Exemplars []*Exemplar
 }
 
 // Snapshot copies the histogram state for rendering.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
-		Bounds: h.bounds,
-		Counts: make([]int64, len(h.counts)),
-		Sum:    math.Float64frombits(h.sumBits.Load()),
-		Count:  h.count.Load(),
+		Bounds:    h.bounds,
+		Counts:    make([]int64, len(h.counts)),
+		Sum:       math.Float64frombits(h.sumBits.Load()),
+		Count:     h.count.Load(),
+		Exemplars: make([]*Exemplar, len(h.counts)),
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	return s
 }
@@ -330,6 +365,19 @@ func metricLine(sb *strings.Builder, name, sig, extra, value string) {
 // (version 0.0.4). Families are sorted by name and children by label
 // signature, so the output is deterministic for a given set of values.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the same exposition with OpenMetrics
+// extensions: histogram bucket lines carry their exemplar trace IDs
+// ("# {trace_id=...} value") and the output ends with "# EOF". Plain
+// 0.0.4 scrapers keep using WritePrometheus, where exemplars are
+// omitted because the older grammar has no syntax for them.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.fams))
 	for n := range r.fams {
@@ -373,23 +421,67 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				cum := int64(0)
 				for i, b := range s.Bounds {
 					cum += s.Counts[i]
-					metricLine(&sb, f.name+"_bucket", m.sig,
-						`le="`+formatFloat(b)+`"`, strconv.FormatInt(cum, 10))
+					bucketLine(&sb, f.name, m.sig, formatFloat(b),
+						cum, exemplarFor(s, i, openMetrics))
 				}
 				cum += s.Counts[len(s.Bounds)]
-				metricLine(&sb, f.name+"_bucket", m.sig, `le="+Inf"`, strconv.FormatInt(cum, 10))
+				bucketLine(&sb, f.name, m.sig, "+Inf",
+					cum, exemplarFor(s, len(s.Bounds), openMetrics))
 				metricLine(&sb, f.name+"_sum", m.sig, "", formatFloat(s.Sum))
 				metricLine(&sb, f.name+"_count", m.sig, "", strconv.FormatInt(s.Count, 10))
 			}
 		}
 	}
+	if openMetrics {
+		sb.WriteString("# EOF\n")
+	}
 	_, err := w.Write([]byte(sb.String()))
 	return err
 }
 
-// Handler serves the registry in the Prometheus text exposition format.
+func exemplarFor(s HistogramSnapshot, i int, openMetrics bool) *Exemplar {
+	if !openMetrics {
+		return nil
+	}
+	return s.Exemplars[i]
+}
+
+// bucketLine writes one histogram bucket sample, with its OpenMetrics
+// exemplar when present.
+func bucketLine(sb *strings.Builder, name, sig, le string, cum int64, ex *Exemplar) {
+	sb.WriteString(name)
+	sb.WriteString("_bucket{")
+	sb.WriteString(sig)
+	if sig != "" {
+		sb.WriteByte(',')
+	}
+	sb.WriteString(`le="`)
+	sb.WriteString(le)
+	sb.WriteString(`"} `)
+	sb.WriteString(strconv.FormatInt(cum, 10))
+	if ex != nil {
+		sb.WriteString(` # {trace_id="`)
+		sb.WriteString(escapeLabelValue(ex.TraceID))
+		sb.WriteString(`"} `)
+		sb.WriteString(formatFloat(ex.Value))
+	}
+	sb.WriteByte('\n')
+}
+
+// openMetricsContentType is served when the scraper negotiates the
+// OpenMetrics exposition (the format that can carry exemplars).
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Handler serves the registry in the Prometheus text exposition
+// format; scrapers that send "Accept: application/openmetrics-text"
+// get the OpenMetrics rendering with histogram exemplars.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})

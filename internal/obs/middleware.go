@@ -3,6 +3,7 @@ package obs
 import (
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -28,13 +29,26 @@ type MiddlewareConfig struct {
 	// then every SlowEvery-th one are logged. Values <= 1 log every
 	// slow request.
 	SlowEvery int
+	// Tracer, when non-nil, opens a root span per request: an inbound
+	// W3C traceparent is continued (same trace ID, caller span as
+	// parent), the response carries the server span's traceparent, and
+	// log records gain trace_id/span_id fields. With a nil Tracer a
+	// valid inbound traceparent is still passed through on the response
+	// and into the logs — disabled tracing must not break a caller's
+	// trace. A malformed traceparent is ignored either way; it is
+	// advisory metadata, never a request error.
+	Tracer *Tracer
 }
 
 // Middleware wraps next with the per-request observability pipeline:
 // it assigns (or propagates) a request ID, echoes it as X-Request-ID,
-// stores a request-scoped logger in the context, emits a debug-level
-// access record per request, and a sampled warn-level record for
-// requests slower than SlowThreshold.
+// extracts/injects the W3C traceparent and opens the request's root
+// span, stores a request-scoped logger in the context, emits a
+// debug-level access record per request, and a sampled warn-level
+// record for requests slower than SlowThreshold. The root span ends —
+// and its trace is flushed to the tracer's ring buffer — before the
+// middleware returns, so a graceful server shutdown that waits for
+// in-flight handlers also waits for their traces.
 func Middleware(next http.Handler, cfg MiddlewareConfig) http.Handler {
 	logger := cfg.Logger
 	if logger == nil {
@@ -49,11 +63,46 @@ func Middleware(next http.Handler, cfg MiddlewareConfig) http.Handler {
 		}
 		w.Header().Set(RequestIDHeader, id)
 		reqLog := logger.With(slog.String("request_id", id))
-		ctx := WithLogger(WithRequestID(r.Context(), id), reqLog)
+		ctx := r.Context()
+
+		// Trace context: continue the caller's trace when the header
+		// parses, start a fresh one otherwise. rawParent != "" with a
+		// parse error means a malformed header, which is dropped.
+		var span *Span
+		rawParent := r.Header.Get(TraceparentHeader)
+		remote, perr := ParseTraceparent(rawParent)
+		hasRemote := rawParent != "" && perr == nil
+		switch {
+		case cfg.Tracer != nil && hasRemote:
+			ctx, span = cfg.Tracer.StartRootRemote(ctx, r.Method+" "+r.URL.Path, remote)
+		case cfg.Tracer != nil:
+			ctx, span = cfg.Tracer.StartRoot(ctx, r.Method+" "+r.URL.Path)
+		case hasRemote:
+			// Tracing disabled: pass the caller's context through
+			// untouched so the trace survives this hop.
+			w.Header().Set(TraceparentHeader, rawParent)
+			reqLog = reqLog.With(slog.String("trace_id", remote.TraceID.String()))
+		}
+		if span != nil {
+			span.SetAttr("http.method", r.Method)
+			span.SetAttr("http.path", r.URL.Path)
+			w.Header().Set(TraceparentHeader, span.Traceparent())
+			reqLog = reqLog.With(
+				slog.String("trace_id", span.TraceID()),
+				slog.String("span_id", span.SpanID()))
+		}
+		ctx = WithLogger(WithRequestID(ctx, id), reqLog)
 
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r.WithContext(ctx))
 
+		if span != nil {
+			span.SetAttr("http.status", strconv.Itoa(sw.status()))
+			if sw.status() >= http.StatusInternalServerError {
+				span.SetError(http.StatusText(sw.status()))
+			}
+			span.End()
+		}
 		elapsed := time.Since(started)
 		attrs := []any{
 			slog.String("method", r.Method),

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanData is one completed span as retained in a trace. Offsets are
+// relative to the trace's root start, so a list of SpanData renders
+// directly as a waterfall.
+type SpanData struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	ParentID   string            `json:"parent_id,omitempty"`
+	Name       string            `json:"name"`
+	OffsetUS   int64             `json:"offset_us"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Status     string            `json:"status,omitempty"` // "" (ok) or "error"
+	Error      string            `json:"error,omitempty"`
+
+	start time.Time
+}
+
+// TraceData is one finalised trace: the root span's identity and
+// outcome plus every recorded span, ordered by start offset.
+type TraceData struct {
+	TraceID      string     `json:"trace_id"`
+	Root         string     `json:"root"`
+	Start        time.Time  `json:"start"`
+	DurationUS   int64      `json:"duration_us"`
+	HeadSampled  bool       `json:"head_sampled"`
+	Slow         bool       `json:"slow,omitempty"`
+	Errored      bool       `json:"errored,omitempty"`
+	RemoteParent string     `json:"remote_parent,omitempty"`
+	Spans        []SpanData `json:"spans"`
+}
+
+// traceRec accumulates the spans of one in-flight trace. Child spans
+// append themselves on End; the root span's End finalises the record
+// and offers it to the tracer's ring buffer.
+type traceRec struct {
+	tracer   *Tracer
+	id       TraceID
+	start    time.Time
+	rootName string
+	sampled  bool   // head-sampling decision, made at root start
+	remote   SpanID // inbound traceparent parent, zero when local
+
+	// mu guards the accumulation; sibling spans may end concurrently.
+	mu      sync.Mutex
+	spans   []SpanData
+	errored bool
+	done    bool
+}
+
+func newTraceRec(t *Tracer, id TraceID, start time.Time, sampled bool) *traceRec {
+	return &traceRec{tracer: t, id: id, start: start, sampled: sampled}
+}
+
+// Span is one timed operation inside a trace. A span is owned by the
+// goroutine that started it (SetAttr/SetError/End are not safe for
+// concurrent use on one span); sibling spans of the same trace may
+// start and end concurrently. All methods are no-ops on a nil span, so
+// call sites never need to check whether tracing is enabled.
+type Span struct {
+	rec   *traceRec
+	data  SpanData
+	root  bool
+	ended bool
+}
+
+// SetAttr attaches a key=value attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.ended {
+		return
+	}
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]string, 4)
+	}
+	s.data.Attrs[key] = value
+}
+
+// SetError marks the span (and thus its trace) as errored; errored
+// traces are always kept by the tail rule.
+func (s *Span) SetError(msg string) {
+	if s == nil || s.ended {
+		return
+	}
+	s.data.Status = "error"
+	s.data.Error = msg
+}
+
+// TraceID returns the span's trace ID in hex, or "" on a nil span.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.TraceID
+}
+
+// SpanID returns the span's own ID in hex, or "" on a nil span.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.SpanID
+}
+
+// End completes the span, recording its duration. Ending the root span
+// finalises the trace: the keep decision (head sample, slow, errored)
+// is made and the trace becomes visible in Tracer.Traces —
+// synchronously, so a request's trace is flushed the moment its
+// handler returns.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.endAt(s.rec.tracer.now())
+}
+
+// endAt is End with an explicit end time (SpanReporter backdates round
+// spans from reported elapsed times).
+func (s *Span) endAt(end time.Time) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	rec := s.rec
+	s.data.OffsetUS = s.data.start.Sub(rec.start).Microseconds()
+	s.data.DurationUS = end.Sub(s.data.start).Microseconds()
+
+	rec.mu.Lock()
+	if !rec.done {
+		rec.spans = append(rec.spans, s.data)
+		if s.data.Status == "error" {
+			rec.errored = true
+		}
+	}
+	rec.mu.Unlock()
+
+	if s.root {
+		rec.finalize(end)
+	}
+}
+
+// finalize closes the trace record and offers it to the ring buffer
+// when the sampling rules keep it.
+func (rec *traceRec) finalize(end time.Time) {
+	t := rec.tracer
+	dur := end.Sub(rec.start)
+	slow := t.cfg.SlowThreshold > 0 && dur >= t.cfg.SlowThreshold
+
+	rec.mu.Lock()
+	rec.done = true
+	errored := rec.errored
+	spans := rec.spans
+	rec.spans = nil
+	rec.mu.Unlock()
+
+	if !rec.sampled && !slow && !errored {
+		return
+	}
+	// Waterfall order: by start offset; on ties the longer span first,
+	// so a parent precedes children started in the same microsecond.
+	// (End order is insertion order, which has children before parents.)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].OffsetUS != spans[j].OffsetUS {
+			return spans[i].OffsetUS < spans[j].OffsetUS
+		}
+		return spans[i].DurationUS > spans[j].DurationUS
+	})
+	td := TraceData{
+		TraceID:     rec.id.String(),
+		Root:        rec.rootName,
+		Start:       rec.start,
+		DurationUS:  dur.Microseconds(),
+		HeadSampled: rec.sampled,
+		Slow:        slow,
+		Errored:     errored,
+		Spans:       spans,
+	}
+	if rec.remote.IsValid() {
+		td.RemoteParent = rec.remote.String()
+	}
+	t.keep(td)
+}
+
+// ctxKeySpan carries the active span through a context.
+const ctxKeySpan ctxKey = 100
+
+// StartRoot begins a new trace with a fresh trace ID and returns its
+// root span in a derived context. On a nil tracer it returns ctx and a
+// nil (no-op) span.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	return t.startRoot(ctx, name, SpanContext{})
+}
+
+// StartRootRemote begins a trace continuing a remote caller's trace
+// context (an inbound W3C traceparent): the trace keeps the caller's
+// trace ID and the root span links to the caller's span ID.
+func (t *Tracer) StartRootRemote(ctx context.Context, name string, remote SpanContext) (context.Context, *Span) {
+	return t.startRoot(ctx, name, remote)
+}
+
+func (t *Tracer) startRoot(ctx context.Context, name string, remote SpanContext) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	traceID := remote.TraceID
+	if !traceID.IsValid() {
+		traceID = t.newTraceID()
+	}
+	rec := newTraceRec(t, traceID, t.now(), t.headSample())
+	rec.rootName = name
+	rec.remote = remote.SpanID
+	span := &Span{
+		rec:  rec,
+		root: true,
+		data: SpanData{
+			TraceID: traceID.String(),
+			SpanID:  t.newSpanID().String(),
+			Name:    name,
+			start:   rec.start,
+		},
+	}
+	if remote.SpanID.IsValid() {
+		span.data.ParentID = remote.SpanID.String()
+	}
+	return context.WithValue(ctx, ctxKeySpan, span), span
+}
+
+// StartSpan begins a child of the span carried by ctx. When ctx holds
+// no span (tracing disabled, or a code path outside a traced request)
+// it returns ctx and a nil span, whose methods are all no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	return parent.startChild(ctx, name, parent.rec.tracer.now())
+}
+
+func (parent *Span) startChild(ctx context.Context, name string, start time.Time) (context.Context, *Span) {
+	rec := parent.rec
+	span := &Span{
+		rec: rec,
+		data: SpanData{
+			TraceID:  parent.data.TraceID,
+			SpanID:   rec.tracer.newSpanID().String(),
+			ParentID: parent.data.SpanID,
+			Name:     name,
+			start:    start,
+		},
+	}
+	return context.WithValue(ctx, ctxKeySpan, span), span
+}
+
+// SpanFromContext returns the active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKeySpan).(*Span)
+	return s
+}
+
+// TraceIDFromContext returns the active trace ID in hex, or "". This is
+// the join key across the three pillars: the same string appears in
+// log records, histogram exemplars, and /debug/traces.
+func TraceIDFromContext(ctx context.Context) string {
+	return SpanFromContext(ctx).TraceID()
+}

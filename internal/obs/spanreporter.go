@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Canonical stage names reported by the build pipeline. Every stage
+// maps onto one of the paper's algorithms via AlgorithmForStage; the
+// same names appear in -stats-out reports, progress lines, and the
+// build trace's span names, so all three views join on them.
+const (
+	StageExtraction         = "extraction"          // Algorithm 1 fixpoint driver
+	StageTaxonomy           = "taxonomy"            // Algorithm 2 umbrella
+	StageTaxonomyHorizontal = "taxonomy.horizontal" // Algorithm 2 horizontal merge
+	StageTaxonomyVertical   = "taxonomy.vertical"   // Algorithm 2 vertical merge
+	StageTaxonomyAssemble   = "taxonomy.assemble"   // Algorithm 2 DAG assembly
+	StageProbTrain          = "prob.train"          // Section 4.1 NB training
+	StageProbAnnotate       = "prob.annotate"       // Section 4.1 edge annotation
+	StageProbAlgorithm3     = "prob.algorithm3"     // Algorithm 3 reachability DP
+	StageSnapshotSave       = "snapshot.save"       // snapshot serialisation
+)
+
+// AlgorithmForStage maps a stage (or a derived name such as
+// "extraction.round.3") to the paper algorithm it implements:
+// "algorithm1", "algorithm2", "algorithm3", "section4.1", or "" for
+// infrastructure stages.
+func AlgorithmForStage(stage string) string {
+	base, _, _ := strings.Cut(stage, ".round.")
+	switch {
+	case base == StageExtraction || strings.HasPrefix(base, StageExtraction+"."):
+		return "algorithm1"
+	case base == StageTaxonomy || strings.HasPrefix(base, StageTaxonomy+"."):
+		return "algorithm2"
+	case base == StageProbAlgorithm3:
+		return "algorithm3"
+	case base == StageProbTrain, base == StageProbAnnotate:
+		return "section4.1"
+	}
+	return ""
+}
+
+// SpanReporter is a StageReporter that renders pipeline telemetry as a
+// trace: one root span for the whole run, a child span per stage
+// (nested by dotted stage names, so "taxonomy.horizontal" sits under
+// "taxonomy"), and a grandchild span per round with the round's
+// counters as attributes. Safe for concurrent use, like every
+// StageReporter.
+type SpanReporter struct {
+	mu       sync.Mutex
+	tracer   *Tracer
+	root     *Span
+	open     map[string]openStage
+	order    []string // open stages, most recent last
+	counters map[string]map[string]int64
+}
+
+type openStage struct {
+	ctx  context.Context
+	span *Span
+}
+
+// NewSpanReporter opens a trace on tracer (which must be non-nil)
+// whose root span carries rootName. Call Finish once the pipeline is
+// done to close the root span and obtain the trace.
+func NewSpanReporter(tracer *Tracer, rootName string) *SpanReporter {
+	ctx, root := tracer.StartRoot(context.Background(), rootName)
+	return &SpanReporter{
+		tracer:   tracer,
+		root:     root,
+		open:     map[string]openStage{rootName: {ctx, root}},
+		order:    []string{rootName},
+		counters: make(map[string]map[string]int64),
+	}
+}
+
+// parentOf picks the deepest open stage whose dotted name prefixes
+// stage; falls back to the root span.
+func (r *SpanReporter) parentOf(stage string) openStage {
+	best := r.open[r.order[0]]
+	bestLen := -1
+	for name, os := range r.open {
+		if name != stage && strings.HasPrefix(stage, name+".") && len(name) > bestLen {
+			best, bestLen = os, len(name)
+		}
+	}
+	return best
+}
+
+func (r *SpanReporter) StageStart(stage string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	parent := r.parentOf(stage)
+	ctx, span := StartSpan(parent.ctx, stage)
+	r.open[stage] = openStage{ctx, span}
+	r.order = append(r.order, stage)
+}
+
+func (r *SpanReporter) StageEnd(stage string, elapsed time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	os, ok := r.open[stage]
+	if !ok {
+		return
+	}
+	for counter, v := range r.counters[stage] {
+		os.span.SetAttr(counter, strconv.FormatInt(v, 10))
+	}
+	os.span.End()
+	delete(r.open, stage)
+	delete(r.counters, stage)
+	for i, name := range r.order {
+		if name == stage {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (r *SpanReporter) Count(stage, counter string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[stage]
+	if c == nil {
+		c = make(map[string]int64)
+		r.counters[stage] = c
+	}
+	c[counter] += delta
+}
+
+// Round records one iteration as a completed child span of its stage,
+// backdated so the span covers the round's wall time.
+func (r *SpanReporter) Round(stage string, round int, counters map[string]int64, elapsed time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	parent, ok := r.open[stage]
+	if !ok {
+		parent = r.parentOf(stage)
+	}
+	end := r.tracer.now()
+	start := end.Add(-elapsed)
+	// Backdating must not escape the parent span: a coarse elapsed
+	// reading could otherwise start the round before its stage.
+	if ps := parent.span.data.start; start.Before(ps) {
+		start = ps
+	}
+	_, span := parent.span.startChild(parent.ctx, fmt.Sprintf("%s.round.%d", stage, round), start)
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		span.SetAttr(k, strconv.FormatInt(counters[k], 10))
+	}
+	span.endAt(end)
+}
+
+// Finish ends any stages left open plus the root span, finalising the
+// trace, and returns it. The SpanReporter must not be used afterwards.
+func (r *SpanReporter) Finish() (TraceData, bool) {
+	r.mu.Lock()
+	// Close in reverse open order so children end before parents.
+	for i := len(r.order) - 1; i >= 1; i-- {
+		if os, ok := r.open[r.order[i]]; ok {
+			os.span.End()
+		}
+	}
+	root := r.root
+	id := root.TraceID()
+	r.mu.Unlock()
+	root.End()
+	return r.tracer.Trace(id)
+}

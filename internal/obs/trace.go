@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	mrand "math/rand"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one trace: a request's whole journey through the
+// server, or one build-pipeline run. The all-zero value is invalid,
+// matching the W3C trace-context contract.
+type TraceID [16]byte
+
+// SpanID identifies one span inside a trace. All-zero is invalid.
+type SpanID [8]byte
+
+// IsValid reports whether the ID is non-zero.
+func (t TraceID) IsValid() bool { return t != TraceID{} }
+
+// IsValid reports whether the ID is non-zero.
+func (s SpanID) IsValid() bool { return s != SpanID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// TracerConfig tunes a Tracer. The zero value records every trace into
+// a default-sized ring buffer with real time and real randomness.
+type TracerConfig struct {
+	// SampleRate is the head-sampling probability in [0, 1]: the fraction
+	// of traces kept regardless of outcome. Values >= 1 keep everything;
+	// <= 0 keeps only what the tail rule catches.
+	SampleRate float64
+	// SlowThreshold is the tail rule: a trace whose root span lasts at
+	// least this long is always kept, head-sampled or not. Zero disables
+	// the rule. Errored traces (a span with error status, or an HTTP 5xx)
+	// are always kept independently of this threshold.
+	SlowThreshold time.Duration
+	// BufferSize bounds the ring buffer of kept traces; the oldest trace
+	// is evicted when full. Default 256.
+	BufferSize int
+	// Seed, when non-zero, makes the tracer fully deterministic: IDs and
+	// sampling decisions come from a seeded math/rand source instead of
+	// crypto/rand. For tests; leave zero in production.
+	Seed int64
+	// Clock overrides the time source (tests). Nil means time.Now.
+	Clock func() time.Time
+}
+
+// Tracer creates spans and retains sampled traces in a bounded ring
+// buffer. Safe for concurrent use. A nil *Tracer is a valid disabled
+// tracer: StartRoot returns a no-op span.
+type Tracer struct {
+	cfg  TracerConfig
+	ring *traceRing
+
+	// rng is non-nil only when cfg.Seed != 0; guarded by rngMu.
+	rngMu sync.Mutex
+	rng   *mrand.Rand
+}
+
+// NewTracer builds a tracer from cfg.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = 256
+	}
+	t := &Tracer{cfg: cfg, ring: newTraceRing(cfg.BufferSize)}
+	if cfg.Seed != 0 {
+		t.rng = mrand.New(mrand.NewSource(cfg.Seed))
+	}
+	return t
+}
+
+func (t *Tracer) now() time.Time {
+	if t.cfg.Clock != nil {
+		return t.cfg.Clock()
+	}
+	return time.Now()
+}
+
+// randBytes fills b from the tracer's ID source: the seeded source when
+// configured, crypto/rand otherwise, degrading to a process counter if
+// the system source fails (IDs must never fail a request).
+func (t *Tracer) randBytes(b []byte) {
+	if t.rng != nil {
+		t.rngMu.Lock()
+		for i := range b {
+			b[i] = byte(t.rng.Intn(256))
+		}
+		t.rngMu.Unlock()
+		return
+	}
+	if _, err := rand.Read(b); err != nil {
+		n := reqSeq.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * (i % 8)))
+		}
+	}
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	for !id.IsValid() {
+		t.randBytes(id[:])
+	}
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for !id.IsValid() {
+		t.randBytes(id[:])
+	}
+	return id
+}
+
+// headSample makes the head-sampling decision for a new trace. With a
+// seeded source the decision sequence is deterministic.
+func (t *Tracer) headSample() bool {
+	if t.cfg.SampleRate >= 1 {
+		return true
+	}
+	if t.cfg.SampleRate <= 0 {
+		return false
+	}
+	if t.rng != nil {
+		t.rngMu.Lock()
+		v := t.rng.Float64()
+		t.rngMu.Unlock()
+		return v < t.cfg.SampleRate
+	}
+	var b [8]byte
+	t.randBytes(b[:])
+	// 53 bits of randomness -> uniform float in [0, 1).
+	v := float64(binary.BigEndian.Uint64(b[:])>>11) / (1 << 53)
+	return v < t.cfg.SampleRate
+}
+
+// Enabled reports whether the tracer records spans (a nil tracer does
+// not).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Traces returns the kept traces, newest first.
+func (t *Tracer) Traces() []TraceData {
+	if t == nil {
+		return nil
+	}
+	return t.ring.snapshot()
+}
+
+// Trace returns the kept trace with the given hex ID.
+func (t *Tracer) Trace(id string) (TraceData, bool) {
+	if t == nil {
+		return TraceData{}, false
+	}
+	for _, td := range t.ring.snapshot() {
+		if td.TraceID == id {
+			return td, true
+		}
+	}
+	return TraceData{}, false
+}
+
+// keep offers a finalised trace to the ring buffer. Called
+// synchronously from the root span's End, so once End returns the
+// trace is visible to /debug/traces — there is no background flush to
+// lose on shutdown.
+func (t *Tracer) keep(td TraceData) { t.ring.add(td) }
+
+// traceRing is a bounded FIFO of kept traces: when full, the oldest
+// trace is evicted first.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []TraceData
+	next int // index of the next write
+	n    int // traces currently held
+}
+
+func newTraceRing(size int) *traceRing {
+	return &traceRing{buf: make([]TraceData, size)}
+}
+
+func (r *traceRing) add(td TraceData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = td
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// snapshot returns the held traces, newest first.
+func (r *traceRing) snapshot() []TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceData, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a deterministic time source: every call advances by
+// step, so span durations are stable across runs.
+type testClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newTestClock(step time.Duration) *testClock {
+	return &testClock{
+		now:  time.Date(2024, 1, 2, 3, 4, 5, 0, time.UTC),
+		step: step,
+	}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+// deterministicTracer keeps every trace and stamps deterministic IDs
+// and times.
+func deterministicTracer(buf int) *Tracer {
+	return NewTracer(TracerConfig{
+		SampleRate: 1,
+		BufferSize: buf,
+		Seed:       42,
+		Clock:      newTestClock(time.Millisecond).Now,
+	})
+}
+
+func TestRingBufferEvictsOldestFirst(t *testing.T) {
+	tr := deterministicTracer(3)
+	for i := 0; i < 5; i++ {
+		_, span := tr.StartRoot(context.Background(), fmt.Sprintf("req-%d", i))
+		span.End()
+	}
+	got := tr.Traces()
+	if len(got) != 3 {
+		t.Fatalf("ring held %d traces, want 3", len(got))
+	}
+	// Newest first: req-4, req-3, req-2; req-0 and req-1 evicted.
+	for i, want := range []string{"req-4", "req-3", "req-2"} {
+		if got[i].Root != want {
+			t.Errorf("Traces()[%d].Root = %q, want %q", i, got[i].Root, want)
+		}
+	}
+}
+
+func TestSamplerDeterministicWithSeed(t *testing.T) {
+	decisions := func() []bool {
+		tr := NewTracer(TracerConfig{SampleRate: 0.5, Seed: 7, BufferSize: 4})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, tr.headSample())
+		}
+		return out
+	}
+	a, b := decisions(), decisions()
+	kept := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identically seeded tracers", i)
+		}
+		if a[i] {
+			kept++
+		}
+	}
+	// With rate 0.5 over 64 draws, both extremes would mean the rate is
+	// ignored.
+	if kept == 0 || kept == 64 {
+		t.Errorf("kept %d/64 at rate 0.5; sampler ignores the rate", kept)
+	}
+}
+
+func TestSampleRateExtremes(t *testing.T) {
+	always := NewTracer(TracerConfig{SampleRate: 1, Seed: 1})
+	never := NewTracer(TracerConfig{SampleRate: 0, Seed: 1})
+	for i := 0; i < 16; i++ {
+		if !always.headSample() {
+			t.Fatal("rate 1 must always sample")
+		}
+		if never.headSample() {
+			t.Fatal("rate 0 must never head-sample")
+		}
+	}
+}
+
+func TestTailRuleKeepsSlowAndErrored(t *testing.T) {
+	// Head sampling off; only the tail rules retain traces.
+	clock := newTestClock(10 * time.Millisecond)
+	tr := NewTracer(TracerConfig{
+		SampleRate:    0,
+		SlowThreshold: 15 * time.Millisecond,
+		BufferSize:    8,
+		Seed:          3,
+		Clock:         clock.Now,
+	})
+
+	// Fast, clean: dropped. (Root start + end = 10ms < 15ms.)
+	_, fast := tr.StartRoot(context.Background(), "fast")
+	fast.End()
+	if n := len(tr.Traces()); n != 0 {
+		t.Fatalf("fast clean trace kept; ring has %d", n)
+	}
+
+	// Slow: kept. Two extra clock ticks push the root past the threshold.
+	ctx, slow := tr.StartRoot(context.Background(), "slow")
+	_, child := StartSpan(ctx, "work")
+	child.End()
+	slow.End()
+	got := tr.Traces()
+	if len(got) != 1 || !got[0].Slow || got[0].HeadSampled {
+		t.Fatalf("slow trace not kept via tail rule: %+v", got)
+	}
+
+	// Errored: kept even though fast.
+	_, errSpan := tr.StartRoot(context.Background(), "err")
+	errSpan.SetError("boom")
+	errSpan.End()
+	got = tr.Traces()
+	if len(got) != 2 || !got[0].Errored {
+		t.Fatalf("errored trace not kept via tail rule: %+v", got)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, BufferSize: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				ctx, root := tr.StartRoot(context.Background(), fmt.Sprintf("root-%d-%d", g, i))
+				var inner sync.WaitGroup
+				for c := 0; c < 4; c++ {
+					inner.Add(1)
+					go func(c int) {
+						defer inner.Done()
+						_, sp := StartSpan(ctx, fmt.Sprintf("child-%d", c))
+						sp.SetAttr("c", fmt.Sprint(c))
+						sp.End()
+					}(c)
+				}
+				inner.Wait()
+				root.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := tr.Traces()
+	if len(got) != 64 {
+		t.Fatalf("ring held %d traces, want full 64", len(got))
+	}
+	for _, td := range got {
+		if len(td.Spans) != 5 {
+			t.Fatalf("trace %s has %d spans, want 5 (root + 4 children)", td.TraceID, len(td.Spans))
+		}
+		if td.Spans[0].Name != td.Root {
+			t.Errorf("spans not sorted: first span %q != root %q", td.Spans[0].Name, td.Root)
+		}
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.SetError("x")
+	sp.End()
+	if sp.TraceID() != "" || sp.SpanID() != "" || sp.Traceparent() != "" {
+		t.Error("nil span must render empty identifiers")
+	}
+	ctx, child := StartSpan(context.Background(), "orphan")
+	if child != nil {
+		t.Error("StartSpan without a parent span must return nil")
+	}
+	if SpanFromContext(ctx) != nil || TraceIDFromContext(ctx) != "" {
+		t.Error("context without a span must yield nil/empty")
+	}
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	if _, root := tr.StartRoot(context.Background(), "x"); root != nil {
+		t.Error("nil tracer must hand out nil spans")
+	}
+}
+
+// TestDebugTracesGolden locks the /debug/traces JSON shape: a seeded
+// tracer with a fixed clock must render byte-identically to
+// testdata/traces.golden.
+func TestDebugTracesGolden(t *testing.T) {
+	tr := deterministicTracer(4)
+
+	// One clean request with a cache miss and a snapshot query.
+	ctx, root := tr.StartRoot(context.Background(), "GET /v1/instances")
+	root.SetAttr("http.method", "GET")
+	cctx, lookup := StartSpan(ctx, "cache.lookup")
+	lookup.SetAttr("hit", "false")
+	lookup.End()
+	_, q := StartSpan(cctx, "snapshot.query")
+	q.SetAttr("op", "instances_of")
+	q.End()
+	root.SetAttr("http.status", "200")
+	root.End()
+
+	// One errored request continuing a remote trace.
+	remote, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bad := tr.StartRootRemote(context.Background(), "GET /v1/concepts", remote)
+	bad.SetError("Internal Server Error")
+	bad.End()
+
+	req := httptest.NewRequest("GET", "/debug/traces", nil)
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	golden := filepath.Join("testdata", "traces.golden")
+	if *update {
+		if err := os.WriteFile(golden, rec.Body.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Errorf("/debug/traces drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", rec.Body.Bytes(), want)
+	}
+}
+
+func TestTraceHandlerHTMLAndFilter(t *testing.T) {
+	tr := deterministicTracer(4)
+	_, a := tr.StartRoot(context.Background(), "GET /a")
+	a.End()
+	_, b := tr.StartRoot(context.Background(), "GET /b")
+	b.End()
+	wantID := b.TraceID()
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?format=html", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Errorf("html Content-Type = %q", ct)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("GET /a")) {
+		t.Error("waterfall missing root name")
+	}
+
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace="+wantID, nil))
+	body := rec.Body.String()
+	if !bytes.Contains([]byte(body), []byte(wantID)) || bytes.Contains([]byte(body), []byte(a.TraceID())) {
+		t.Errorf("?trace= filter returned wrong set:\n%s", body)
+	}
+}
+
+func TestSpanReporterBuildsNestedTrace(t *testing.T) {
+	clock := newTestClock(time.Millisecond)
+	tr := NewTracer(TracerConfig{SampleRate: 1, BufferSize: 2, Seed: 9, Clock: clock.Now})
+	rep := NewSpanReporter(tr, "probase-build")
+
+	rep.StageStart(StageExtraction)
+	rep.Count(StageExtraction, "pairs", 40)
+	rep.Count(StageExtraction, "pairs", 2)
+	rep.Round(StageExtraction, 1, map[string]int64{"accepted": 40}, 2*time.Millisecond)
+	rep.StageEnd(StageExtraction, 5*time.Millisecond)
+	rep.StageStart(StageTaxonomy)
+	rep.StageStart(StageTaxonomyHorizontal)
+	rep.StageEnd(StageTaxonomyHorizontal, time.Millisecond)
+	rep.StageEnd(StageTaxonomy, 2*time.Millisecond)
+
+	td, ok := rep.Finish()
+	if !ok {
+		t.Fatal("Finish did not return the trace")
+	}
+	if td.Root != "probase-build" {
+		t.Errorf("root = %q", td.Root)
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range td.Spans {
+		byName[sp.Name] = sp
+	}
+	root := byName["probase-build"]
+	ext, ok := byName[StageExtraction]
+	if !ok || ext.ParentID != root.SpanID {
+		t.Errorf("extraction not a child of root: %+v", ext)
+	}
+	if ext.Attrs["pairs"] != "42" {
+		t.Errorf("extraction counter attr = %q, want 42", ext.Attrs["pairs"])
+	}
+	round, ok := byName[StageExtraction+".round.1"]
+	if !ok || round.ParentID != ext.SpanID {
+		t.Errorf("round not a child of extraction: %+v", round)
+	}
+	if round.Attrs["accepted"] != "40" {
+		t.Errorf("round attrs = %v", round.Attrs)
+	}
+	hz, ok := byName[StageTaxonomyHorizontal]
+	if !ok || hz.ParentID != byName[StageTaxonomy].SpanID {
+		t.Errorf("taxonomy.horizontal not nested under taxonomy: %+v", hz)
+	}
+}
+
+func TestAlgorithmForStage(t *testing.T) {
+	cases := map[string]string{
+		StageExtraction:              "algorithm1",
+		StageExtraction + ".round.3": "algorithm1",
+		StageTaxonomy:                "algorithm2",
+		StageTaxonomyHorizontal:      "algorithm2",
+		StageTaxonomyVertical:        "algorithm2",
+		StageTaxonomyAssemble:        "algorithm2",
+		StageProbAlgorithm3:          "algorithm3",
+		StageProbTrain:               "section4.1",
+		StageProbAnnotate:            "section4.1",
+		StageSnapshotSave:            "",
+		"probase-build":              "",
+	}
+	for stage, want := range cases {
+		if got := AlgorithmForStage(stage); got != want {
+			t.Errorf("AlgorithmForStage(%q) = %q, want %q", stage, got, want)
+		}
+	}
+}

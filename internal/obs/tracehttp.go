@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+)
+
+// TraceparentHeader is the W3C trace-context header carrying
+// "version-traceid-spanid-flags" across process boundaries.
+const TraceparentHeader = "traceparent"
+
+// FlagSampled is the traceparent flag bit meaning "the caller sampled
+// this trace".
+const FlagSampled byte = 0x01
+
+// SpanContext is the wire identity of a span: what a traceparent
+// header encodes.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// Traceparent renders the context as a W3C traceparent header value,
+// version 00.
+func (sc SpanContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-%02x", sc.TraceID, sc.SpanID, sc.Flags)
+}
+
+// errMalformedTraceparent is returned for any header that does not
+// parse; callers treat it as "no inbound trace context" — never as a
+// request error, since the header is advisory.
+var errMalformedTraceparent = errors.New("malformed traceparent")
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("00-<32 hex>-<16 hex>-<2 hex>"). Unknown future versions are
+// accepted if the version-00 prefix fields parse (per the spec's
+// forward-compatibility rule); all-zero trace or span IDs are invalid.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var sc SpanContext
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return sc, errMalformedTraceparent
+	}
+	ver, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || !isHex(ver) || ver == "ff" {
+		return sc, errMalformedTraceparent
+	}
+	// Version 00 has exactly four fields; later versions may append more.
+	if ver == "00" && len(parts) != 4 {
+		return sc, errMalformedTraceparent
+	}
+	if len(traceID) != 32 || len(spanID) != 16 || len(flags) != 2 {
+		return sc, errMalformedTraceparent
+	}
+	// The spec mandates lowercase hex; hex.Decode alone would also
+	// accept uppercase.
+	if !isHex(traceID) || !isHex(spanID) || !isHex(flags) {
+		return sc, errMalformedTraceparent
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(traceID)); err != nil {
+		return sc, errMalformedTraceparent
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(spanID)); err != nil {
+		return sc, errMalformedTraceparent
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(flags)); err != nil {
+		return sc, errMalformedTraceparent
+	}
+	sc.Flags = fb[0]
+	if !sc.TraceID.IsValid() || !sc.SpanID.IsValid() {
+		return sc, errMalformedTraceparent
+	}
+	return sc, nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Traceparent renders the span's identity as an outbound traceparent
+// value, flagged as sampled (the trace is being recorded). Empty on a
+// nil span.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%s-%02x", s.data.TraceID, s.data.SpanID, FlagSampled)
+}
+
+// Handler serves the tracer's ring buffer on /debug/traces, in the
+// spirit of golang.org/x/net/trace: JSON by default (machine-joinable
+// with log records and histogram exemplars on trace_id), or a minimal
+// HTML waterfall with ?format=html. ?trace=<hex id> narrows to one
+// trace.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traces := t.Traces()
+		if want := r.FormValue("trace"); want != "" {
+			kept := traces[:0]
+			for _, td := range traces {
+				if td.TraceID == want {
+					kept = append(kept, td)
+				}
+			}
+			traces = kept
+		}
+		if r.FormValue("format") == "html" ||
+			(r.FormValue("format") == "" && strings.Contains(r.Header.Get("Accept"), "text/html")) {
+			writeTraceHTML(w, traces)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Traces []TraceData `json:"traces"`
+		}{Traces: traces})
+	})
+}
+
+// writeTraceHTML renders each trace as a waterfall table: one row per
+// span, the bar positioned by offset and sized by duration relative to
+// the root.
+func writeTraceHTML(w http.ResponseWriter, traces []TraceData) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!DOCTYPE html><html><head><title>/debug/traces</title><style>
+body{font-family:monospace;margin:1em}
+table{border-collapse:collapse;width:100%;margin-bottom:2em}
+td,th{padding:2px 8px;text-align:left;border-bottom:1px solid #ddd;white-space:nowrap}
+.lane{width:50%}.bar{background:#4a90d9;height:10px;min-width:1px}
+.err .bar{background:#d9534f}.meta{color:#666}
+</style></head><body><h1>traces</h1>
+`)
+	if len(traces) == 0 {
+		fmt.Fprint(w, "<p>no traces kept yet</p>")
+	}
+	for _, td := range traces {
+		total := td.DurationUS
+		if total <= 0 {
+			total = 1
+		}
+		tags := ""
+		if td.Slow {
+			tags += " slow"
+		}
+		if td.Errored {
+			tags += " errored"
+		}
+		if !td.HeadSampled {
+			tags += " tail-kept"
+		}
+		fmt.Fprintf(w, "<h2>%s</h2><p class=meta>root %s · %s · %dµs%s</p>\n",
+			html.EscapeString(td.TraceID), html.EscapeString(td.Root),
+			td.Start.Format("2006-01-02T15:04:05.000Z07:00"), td.DurationUS,
+			html.EscapeString(tags))
+		fmt.Fprint(w, "<table><tr><th>span</th><th>offset</th><th>duration</th><th class=lane></th></tr>\n")
+		for _, sp := range td.Spans {
+			cls := ""
+			if sp.Status == "error" {
+				cls = " class=err"
+			}
+			left := float64(sp.OffsetUS) / float64(total) * 100
+			width := float64(sp.DurationUS) / float64(total) * 100
+			name := sp.Name
+			if len(sp.Attrs) > 0 {
+				name += fmt.Sprintf(" %v", sp.Attrs)
+			}
+			fmt.Fprintf(w,
+				"<tr%s><td>%s</td><td>%dµs</td><td>%dµs</td><td class=lane><div class=bar style=\"margin-left:%.1f%%;width:%.1f%%\"></div></td></tr>\n",
+				cls, html.EscapeString(name), sp.OffsetUS, sp.DurationUS, left, width)
+		}
+		fmt.Fprint(w, "</table>\n")
+	}
+	fmt.Fprint(w, "</body></html>\n")
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const validTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+func TestParseTraceparent(t *testing.T) {
+	sc, err := ParseTraceparent(validTraceparent)
+	if err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	if got := sc.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace ID = %s", got)
+	}
+	if got := sc.SpanID.String(); got != "00f067aa0ba902b7" {
+		t.Errorf("span ID = %s", got)
+	}
+	if sc.Flags != FlagSampled {
+		t.Errorf("flags = %02x", sc.Flags)
+	}
+	if rt := sc.Traceparent(); rt != validTraceparent {
+		t.Errorf("round trip = %q", rt)
+	}
+
+	// A future version may carry extra fields; version 00 may not.
+	if _, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); err != nil {
+		t.Error("future version with extra field rejected")
+	}
+
+	malformed := []string{
+		"",
+		"garbage",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // v00 extra field
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // forbidden version
+		"0x-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // non-hex version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",   // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",     // short trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01",     // short span ID
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero span ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",   // non-hex flags
+		"00-zzf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // non-hex trace ID
+	}
+	for _, in := range malformed {
+		if _, err := ParseTraceparent(in); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func TestMiddlewarePassThroughWhenTracingDisabled(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	h := Middleware(okHandler(), MiddlewareConfig{Logger: logger}) // no Tracer
+
+	rec := mwRequest(t, h, map[string]string{TraceparentHeader: validTraceparent})
+	if got := rec.Header().Get(TraceparentHeader); got != validTraceparent {
+		t.Errorf("disabled tracing must pass the caller's traceparent through; got %q", got)
+	}
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d", rec.Code)
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(logBuf.String(), "\n", 2)[0]), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line["trace_id"] != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("access log trace_id = %v, want the caller's", line["trace_id"])
+	}
+}
+
+func TestMiddlewareMalformedTraceparentIgnored(t *testing.T) {
+	// Malformed headers must neither 500 nor echo garbage, with tracing
+	// both off and on.
+	for name, tracer := range map[string]*Tracer{
+		"disabled": nil,
+		"enabled":  NewTracer(TracerConfig{SampleRate: 1, BufferSize: 4, Seed: 5}),
+	} {
+		h := Middleware(okHandler(), MiddlewareConfig{Logger: quietLogger(), Tracer: tracer})
+		rec := mwRequest(t, h, map[string]string{TraceparentHeader: "00-bogus"})
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s: malformed traceparent changed status to %d", name, rec.Code)
+		}
+		if got := rec.Header().Get(TraceparentHeader); strings.Contains(got, "bogus") {
+			t.Errorf("%s: malformed traceparent echoed: %q", name, got)
+		}
+		if tracer != nil {
+			// A fresh trace must have been started instead.
+			traces := tracer.Traces()
+			if len(traces) != 1 || traces[0].RemoteParent != "" {
+				t.Errorf("%s: want one fresh local trace, got %+v", name, traces)
+			}
+		}
+	}
+}
+
+func TestMiddlewareTracesRequest(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tracer := NewTracer(TracerConfig{SampleRate: 1, BufferSize: 4, Seed: 6})
+	var inCtx string
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inCtx = TraceIDFromContext(r.Context())
+		_, sp := StartSpan(r.Context(), "cache.lookup")
+		sp.End()
+		w.WriteHeader(http.StatusOK)
+	})
+	h := Middleware(inner, MiddlewareConfig{Logger: logger, Tracer: tracer})
+
+	rec := mwRequest(t, h, map[string]string{TraceparentHeader: validTraceparent})
+
+	// The trace continues the caller's ID and the response carries our
+	// span, not the caller's.
+	if inCtx != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("handler saw trace ID %q", inCtx)
+	}
+	out, err := ParseTraceparent(rec.Header().Get(TraceparentHeader))
+	if err != nil {
+		t.Fatalf("response traceparent invalid: %v", err)
+	}
+	if out.TraceID.String() != inCtx {
+		t.Errorf("response trace ID %s != request trace %s", out.TraceID, inCtx)
+	}
+	if out.SpanID.String() == "00f067aa0ba902b7" {
+		t.Error("response span ID must be the server span, not the caller's")
+	}
+
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("ring has %d traces", len(traces))
+	}
+	td := traces[0]
+	if td.RemoteParent != "00f067aa0ba902b7" {
+		t.Errorf("remote parent = %q", td.RemoteParent)
+	}
+	if len(td.Spans) != 2 {
+		t.Fatalf("want root + child span, got %d", len(td.Spans))
+	}
+	if td.Spans[0].Attrs["http.status"] != "200" {
+		t.Errorf("root attrs = %v", td.Spans[0].Attrs)
+	}
+
+	var line map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(logBuf.String(), "\n", 2)[0]), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line["trace_id"] != inCtx || line["span_id"] == "" {
+		t.Errorf("access log trace fields = %v / %v", line["trace_id"], line["span_id"])
+	}
+}
+
+func TestMiddlewareMarksServerErrors(t *testing.T) {
+	tracer := NewTracer(TracerConfig{SampleRate: 0, BufferSize: 4, Seed: 8})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	})
+	h := Middleware(inner, MiddlewareConfig{Logger: quietLogger(), Tracer: tracer})
+	mwRequest(t, h, nil)
+
+	// Head sampling is off; only the errored tail rule can keep this.
+	traces := tracer.Traces()
+	if len(traces) != 1 || !traces[0].Errored {
+		t.Fatalf("5xx trace not tail-kept: %+v", traces)
+	}
+	if traces[0].Spans[0].Error != http.StatusText(http.StatusBadGateway) {
+		t.Errorf("root error = %q", traces[0].Spans[0].Error)
+	}
+}
+
+// TestGracefulShutdownFlushesTraces pins the drain guarantee: a trace
+// of a request in flight when Shutdown is called is in the ring buffer
+// by the time Shutdown returns, because the root span ends
+// synchronously inside the middleware.
+func TestGracefulShutdownFlushesTraces(t *testing.T) {
+	tracer := NewTracer(TracerConfig{SampleRate: 1, BufferSize: 4, Seed: 9})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(Middleware(inner, MiddlewareConfig{Logger: quietLogger(), Tracer: tracer}))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/v1/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	<-entered
+	// Request is in flight: shut down while it blocks, then release it.
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Config.Shutdown(context.Background()) }()
+	time.Sleep(10 * time.Millisecond) // let Shutdown start waiting
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("in-flight trace lost on graceful shutdown; ring has %d", len(traces))
+	}
+	if traces[0].Root != "GET /v1/slow" {
+		t.Errorf("root = %q", traces[0].Root)
+	}
+}

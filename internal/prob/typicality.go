@@ -52,7 +52,7 @@ func NewTypicality(g *graph.Store) (*Typicality, error) {
 // under stage "prob.algorithm3". A nil reporter discards it.
 func NewTypicalityObserved(g *graph.Store, reporter obs.StageReporter) (*Typicality, error) {
 	rep := obs.ReporterOrNop(reporter)
-	rep.StageStart("prob.algorithm3")
+	rep.StageStart(obs.StageProbAlgorithm3)
 	dpStart := time.Now()
 	t := &Typicality{
 		g:           g,
@@ -112,10 +112,10 @@ func NewTypicalityObserved(g *graph.Store, reporter obs.StageReporter) (*Typical
 		t.conceptMass[x] = m
 		t.totalMass += m
 	}
-	rep.Count("prob.algorithm3", "reach_entries", int64(len(t.reach)))
-	rep.Count("prob.algorithm3", "topo_levels", int64(len(levels)))
-	rep.Count("prob.algorithm3", "concepts", int64(len(t.conceptMass)))
-	rep.StageEnd("prob.algorithm3", time.Since(dpStart))
+	rep.Count(obs.StageProbAlgorithm3, "reach_entries", int64(len(t.reach)))
+	rep.Count(obs.StageProbAlgorithm3, "topo_levels", int64(len(levels)))
+	rep.Count(obs.StageProbAlgorithm3, "concepts", int64(len(t.conceptMass)))
+	rep.StageEnd(obs.StageProbAlgorithm3, time.Since(dpStart))
 	return t, nil
 }
 

@@ -106,7 +106,7 @@ func (m *Metrics) Handler() http.Handler {
 		for _, name := range m.names {
 			em := m.endpoints[name]
 			s := em.latency.Snapshot()
-			lat := make(map[string]any, len(s.Bounds)+3)
+			lat := make(map[string]any, len(s.Bounds)+4)
 			cum := int64(0)
 			for i, b := range s.Bounds {
 				cum += s.Counts[i]
@@ -115,6 +115,22 @@ func (m *Metrics) Handler() http.Handler {
 			lat["le_+Inf"] = cum + s.Counts[len(s.Bounds)]
 			lat["count"] = s.Count
 			lat["sum_seconds"] = s.Sum
+			// Latest exemplar per bucket: trace IDs joining slow buckets
+			// to /debug/traces waterfalls.
+			exemplars := map[string]any{}
+			for i, ex := range s.Exemplars {
+				if ex == nil {
+					continue
+				}
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = strconv.FormatFloat(s.Bounds[i], 'g', -1, 64)
+				}
+				exemplars["le_"+le] = ex
+			}
+			if len(exemplars) > 0 {
+				lat["exemplars"] = exemplars
+			}
 			tree[name] = map[string]any{
 				"requests":     em.requests.Value(),
 				"errors":       em.errors.Value(),

@@ -65,11 +65,11 @@ func TestMetricsExpositionParses(t *testing.T) {
 	}
 
 	checks := map[string]float64{
-		`probase_http_requests_total{endpoint="instances"}`:                     3,
-		`probase_http_errors_total{endpoint="instances"}`:                       1,
-		`probase_cache_misses_total{endpoint="instances"}`:                      1,
-		`probase_cache_hits_total{endpoint="instances"}`:                        1,
-		`probase_http_request_duration_seconds_count{endpoint="instances"}`:     3,
+		`probase_http_requests_total{endpoint="instances"}`:                            3,
+		`probase_http_errors_total{endpoint="instances"}`:                              1,
+		`probase_cache_misses_total{endpoint="instances"}`:                             1,
+		`probase_cache_hits_total{endpoint="instances"}`:                               1,
+		`probase_http_request_duration_seconds_count{endpoint="instances"}`:            3,
 		`probase_http_request_duration_seconds_bucket{endpoint="instances",le="+Inf"}`: 3,
 	}
 	for key, want := range checks {

@@ -194,8 +194,11 @@ func notFound(format string, args ...any) error {
 // response cacheable under that key. Errors map to JSON error bodies.
 type handlerFunc func(r *http.Request) (cacheKey string, body any, err error)
 
-// wrap applies the per-request pipeline: method check, deadline, cache
-// lookup, handler, cache fill, metrics.
+// wrap applies the per-request pipeline: method check, deadline, a
+// per-endpoint child span, cache lookup, handler, cache fill, metrics.
+// When the request is traced (the obs middleware opened a root span),
+// the latency observation carries the trace ID as an exemplar, so a
+// slow histogram bucket points at a concrete /debug/traces waterfall.
 func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 	em := s.metrics.endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -204,7 +207,7 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 		s.metrics.inflight.Add(1)
 		defer func() {
 			s.metrics.inflight.Add(-1)
-			em.latency.ObserveDuration(time.Since(started))
+			em.latency.ObserveDurationExemplar(time.Since(started), obs.TraceIDFromContext(r.Context()))
 		}()
 
 		if r.Method != http.MethodGet && !(name == epConceptualize && r.Method == http.MethodPost) {
@@ -215,6 +218,8 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		ctx, span := obs.StartSpan(ctx, "server."+name)
+		defer span.End()
 		r = r.WithContext(ctx)
 
 		key, body, err := h(r)
@@ -229,7 +234,9 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 				status = http.StatusServiceUnavailable
 			}
 			em.errors.Inc()
+			span.SetAttr("status", strconv.Itoa(status))
 			if status >= http.StatusInternalServerError {
+				span.SetError(err.Error())
 				obs.Logger(ctx).Warn("request failed",
 					"endpoint", name, "status", status, "error", err.Error())
 			}
@@ -241,17 +248,20 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 		if raw, ok := body.(cachedBody); ok {
 			payload = raw
 			w.Header().Set("X-Cache", "hit")
+			span.SetAttr("cache", "hit")
 			em.cacheHits.Inc()
 		} else {
 			payload, err = json.Marshal(body)
 			if err != nil {
 				em.errors.Inc()
+				span.SetError("encoding response")
 				writeJSONError(w, http.StatusInternalServerError, "encoding response")
 				return
 			}
 			if canCache {
 				s.cache.Put(key, payload)
 				w.Header().Set("X-Cache", "miss")
+				span.SetAttr("cache", "miss")
 				em.cacheMiss.Inc()
 			}
 		}
@@ -264,9 +274,15 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 // cachedBody marks a response that came straight from the cache.
 type cachedBody []byte
 
-// cached consults the cache; handlers call it once their key is known.
-func (s *Server) cached(key string) (any, bool) {
-	if v, ok := s.cache.Get(key); ok {
+// cached consults the cache under a "cache.lookup" child span; handlers
+// call it once their key is known. The span separates cache time from
+// snapshot-query time in a request's waterfall.
+func (s *Server) cached(ctx context.Context, key string) (any, bool) {
+	_, sp := obs.StartSpan(ctx, "cache.lookup")
+	v, ok := s.cache.Get(key)
+	sp.SetAttr("hit", strconv.FormatBool(ok))
+	sp.End()
+	if ok {
 		return cachedBody(v), true
 	}
 	return nil, false
@@ -320,14 +336,18 @@ func (s *Server) handleInstances(r *http.Request) (string, any, error) {
 		return "", nil, err
 	}
 	key := cacheKey(epInstances, concept, strconv.Itoa(k))
-	if hit, ok := s.cached(key); ok {
+	if hit, ok := s.cached(r.Context(), key); ok {
 		return key, hit, nil
 	}
+	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
+	sp.SetAttr("op", "instances_of")
+	results := toResults(s.pb.InstancesOf(concept, k))
+	sp.End()
 	return key, struct {
 		Concept string         `json:"concept"`
 		K       int            `json:"k"`
 		Results []rankedResult `json:"results"`
-	}{concept, k, toResults(s.pb.InstancesOf(concept, k))}, nil
+	}{concept, k, results}, nil
 }
 
 func (s *Server) handleConcepts(r *http.Request) (string, any, error) {
@@ -340,14 +360,18 @@ func (s *Server) handleConcepts(r *http.Request) (string, any, error) {
 		return "", nil, err
 	}
 	key := cacheKey(epConcepts, term, strconv.Itoa(k))
-	if hit, ok := s.cached(key); ok {
+	if hit, ok := s.cached(r.Context(), key); ok {
 		return key, hit, nil
 	}
+	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
+	sp.SetAttr("op", "concepts_of")
+	results := toResults(s.pb.ConceptsOf(term, k))
+	sp.End()
 	return key, struct {
 		Term    string         `json:"term"`
 		K       int            `json:"k"`
 		Results []rankedResult `json:"results"`
-	}{term, k, toResults(s.pb.ConceptsOf(term, k))}, nil
+	}{term, k, results}, nil
 }
 
 func (s *Server) handleTypicality(r *http.Request) (string, any, error) {
@@ -357,19 +381,20 @@ func (s *Server) handleTypicality(r *http.Request) (string, any, error) {
 		return "", nil, badRequest("missing required parameters: concept and instance")
 	}
 	key := cacheKey(epTypicality, concept, instance)
-	if hit, ok := s.cached(key); ok {
+	if hit, ok := s.cached(r.Context(), key); ok {
 		return key, hit, nil
 	}
+	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
+	sp.SetAttr("op", "typicality")
+	down := s.scoreFor(s.pb.InstancesOf(concept, s.cfg.MaxK), instance, false)
+	up := s.scoreFor(s.pb.ConceptsOf(instance, s.cfg.MaxK), concept, true)
+	sp.End()
 	return key, struct {
 		Concept           string  `json:"concept"`
 		Instance          string  `json:"instance"`
 		TInstGivenConcept float64 `json:"t_instance_given_concept"`
 		TConceptGivenInst float64 `json:"t_concept_given_instance"`
-	}{
-		concept, instance,
-		s.scoreFor(s.pb.InstancesOf(concept, s.cfg.MaxK), instance, false),
-		s.scoreFor(s.pb.ConceptsOf(instance, s.cfg.MaxK), concept, true),
-	}, nil
+	}{concept, instance, down, up}, nil
 }
 
 // scoreFor finds label's score in a ranked list. Concept labels in the
@@ -398,14 +423,18 @@ func (s *Server) handlePlausibility(r *http.Request) (string, any, error) {
 		return "", nil, badRequest("missing required parameters: x and y")
 	}
 	key := cacheKey(epPlausibility, x, y)
-	if hit, ok := s.cached(key); ok {
+	if hit, ok := s.cached(r.Context(), key); ok {
 		return key, hit, nil
 	}
+	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
+	sp.SetAttr("op", "plausibility")
+	p := s.pb.Plausibility(x, y)
+	sp.End()
 	return key, struct {
 		X            string  `json:"x"`
 		Y            string  `json:"y"`
 		Plausibility float64 `json:"plausibility"`
-	}{x, y, s.pb.Plausibility(x, y)}, nil
+	}{x, y, p}, nil
 }
 
 const (
@@ -447,18 +476,23 @@ func (s *Server) handleConceptualize(r *http.Request) (string, any, error) {
 		return "", nil, badRequest("at most %d terms", maxConceptualizeTerms)
 	}
 	key := cacheKey(epConceptualize, strings.Join(terms, ","), strconv.Itoa(k))
-	if hit, ok := s.cached(key); ok {
+	if hit, ok := s.cached(r.Context(), key); ok {
 		return key, hit, nil
 	}
+	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
+	sp.SetAttr("op", "conceptualize")
 	ranked, ok := s.pb.Conceptualize(terms, k)
 	if !ok {
 		// Per-term abstraction fills in when the joint set is unknown —
 		// the internal/apps short-text fallback.
+		sp.SetAttr("fallback", "per_term")
 		ranked = s.perTermFallback(terms, k)
 		if len(ranked) == 0 {
+			sp.End()
 			return "", nil, notFound("no term in %v is known to the taxonomy", terms)
 		}
 	}
+	sp.End()
 	return key, struct {
 		Terms   []string       `json:"terms"`
 		K       int            `json:"k"`

@@ -75,7 +75,7 @@ func SenseLabel(label string, i, total int) string {
 func Build(groups []extraction.Group, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	rep := obs.ReporterOrNop(cfg.Reporter)
-	rep.StageStart("taxonomy")
+	rep.StageStart(obs.StageTaxonomy)
 	buildStart := time.Now()
 	locals := make([]*Local, 0, len(groups))
 	for _, g := range groups {
@@ -89,21 +89,21 @@ func Build(groups []extraction.Group, cfg Config) *Result {
 	// Algorithm 2's two merge passes, timed separately: horizontal
 	// (sense clustering within a label) then vertical (linking child
 	// slots to the merged clusters).
-	rep.StageStart("taxonomy.horizontal")
+	rep.StageStart(obs.StageTaxonomyHorizontal)
 	stageStart := time.Now()
 	eng.runHorizontalParallel(cfg.Workers)
-	rep.StageEnd("taxonomy.horizontal", time.Since(stageStart))
+	rep.StageEnd(obs.StageTaxonomyHorizontal, time.Since(stageStart))
 	hops := eng.hops
 	adoptions := 0
 	if !cfg.DisableAdoption {
 		adoptions = eng.adoptFragments()
 	}
-	rep.StageStart("taxonomy.vertical")
+	rep.StageStart(obs.StageTaxonomyVertical)
 	stageStart = time.Now()
 	eng.runVertical()
-	rep.StageEnd("taxonomy.vertical", time.Since(stageStart))
+	rep.StageEnd(obs.StageTaxonomyVertical, time.Since(stageStart))
 
-	rep.StageStart("taxonomy.assemble")
+	rep.StageStart(obs.StageTaxonomyAssemble)
 	stageStart = time.Now()
 	res := &Result{
 		Graph:  graph.NewStore(),
@@ -241,7 +241,7 @@ func Build(groups []extraction.Group, cfg Config) *Result {
 		}
 		res.Graph.AddEdge(from, to, e.count, 0)
 	}
-	rep.StageEnd("taxonomy.assemble", time.Since(stageStart))
+	rep.StageEnd(obs.StageTaxonomyAssemble, time.Since(stageStart))
 	for counter, v := range map[string]int64{
 		"locals":           int64(res.Stats.Locals),
 		"horizontal_ops":   int64(res.Stats.HorizontalOps),
@@ -252,8 +252,8 @@ func Build(groups []extraction.Group, cfg Config) *Result {
 		"skipped_cycles":   int64(res.Stats.SkippedCycles),
 		"dropped_clusters": int64(res.Stats.DroppedClusters),
 	} {
-		rep.Count("taxonomy", counter, v)
+		rep.Count(obs.StageTaxonomy, counter, v)
 	}
-	rep.StageEnd("taxonomy", time.Since(buildStart))
+	rep.StageEnd(obs.StageTaxonomy, time.Since(buildStart))
 	return res
 }
