@@ -102,6 +102,7 @@ var experimentOrder = []string{
 	"table1", "table4", "table5", "coverage", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "search", "shorttext", "webtables", "baseline",
 	"jaccard", "mergeorder", "plausibility", "growth", "merge", "interpret", "extras",
+	"parallel",
 }
 
 func main() {
@@ -225,6 +226,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runOne("merge", ok(func() (any, string) { return setup.MergeFreebase() }))
 	runOne("interpret", ok(func() (any, string) { return setup.InterpretExp() }))
 	runOne("extras", ok(func() (any, string) { return setup.Extras() }))
+	runOne("parallel", ok(func() (any, string) { return setup.ParallelExp() }))
 	report.TotalSeconds = time.Since(start).Seconds()
 
 	if *jsonOut != "" {

@@ -102,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out        = fs.String("o", "probase.bin", "output snapshot path")
 		scale      = fs.Float64("scale", 1, "world scale used when generating the corpus")
 		rounds     = fs.Int("rounds", 0, "max extraction rounds (0 = default)")
-		workers    = fs.Int("workers", 0, "extraction workers (0 = GOMAXPROCS)")
+		workers    = fs.Int("workers", 0, "worker pool size for all parallel build stages (0 = GOMAXPROCS)")
 		full       = fs.Bool("full", false, "also persist Γ (evidence, co-occurrence) for richer reload")
 		quiet      = fs.Bool("quiet", false, "suppress progress output on stderr")
 		statsOut   = fs.String("stats-out", "", "write a JSON build report to this file ('-' for stdout)")
@@ -162,7 +162,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Reporter: reporter,
 	}
 	cfg.Extraction.MaxRounds = *rounds
-	cfg.Extraction.Workers = *workers
+	cfg.Workers = *workers
 
 	start := time.Now()
 	pb, err := core.Build(inputs, cfg)

@@ -1,21 +1,61 @@
 // Package repro is a from-scratch Go reproduction of "Probase: A
 // Probabilistic Taxonomy for Text Understanding" (Wu, Li, Wang, Zhu —
-// SIGMOD 2012).
+// SIGMOD 2012), built entirely on the standard library.
 //
-// The library lives under internal/: the iterative semantic extractor
-// (internal/extraction), the sense-aware taxonomy builder
-// (internal/taxonomy), the probabilistic layer (internal/prob), the
-// public facade (internal/core), the substrates (internal/corpus,
-// internal/graph, internal/querylog, internal/nlp, internal/hearst,
-// internal/kb), the comparators (internal/baseline), the applications
-// (internal/apps), the serving layer (internal/server — a concurrent
-// HTTP query service with a sharded hot-query cache, fronted by
-// cmd/probase-serve; see its package docs for the endpoint contract;
-// internal/snapshot is the shared snapshot loader) and the evaluation
-// harness (internal/eval, internal/experiments).
+// # Pipeline packages
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for
-// paper-vs-measured results. The benchmarks in bench_test.go regenerate
-// every table and figure of the paper's evaluation.
+// The corpus-to-snapshot pipeline runs through four layers, one per
+// paper algorithm (ARCHITECTURE.md draws the full data flow):
+//
+//   - internal/extraction — Algorithm 1, the iterative semantic
+//     extractor: Hearst-pattern sentences are resolved against the
+//     knowledge Γ accumulated in earlier rounds, to fixpoint.
+//   - internal/taxonomy — Algorithm 2, the sense-aware taxonomy
+//     builder: per-sentence local taxonomies merge horizontally (sense
+//     clustering) and vertically (parent/child linking), then assemble
+//     into a DAG with cycle refusal.
+//   - internal/prob — the Section 4 probabilistic layer: plausibility
+//     P(x,y) (Naive Bayes evidence model + noisy-or) and typicality
+//     T(i|x)/T(x|i) over reachability probabilities from Algorithm 3's
+//     level-order DP.
+//   - internal/core — the public facade wiring the three together:
+//     Build / InstancesOf / ConceptsOf / Conceptualize / Plausibility /
+//     Save / Load.
+//
+// # Substrates
+//
+//   - internal/nlp, internal/hearst — tokeniser, morphology, and the
+//     six Hearst patterns with all ambiguous readings kept.
+//   - internal/kb — Γ, the pair/evidence store.
+//   - internal/graph — embedded graph engine (the Trinity stand-in)
+//     with checksummed binary snapshots.
+//   - internal/corpus, internal/querylog — the seeded synthetic world,
+//     corpus generator, and Zipf query log that replace the paper's
+//     web-scale inputs with ground truth retained.
+//   - internal/parallel — the dependency-free worker pool every
+//     parallel build stage shares; its package docs state the
+//     concurrency and determinism contract.
+//   - internal/obs — stage telemetry (StageReporter), build/request
+//     tracing, Prometheus metrics, structured logging.
+//
+// # Evaluation and serving
+//
+//   - internal/baseline — the syntactic-iteration extractor and the
+//     reference-taxonomy comparators (WordNet/YAGO/Freebase shapes).
+//   - internal/apps — the Section 5.3 applications: semantic search,
+//     short-text conceptualisation, web tables, attributes, NER.
+//   - internal/eval, internal/experiments — metrics and one function
+//     per paper table/figure; cmd/probase-bench regenerates them all.
+//   - internal/server, internal/snapshot — the concurrent HTTP query
+//     service (cmd/probase-serve) with a sharded hot-query cache; see
+//     the server package docs for the endpoint contract.
+//
+// The binaries under cmd/ wire these into a toolchain: corpusgen
+// (corpus), probase-build (corpus → snapshot, with -workers sizing the
+// shared pool), probase-query (CLI queries), probase-serve (HTTP), and
+// probase-bench (the evaluation).
+//
+// See README.md for the overview, ARCHITECTURE.md for the pipeline and
+// determinism contract, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package repro

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkScore measures plausibility annotation (stage "prob.annotate")
+// at several worker counts over a corpus-derived taxonomy. The clone per
+// iteration restores the unannotated graph; scores are byte-identical at
+// every worker count.
+func BenchmarkScore(b *testing.B) {
+	pb, _ := buildFixture(b, 10000)
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := pb.Graph.Clone()
+				if AnnotatePlausibility(g, pb.model, w, nil) == 0 {
+					b.Fatal("nothing annotated")
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kb"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/prob"
 	"repro/internal/taxonomy"
 )
@@ -30,6 +32,13 @@ type Config struct {
 	// nil oracle the Naive Bayes layer stays uninformative and
 	// plausibility degrades to the count-based noisy-or.
 	Oracle prob.Oracle
+	// Workers bounds the worker pool of every parallel build stage:
+	// extraction's map phase, the horizontal and vertical taxonomy
+	// merges, plausibility annotation and the Algorithm 3 DP. It is
+	// propagated to the extraction and taxonomy configs unless those
+	// already set their own. The built Probase is byte-identical at
+	// every worker count (see ARCHITECTURE.md); <= 0 means GOMAXPROCS.
+	Workers int
 	// Reporter receives stage telemetry from the whole pipeline. It is
 	// propagated to the extraction and taxonomy stages unless those
 	// configs carry their own reporter. Nil discards everything.
@@ -71,6 +80,13 @@ func Build(inputs []extraction.Input, cfg Config) (*Probase, error) {
 	if cfg.Taxonomy.Reporter == nil {
 		cfg.Taxonomy.Reporter = rep
 	}
+	workers := parallel.Workers(cfg.Workers)
+	if cfg.Extraction.Workers == 0 {
+		cfg.Extraction.Workers = workers
+	}
+	if cfg.Taxonomy.Workers == 0 {
+		cfg.Taxonomy.Workers = workers
+	}
 	res := extraction.Run(inputs, cfg.Extraction)
 	if cfg.Taxonomy.Sim == nil && cfg.Taxonomy.MinSenseEvidence == 0 {
 		// Default: drop single-sighting fragment senses; their pairs stay
@@ -84,24 +100,9 @@ func Build(inputs []extraction.Input, cfg Config) (*Probase, error) {
 	model := prob.Train(res.Store, oracleOrUnknown(cfg.Oracle))
 	rep.StageEnd(obs.StageProbTrain, time.Since(trainStart))
 
-	// Annotate taxonomy edges with plausibility from the evidence model.
-	rep.StageStart(obs.StageProbAnnotate)
-	annStart := time.Now()
 	g := tax.Graph
-	annotated := int64(0)
-	for _, from := range g.Concepts() {
-		x := BaseLabel(g.Label(from))
-		for _, e := range g.Children(from) {
-			y := BaseLabel(g.Label(e.To))
-			if p := model.Plausibility(x, y); p > 0 {
-				g.AddEdge(from, e.To, 0, p)
-				annotated++
-			}
-		}
-	}
-	rep.Count(obs.StageProbAnnotate, "edges_annotated", annotated)
-	rep.StageEnd(obs.StageProbAnnotate, time.Since(annStart))
-	typ, err := prob.NewTypicalityObserved(g, rep)
+	AnnotatePlausibility(g, model, workers, rep)
+	typ, err := prob.New(g, prob.Options{Workers: workers, Reporter: rep})
 	if err != nil {
 		return nil, fmt.Errorf("core: taxonomy is not a DAG: %w", err)
 	}
@@ -118,6 +119,54 @@ func Build(inputs []extraction.Input, cfg Config) (*Probase, error) {
 		typ:   typ,
 		model: model,
 	}, nil
+}
+
+// AnnotatePlausibility scores every taxonomy edge with the evidence
+// model's plausibility and writes the scores back onto the graph,
+// returning the number of edges annotated (stage "prob.annotate").
+//
+// Scoring fans out per super-concept: Model.Plausibility only reads the
+// trained Naive Bayes tables and the RWMutex-guarded Γ store, and the
+// graph reads (Concepts, Label, Children) never see a concurrent write
+// because scores land in per-concept buffers that a serial loop applies
+// in Concepts() order afterwards. Plausibility values are not read back
+// during scoring, so deferring the writes cannot change any score and
+// the annotated graph is byte-identical at every worker count.
+func AnnotatePlausibility(g *graph.Store, model *prob.Model, workers int, rep obs.StageReporter) int64 {
+	rep = obs.ReporterOrNop(rep)
+	rep.StageStart(obs.StageProbAnnotate)
+	annStart := time.Now()
+	workers = parallel.Workers(workers)
+	type scoredEdge struct {
+		to graph.NodeID
+		p  float64
+	}
+	concepts := g.Concepts()
+	rows := make([][]scoredEdge, len(concepts))
+	_ = parallel.ForEach(context.Background(), workers, len(concepts), func(i int) error {
+		from := concepts[i]
+		x := BaseLabel(g.Label(from))
+		var row []scoredEdge
+		for _, e := range g.Children(from) {
+			y := BaseLabel(g.Label(e.To))
+			if p := model.Plausibility(x, y); p > 0 {
+				row = append(row, scoredEdge{to: e.To, p: p})
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	annotated := int64(0)
+	for i, row := range rows {
+		for _, se := range row {
+			g.AddEdge(concepts[i], se.to, 0, se.p)
+			annotated++
+		}
+	}
+	rep.Count(obs.StageProbAnnotate, "edges_annotated", annotated)
+	rep.Count(obs.StageProbAnnotate, "workers", int64(workers))
+	rep.StageEnd(obs.StageProbAnnotate, time.Since(annStart))
+	return annotated
 }
 
 func oracleOrUnknown(o prob.Oracle) prob.Oracle {

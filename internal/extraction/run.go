@@ -1,12 +1,13 @@
 package extraction
 
 import (
-	"sync"
+	"context"
 	"time"
 
 	"repro/internal/hearst"
 	"repro/internal/kb"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // RoundStats summarises one iteration of Algorithm 1; the per-round series
@@ -128,6 +129,7 @@ func Run(inputs []Input, cfg Config) *Result {
 	rep.Count(obs.StageExtraction, "sentences_total", int64(len(inputs)))
 	rep.Count(obs.StageExtraction, "sentences_parsed", int64(len(states)))
 	rep.Count(obs.StageExtraction, "part_of_negatives", int64(len(negatives)))
+	rep.Count(obs.StageExtraction, "workers", int64(cfg.Workers))
 
 	pending := make([]int, len(states))
 	for i := range states {
@@ -193,40 +195,28 @@ func Run(inputs []Input, cfg Config) *Result {
 // mapPhase resolves the pending sentences in parallel against the current
 // Γ snapshot. Decisions are returned in pending order for a deterministic
 // reduce.
+//
+// Sharing audit: a resolver holds only a Config value (copied, never
+// written after withDefaults) and the *kb.Store, which is RWMutex-guarded
+// and written exclusively by the single-threaded reduce phase — during
+// the map fan-out every store access is a read. The resolve call graph
+// (resolve, detectSuper, segmentChunks, pSub, pSuper, bestSegCount)
+// keeps all mutable state in locals, and distinct items touch distinct
+// sentenceStates. Each worker still gets its own resolver below, so a
+// future scratch field (say, a memo table) cannot silently become shared
+// state.
 func mapPhase(states []*sentenceState, pending []int, cfg Config, store *kb.Store) []decision {
-	r := &resolver{cfg: cfg, store: store}
 	decisions := make([]decision, len(pending))
-	workers := cfg.Workers
-	if workers > len(pending) {
-		workers = len(pending)
+	workers := parallel.Bound(cfg.Workers, len(pending))
+	resolvers := make([]resolver, max(workers, 1))
+	for w := range resolvers {
+		resolvers[w] = resolver{cfg: cfg, store: store}
 	}
-	if workers <= 1 {
-		for i, idx := range pending {
-			decisions[i] = r.resolve(idx, states[idx])
-		}
-		return decisions
-	}
-	var wg sync.WaitGroup
-	chunk := (len(pending) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pending) {
-			hi = len(pending)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				idx := pending[i]
-				decisions[i] = r.resolve(idx, states[idx])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	_ = parallel.ForEachWorker(context.Background(), workers, len(pending), func(w, i int) error {
+		idx := pending[i]
+		decisions[i] = resolvers[w].resolve(idx, states[idx])
+		return nil
+	})
 	return decisions
 }
 

@@ -15,7 +15,11 @@ import (
 // steps, but nothing in the contract forbids parallel reporters.
 //
 // Stage names are dotted paths ("extraction", "taxonomy.horizontal",
-// "prob.algorithm3"); counter names are snake_case.
+// "prob.algorithm3"); counter names are snake_case. By convention every
+// stage that fans out over the internal/parallel pool reports its
+// resolved pool size once as the counter "workers", so stats.json and
+// the Prometheus counters record the parallelism each stage actually
+// ran with (workers=1 means the stage executed serially).
 type StageReporter interface {
 	// StageStart marks the beginning of a named stage.
 	StageStart(stage string)

@@ -1,0 +1,43 @@
+package parallel_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// ExampleForEach shows the pipeline's fork-join shape: compute into
+// per-index slots concurrently, then reduce serially in index order —
+// so the result is independent of goroutine scheduling.
+func ExampleForEach() {
+	squares := make([]int, 6)
+	err := parallel.ForEach(context.Background(), 4, len(squares), func(i int) error {
+		squares[i] = i * i // each item owns slot i; no locks needed
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	sum := 0
+	for _, s := range squares { // serial reduce, deterministic order
+		sum += s
+	}
+	fmt.Println(squares, sum)
+	// Output:
+	// [0 1 4 9 16 25] 55
+}
+
+// ExampleMap collects results in index order no matter which worker
+// produced them.
+func ExampleMap() {
+	labels, err := parallel.Map(context.Background(), 8, 4, func(i int) (string, error) {
+		return fmt.Sprintf("level-%d", i), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(labels)
+	// Output:
+	// [level-0 level-1 level-2 level-3]
+}

@@ -1,0 +1,197 @@
+// Package parallel is the build pipeline's shared fork-join primitive:
+// a bounded worker pool that fans a fixed index range out over
+// goroutines and collects results deterministically.
+//
+// Every parallel stage of the pipeline (the Algorithm 1 map phase, the
+// Algorithm 2 horizontal and vertical merges, the Section 4.1
+// plausibility annotation, and the Algorithm 3 reachability DP) runs on
+// this package rather than on ad-hoc goroutine code, so the concurrency
+// contract is stated once:
+//
+//   - Bounded workers. At most `workers` goroutines run fn at a time;
+//     workers <= 1 (or n <= 1) degenerates to a plain serial loop on the
+//     calling goroutine, so a serial run is always available for
+//     differential testing.
+//   - Deterministic collection. Work item i is identified by its index;
+//     results are written to slot i of a caller- or Map-owned slice, so
+//     the assembled output is independent of goroutine scheduling. Any
+//     cross-item reduction is the caller's job and must happen after
+//     ForEach returns, in index order.
+//   - Deterministic errors. When several items fail, the error of the
+//     lowest-indexed failing item is returned, so a parallel run reports
+//     the same error a serial run would.
+//   - Cancellation. A context cancellation or the first error stops the
+//     pool from starting new items; items already running finish.
+//   - Panic propagation. A panic inside fn is captured (with its stack)
+//     and re-raised on the calling goroutine once all workers have
+//     drained, instead of crashing the process from a nameless worker.
+//
+// The determinism contract every caller must itself uphold is documented
+// in ARCHITECTURE.md: fn(i) may read state shared with other in-flight
+// items only if no in-flight item writes it, and all writes must land in
+// per-index slots.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: values <= 0 mean
+// runtime.GOMAXPROCS(0), anything else passes through. The pipeline
+// configs use 0 as "let the hardware decide", and this is the single
+// place that decision is made.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Bound clamps a resolved worker count to the number of work items, so
+// a tiny input never spawns idle goroutines. It preserves the serial
+// degenerate case: Bound(w, n) <= 1 runs inline.
+func Bound(workers, n int) int {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// panicError carries a recovered panic from a worker to the caller.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", p.value, p.stack)
+}
+
+// ForEach runs fn(0), fn(1), ..., fn(n-1) on at most `workers`
+// goroutines and waits for all of them. See the package comment for the
+// full contract; in short: items are handed out in index order, the
+// lowest-indexed error wins, ctx cancellation stops new items, and a
+// panicking fn re-panics here.
+//
+// With workers <= 1 or n <= 1 the items run inline on the calling
+// goroutine in index order — byte-identical to a plain loop.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachWorker(ctx, workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the executing worker's id
+// (0..workers-1) passed to fn, so callers can maintain per-worker
+// scratch state (a private resolver, a reusable buffer) without locks.
+// The mapping of items to workers is scheduling-dependent; only the
+// per-index outputs may carry results.
+func ForEachWorker(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Bound(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next index to hand out
+		stop     atomic.Bool  // set on first error / panic / cancellation
+		mu       sync.Mutex
+		firstIdx = n + 1 // index of the lowest failing item
+		firstErr error
+		panicIdx = n + 1 // index of the lowest panicking item
+		panicked *panicError
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if pe, ok := err.(*panicError); ok {
+			// A panic is never masked by a plain error; the lowest
+			// panicking index wins among panics, for determinism.
+			if i < panicIdx {
+				panicIdx, panicked = i, pe
+			}
+		} else if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := ctx.Err(); err != nil {
+					// Cancellation outranks any later item's error but
+					// must not mask an earlier one: record it at the
+					// next unclaimed index.
+					fail(int(next.Load()), err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runItem(worker, i, fn); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked.Error())
+	}
+	return firstErr
+}
+
+// runItem invokes one work item, converting a panic into a panicError
+// so the pool can drain before re-raising it.
+func runItem(worker, i int, fn func(worker, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{value: r, stack: stack()}
+		}
+	}()
+	return fn(worker, i)
+}
+
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}
+
+// Map runs fn over 0..n-1 on at most `workers` goroutines and returns
+// the results in index order — the fork-join shape of the pipeline's
+// "compute rows concurrently, merge in node order" stages. On error the
+// partial results are discarded and the lowest-indexed error returned.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+	if got := Bound(8, 3); got != 3 {
+		t.Fatalf("Bound(8, 3) = %d, want 3", got)
+	}
+	if got := Bound(2, 100); got != 2 {
+		t.Fatalf("Bound(2, 100) = %d, want 2", got)
+	}
+}
+
+// Every item must run exactly once, at every worker count, and results
+// collected by index must be identical to the serial run.
+func TestForEachRunsAllItemsOnce(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{1, 2, 4, 8, 33} {
+		counts := make([]int32, n)
+		out := make([]int, n)
+		err := ForEach(context.Background(), workers, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if counts[i] != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, counts[i])
+			}
+			if out[i] != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, out[i])
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	if err := ForEach(context.Background(), 4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called with n=0")
+	}
+}
+
+// The lowest-indexed error must win regardless of scheduling, so a
+// parallel run reports the same failure a serial run would.
+func TestForEachLowestIndexedErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEach(context.Background(), workers, 100, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3" {
+			t.Fatalf("workers=%d: err = %v, want item 3", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(context.Background(), 2, 10000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got > 100 {
+		t.Fatalf("pool kept going after error: %d items ran", got)
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, 4, 100000, func(i int) error {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+		time.Sleep(10 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > 10000 {
+		t.Fatalf("pool kept going after cancellation: %d items ran", got)
+	}
+
+	// Pre-cancelled context: nothing runs, serial path included.
+	for _, workers := range []int{1, 4} {
+		pre, cancel2 := context.WithCancel(context.Background())
+		cancel2()
+		called := false
+		err := ForEach(pre, workers, 5, func(int) error { called = true; return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if called && workers == 1 {
+			t.Fatal("serial path ran an item under a cancelled context")
+		}
+	}
+}
+
+// A worker panic must resurface on the calling goroutine, with the
+// original value and worker stack in the message, after the pool drains.
+func TestForEachPanicPropagation(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "kaboom 5") {
+					t.Fatalf("workers=%d: panic message %q lost the value", workers, msg)
+				}
+				if !strings.Contains(msg, "parallel_test.go") {
+					t.Fatalf("workers=%d: panic message lost the worker stack", workers)
+				}
+			}()
+			_ = ForEach(context.Background(), workers, 100, func(i int) error {
+				if i == 5 {
+					panic("kaboom 5")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+// A panic is never masked by a lower-indexed plain error.
+func TestForEachPanicBeatsError(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic was swallowed by the error")
+		}
+	}()
+	started := make(chan struct{})
+	_ = ForEach(context.Background(), 2, 2, func(i int) error {
+		if i == 0 {
+			<-started // hold the error until the panicking item is in flight
+			return errors.New("plain error first")
+		}
+		close(started)
+		panic("must still propagate")
+	})
+}
+
+func TestForEachWorkerIDsAreBounded(t *testing.T) {
+	const workers = 4
+	scratch := make([]int, workers) // one slot per worker, lock-free
+	err := ForEachWorker(context.Background(), workers, 10000, func(w, i int) error {
+		if w < 0 || w >= workers {
+			return fmt.Errorf("worker id %d out of range", w)
+		}
+		scratch[w]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range scratch {
+		total += c
+	}
+	if total != 10000 {
+		t.Fatalf("items across workers = %d, want 10000", total)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		out, err := Map(context.Background(), workers, 500, func(i int) (string, error) {
+			return fmt.Sprintf("r%d", i), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != fmt.Sprintf("r%d", i) {
+				t.Fatalf("workers=%d: out[%d] = %q", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(context.Background(), 4, 100, func(i int) (int, error) {
+		if i == 42 {
+			return 0, errors.New("item 42")
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "item 42" {
+		t.Fatalf("err = %v", err)
+	}
+	if out != nil {
+		t.Fatal("partial results returned on error")
+	}
+}
+
+// The race detector (CI runs -race) is the real assertion here: many
+// writers into disjoint index slots, no locks.
+func TestForEachDisjointSlotWritesRaceFree(t *testing.T) {
+	out := make([][]int, 200)
+	err := ForEach(context.Background(), 8, len(out), func(i int) error {
+		row := make([]int, 10)
+		for j := range row {
+			row[j] = i + j
+		}
+		out[i] = row
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range out {
+		if row[0] != i {
+			t.Fatalf("row %d corrupted", i)
+		}
+	}
+}

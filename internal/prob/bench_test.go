@@ -31,6 +31,45 @@ func benchTaxonomy() *graph.Store {
 	return g
 }
 
+// layeredBenchGraph builds a deep layered DAG whose wide topological
+// levels are the axis the Algorithm 3 DP parallelizes over.
+func layeredBenchGraph(levels, width int) *graph.Store {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.NewStore()
+	prev := []graph.NodeID{g.Intern("root")}
+	for l := 0; l < levels; l++ {
+		cur := make([]graph.NodeID, width)
+		for i := range cur {
+			cur[i] = g.Intern(fmt.Sprintf("l%dn%d", l, i))
+			parents := 3
+			if parents > len(prev) {
+				parents = len(prev)
+			}
+			for p := 0; p < parents; p++ {
+				g.AddEdge(prev[rng.Intn(len(prev))], cur[i], int64(rng.Intn(9)+1), 0.9)
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+// BenchmarkAlg3 measures the reachability DP at several worker counts;
+// the CI bench-compare job asserts the multi-worker runs get faster on
+// a multi-core runner (the reach table stays byte-identical either way).
+func BenchmarkAlg3(b *testing.B) {
+	g := layeredBenchGraph(7, 160)
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := New(g, Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkNewTypicality(b *testing.B) {
 	g := benchTaxonomy()
 	b.ResetTimer()

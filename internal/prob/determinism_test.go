@@ -1,0 +1,40 @@
+package prob
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAlg3ReachDeterministicAcrossWorkers asserts the concurrency
+// contract of the level-parallel DP: the reach table a workers=8 run
+// produces is exactly (bit-for-bit, not within epsilon) the table the
+// serial run produces. CI runs this under -race, which also checks the
+// fan-out for data races.
+func TestAlg3ReachDeterministicAcrossWorkers(t *testing.T) {
+	g := layeredBenchGraph(5, 60)
+	serial, err := New(g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		par, err := New(g, Options{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.reach) != len(serial.reach) {
+			t.Fatalf("workers=%d: %d reach entries, serial has %d", w, len(par.reach), len(serial.reach))
+		}
+		for k, p := range serial.reach {
+			q, ok := par.reach[k]
+			if !ok {
+				t.Fatalf("workers=%d: entry %x missing", w, k)
+			}
+			if math.Float64bits(p) != math.Float64bits(q) {
+				t.Fatalf("workers=%d: entry %x = %v, serial %v (bits differ)", w, k, q, p)
+			}
+		}
+		if math.Float64bits(par.totalMass) != math.Float64bits(serial.totalMass) {
+			t.Fatalf("workers=%d: totalMass %v, serial %v", w, par.totalMass, serial.totalMass)
+		}
+	}
+}

@@ -7,6 +7,26 @@ import (
 	"repro/internal/prob"
 )
 
+// ExampleNew runs the Algorithm 3 reachability DP with an explicit
+// worker count. The reach table is byte-identical at every worker
+// count, so the parallel run answers exactly what the serial one would.
+func ExampleNew() {
+	g := graph.NewStore()
+	company := g.Intern("company")
+	it := g.Intern("it company")
+	ms := g.Intern("Microsoft")
+	g.AddEdge(company, it, 20, 0.9)
+	g.AddEdge(it, ms, 30, 0.8)
+
+	serial, _ := prob.New(g, prob.Options{Workers: 1})
+	pooled, _ := prob.New(g, prob.Options{Workers: 4})
+	fmt.Printf("P(company, Microsoft) = %.2f\n", pooled.Reach(company, ms))
+	fmt.Println("identical to serial:", pooled.Reach(company, ms) == serial.Reach(company, ms))
+	// Output:
+	// P(company, Microsoft) = 0.72
+	// identical to serial: true
+}
+
 // ExampleTypicality_InstancesOf shows Eq. 4 at work: indirect evidence
 // through a sub-concept promotes Microsoft over IBM despite fewer direct
 // sightings.

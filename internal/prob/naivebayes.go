@@ -4,6 +4,15 @@
 // the typicality T(i|x) / T(x|i) (Eqs. 3-4), with the reachability
 // probabilities computed by the level-order dynamic program of
 // Algorithm 3.
+//
+// The DP parallelises within each topological level on the shared
+// worker pool (internal/parallel) — the axis Algorithm 3's own
+// correctness argument frees up, since a level's rows read only values
+// from strictly earlier levels. New takes Options{Workers, Reporter};
+// the reach table is bit-for-bit identical at every worker count. A
+// built Typicality is safe for concurrent queries, and Model's scoring
+// methods are read-only after Train, so both sides of the layer can be
+// fanned out over.
 package prob
 
 import "math"

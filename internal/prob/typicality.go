@@ -1,12 +1,14 @@
 package prob
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // Ranked is a label with a probability score, sorted descending in all
@@ -40,18 +42,51 @@ type Typicality struct {
 
 func key(x, y graph.NodeID) uint64 { return uint64(x)<<32 | uint64(y) }
 
+// Options configures Algorithm 3 and the typicality caches. The zero
+// value runs the DP at GOMAXPROCS workers with telemetry discarded.
+type Options struct {
+	// Workers bounds the per-level fan-out of the reachability DP;
+	// <= 0 means GOMAXPROCS. The reach table is byte-identical at every
+	// worker count (see ARCHITECTURE.md for the determinism argument).
+	Workers int
+	// Reporter receives stage telemetry: the DP is timed and its table
+	// size reported under stage "prob.algorithm3". Nil discards it.
+	Reporter obs.StageReporter
+}
+
 // NewTypicality runs Algorithm 3 over the DAG and prepares the caches.
 // The graph's edges must carry counts; plausibilities default to a
 // count-saturating estimate when absent (0).
 func NewTypicality(g *graph.Store) (*Typicality, error) {
-	return NewTypicalityObserved(g, nil)
+	return New(g, Options{})
 }
 
 // NewTypicalityObserved is NewTypicality with stage telemetry: the
 // Algorithm 3 reachability DP is timed and its table size reported
 // under stage "prob.algorithm3". A nil reporter discards it.
 func NewTypicalityObserved(g *graph.Store, reporter obs.StageReporter) (*Typicality, error) {
-	rep := obs.ReporterOrNop(reporter)
+	return New(g, Options{Reporter: reporter})
+}
+
+// reachEntry is one computed P(x,y) for a fixed y — the per-node row
+// buffer the parallel DP fills before the serial merge.
+type reachEntry struct {
+	x graph.NodeID
+	p float64
+}
+
+// New runs Algorithm 3 with explicit options.
+//
+// Within one topological level every node's P(·,y) row depends only on
+// rows from strictly earlier levels (TopoLevels places all of y's
+// parents before y), so rows of one level are computed concurrently
+// into per-node buffers and merged into the reach table in node order
+// between levels. No goroutine writes state another reads, and the
+// per-row float arithmetic is the serial code unchanged, so the table
+// is byte-identical to a workers=1 run.
+func New(g *graph.Store, opts Options) (*Typicality, error) {
+	rep := obs.ReporterOrNop(opts.Reporter)
+	workers := parallel.Workers(opts.Workers)
 	rep.StageStart(obs.StageProbAlgorithm3)
 	dpStart := time.Now()
 	t := &Typicality{
@@ -68,42 +103,30 @@ func NewTypicalityObserved(g *graph.Store, reporter obs.StageReporter) (*Typical
 	// ancestor x of its parents already has P(x, parent) computed.
 	//
 	//	P(x,y) = 1 - Π_{z ∈ Parent(y)} (1 - P(z,y) · P(x,z))
+	ctx := context.Background()
 	for _, level := range levels {
-		for _, y := range level {
-			parents := g.Parents(y)
-			if len(parents) == 0 {
-				continue
-			}
-			// Candidate ancestors: parents plus every x with P(x,z) known.
-			anc := make(map[graph.NodeID]bool)
-			for _, pe := range parents {
-				anc[pe.To] = true
-			}
-			for _, pe := range parents {
-				for _, x := range g.Ancestors(pe.To) {
-					anc[x] = true
-				}
-			}
-			xs := make([]graph.NodeID, 0, len(anc))
-			for x := range anc {
-				xs = append(xs, x)
-			}
-			sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
-			for _, x := range xs {
-				q := 1.0
-				for _, pe := range parents {
-					pxz := 1.0
-					if x != pe.To {
-						pxz = t.reach[key(x, pe.To)]
-					}
-					q *= 1 - edgePlausibility(pe)*pxz
-				}
-				if p := 1 - q; p > 0 {
-					t.reach[key(x, y)] = p
-				}
+		rows := make([][]reachEntry, len(level))
+		// Fan out: each node of the level computes its row reading only
+		// prior-level entries of t.reach; writes go to rows[i].
+		if err := parallel.ForEach(ctx, workers, len(level), func(i int) error {
+			rows[i] = t.reachRow(level[i])
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// Serial merge in node order. Map insertion order is irrelevant
+		// to lookups, but merging here (not in the workers) keeps every
+		// write single-threaded between fan-outs.
+		for i, row := range rows {
+			y := level[i]
+			for _, e := range row {
+				t.reach[key(e.x, y)] = e.p
 			}
 		}
 	}
+	// The concept-mass prior accumulates totalMass in Concepts() order;
+	// kept serial so the float summation order (and thus the snapshot's
+	// derived scores) never depends on scheduling.
 	for _, x := range g.Concepts() {
 		var m float64
 		for _, e := range g.Children(x) {
@@ -115,8 +138,50 @@ func NewTypicalityObserved(g *graph.Store, reporter obs.StageReporter) (*Typical
 	rep.Count(obs.StageProbAlgorithm3, "reach_entries", int64(len(t.reach)))
 	rep.Count(obs.StageProbAlgorithm3, "topo_levels", int64(len(levels)))
 	rep.Count(obs.StageProbAlgorithm3, "concepts", int64(len(t.conceptMass)))
+	rep.Count(obs.StageProbAlgorithm3, "workers", int64(workers))
 	rep.StageEnd(obs.StageProbAlgorithm3, time.Since(dpStart))
 	return t, nil
+}
+
+// reachRow computes P(x, y) for every candidate ancestor x of one node,
+// reading only reach entries of strictly earlier topological levels.
+// The candidate set is sorted so the row — and any iteration over it —
+// is deterministic.
+func (t *Typicality) reachRow(y graph.NodeID) []reachEntry {
+	parents := t.g.Parents(y)
+	if len(parents) == 0 {
+		return nil
+	}
+	// Candidate ancestors: parents plus every x with P(x,z) known.
+	anc := make(map[graph.NodeID]bool)
+	for _, pe := range parents {
+		anc[pe.To] = true
+	}
+	for _, pe := range parents {
+		for _, x := range t.g.Ancestors(pe.To) {
+			anc[x] = true
+		}
+	}
+	xs := make([]graph.NodeID, 0, len(anc))
+	for x := range anc {
+		xs = append(xs, x)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	row := make([]reachEntry, 0, len(xs))
+	for _, x := range xs {
+		q := 1.0
+		for _, pe := range parents {
+			pxz := 1.0
+			if x != pe.To {
+				pxz = t.reach[key(x, pe.To)]
+			}
+			q *= 1 - edgePlausibility(pe)*pxz
+		}
+		if p := 1 - q; p > 0 {
+			row = append(row, reachEntry{x: x, p: p})
+		}
+	}
+	return row
 }
 
 // edgePlausibility returns the edge's plausibility, substituting a
@@ -172,15 +237,25 @@ func (t *Typicality) InstancesOf(x graph.NodeID) []Ranked {
 			scores[e.To] += pxy * float64(e.Count) * edgePlausibility(e)
 		}
 	}
-	var total float64
-	for _, s := range scores {
-		total += s
+	// Sum and emit in node order: map iteration order varies per run,
+	// and float addition is not associative, so normalising in a random
+	// order would make scores differ in their last bits between runs —
+	// breaking the contract that two builds of the same corpus answer
+	// queries bit-identically.
+	ids := make([]graph.NodeID, 0, len(scores))
+	for i := range scores {
+		ids = append(ids, i)
 	}
-	out := make([]Ranked, 0, len(scores))
-	for i, s := range scores {
-		score := s
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	var total float64
+	for _, i := range ids {
+		total += scores[i]
+	}
+	out := make([]Ranked, 0, len(ids))
+	for _, i := range ids {
+		score := scores[i]
 		if total > 0 {
-			score = s / total
+			score /= total
 		}
 		out = append(out, Ranked{Label: t.g.Label(i), Score: score})
 	}

@@ -1,6 +1,7 @@
 package taxonomy
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/corpus"
@@ -39,6 +40,35 @@ func BenchmarkBuildJaccard(b *testing.B) {
 		if res.Graph.NumNodes() == 0 {
 			b.Fatal("empty graph")
 		}
+	}
+}
+
+// BenchmarkVertical measures the vertical merge stage alone, at several
+// worker counts, on a horizontally merged engine. Vertical only adds
+// links, so resetting the link set between iterations restores the
+// pre-stage state exactly.
+func BenchmarkVertical(b *testing.B) {
+	groups := benchGroups(10000)
+	locals := make([]*Local, 0, len(groups))
+	for _, g := range groups {
+		if g.Super == "" || len(g.Subs) == 0 {
+			continue
+		}
+		locals = append(locals, NewLocal(g.Super, g.Subs))
+	}
+	e := newEngine(locals, AbsoluteOverlap{Delta: 2})
+	e.runHorizontalParallel(1)
+	e.adoptFragments()
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.links = make(map[[2]int]bool)
+				e.runVerticalParallel(w)
+				if len(e.links) == 0 {
+					b.Fatal("no vertical links")
+				}
+			}
+		})
 	}
 }
 

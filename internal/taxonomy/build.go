@@ -2,13 +2,13 @@ package taxonomy
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"time"
 
 	"repro/internal/extraction"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // Config controls taxonomy construction.
@@ -23,7 +23,9 @@ type Config struct {
 	// horizontal and vertical stages (see engine.adoptFragments); mainly
 	// for the merge-order experiments, which study the pure Algorithm 2.
 	DisableAdoption bool
-	// Workers parallelises the horizontal stage over root labels;
+	// Workers parallelises the horizontal stage over root labels and
+	// the vertical stage over sense clusters (both via internal/parallel).
+	// The built taxonomy is byte-identical at every worker count;
 	// 0 means GOMAXPROCS.
 	Workers int
 	// Reporter receives merge-stage telemetry (stages "taxonomy",
@@ -36,9 +38,7 @@ func (c Config) withDefaults() Config {
 	if c.Sim == nil {
 		c.Sim = AbsoluteOverlap{Delta: 2}
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
+	c.Workers = parallel.Workers(c.Workers)
 	return c
 }
 
@@ -92,6 +92,7 @@ func Build(groups []extraction.Group, cfg Config) *Result {
 	rep.StageStart(obs.StageTaxonomyHorizontal)
 	stageStart := time.Now()
 	eng.runHorizontalParallel(cfg.Workers)
+	rep.Count(obs.StageTaxonomyHorizontal, "workers", int64(cfg.Workers))
 	rep.StageEnd(obs.StageTaxonomyHorizontal, time.Since(stageStart))
 	hops := eng.hops
 	adoptions := 0
@@ -100,7 +101,8 @@ func Build(groups []extraction.Group, cfg Config) *Result {
 	}
 	rep.StageStart(obs.StageTaxonomyVertical)
 	stageStart = time.Now()
-	eng.runVertical()
+	eng.runVerticalParallel(cfg.Workers)
+	rep.Count(obs.StageTaxonomyVertical, "workers", int64(cfg.Workers))
 	rep.StageEnd(obs.StageTaxonomyVertical, time.Since(stageStart))
 
 	rep.StageStart(obs.StageTaxonomyAssemble)

@@ -1,12 +1,13 @@
 package taxonomy
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // engine holds the merge state of Algorithm 2: a set of local taxonomies
@@ -132,6 +133,8 @@ func (e *engine) runHorizontal() {
 // involves locals of one label, Section 3.4), and the link set is empty
 // before the vertical stage, so workers write disjoint state — this is
 // the shared-memory analogue of the paper's 30-machine construction job.
+// Per-root merge counts land in index-ordered slots and are summed
+// serially, so e.hops is scheduling-independent too.
 func (e *engine) runHorizontalParallel(workers int) {
 	byRoot := make(map[string][]int)
 	for _, i := range e.alive() {
@@ -142,45 +145,61 @@ func (e *engine) runHorizontalParallel(workers int) {
 		roots = append(roots, r)
 	}
 	sort.Strings(roots)
-	if workers <= 1 || len(roots) < 2 || len(e.links) > 0 {
-		for _, r := range roots {
-			e.hops += e.horizontalFixpoint(byRoot[r])
-		}
-		return
+	if len(e.links) > 0 {
+		// Links retarget through the union-find on merge; with links
+		// present (only in the random-order experiments) roots are no
+		// longer independent, so fall back to the serial schedule.
+		workers = 1
 	}
-	var total atomic.Int64
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for _, r := range roots {
-		ids := byRoot[r]
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			total.Add(int64(e.horizontalFixpoint(ids)))
-		}()
+	merges := make([]int, len(roots))
+	_ = parallel.ForEach(context.Background(), workers, len(roots), func(i int) error {
+		merges[i] = e.horizontalFixpoint(byRoot[roots[i]])
+		return nil
+	})
+	for _, m := range merges {
+		e.hops += m
 	}
-	wg.Wait()
-	e.hops += int(total.Load())
 }
 
 // runVertical performs the vertical stage. One pass suffices because
 // children no longer change.
 func (e *engine) runVertical() {
+	e.runVerticalParallel(1)
+}
+
+// runVerticalParallel runs the vertical stage with a worker pool over
+// the live sense clusters. Each link decision canVertical(a, b) reads
+// only merge-frozen state — the child sets (fixed once the horizontal
+// stage ends) and the pre-existing link set — and within one pass a
+// given (a, b) pair is visited at most once (child labels are unique
+// per cluster and each b has one root label), so no decision depends on
+// another's outcome. Candidate links are therefore computed into
+// per-cluster slots concurrently and applied serially in the exact
+// (live order, child-label order, byRootLive order) the serial loop
+// uses, making the link set and vops count scheduling-independent.
+func (e *engine) runVerticalParallel(workers int) {
 	byRootLive := make(map[string][]int)
 	live := e.alive()
 	for _, i := range live {
 		byRootLive[e.nodes[i].Root] = append(byRootLive[e.nodes[i].Root], i)
 	}
-	for _, a := range live {
-		children := e.nodes[a].childLabels()
-		for _, y := range children {
+	found := make([][][2]int, len(live))
+	_ = parallel.ForEach(context.Background(), workers, len(live), func(i int) error {
+		a := live[i]
+		var links [][2]int
+		for _, y := range e.nodes[a].childLabels() {
 			for _, b := range byRootLive[y] {
 				if e.canVertical(a, b) {
-					e.mergeVertical(a, b)
+					links = append(links, [2]int{a, b})
 				}
 			}
+		}
+		found[i] = links
+		return nil
+	})
+	for _, links := range found {
+		for _, l := range links {
+			e.mergeVertical(l[0], l[1])
 		}
 	}
 }

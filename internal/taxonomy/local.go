@@ -8,6 +8,14 @@
 // overlap |A ∩ B| >= δ of Section 3.5, whose monotonicity (Property 4)
 // gives the confluence of Theorem 1; a Jaccard variant is provided for the
 // ablation that the paper argues against.
+//
+// Build runs the two merge stages on the shared worker pool
+// (internal/parallel): the horizontal stage fans out over root labels
+// (labels merge independently, Section 3.4) and the vertical stage over
+// sense clusters (link decisions read only merge-frozen child sets).
+// Config.Workers sizes the pool; the built taxonomy is byte-identical
+// at every worker count — ARCHITECTURE.md states the contract, and the
+// determinism tests enforce it.
 package taxonomy
 
 import "sort"
