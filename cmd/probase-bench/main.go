@@ -102,7 +102,7 @@ var experimentOrder = []string{
 	"table1", "table4", "table5", "coverage", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "search", "shorttext", "webtables", "baseline",
 	"jaccard", "mergeorder", "plausibility", "growth", "merge", "interpret", "extras",
-	"parallel",
+	"parallel", "storage",
 }
 
 func main() {
@@ -227,6 +227,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runOne("interpret", ok(func() (any, string) { return setup.InterpretExp() }))
 	runOne("extras", ok(func() (any, string) { return setup.Extras() }))
 	runOne("parallel", ok(func() (any, string) { return setup.ParallelExp() }))
+	runOne("storage", ok(func() (any, string) { return setup.StorageExp() }))
 	report.TotalSeconds = time.Since(start).Seconds()
 
 	if *jsonOut != "" {

@@ -10,6 +10,9 @@
 // expanded world is used as the plausibility model's training oracle (the
 // role WordNet plays in the paper). With -full, Γ (evidence and
 // co-occurrence statistics) is persisted alongside the graph.
+// -snapshot-version selects the binary format: 2 (default) writes the
+// CSR "PBC2" layout that probase-serve loads with a single sequential
+// read; 1 writes the legacy "PBGR" adjacency-list format.
 //
 // Human progress (per-round extraction counters with an ETA, merge-stage
 // timings, the final summary) goes to stderr so stdout stays clean for
@@ -104,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rounds     = fs.Int("rounds", 0, "max extraction rounds (0 = default)")
 		workers    = fs.Int("workers", 0, "worker pool size for all parallel build stages (0 = GOMAXPROCS)")
 		full       = fs.Bool("full", false, "also persist Γ (evidence, co-occurrence) for richer reload")
+		snapVer    = fs.Int("snapshot-version", core.SnapshotVersionDefault, "snapshot format version: 1 = legacy PBGR adjacency lists, 2 = PBC2 CSR (fast load)")
 		quiet      = fs.Bool("quiet", false, "suppress progress output on stderr")
 		statsOut   = fs.String("stats-out", "", "write a JSON build report to this file ('-' for stdout)")
 		version    = fs.Bool("version", false, "print build version and exit")
@@ -174,9 +178,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	save := pb.Save
+	save := func(w io.Writer) error { return pb.SaveVersion(w, *snapVer) }
 	if *full {
-		save = pb.SaveFull
+		save = func(w io.Writer) error { return pb.SaveFullVersion(w, *snapVer) }
 	}
 	saveStart := time.Now()
 	reporter.StageStart(obs.StageSnapshotSave)

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 // BenchmarkScore measures plausibility annotation (stage "prob.annotate")
@@ -14,7 +16,7 @@ func BenchmarkScore(b *testing.B) {
 	for _, w := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				g := pb.Graph.Clone()
+				g := graph.NewBuilderFrom(pb.Graph)
 				if AnnotatePlausibility(g, pb.model, w, nil) == 0 {
 					b.Fatal("nothing annotated")
 				}

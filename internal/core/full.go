@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/kb"
@@ -24,11 +23,17 @@ var ErrBadFullSnapshot = errors.New("core: bad full snapshot")
 // evidence), so a reload supports evidence-based plausibility, not just
 // the stored edge values.
 func (p *Probase) SaveFull(w io.Writer) error {
+	return p.SaveFullVersion(w, SnapshotVersionDefault)
+}
+
+// SaveFullVersion is SaveFull with an explicit graph-section format
+// version (1 = "PBGR", 2 = "PBC2"); LoadFull reads both.
+func (p *Probase) SaveFullVersion(w io.Writer, version int) error {
 	if p.Store == nil {
 		return errors.New("core: no Γ to save; use Save for graph-only snapshots")
 	}
 	var gbuf, kbuf bytes.Buffer
-	if err := p.Graph.Save(&gbuf); err != nil {
+	if err := graph.WriteSnapshot(&gbuf, p.Graph, version); err != nil {
 		return err
 	}
 	if err := p.Store.Save(&kbuf); err != nil {
@@ -83,7 +88,7 @@ func LoadFull(r io.Reader) (*Probase, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := graph.Load(bytes.NewReader(gsec))
+	g, err := graph.LoadFrozen(bytes.NewReader(gsec))
 	if err != nil {
 		return nil, err
 	}
@@ -95,18 +100,10 @@ func LoadFull(r io.Reader) (*Probase, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: snapshot is not a DAG: %w", err)
 	}
-	senses := make(map[string][]string)
-	for _, id := range g.Concepts() {
-		label := g.Label(id)
-		senses[BaseLabel(label)] = append(senses[BaseLabel(label)], label)
-	}
-	for _, list := range senses {
-		sort.Slice(list, func(i, j int) bool { return senseIndex(list[i]) < senseIndex(list[j]) })
-	}
 	return &Probase{
 		Store:  store,
 		Graph:  g,
-		Senses: senses,
+		Senses: sensesFromGraph(g),
 		typ:    typ,
 		model:  prob.Train(store, func(x, y string) (bool, bool) { return false, false }),
 	}, nil

@@ -57,8 +57,10 @@ type Probase struct {
 	// Store is Γ, the extracted pair store with evidence. Nil when the
 	// Probase was loaded from a snapshot.
 	Store *kb.Store
-	// Graph is the taxonomy DAG with plausibility-annotated edges.
-	Graph *graph.Store
+	// Graph is the taxonomy DAG with plausibility-annotated edges. After
+	// Build, Load or Merge it is the immutable CSR view (*graph.Frozen);
+	// Rebind can swap in any other graph.Reader backend.
+	Graph graph.Reader
 	// Senses maps each concept label to its sense node labels.
 	Senses map[string][]string
 	// Info describes the build. Zero when loaded from a snapshot.
@@ -102,13 +104,16 @@ func Build(inputs []extraction.Input, cfg Config) (*Probase, error) {
 
 	g := tax.Graph
 	AnnotatePlausibility(g, model, workers, rep)
-	typ, err := prob.New(g, prob.Options{Workers: workers, Reporter: rep})
+	// Construction is done: freeze the builder into the CSR view so the
+	// probabilistic layer and every query below read the serving layout.
+	fz := g.Freeze()
+	typ, err := prob.New(fz, prob.Options{Workers: workers, Reporter: rep})
 	if err != nil {
 		return nil, fmt.Errorf("core: taxonomy is not a DAG: %w", err)
 	}
 	return &Probase{
 		Store:      res.Store,
-		Graph:      g,
+		Graph:      fz,
 		Senses:     tax.Senses,
 		Extraction: res,
 		Info: BuildInfo{
@@ -307,8 +312,8 @@ func (p *Probase) Typicality() *prob.Typicality { return p.typ }
 // label that matches one of ours attaches to our dominant sense;
 // everything else is interned fresh. Counts accumulate; imported edges
 // keep their plausibility.
-func (p *Probase) Merge(other *graph.Store) (*Probase, error) {
-	g := p.Graph.Clone()
+func (p *Probase) Merge(other graph.Reader) (*Probase, error) {
+	g := graph.NewBuilderFrom(p.Graph)
 	resolve := func(label string, conceptPosition bool) graph.NodeID {
 		if conceptPosition {
 			if senses := p.Senses[extraction.CanonicalSuper(label)]; len(senses) > 0 {
@@ -343,37 +348,64 @@ func (p *Probase) Merge(other *graph.Store) (*Probase, error) {
 		}
 		g.AddEdge(pe.from, pe.to, pe.e.Count, pe.e.Plausibility)
 	}
-	typ, err := prob.NewTypicality(g)
+	fz := g.Freeze()
+	typ, err := prob.NewTypicality(fz)
 	if err != nil {
 		return nil, fmt.Errorf("core: merge broke the DAG: %w", err)
 	}
-	merged := &Probase{
+	return &Probase{
 		Store:      p.Store,
-		Graph:      g,
-		Senses:     make(map[string][]string, len(p.Senses)),
+		Graph:      fz,
+		Senses:     sensesFromGraph(fz),
 		Info:       p.Info,
 		Extraction: p.Extraction,
 		typ:        typ,
 		model:      p.model,
-	}
-	for _, id := range g.Concepts() {
-		label := g.Label(id)
-		merged.Senses[BaseLabel(label)] = append(merged.Senses[BaseLabel(label)], label)
-	}
-	for _, list := range merged.Senses {
-		sort.Slice(list, func(i, j int) bool { return senseIndex(list[i]) < senseIndex(list[j]) })
-	}
-	return merged, nil
+	}, nil
 }
 
-// Save writes the taxonomy snapshot (graph, counts, plausibilities).
-// Γ and the evidence model are rebuildable from the corpus and are not
-// persisted.
-func (p *Probase) Save(w io.Writer) error { return p.Graph.Save(w) }
+// Rebind returns a Probase answering queries from g instead of the
+// current graph — the storage-backend swap seam. g must describe the
+// same taxonomy (typically the Builder thaw or Frozen view of p.Graph);
+// the typicality engine is rebuilt over it, everything else is shared.
+func (p *Probase) Rebind(g graph.Reader) (*Probase, error) {
+	typ, err := prob.NewTypicality(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebind: %w", err)
+	}
+	return &Probase{
+		Store:      p.Store,
+		Graph:      g,
+		Senses:     p.Senses,
+		Info:       p.Info,
+		Extraction: p.Extraction,
+		typ:        typ,
+		model:      p.model,
+	}, nil
+}
 
-// Load reads a snapshot written by Save and rebuilds the query engine.
+// SnapshotVersionDefault is the snapshot format written when the caller
+// does not pick one: v2 "PBC2", the CSR layout the serving path loads
+// with a single sequential read. Pass 1 to SaveVersion for the legacy
+// adjacency-list "PBGR" format.
+const SnapshotVersionDefault = 2
+
+// Save writes the taxonomy snapshot (graph, counts, plausibilities) in
+// the default format version. Γ and the evidence model are rebuildable
+// from the corpus and are not persisted.
+func (p *Probase) Save(w io.Writer) error { return p.SaveVersion(w, SnapshotVersionDefault) }
+
+// SaveVersion writes the taxonomy snapshot in an explicit format
+// version: 1 = legacy "PBGR" adjacency lists, 2 = CSR "PBC2". Load
+// reads both.
+func (p *Probase) SaveVersion(w io.Writer, version int) error {
+	return graph.WriteSnapshot(w, p.Graph, version)
+}
+
+// Load reads a snapshot written by Save (either format version) and
+// rebuilds the query engine over the CSR view.
 func Load(r io.Reader) (*Probase, error) {
-	g, err := graph.Load(r)
+	g, err := graph.LoadFrozen(r)
 	if err != nil {
 		return nil, err
 	}
@@ -381,19 +413,24 @@ func Load(r io.Reader) (*Probase, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: snapshot is not a DAG: %w", err)
 	}
+	return &Probase{Graph: g, Senses: sensesFromGraph(g), typ: typ}, nil
+}
+
+// sensesFromGraph rebuilds the concept -> sense-node index from node
+// labels. Sense names are ordered by dominance at build time; restore
+// that order numerically ("x#2" before "x#10").
+func sensesFromGraph(g graph.Reader) map[string][]string {
 	senses := make(map[string][]string)
 	for _, id := range g.Concepts() {
 		label := g.Label(id)
 		senses[BaseLabel(label)] = append(senses[BaseLabel(label)], label)
 	}
-	// Sense names are ordered by dominance at build time; restore that
-	// order numerically ("x#2" before "x#10").
 	for _, list := range senses {
 		sort.Slice(list, func(i, j int) bool {
 			return senseIndex(list[i]) < senseIndex(list[j])
 		})
 	}
-	return &Probase{Graph: g, Senses: senses, typ: typ}, nil
+	return senses
 }
 
 // senseIndex extracts the numeric sense suffix ("plant#2" -> 2); bare

@@ -80,3 +80,110 @@ func BenchmarkLoad(b *testing.B) {
 		}
 	}
 }
+
+// benchGraphLarge is benchGraph scaled towards a realistic taxonomy:
+// 200 roots -> 5000 mid concepts -> 100k leaves. At this size the
+// working set no longer fits in L1/L2, which is the regime the frozen
+// CSR layout is built for.
+func benchGraphLarge() *Store {
+	rng := rand.New(rand.NewSource(3))
+	s := NewStore()
+	var roots, mids []NodeID
+	for i := 0; i < 200; i++ {
+		roots = append(roots, s.Intern(fmt.Sprintf("root%d", i)))
+	}
+	for i := 0; i < 5000; i++ {
+		mids = append(mids, s.Intern(fmt.Sprintf("mid%d", i)))
+	}
+	for _, m := range mids {
+		s.AddEdge(roots[rng.Intn(len(roots))], m, int64(rng.Intn(20)+1), rng.Float64())
+	}
+	for i := 0; i < 100000; i++ {
+		l := s.Intern(fmt.Sprintf("leaf%d", i))
+		s.AddEdge(mids[rng.Intn(len(mids))], l, int64(rng.Intn(20)+1), rng.Float64())
+		if rng.Intn(4) == 0 {
+			s.AddEdge(roots[rng.Intn(len(roots))], l, 1, rng.Float64())
+		}
+	}
+	return s
+}
+
+// BenchmarkBuilderLookup / BenchmarkFrozenLookup compare the label
+// lookup of the two storage backends over the same label mix.
+func BenchmarkBuilderLookup(b *testing.B) {
+	s := benchGraphLarge()
+	labels := lookupMix(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Lookup(labels[i%len(labels)])
+	}
+}
+
+func BenchmarkFrozenLookup(b *testing.B) {
+	f := benchGraphLarge().Freeze()
+	labels := lookupMix(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Lookup(labels[i%len(labels)])
+	}
+}
+
+// lookupMix samples present labels plus a few misses, the shape of
+// query-time lookups.
+func lookupMix(g Reader) []string {
+	rng := rand.New(rand.NewSource(2))
+	labels := make([]string, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		if i%8 == 7 {
+			labels = append(labels, fmt.Sprintf("miss%d", i))
+			continue
+		}
+		labels = append(labels, g.Label(NodeID(rng.Intn(g.NumNodes()))))
+	}
+	return labels
+}
+
+// BenchmarkBuilderDescendants / BenchmarkFrozenDescendants compare the
+// closure traversal of the two backends from the wide roots.
+func BenchmarkBuilderDescendants(b *testing.B) {
+	s := benchGraphLarge()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Descendants(NodeID(i % 200))
+	}
+}
+
+func BenchmarkFrozenDescendants(b *testing.B) {
+	f := benchGraphLarge().Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Descendants(NodeID(i % 200))
+	}
+}
+
+// BenchmarkLoadV1 / BenchmarkLoadV2 compare snapshot load of the two
+// formats through the same LoadFrozen entry point (v1 pays interning,
+// per-edge sorted inserts and a freeze; v2 is a sequential array read).
+func BenchmarkLoadV1(b *testing.B) {
+	benchmarkLoadVersion(b, 1)
+}
+
+func BenchmarkLoadV2(b *testing.B) {
+	benchmarkLoadVersion(b, 2)
+}
+
+func benchmarkLoadVersion(b *testing.B, version int) {
+	s := benchGraph()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s, version); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadFrozen(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -51,8 +51,12 @@ func writeUvarint(w io.Writer, v uint64) error {
 	return err
 }
 
-// Save writes a checksummed binary snapshot of the store.
-func (s *Store) Save(w io.Writer) error {
+// Save writes a checksummed v1 binary snapshot of the store, readable
+// by both Load and LoadFrozen.
+func (b *Builder) Save(w io.Writer) error { return saveV1(w, b) }
+
+// saveV1 writes the adjacency-list "PBGR" format from any Reader.
+func saveV1(w io.Writer, g Reader) error {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	if _, err := cw.Write([]byte(snapshotMagic)); err != nil {
@@ -61,10 +65,12 @@ func (s *Store) Save(w io.Writer) error {
 	if err := writeUvarint(cw, snapshotVersion); err != nil {
 		return err
 	}
-	if err := writeUvarint(cw, uint64(len(s.labels))); err != nil {
+	n := g.NumNodes()
+	if err := writeUvarint(cw, uint64(n)); err != nil {
 		return err
 	}
-	for _, l := range s.labels {
+	for id := 0; id < n; id++ {
+		l := g.Label(NodeID(id))
 		if err := writeUvarint(cw, uint64(len(l))); err != nil {
 			return err
 		}
@@ -72,12 +78,12 @@ func (s *Store) Save(w io.Writer) error {
 			return err
 		}
 	}
-	if err := writeUvarint(cw, uint64(s.NumEdges())); err != nil {
+	if err := writeUvarint(cw, uint64(g.NumEdges())); err != nil {
 		return err
 	}
 	var f64 [8]byte
-	for id := range s.labels {
-		es := s.out[id]
+	for id := 0; id < n; id++ {
+		es := g.Children(NodeID(id))
 		if err := writeUvarint(cw, uint64(len(es))); err != nil {
 			return err
 		}

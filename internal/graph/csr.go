@@ -1,0 +1,326 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Snapshot format v2 "PBC2" (little-endian) serialises the Frozen CSR
+// layout directly, so loading is a sequential read into preallocated
+// flat arrays — no interning, no per-edge sorted insert, no re-freeze:
+//
+//	magic    [4]byte  "PBC2"
+//	version  uvarint  (currently 2)
+//	nodes    uvarint
+//	edges    uvarint
+//	labels   nodes x (uvarint len, bytes)
+//	outOff   (nodes+1) x uint32
+//	outEdges edges x (uint32 to, uint64 count, float64 bits plausibility)
+//	inOff    (nodes+1) x uint32
+//	inEdges  edges x (uint32 to, uint64 count, float64 bits plausibility)
+//	crc32    uint32 (IEEE, over everything before it)
+//
+// The derived tables (label index, node classes, topo levels, depths)
+// are recomputed at load: they are cheap relative to parsing and keeping
+// them out of the file means the format cannot disagree with itself
+// about them.
+const (
+	csrMagic   = "PBC2"
+	csrVersion = 2
+
+	maxSnapshotNodes = 1 << 28
+	maxSnapshotEdges = 1 << 28
+
+	edgeRecordSize = 4 + 8 + 8
+)
+
+// WriteSnapshot writes a checksummed binary snapshot of g in the given
+// format version: 1 is the adjacency-list "PBGR" format readable by
+// Load, 2 the CSR "PBC2" format readable only by LoadFrozen.
+func WriteSnapshot(w io.Writer, g Reader, version int) error {
+	switch version {
+	case snapshotVersion:
+		return saveV1(w, g)
+	case csrVersion:
+		return saveV2(w, frozenView(g))
+	default:
+		return fmt.Errorf("graph: unsupported snapshot version %d", version)
+	}
+}
+
+// frozenView returns g's CSR form, freezing (via a thaw for foreign
+// Reader implementations) only when g is not already Frozen.
+func frozenView(g Reader) *Frozen {
+	switch v := g.(type) {
+	case *Frozen:
+		return v
+	case *Builder:
+		return v.Freeze()
+	default:
+		return NewBuilderFrom(g).Freeze()
+	}
+}
+
+// Save writes the frozen view as a v2 "PBC2" snapshot.
+func (f *Frozen) Save(w io.Writer) error { return saveV2(w, f) }
+
+func saveV2(w io.Writer, f *Frozen) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write([]byte(csrMagic)); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, csrVersion); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, uint64(len(f.labels))); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, uint64(len(f.outEdges))); err != nil {
+		return err
+	}
+	for _, l := range f.labels {
+		if err := writeUvarint(cw, uint64(len(l))); err != nil {
+			return err
+		}
+		if _, err := cw.Write([]byte(l)); err != nil {
+			return err
+		}
+	}
+	if err := writeUint32s(cw, f.outOff); err != nil {
+		return err
+	}
+	if err := writeEdges(cw, f.outEdges); err != nil {
+		return err
+	}
+	if err := writeUint32s(cw, f.inOff); err != nil {
+		return err
+	}
+	if err := writeEdges(cw, f.inEdges); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeUint32s(w io.Writer, vs []uint32) error {
+	var buf [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeEdges(w io.Writer, es []Edge) error {
+	var buf [edgeRecordSize]byte
+	for _, e := range es {
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(e.To))
+		binary.LittleEndian.PutUint64(buf[4:12], uint64(e.Count))
+		binary.LittleEndian.PutUint64(buf[12:20], math.Float64bits(e.Plausibility))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadFrozen reads a snapshot in either format and returns the CSR
+// view: "PBC2" decodes straight into the flat arrays, while legacy
+// "PBGR" loads through the mutable store and freezes (freeze-on-load).
+// The format is sniffed from buffered magic bytes, so r need not be
+// seekable.
+func LoadFrozen(r io.Reader) (*Frozen, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrBadSnapshot, err)
+	}
+	switch string(magic) {
+	case csrMagic:
+		return loadCSR(br)
+	case snapshotMagic:
+		b, err := Load(br)
+		if err != nil {
+			return nil, err
+		}
+		return b.Freeze(), nil
+	default:
+		return nil, fmt.Errorf("%w: magic %q", ErrBadSnapshot, magic)
+	}
+}
+
+func loadCSR(br *bufio.Reader) (*Frozen, error) {
+	cr := &crcReader{r: br}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrBadSnapshot, err)
+	}
+	if string(magic) != csrMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadSnapshot, magic)
+	}
+	version, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: version: %v", ErrBadSnapshot, err)
+	}
+	if version != csrVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
+	}
+	nodes, err := binary.ReadUvarint(cr)
+	if err != nil || nodes > maxSnapshotNodes {
+		return nil, fmt.Errorf("%w: node count", ErrBadSnapshot)
+	}
+	edges, err := binary.ReadUvarint(cr)
+	if err != nil || edges > maxSnapshotEdges {
+		return nil, fmt.Errorf("%w: edge count", ErrBadSnapshot)
+	}
+	f := &Frozen{labels: make([]string, 0, minU64(nodes, 1<<16))}
+	for i := uint64(0); i < nodes; i++ {
+		ln, err := binary.ReadUvarint(cr)
+		if err != nil || ln > 1<<20 {
+			return nil, fmt.Errorf("%w: label length", ErrBadSnapshot)
+		}
+		buf := make([]byte, ln)
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return nil, fmt.Errorf("%w: label bytes: %v", ErrBadSnapshot, err)
+		}
+		f.labels = append(f.labels, string(buf))
+	}
+	if f.outOff, err = readUint32s(cr, nodes+1); err != nil {
+		return nil, fmt.Errorf("%w: out offsets: %v", ErrBadSnapshot, err)
+	}
+	if f.outEdges, err = readEdges(cr, edges); err != nil {
+		return nil, fmt.Errorf("%w: out edges: %v", ErrBadSnapshot, err)
+	}
+	if f.inOff, err = readUint32s(cr, nodes+1); err != nil {
+		return nil, fmt.Errorf("%w: in offsets: %v", ErrBadSnapshot, err)
+	}
+	if f.inEdges, err = readEdges(cr, edges); err != nil {
+		return nil, fmt.Errorf("%w: in edges: %v", ErrBadSnapshot, err)
+	}
+	want := cr.crc
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: trailer: %v", ErrBadSnapshot, err)
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != want {
+		return nil, ErrChecksum
+	}
+	if err := validateCSR(f, "out", f.outOff, f.outEdges); err != nil {
+		return nil, err
+	}
+	if err := validateCSR(f, "in", f.inOff, f.inEdges); err != nil {
+		return nil, err
+	}
+	if err := validateTranspose(f); err != nil {
+		return nil, err
+	}
+	f.finish()
+	for i := 1; i < len(f.sorted); i++ {
+		if f.labels[f.sorted[i-1]] == f.labels[f.sorted[i]] {
+			return nil, fmt.Errorf("%w: duplicate label %q", ErrBadSnapshot, f.labels[f.sorted[i]])
+		}
+	}
+	return f, nil
+}
+
+// validateCSR checks one direction's offset table and edge array before
+// anything slices into them: offsets must start at 0, be nondecreasing,
+// fit the edge array exactly, and every row must be strictly
+// To-ascending with in-range targets.
+func validateCSR(f *Frozen, dir string, off []uint32, edges []Edge) error {
+	n := len(f.labels)
+	if off[0] != 0 || off[n] != uint32(len(edges)) {
+		return fmt.Errorf("%w: %s offsets do not span edge array", ErrBadSnapshot, dir)
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := off[i], off[i+1]
+		if lo > hi {
+			return fmt.Errorf("%w: %s offsets decrease at node %d", ErrBadSnapshot, dir, i)
+		}
+		for j := lo; j < hi; j++ {
+			if edges[j].To >= NodeID(n) {
+				return fmt.Errorf("%w: %s edge target out of range at node %d", ErrBadSnapshot, dir, i)
+			}
+			if j > lo && edges[j].To <= edges[j-1].To {
+				return fmt.Errorf("%w: %s row of node %d not sorted", ErrBadSnapshot, dir, i)
+			}
+		}
+	}
+	return nil
+}
+
+// validateTranspose cross-checks the two directions cheaply: per-node
+// indegree derived from the out array must match the in offsets, and
+// the total edge counts must agree (full mirror equality is asserted by
+// tests, not re-derived on every load).
+func validateTranspose(f *Frozen) error {
+	n := len(f.labels)
+	indeg := make([]uint32, n)
+	for _, e := range f.outEdges {
+		indeg[e.To]++
+	}
+	for i := 0; i < n; i++ {
+		if f.inOff[i+1]-f.inOff[i] != indeg[i] {
+			return fmt.Errorf("%w: in-degree of node %d disagrees with out edges", ErrBadSnapshot, i)
+		}
+	}
+	return nil
+}
+
+func readUint32s(cr *crcReader, count uint64) ([]uint32, error) {
+	const chunk = 16384
+	out := make([]uint32, 0, minU64(count, chunk))
+	buf := make([]byte, 4*chunk)
+	for count > 0 {
+		k := minU64(count, chunk)
+		b := buf[:4*k]
+		if _, err := io.ReadFull(cr, b); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < k; i++ {
+			out = append(out, binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		count -= k
+	}
+	return out, nil
+}
+
+func readEdges(cr *crcReader, count uint64) ([]Edge, error) {
+	const chunk = 3276 // ~64 KiB of records per read
+	out := make([]Edge, 0, minU64(count, chunk))
+	buf := make([]byte, edgeRecordSize*chunk)
+	for count > 0 {
+		k := minU64(count, chunk)
+		b := buf[:edgeRecordSize*k]
+		if _, err := io.ReadFull(cr, b); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < k; i++ {
+			rec := b[edgeRecordSize*i:]
+			out = append(out, Edge{
+				To:           NodeID(binary.LittleEndian.Uint32(rec[0:4])),
+				Count:        int64(binary.LittleEndian.Uint64(rec[4:12])),
+				Plausibility: math.Float64frombits(binary.LittleEndian.Uint64(rec[12:20])),
+			})
+		}
+		count -= k
+	}
+	return out, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

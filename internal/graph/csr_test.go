@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestSaveV2RoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		b    *Builder
+	}{
+		{"diamond", func() *Builder { s, _ := diamond(); return s }()},
+		{"random", randomDAG(120, 400, 9)},
+		{"empty", NewBuilder()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := tc.b.Freeze()
+			var buf bytes.Buffer
+			if err := f.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadFrozen(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertReadersEqual(t, f, loaded)
+		})
+	}
+}
+
+// TestLoadFrozenReadsV1 is the freeze-on-load path: a legacy "PBGR"
+// snapshot must load into a Frozen equal to loading it mutably and
+// freezing.
+func TestLoadFrozenReadsV1(t *testing.T) {
+	b := randomDAG(80, 250, 11)
+	var v1 bytes.Buffer
+	if err := b.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadFrozen(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertReadersEqual(t, b.Freeze(), f)
+}
+
+// TestWriteSnapshotVersions: both versions written through the generic
+// entry point load back to the same graph; unknown versions error.
+func TestWriteSnapshotVersions(t *testing.T) {
+	b := randomDAG(60, 150, 13)
+	want := b.Freeze()
+	for _, version := range []int{1, 2} {
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, b, version); err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		got, err := LoadFrozen(&buf)
+		if err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		assertReadersEqual(t, want, got)
+	}
+	if err := WriteSnapshot(&bytes.Buffer{}, b, 3); err == nil {
+		t.Error("unknown snapshot version accepted")
+	}
+}
+
+// TestSnapshotsAgreeAcrossVersions: v1 and v2 snapshots of one graph
+// answer every Reader query identically after loading.
+func TestSnapshotsAgreeAcrossVersions(t *testing.T) {
+	b := randomDAG(100, 300, 17)
+	var v1, v2 bytes.Buffer
+	if err := WriteSnapshot(&v1, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&v2, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := LoadFrozen(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := LoadFrozen(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertReadersEqual(t, f1, f2)
+}
+
+// validV2 returns a valid v2 snapshot to corrupt in the rejection
+// tests.
+func validV2(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	f := randomDAG(30, 80, 19).Freeze()
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadFrozenRejectsCorruption(t *testing.T) {
+	snap := validV2(t)
+	cases := map[string][]byte{
+		"empty":       {},
+		"magic only":  snap[:4],
+		"wrong magic": []byte("XXXX garbage"),
+		"truncated":   snap[:len(snap)/2],
+		"missing crc": snap[:len(snap)-4],
+	}
+	flipped := append([]byte(nil), snap...)
+	flipped[len(flipped)-1] ^= 0xFF
+	cases["bad checksum"] = flipped
+	// Corrupt a byte in the middle (offsets / edges region): must fail
+	// the checksum or the structural validation, never panic.
+	middle := append([]byte(nil), snap...)
+	middle[len(middle)/2] ^= 0x55
+	cases["corrupt middle"] = middle
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadFrozen(bytes.NewReader(data)); err == nil {
+				t.Fatalf("corrupt snapshot accepted")
+			}
+		})
+	}
+}
+
+func TestLoadFrozenBadChecksumError(t *testing.T) {
+	snap := validV2(t)
+	flipped := append([]byte(nil), snap...)
+	flipped[len(flipped)-1] ^= 0xFF
+	if _, err := LoadFrozen(bytes.NewReader(flipped)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+// TestLoadFrozenRejectsHugeCounts: implausible node/edge counts must be
+// rejected before any large allocation is attempted.
+func TestLoadFrozenRejectsHugeCounts(t *testing.T) {
+	var huge bytes.Buffer
+	huge.WriteString(csrMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], csrVersion)
+	huge.Write(tmp[:n])
+	n = binary.PutUvarint(tmp[:], 1<<40) // nodes
+	huge.Write(tmp[:n])
+	if _, err := LoadFrozen(bytes.NewReader(huge.Bytes())); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestLoadFrozenNonSeekable: LoadFrozen must work on a pure stream
+// (no Seek, no ReadByte) for both formats.
+func TestLoadFrozenNonSeekable(t *testing.T) {
+	b := randomDAG(40, 100, 23)
+	for _, version := range []int{1, 2} {
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, b, version); err != nil {
+			t.Fatal(err)
+		}
+		f, err := LoadFrozen(onlyReader{&buf})
+		if err != nil {
+			t.Fatalf("v%d from stream: %v", version, err)
+		}
+		if f.NumNodes() != b.NumNodes() {
+			t.Fatalf("v%d: nodes = %d, want %d", version, f.NumNodes(), b.NumNodes())
+		}
+	}
+}
+
+// onlyReader hides every interface except io.Reader.
+type onlyReader struct{ r *bytes.Buffer }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }

@@ -1,0 +1,239 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomDAG builds a layered random DAG big enough to exercise the hash
+// lookup index and multi-level traversals, with edges only from lower
+// to higher ids so it stays acyclic.
+func randomDAG(nodes, edges int, seed int64) *Builder {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	for i := 0; i < nodes; i++ {
+		b.Intern(fmt.Sprintf("node %04d", i))
+	}
+	for i := 0; i < edges; i++ {
+		from := NodeID(rng.Intn(nodes - 1))
+		to := from + 1 + NodeID(rng.Intn(nodes-int(from)-1))
+		b.AddEdge(from, to, int64(rng.Intn(50)+1), float64(rng.Intn(100))/100)
+	}
+	return b
+}
+
+// TestFrozenMatchesBuilder is the backend-equivalence contract at the
+// graph layer: every Reader method must answer identically on the
+// mutable store and its frozen CSR view.
+func TestFrozenMatchesBuilder(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		b    *Builder
+	}{
+		{"diamond", func() *Builder { s, _ := diamond(); return s }()},
+		{"random", randomDAG(300, 900, 1)},
+		{"empty", NewBuilder()},
+		{"edgeless", func() *Builder {
+			b := NewBuilder()
+			b.Intern("only")
+			return b
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.b
+			f := b.Freeze()
+			assertReadersEqual(t, b, f)
+		})
+	}
+}
+
+// assertReadersEqual exhaustively compares two Reader implementations
+// claimed to hold the same graph.
+func assertReadersEqual(t *testing.T, want, got Reader) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape: got %d/%d nodes/edges, want %d/%d",
+			got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	n := want.NumNodes()
+	for id := 0; id < n; id++ {
+		node := NodeID(id)
+		label := want.Label(node)
+		if got.Label(node) != label {
+			t.Fatalf("Label(%d) = %q, want %q", id, got.Label(node), label)
+		}
+		if got.Lookup(label) != node {
+			t.Errorf("Lookup(%q) = %d, want %d", label, got.Lookup(label), id)
+		}
+		if got.Kind(node) != want.Kind(node) {
+			t.Errorf("Kind(%d) mismatch", id)
+		}
+		if !edgesEqual(got.Children(node), want.Children(node)) {
+			t.Errorf("Children(%d) = %v, want %v", id, got.Children(node), want.Children(node))
+		}
+		if !edgesEqual(got.Parents(node), want.Parents(node)) {
+			t.Errorf("Parents(%d) = %v, want %v", id, got.Parents(node), want.Parents(node))
+		}
+		if !idsEqual(got.Descendants(node), want.Descendants(node)) {
+			t.Errorf("Descendants(%d) = %v, want %v", id, got.Descendants(node), want.Descendants(node))
+		}
+		if !idsEqual(got.Ancestors(node), want.Ancestors(node)) {
+			t.Errorf("Ancestors(%d) = %v, want %v", id, got.Ancestors(node), want.Ancestors(node))
+		}
+	}
+	if got.Lookup("no such label") != NoNode {
+		t.Error("Lookup of unknown label != NoNode")
+	}
+	if !idsEqual(got.Roots(), want.Roots()) {
+		t.Errorf("Roots = %v, want %v", got.Roots(), want.Roots())
+	}
+	if !idsEqual(got.Concepts(), want.Concepts()) {
+		t.Errorf("Concepts = %v, want %v", got.Concepts(), want.Concepts())
+	}
+	if !idsEqual(got.Instances(), want.Instances()) {
+		t.Errorf("Instances = %v, want %v", got.Instances(), want.Instances())
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200 && n > 0; i++ {
+		x, y := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		ew, okw := want.EdgeBetween(x, y)
+		eg, okg := got.EdgeBetween(x, y)
+		if okw != okg || ew != eg {
+			t.Errorf("EdgeBetween(%d,%d) = %v/%v, want %v/%v", x, y, eg, okg, ew, okw)
+		}
+		if got.HasPath(x, y) != want.HasPath(x, y) {
+			t.Errorf("HasPath(%d,%d) mismatch", x, y)
+		}
+	}
+	lw, errw := want.TopoLevels()
+	lg, errg := got.TopoLevels()
+	if (errw == nil) != (errg == nil) || !reflect.DeepEqual(lw, lg) {
+		t.Errorf("TopoLevels mismatch: %v/%v vs %v/%v", lg, errg, lw, errw)
+	}
+	dw, errw := want.Level()
+	dg, errg := got.Level()
+	if (errw == nil) != (errg == nil) || !reflect.DeepEqual(dw, dg) {
+		t.Errorf("Level mismatch: %v/%v vs %v/%v", dg, errg, dw, errw)
+	}
+}
+
+func edgesEqual(a, b []Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func idsEqual(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFrozenLookupWithoutIndex pins the binary-search fallback: below
+// lookupIndexMin nodes no hash index is built, and Lookup must still
+// answer through the sorted label table.
+func TestFrozenLookupWithoutIndex(t *testing.T) {
+	s, _ := diamond()
+	f := s.Freeze()
+	if f.idx != nil {
+		t.Fatalf("tiny graph built a hash index (%d nodes >= %d?)", f.NumNodes(), lookupIndexMin)
+	}
+	for id := 0; id < s.NumNodes(); id++ {
+		label := s.Label(NodeID(id))
+		if got := f.Lookup(label); got != NodeID(id) {
+			t.Errorf("Lookup(%q) = %d, want %d", label, got, id)
+		}
+	}
+	if f.Lookup("zzz") != NoNode || f.Lookup("") != NoNode {
+		t.Error("unknown labels must return NoNode")
+	}
+}
+
+// TestFrozenLookupWithIndex pins the hash-index fast path on a graph
+// large enough to build one.
+func TestFrozenLookupWithIndex(t *testing.T) {
+	b := randomDAG(100, 200, 2)
+	f := b.Freeze()
+	if f.idx == nil {
+		t.Fatal("expected a hash index on a 100-node graph")
+	}
+	for id := 0; id < b.NumNodes(); id++ {
+		label := b.Label(NodeID(id))
+		if got := f.Lookup(label); got != NodeID(id) {
+			t.Errorf("Lookup(%q) = %d, want %d", label, got, id)
+		}
+	}
+	if f.Lookup("node 9999") != NoNode {
+		t.Error("unknown label must return NoNode")
+	}
+}
+
+// TestFreezeIsolation: mutating the builder after Freeze must not leak
+// into the frozen view.
+func TestFreezeIsolation(t *testing.T) {
+	s, ids := diamond()
+	f := s.Freeze()
+	nodes, edges := f.NumNodes(), f.NumEdges()
+	s.AddEdge(ids["pet"], s.Intern("goldfish"), 1, 0.5)
+	s.AddEdge(ids["animal"], ids["cat"], 100, 0)
+	if f.NumNodes() != nodes || f.NumEdges() != edges {
+		t.Fatalf("frozen view changed shape after builder mutation: %d/%d -> %d/%d",
+			nodes, edges, f.NumNodes(), f.NumEdges())
+	}
+	if e, _ := f.EdgeBetween(ids["animal"], ids["cat"]); e.Count != 10 {
+		t.Errorf("frozen edge count = %d, want the pre-mutation 10", e.Count)
+	}
+}
+
+// TestThawRoundTrip: Builder -> Frozen -> Builder preserves the graph
+// and yields an independent, mutable copy.
+func TestThawRoundTrip(t *testing.T) {
+	orig := randomDAG(50, 120, 3)
+	f := orig.Freeze()
+	thawed := NewBuilderFrom(f)
+	assertReadersEqual(t, orig, thawed)
+	// The thaw is independent of the frozen view...
+	thawed.AddEdge(thawed.Intern("brand new"), 0, 1, 0)
+	if f.NumNodes() == thawed.NumNodes() {
+		t.Error("thawed builder mutation leaked into frozen view")
+	}
+	// ...and mutable in the usual way.
+	if thawed.Lookup("brand new") == NoNode {
+		t.Error("thawed builder did not intern")
+	}
+}
+
+// TestFrozenCycleError: freezing a cyclic graph succeeds (CSR does not
+// care), but TopoLevels/Level must report the cycle exactly as the
+// builder does.
+func TestFrozenCycleError(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Intern("x"), b.Intern("y")
+	b.AddEdge(x, y, 1, 0)
+	b.AddEdge(y, x, 1, 0)
+	f := b.Freeze()
+	if _, err := f.TopoLevels(); err == nil {
+		t.Error("frozen TopoLevels on cyclic graph should fail")
+	}
+	if _, err := f.Level(); err == nil {
+		t.Error("frozen Level on cyclic graph should fail")
+	}
+	// Traversals still work on cyclic graphs.
+	if !f.HasPath(x, x) || len(f.Descendants(x)) != 1 {
+		t.Error("cyclic traversals broken")
+	}
+}

@@ -64,3 +64,60 @@ func FuzzLoad(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLoadFrozen feeds arbitrary bytes to the CSR-aware loader, which
+// accepts both the v2 "PBC2" section and legacy v1 "PBGR" snapshots.
+// Truncation, corrupt offsets and mismatched counts must error — never
+// panic, hang or allocate implausibly. Accepted input must round-trip
+// through the v2 writer.
+func FuzzLoadFrozen(f *testing.F) {
+	fz := fuzzSeedStore().Freeze()
+	var v2 bytes.Buffer
+	if err := fz.Save(&v2); err != nil {
+		f.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := fuzzSeedStore().Save(&v1); err != nil {
+		f.Fatal(err)
+	}
+	snap := v2.Bytes()
+	f.Add(snap)
+	f.Add(v1.Bytes())          // legacy format through freeze-on-load
+	f.Add(snap[:len(snap)/2])  // truncated mid-arrays
+	f.Add(snap[:4])            // magic only
+	f.Add([]byte{})            // empty
+	f.Add([]byte("PBC2xxxxx")) // magic + garbage
+	f.Add([]byte("XXXX"))      // wrong magic
+	corrupt := append([]byte(nil), snap...)
+	corrupt[len(corrupt)-1] ^= 0xFF // broken checksum
+	f.Add(corrupt)
+	offsets := append([]byte(nil), snap...)
+	offsets[len(offsets)/2] ^= 0x55 // corrupt offsets / edge region
+	f.Add(offsets)
+	bigNodes := append([]byte("PBC2\x02"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // huge node count
+	f.Add(bigNodes)
+	bigEdges := append([]byte("PBC2\x02\x01"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // huge edge count
+	f.Add(bigEdges)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		fz, err := LoadFrozen(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := fz.Save(&buf); err != nil {
+			t.Fatalf("accepted snapshot fails to save: %v", err)
+		}
+		fz2, err := LoadFrozen(&buf)
+		if err != nil {
+			t.Fatalf("round-trip load failed: %v", err)
+		}
+		if fz2.NumNodes() != fz.NumNodes() || fz2.NumEdges() != fz.NumEdges() {
+			t.Fatalf("round-trip changed shape: %d/%d -> %d/%d nodes/edges",
+				fz.NumNodes(), fz.NumEdges(), fz2.NumNodes(), fz2.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package graph
+
+// raceEnabled reports whether the binary was built with the race
+// detector; its instrumentation allocates, which breaks
+// testing.AllocsPerRun assertions.
+const raceEnabled = false

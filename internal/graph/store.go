@@ -1,316 +1,263 @@
-// Package graph is the embedded graph store that hosts the final Probase
-// taxonomy — the laptop-scale stand-in for the Trinity graph engine the
-// paper deploys ([29, 30]). Nodes are string-interned labels; edges carry
-// the discovery count n(x, y) and the plausibility P(x, y). The store
-// supports the traversals the probabilistic layer needs (parents,
-// children, descendant closures, topological levels for Algorithm 3) and
-// a checksummed binary snapshot format.
 package graph
 
 import (
-	"fmt"
 	"sort"
+	"sync"
 )
 
-// NodeID identifies an interned node.
-type NodeID uint32
-
-// NoNode is returned by Lookup for unknown labels.
-const NoNode = NodeID(^uint32(0))
-
-// Kind distinguishes concept nodes from instance (leaf) nodes. Per
-// Section 3.1: nodes without out-edges are instances, others are concepts.
-type Kind uint8
-
-const (
-	// KindConcept marks a node with out-edges.
-	KindConcept Kind = iota
-	// KindInstance marks a leaf node.
-	KindInstance
-)
-
-// Edge is a directed isA edge from a super-concept to a sub-node.
-type Edge struct {
-	To           NodeID
-	Count        int64   // n(x, y)
-	Plausibility float64 // P(x, y), 0 when not yet computed
-}
-
-// Store is an in-memory directed graph with interned labels. The zero
-// value is not usable; call NewStore.
-type Store struct {
+// Builder is the mutable graph store the construction pipeline writes
+// into. Adjacency lists are kept sorted by Edge.To at all times, which
+// turns the edge upsert and EdgeBetween into binary searches and gives
+// Freeze a layout it can copy verbatim into the CSR arrays. The zero
+// value is not usable; call NewBuilder.
+//
+// Reads (the Reader methods) are safe for concurrent use with each
+// other; mutations (Intern, AddEdge) require external synchronisation
+// and must not race with reads.
+type Builder struct {
 	labels  []string
 	byLabel map[string]NodeID
 	out     [][]Edge
 	in      [][]Edge
+
+	scratch sync.Pool // *bfsScratch, reused across traversals
 }
 
-// NewStore returns an empty graph store.
-func NewStore() *Store {
-	return &Store{byLabel: make(map[string]NodeID)}
+// Store is the historical name of the mutable graph store; kept as an
+// alias so construction-side code reads naturally either way.
+type Store = Builder
+
+// NewBuilder returns an empty mutable graph store.
+func NewBuilder() *Builder {
+	return &Builder{byLabel: make(map[string]NodeID)}
+}
+
+// NewStore returns an empty graph store. Alias of NewBuilder.
+func NewStore() *Builder { return NewBuilder() }
+
+// NewBuilderFrom returns a mutable copy of any Reader — the thaw
+// direction of Builder.Freeze, used when edges must be added to an
+// already-frozen taxonomy (e.g. merging). Both implementations keep
+// adjacency sorted by Edge.To, so the copied rows are valid Builder
+// rows as-is.
+func NewBuilderFrom(r Reader) *Builder {
+	b := NewBuilder()
+	n := r.NumNodes()
+	for id := 0; id < n; id++ {
+		b.Intern(r.Label(NodeID(id)))
+	}
+	for id := 0; id < n; id++ {
+		b.out[id] = append([]Edge(nil), r.Children(NodeID(id))...)
+		b.in[id] = append([]Edge(nil), r.Parents(NodeID(id))...)
+	}
+	return b
 }
 
 // Intern returns the node for the label, creating it if needed.
-func (s *Store) Intern(label string) NodeID {
-	if id, ok := s.byLabel[label]; ok {
+func (b *Builder) Intern(label string) NodeID {
+	if id, ok := b.byLabel[label]; ok {
 		return id
 	}
-	id := NodeID(len(s.labels))
-	s.labels = append(s.labels, label)
-	s.byLabel[label] = id
-	s.out = append(s.out, nil)
-	s.in = append(s.in, nil)
+	id := NodeID(len(b.labels))
+	b.labels = append(b.labels, label)
+	b.byLabel[label] = id
+	b.out = append(b.out, nil)
+	b.in = append(b.in, nil)
 	return id
 }
 
 // Clone returns a deep copy of the store.
-func (s *Store) Clone() *Store {
-	c := NewStore()
-	c.labels = append([]string(nil), s.labels...)
-	for l, id := range s.byLabel {
-		c.byLabel[l] = id
-	}
-	c.out = make([][]Edge, len(s.out))
-	c.in = make([][]Edge, len(s.in))
-	for i := range s.out {
-		c.out[i] = append([]Edge(nil), s.out[i]...)
-		c.in[i] = append([]Edge(nil), s.in[i]...)
-	}
-	return c
-}
+func (b *Builder) Clone() *Builder { return NewBuilderFrom(b) }
 
 // Lookup returns the node for the label, or NoNode.
-func (s *Store) Lookup(label string) NodeID {
-	if id, ok := s.byLabel[label]; ok {
+func (b *Builder) Lookup(label string) NodeID {
+	if id, ok := b.byLabel[label]; ok {
 		return id
 	}
 	return NoNode
 }
 
 // Label returns the label of a node.
-func (s *Store) Label(id NodeID) string { return s.labels[id] }
+func (b *Builder) Label(id NodeID) string { return b.labels[id] }
 
 // NumNodes returns the node count.
-func (s *Store) NumNodes() int { return len(s.labels) }
+func (b *Builder) NumNodes() int { return len(b.labels) }
 
 // NumEdges returns the edge count.
-func (s *Store) NumEdges() int {
+func (b *Builder) NumEdges() int {
 	n := 0
-	for _, es := range s.out {
+	for _, es := range b.out {
 		n += len(es)
 	}
 	return n
 }
 
-// AddEdge inserts or accumulates the edge (from -> to). Counts add up;
-// a non-zero plausibility overwrites.
-func (s *Store) AddEdge(from, to NodeID, count int64, plausibility float64) {
-	for i := range s.out[from] {
-		if s.out[from][i].To == to {
-			s.out[from][i].Count += count
-			if plausibility != 0 {
-				s.out[from][i].Plausibility = plausibility
-			}
-			for j := range s.in[to] {
-				if s.in[to][j].To == from {
-					s.in[to][j].Count += count
-					if plausibility != 0 {
-						s.in[to][j].Plausibility = plausibility
-					}
-					return
-				}
-			}
-			return
+// upsertEdge inserts or accumulates an edge in a To-sorted adjacency
+// row: counts add up, a non-zero plausibility overwrites.
+func upsertEdge(adj []Edge, to NodeID, count int64, plausibility float64) []Edge {
+	i := sort.Search(len(adj), func(k int) bool { return adj[k].To >= to })
+	if i < len(adj) && adj[i].To == to {
+		adj[i].Count += count
+		if plausibility != 0 {
+			adj[i].Plausibility = plausibility
 		}
+		return adj
 	}
-	s.out[from] = append(s.out[from], Edge{To: to, Count: count, Plausibility: plausibility})
-	s.in[to] = append(s.in[to], Edge{To: from, Count: count, Plausibility: plausibility})
+	adj = append(adj, Edge{})
+	copy(adj[i+1:], adj[i:])
+	adj[i] = Edge{To: to, Count: count, Plausibility: plausibility}
+	return adj
+}
+
+// AddEdge inserts or accumulates the edge (from -> to). Counts add up;
+// a non-zero plausibility overwrites. Both adjacency directions go
+// through the same upsert on every call, so out and in cannot drift
+// apart (historically, an existing out-edge with no matching in-edge
+// returned early and left the transpose stale).
+func (b *Builder) AddEdge(from, to NodeID, count int64, plausibility float64) {
+	b.out[from] = upsertEdge(b.out[from], to, count, plausibility)
+	b.in[to] = upsertEdge(b.in[to], from, count, plausibility)
 }
 
 // EdgeBetween returns the edge from -> to.
-func (s *Store) EdgeBetween(from, to NodeID) (Edge, bool) {
-	for _, e := range s.out[from] {
-		if e.To == to {
-			return e, true
-		}
+func (b *Builder) EdgeBetween(from, to NodeID) (Edge, bool) {
+	adj := b.out[from]
+	i := sort.Search(len(adj), func(k int) bool { return adj[k].To >= to })
+	if i < len(adj) && adj[i].To == to {
+		return adj[i], true
 	}
 	return Edge{}, false
 }
 
-// Children returns the out-edges of a node.
-func (s *Store) Children(id NodeID) []Edge { return s.out[id] }
+// Children returns the out-edges of a node, sorted by Edge.To.
+func (b *Builder) Children(id NodeID) []Edge { return b.out[id] }
 
-// Parents returns the in-edges of a node (Edge.To is the parent).
-func (s *Store) Parents(id NodeID) []Edge { return s.in[id] }
+// Parents returns the in-edges of a node (Edge.To is the parent),
+// sorted by Edge.To.
+func (b *Builder) Parents(id NodeID) []Edge { return b.in[id] }
 
 // Kind classifies the node: out-edges make a concept, none an instance.
-func (s *Store) Kind(id NodeID) Kind {
-	if len(s.out[id]) > 0 {
+func (b *Builder) Kind(id NodeID) Kind {
+	if len(b.out[id]) > 0 {
 		return KindConcept
 	}
 	return KindInstance
 }
 
 // Roots returns all nodes without parents, sorted by label.
-func (s *Store) Roots() []NodeID {
-	var roots []NodeID
-	for id := range s.labels {
-		if len(s.in[id]) == 0 {
-			roots = append(roots, NodeID(id))
-		}
-	}
-	s.sortByLabel(roots)
-	return roots
-}
+func (b *Builder) Roots() []NodeID { return rootsOf(b) }
 
 // Concepts returns all concept nodes, sorted by label.
-func (s *Store) Concepts() []NodeID {
-	var out []NodeID
-	for id := range s.labels {
-		if len(s.out[id]) > 0 {
-			out = append(out, NodeID(id))
-		}
-	}
-	s.sortByLabel(out)
-	return out
-}
+func (b *Builder) Concepts() []NodeID { return conceptsOf(b) }
 
 // Instances returns all instance (leaf) nodes, sorted by label.
-func (s *Store) Instances() []NodeID {
-	var out []NodeID
-	for id := range s.labels {
-		if len(s.out[id]) == 0 {
-			out = append(out, NodeID(id))
-		}
-	}
-	s.sortByLabel(out)
-	return out
+func (b *Builder) Instances() []NodeID { return instancesOf(b) }
+
+// bfsScratch is the reusable traversal state for Builder BFS. The
+// visited slice is keyed by NodeID and stamped with an epoch instead of
+// being cleared between runs; the queue doubles as the visit-order
+// record. Pooled so concurrent readers each get their own.
+type bfsScratch struct {
+	visited []uint32
+	epoch   uint32
+	queue   []NodeID
 }
 
-func (s *Store) sortByLabel(ids []NodeID) {
-	sort.Slice(ids, func(i, j int) bool { return s.labels[ids[i]] < s.labels[ids[j]] })
+func (sc *bfsScratch) reset(n int) {
+	if len(sc.visited) < n {
+		sc.visited = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // epoch wrapped: stale stamps could collide, clear
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.queue = sc.queue[:0]
+}
+
+func (sc *bfsScratch) seen(id NodeID) bool { return sc.visited[id] == sc.epoch }
+func (sc *bfsScratch) mark(id NodeID)      { sc.visited[id] = sc.epoch }
+
+func (b *Builder) getScratch() *bfsScratch {
+	if sc, ok := b.scratch.Get().(*bfsScratch); ok {
+		return sc
+	}
+	return &bfsScratch{}
+}
+
+// closure runs a BFS from id over the given adjacency and returns the
+// visited nodes excluding id, in visit order.
+func (b *Builder) closure(id NodeID, adj [][]Edge) []NodeID {
+	sc := b.getScratch()
+	sc.reset(len(b.labels))
+	sc.mark(id)
+	sc.queue = append(sc.queue, id)
+	for head := 0; head < len(sc.queue); head++ {
+		for _, e := range adj[sc.queue[head]] {
+			if !sc.seen(e.To) {
+				sc.mark(e.To)
+				sc.queue = append(sc.queue, e.To)
+			}
+		}
+	}
+	var out []NodeID
+	if len(sc.queue) > 1 {
+		out = make([]NodeID, len(sc.queue)-1)
+		copy(out, sc.queue[1:])
+	}
+	b.scratch.Put(sc)
+	return out
 }
 
 // Descendants returns the descendant closure of id (excluding id),
 // deduplicated, in BFS order.
-func (s *Store) Descendants(id NodeID) []NodeID {
-	seen := map[NodeID]bool{id: true}
-	var out []NodeID
-	queue := []NodeID{id}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, e := range s.out[n] {
-			if !seen[e.To] {
-				seen[e.To] = true
-				out = append(out, e.To)
-				queue = append(queue, e.To)
-			}
-		}
-	}
-	return out
-}
+func (b *Builder) Descendants(id NodeID) []NodeID { return b.closure(id, b.out) }
 
 // Ancestors returns the ancestor closure of id (excluding id) in BFS
 // order.
-func (s *Store) Ancestors(id NodeID) []NodeID {
-	seen := map[NodeID]bool{id: true}
-	var out []NodeID
-	queue := []NodeID{id}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, e := range s.in[n] {
-			if !seen[e.To] {
-				seen[e.To] = true
-				out = append(out, e.To)
-				queue = append(queue, e.To)
-			}
-		}
-	}
-	return out
-}
+func (b *Builder) Ancestors(id NodeID) []NodeID { return b.closure(id, b.in) }
 
 // HasPath reports whether to is reachable from from along out-edges.
-func (s *Store) HasPath(from, to NodeID) bool {
+func (b *Builder) HasPath(from, to NodeID) bool {
 	if from == to {
 		return true
 	}
-	seen := map[NodeID]bool{from: true}
-	queue := []NodeID{from}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, e := range s.out[n] {
+	sc := b.getScratch()
+	sc.reset(len(b.labels))
+	sc.mark(from)
+	sc.queue = append(sc.queue, from)
+	found := false
+	for head := 0; head < len(sc.queue) && !found; head++ {
+		for _, e := range b.out[sc.queue[head]] {
 			if e.To == to {
-				return true
+				found = true
+				break
 			}
-			if !seen[e.To] {
-				seen[e.To] = true
-				queue = append(queue, e.To)
+			if !sc.seen(e.To) {
+				sc.mark(e.To)
+				sc.queue = append(sc.queue, e.To)
 			}
 		}
 	}
-	return false
+	b.scratch.Put(sc)
+	return found
 }
 
 // TopoLevels partitions the nodes into the levels of Algorithm 3:
 // L1 holds nodes with no parents; L(k) holds nodes all of whose parents
 // lie in L1..L(k-1). An error is returned when the graph has a cycle.
-func (s *Store) TopoLevels() ([][]NodeID, error) {
-	remaining := make([]int, len(s.labels))
-	placed := 0
-	for id := range s.labels {
-		remaining[id] = len(s.in[id])
-	}
-	var levels [][]NodeID
-	var current []NodeID
-	for id := range s.labels {
-		if remaining[id] == 0 {
-			current = append(current, NodeID(id))
-		}
-	}
-	for len(current) > 0 {
-		s.sortByLabel(current)
-		levels = append(levels, current)
-		placed += len(current)
-		var next []NodeID
-		for _, n := range current {
-			for _, e := range s.out[n] {
-				remaining[e.To]--
-				if remaining[e.To] == 0 {
-					next = append(next, e.To)
-				}
-			}
-		}
-		current = next
-	}
-	if placed != len(s.labels) {
-		return nil, fmt.Errorf("graph: cycle detected; %d of %d nodes unplaced", len(s.labels)-placed, len(s.labels))
-	}
-	return levels, nil
-}
+func (b *Builder) TopoLevels() ([][]NodeID, error) { return topoLevels(b) }
 
 // Level returns, for every node, the length of the longest path from the
 // node down to a leaf — the paper's definition of a concept's level
 // (Table 4): instances have level 0, their direct concepts level >= 1.
-func (s *Store) Level() ([]int, error) {
-	levels, err := s.TopoLevels()
+func (b *Builder) Level() ([]int, error) {
+	levels, err := b.TopoLevels()
 	if err != nil {
 		return nil, err
 	}
-	depth := make([]int, len(s.labels))
-	// Process in reverse topological order: children before parents.
-	for i := len(levels) - 1; i >= 0; i-- {
-		for _, n := range levels[i] {
-			best := 0
-			for _, e := range s.out[n] {
-				if d := depth[e.To] + 1; d > best {
-					best = d
-				}
-			}
-			depth[n] = best
-		}
-	}
-	return depth, nil
+	return levelDepth(b, levels), nil
 }

@@ -25,7 +25,7 @@ type Ranked struct {
 // NewTypicality returns: the reachability table is immutable after
 // construction and the memoised T(i|x) tables are guarded by a lock.
 type Typicality struct {
-	g *graph.Store
+	g graph.Reader
 	// reach holds P(x,y): the probability that at least one path connects
 	// x down to y, from Algorithm 3. Keyed by x<<32|y. P(x,x)=1 implicit.
 	reach map[uint64]float64
@@ -57,14 +57,14 @@ type Options struct {
 // NewTypicality runs Algorithm 3 over the DAG and prepares the caches.
 // The graph's edges must carry counts; plausibilities default to a
 // count-saturating estimate when absent (0).
-func NewTypicality(g *graph.Store) (*Typicality, error) {
+func NewTypicality(g graph.Reader) (*Typicality, error) {
 	return New(g, Options{})
 }
 
 // NewTypicalityObserved is NewTypicality with stage telemetry: the
 // Algorithm 3 reachability DP is timed and its table size reported
 // under stage "prob.algorithm3". A nil reporter discards it.
-func NewTypicalityObserved(g *graph.Store, reporter obs.StageReporter) (*Typicality, error) {
+func NewTypicalityObserved(g graph.Reader, reporter obs.StageReporter) (*Typicality, error) {
 	return New(g, Options{Reporter: reporter})
 }
 
@@ -84,7 +84,7 @@ type reachEntry struct {
 // between levels. No goroutine writes state another reads, and the
 // per-row float arithmetic is the serial code unchanged, so the table
 // is byte-identical to a workers=1 run.
-func New(g *graph.Store, opts Options) (*Typicality, error) {
+func New(g graph.Reader, opts Options) (*Typicality, error) {
 	rep := obs.ReporterOrNop(opts.Reporter)
 	workers := parallel.Workers(opts.Workers)
 	rep.StageStart(obs.StageProbAlgorithm3)

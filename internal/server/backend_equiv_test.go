@@ -1,0 +1,77 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestBackendsByteIdentical is the storage-refactor acceptance bar: a
+// server backed by the frozen CSR view and one rebound onto a mutable
+// Builder holding the same taxonomy must answer every endpoint with
+// byte-identical JSON. Any divergence means the two Reader
+// implementations disagree on iteration order, scores, or tie-breaks.
+func TestBackendsByteIdentical(t *testing.T) {
+	pb := testProbase(t)
+	if _, ok := pb.Graph.(*graph.Frozen); !ok {
+		t.Fatalf("Build produced %T, want the frozen CSR backend", pb.Graph)
+	}
+	bpb, err := pb.Rebind(graph.NewBuilderFrom(pb.Graph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenSrv := New(pb, Config{})
+	builderSrv := New(bpb, Config{})
+
+	paths := []string{
+		"/v1/instances?concept=companies&k=10",
+		"/v1/instances?concept=animals&k=25",
+		"/v1/instances?concept=zzz-not-a-concept",
+		"/v1/concepts?term=IBM&k=10",
+		"/v1/concepts?term=China&k=3",
+		"/v1/typicality?concept=companies&instance=IBM",
+		"/v1/plausibility?x=companies&y=IBM",
+		"/v1/plausibility?x=animals&y=IBM",
+		"/v1/conceptualize?terms=China,India,Brazil&k=5",
+		"/v1/conceptualize?text=IBM+opened+an+office&k=5",
+	}
+	for _, path := range paths {
+		fb := fetchBody(t, frozenSrv, path)
+		bb := fetchBody(t, builderSrv, path)
+		if fb != bb {
+			t.Errorf("%s diverges across backends:\nfrozen:  %s\nbuilder: %s", path, fb, bb)
+		}
+	}
+
+	// healthz carries uptime and cache occupancy, so compare just the
+	// snapshot shape.
+	var fh, bh struct {
+		Status string `json:"status"`
+		Nodes  int    `json:"nodes"`
+		Edges  int    `json:"edges"`
+	}
+	if err := json.Unmarshal([]byte(fetchBody(t, frozenSrv, "/v1/healthz")), &fh); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(fetchBody(t, builderSrv, "/v1/healthz")), &bh); err != nil {
+		t.Fatal(err)
+	}
+	if fh != bh {
+		t.Errorf("healthz shape diverges: frozen %+v, builder %+v", fh, bh)
+	}
+}
+
+// fetchBody performs one in-process request and returns the raw body.
+func fetchBody(t *testing.T, s *Server, path string) string {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s: status = %d, body %s", path, rec.Code, rec.Body.String())
+	}
+	return rec.Body.String()
+}

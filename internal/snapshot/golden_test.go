@@ -1,0 +1,178 @@
+package snapshot
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+	"repro/internal/graph"
+)
+
+// regen rewrites the checked-in v1 fixtures from the current builder:
+//
+//	go test ./internal/snapshot -run TestGoldenV1 -regen
+//
+// The fixtures pin the legacy on-disk format, so regenerate them only
+// when the *builder* output intentionally changes — never to paper over
+// a loader regression.
+var regen = flag.Bool("regen", false, "rewrite golden v1 snapshot fixtures")
+
+const (
+	goldenGraphV1 = "testdata/v1-graph.snap"
+	goldenFullV1  = "testdata/v1-full.snap"
+)
+
+// goldenProbase builds the richer taxonomy the fixtures snapshot: a
+// synthetic corpus large enough that the graph has real fan-out,
+// multi-parent instances and sense splits, unlike the handcrafted
+// sentences in buildProbase.
+func goldenProbase(t *testing.T) *core.Probase {
+	t.Helper()
+	w := corpus.DefaultWorld(1)
+	c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: 4000, Seed: 11}).Generate()
+	inputs := make([]extraction.Input, len(c.Sentences))
+	for i, s := range c.Sentences {
+		inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+	}
+	pb, err := core.Build(inputs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb
+}
+
+func goldenPath(t *testing.T, name string) string {
+	t.Helper()
+	if *regen {
+		pb := goldenProbase(t)
+		var buf bytes.Buffer
+		var err error
+		if name == goldenFullV1 {
+			err = pb.SaveFullVersion(&buf, 1)
+		} else {
+			err = pb.SaveVersion(&buf, 1)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(name, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", name, buf.Len())
+	}
+	return name
+}
+
+// queryFingerprint renders the full answer surface of a loaded taxonomy
+// into one comparable string: ranked instances and concepts, pairwise
+// plausibility and joint conceptualisation. Two snapshots answering
+// queries identically produce identical fingerprints.
+func queryFingerprint(pb *core.Probase) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "nodes=%d edges=%d\n", pb.Graph.NumNodes(), pb.Graph.NumEdges())
+	for _, concept := range []string{"animals", "companies", "countries"} {
+		fmt.Fprintf(&sb, "instances(%s)=%v\n", concept, pb.InstancesOf(concept, 10))
+	}
+	for _, term := range []string{"IBM", "cats", "Google"} {
+		fmt.Fprintf(&sb, "concepts(%s)=%v\n", term, pb.ConceptsOf(term, 10))
+	}
+	for _, pair := range [][2]string{{"animals", "cats"}, {"companies", "IBM"}, {"countries", "IBM"}} {
+		fmt.Fprintf(&sb, "plaus(%s,%s)=%.12f\n", pair[0], pair[1], pb.Plausibility(pair[0], pair[1]))
+	}
+	if ranked, ok := pb.Conceptualize([]string{"China", "India"}, 5); ok {
+		fmt.Fprintf(&sb, "conceptualize(China,India)=%v\n", ranked)
+	}
+	return sb.String()
+}
+
+// TestGoldenV1Fixtures loads the checked-in legacy snapshots and pins
+// their content: the v1 reader must keep understanding bytes written
+// before the CSR format existed.
+func TestGoldenV1Fixtures(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		path string
+		full bool
+	}{
+		{"graph-only", goldenGraphV1, false},
+		{"full", goldenFullV1, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pb, err := Open(goldenPath(t, tc.path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := pb.Graph.(*graph.Frozen); !ok {
+				t.Errorf("v1 fixture loaded as %T, want the frozen CSR view", pb.Graph)
+			}
+			if (pb.Store != nil) != tc.full {
+				t.Errorf("Store presence = %v, want %v", pb.Store != nil, tc.full)
+			}
+			if rs := pb.InstancesOf("animals", 5); len(rs) == 0 {
+				t.Error("fixture answers no instance queries")
+			}
+			if rs := pb.ConceptsOf("IBM", 5); len(rs) == 0 {
+				t.Error("fixture answers no concept queries")
+			}
+		})
+	}
+}
+
+// TestGoldenV1MatchesV2 is the compatibility bar: re-encoding a golden
+// v1 snapshot as v2 and loading it back must answer every query
+// byte-identically to the v1 original.
+func TestGoldenV1MatchesV2(t *testing.T) {
+	v1, err := Open(goldenPath(t, goldenGraphV1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2buf bytes.Buffer
+	if err := v1.SaveVersion(&v2buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(v2buf.Bytes()[:4]); got != "PBC2" {
+		t.Fatalf("re-encoded magic = %q, want PBC2", got)
+	}
+	v2, err := Load(bytes.NewReader(v2buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := queryFingerprint(v1), queryFingerprint(v2)
+	if want != got {
+		t.Errorf("v1 and v2 snapshots answer differently:\nv1: %s\nv2: %s", want, got)
+	}
+}
+
+// TestGoldenFullV1MatchesV2 covers the full "PBFL" flavour: the graph
+// section re-encoded as CSR must leave Γ-backed answers untouched.
+func TestGoldenFullV1MatchesV2(t *testing.T) {
+	v1, err := Open(goldenPath(t, goldenFullV1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2buf bytes.Buffer
+	if err := v1.SaveFullVersion(&v2buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Load(bytes.NewReader(v2buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Store == nil {
+		t.Fatal("full round-trip lost the Γ store")
+	}
+	want, got := queryFingerprint(v1), queryFingerprint(v2)
+	if want != got {
+		t.Errorf("full v1 and v2 snapshots answer differently:\nv1: %s\nv2: %s", want, got)
+	}
+}

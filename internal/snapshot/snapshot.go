@@ -1,13 +1,15 @@
 // Package snapshot loads taxonomy snapshots produced by probase-build.
-// Both snapshot flavours are accepted and auto-detected by magic:
-// graph-only ("PBGR", written by Probase.Save) and full ("PBFL", written
-// by Probase.SaveFull, carrying Γ alongside the graph). The loader is
+// Every snapshot flavour is accepted and auto-detected by magic:
+// graph-only ("PBGR" v1 adjacency lists or "PBC2" v2 CSR, written by
+// Probase.Save/SaveVersion) and full ("PBFL", written by
+// Probase.SaveFull, carrying Γ alongside the graph). The loader is
 // shared by every binary that consumes snapshots (probase-query,
 // probase-serve) so the flavour-sniffing logic lives in exactly one
 // place.
 package snapshot
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -33,20 +35,18 @@ func Open(path string) (*core.Probase, error) {
 	return pb, nil
 }
 
-// Load reads a snapshot from r, auto-detecting its flavour. The reader
-// must support seeking back to the start (os.File, bytes.Reader); the
-// four magic bytes are sniffed and then the full stream is re-read by
-// the flavour's loader.
-func Load(r io.ReadSeeker) (*core.Probase, error) {
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(r, magic); err != nil {
+// Load reads a snapshot from r, auto-detecting its flavour. The magic
+// bytes are sniffed through a buffered reader that then hands the whole
+// stream (sniffed bytes included) to the flavour's loader, so r can be
+// any stream — a pipe or a network body, not just a seekable file.
+func Load(r io.Reader) (*core.Probase, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err != nil {
 		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
 	}
-	if _, err := r.Seek(0, io.SeekStart); err != nil {
-		return nil, err
-	}
 	if string(magic) == fullMagic {
-		return core.LoadFull(r)
+		return core.LoadFull(br)
 	}
-	return core.Load(r)
+	return core.Load(br)
 }

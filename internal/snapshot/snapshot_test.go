@@ -132,15 +132,37 @@ func TestOpenErrors(t *testing.T) {
 	}
 }
 
-// Load requires a seekable reader and must leave detection to the
-// flavour loaders: a graph-only stream must not reach LoadFull.
-func TestLoadSeeksBack(t *testing.T) {
+// Load sniffs the magic through a buffered reader, so it must accept a
+// pure one-way stream (no Seek, no ReadByte) for every flavour, read
+// each byte exactly once, and still route graph-only streams away from
+// LoadFull.
+func TestLoadFromNonSeekableStream(t *testing.T) {
 	pb := buildProbase(t)
-	got, err := Load(bytes.NewReader(graphOnlyBytes(t, pb)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Store != nil {
-		t.Error("graph-only snapshot produced a Γ store")
+	for _, tc := range []struct {
+		name string
+		data []byte
+		full bool
+	}{
+		{"graph-only", graphOnlyBytes(t, pb), false},
+		{"full", fullBytes(t, pb), true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Load(streamOnly{bytes.NewReader(tc.data)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (got.Store != nil) != tc.full {
+				t.Errorf("Store presence = %v, want %v", got.Store != nil, tc.full)
+			}
+			if got.Graph.NumNodes() != pb.Graph.NumNodes() {
+				t.Errorf("nodes = %d, want %d", got.Graph.NumNodes(), pb.Graph.NumNodes())
+			}
+		})
 	}
 }
+
+// streamOnly hides every interface of the wrapped reader except
+// io.Reader, modelling a network stream or pipe.
+type streamOnly struct{ r *bytes.Reader }
+
+func (s streamOnly) Read(p []byte) (int, error) { return s.r.Read(p) }
