@@ -25,77 +25,27 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
 
-// benchSchema names the report layout; bump on breaking changes so
-// downstream tooling can dispatch on it.
-const benchSchema = "probase-bench/v1"
+// The report format lives in internal/benchfmt so probase-loadgen can
+// emit the same schema; the local names keep this file (and its tests)
+// reading as before.
+const benchSchema = benchfmt.Schema
 
-// benchReport is the -json document.
-type benchReport struct {
-	Schema       string            `json:"schema"`
-	Build        obs.BuildInfo     `json:"build"`
-	Options      benchOptions      `json:"options"`
-	SetupSeconds float64           `json:"setup_seconds"`
-	Experiments  []experimentEntry `json:"experiments"`
-	TotalSeconds float64           `json:"total_seconds"`
-}
+type (
+	benchReport     = benchfmt.Report
+	benchOptions    = benchfmt.Options
+	experimentEntry = benchfmt.Experiment
+)
 
-type benchOptions struct {
-	Scale     float64 `json:"scale"`
-	Sentences int     `json:"sentences"`
-	Seed      int64   `json:"seed"`
-	Queries   int     `json:"queries"`
-}
-
-// experimentEntry holds one experiment's structured result — the same
-// value the text table renders — plus its wall time.
-type experimentEntry struct {
-	Name    string  `json:"name"`
-	Seconds float64 `json:"seconds"`
-	Result  any     `json:"result,omitempty"`
-	Error   string  `json:"error,omitempty"`
-}
-
-// validateBenchJSON checks that path holds a well-formed benchReport:
-// the schema marker, a build stamp, and at least one experiment with a
-// name and a non-negative duration. It is the binary-side contract test
-// the CI bench-smoke job runs on its artifact.
+// validateBenchJSON checks that path holds a well-formed benchReport.
+// It is the binary-side contract test the CI bench-smoke job runs on
+// its artifact.
 func validateBenchJSON(path string) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var r benchReport
-	dec := json.NewDecoder(strings.NewReader(string(raw)))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&r); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	switch {
-	case r.Schema != benchSchema:
-		return fmt.Errorf("%s: schema %q, want %q", path, r.Schema, benchSchema)
-	case len(r.Experiments) == 0:
-		return fmt.Errorf("%s: no experiments recorded", path)
-	case r.TotalSeconds <= 0:
-		return fmt.Errorf("%s: non-positive total_seconds %v", path, r.TotalSeconds)
-	case r.Options.Sentences <= 0:
-		return fmt.Errorf("%s: non-positive options.sentences %d", path, r.Options.Sentences)
-	}
-	for i, e := range r.Experiments {
-		if e.Name == "" {
-			return fmt.Errorf("%s: experiment %d has no name", path, i)
-		}
-		if e.Seconds < 0 {
-			return fmt.Errorf("%s: experiment %q has negative seconds", path, e.Name)
-		}
-		if e.Result == nil && e.Error == "" {
-			return fmt.Errorf("%s: experiment %q has neither result nor error", path, e.Name)
-		}
-	}
-	return nil
+	return benchfmt.ValidateFile(path)
 }
 
 var experimentOrder = []string{

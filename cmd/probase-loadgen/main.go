@@ -1,0 +1,205 @@
+// Command probase-loadgen drives a running probase-serve with the
+// synthetic Zipf query workload from internal/querylog and reports
+// coordinated-omission-aware latency percentiles — the macro-benchmark
+// behind the CI capacity-smoke SLO gate. See the internal/loadgen
+// package docs for the design.
+//
+// Usage:
+//
+//	probase-loadgen -target http://127.0.0.1:8080 -workers 8 -duration 10s \
+//	    -report-interval 2s -json capacity.json -slo-file .github/capacity-slo.json
+//
+// The run prints interval progress lines on stderr, a per-endpoint
+// summary table on stdout, and (with -json) writes a probase-bench/v1
+// report the existing bench tooling validates and diffs unchanged.
+// When any -slo-* gate (or -slo-file) is set, a violated threshold
+// makes the process exit non-zero after the report is written.
+//
+// Offline gating: -check re-applies the SLO flags to a previously
+// written report without generating load —
+//
+//	probase-loadgen -check capacity.json -slo-p99 150ms -slo-error-rate 0
+//
+// which is how CI proves the gate is live (a sub-measurement threshold
+// must fail).
+//
+// With -trace-sample a fraction of requests carries a W3C traceparent
+// header; the slowest traced requests appear in the report with their
+// trace IDs, joinable against the server's /debug/traces.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "probase-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// sloFile is the checked-in threshold document (-slo-file): the CI
+// capacity gate reads .github/capacity-slo.json in this shape.
+type sloFile struct {
+	P99MS        float64 `json:"p99_ms"`
+	MaxErrorRate float64 `json:"max_error_rate"`
+	MinRequests  int64   `json:"min_requests"`
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("probase-loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target      = fs.String("target", "http://127.0.0.1:8080", "base URL of the probase-serve under test")
+		workers     = fs.Int("workers", 8, "closed-loop client goroutines")
+		duration    = fs.Duration("duration", 10*time.Second, "run length")
+		maxRequests = fs.Int64("max-requests", 0, "also stop after this many requests (0 = duration-bound only)")
+		reportEvery = fs.Duration("report-interval", 2*time.Second, "progress-line cadence on stderr (0 disables)")
+		seed        = fs.Int64("seed", 11, "request-plan seed; same seed and config replay the same URI stream")
+		queries     = fs.Int("queries", 5000, "distinct-query pool generated from the Zipf query log")
+		mixSpec     = fs.String("mix", loadgen.DefaultMixSpec, "per-endpoint traffic weights, endpoint=weight[,...]")
+		timeout     = fs.Duration("timeout", 2*time.Second, "per-request deadline")
+		interval    = fs.Duration("interval", 0, "per-worker pacing interval; >0 switches to open-loop arrivals with coordinated-omission-corrected recording")
+		traceSample = fs.Float64("trace-sample", 0, "fraction of requests carrying an outbound traceparent")
+		jsonOut     = fs.String("json", "", "write a probase-bench/v1 report to this file ('auto' = CAPACITY_<timestamp>.json, '-' = stdout)")
+		sloP99      = fs.Duration("slo-p99", 0, "fail if aggregate p99 exceeds this (0 disables)")
+		sloErrRate  = fs.Float64("slo-error-rate", -1, "fail if (errors+timeouts)/requests exceeds this (negative disables; 0 = no errors tolerated)")
+		sloMinReqs  = fs.Int64("slo-min-requests", 0, "fail if fewer requests completed (guards against vacuous passes)")
+		sloFilePath = fs.String("slo-file", "", "read SLO thresholds from this JSON file ({\"p99_ms\":..,\"max_error_rate\":..,\"min_requests\":..}); explicit -slo-* flags override")
+		checkReport = fs.String("check", "", "apply the SLO flags to a previously written report and exit (no load generated)")
+		version     = fs.Bool("version", false, "print build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		obs.PrintVersion(stdout, "probase-loadgen")
+		return nil
+	}
+
+	slo := loadgen.SLO{P99: *sloP99, MaxErrorRate: *sloErrRate, MinRequests: *sloMinReqs}
+	if *sloFilePath != "" {
+		raw, err := os.ReadFile(*sloFilePath)
+		if err != nil {
+			return fmt.Errorf("slo file: %w", err)
+		}
+		var f sloFile
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return fmt.Errorf("slo file %s: %w", *sloFilePath, err)
+		}
+		if slo.P99 == 0 {
+			slo.P99 = time.Duration(f.P99MS * float64(time.Millisecond))
+		}
+		if slo.MaxErrorRate < 0 {
+			slo.MaxErrorRate = f.MaxErrorRate
+		}
+		if slo.MinRequests == 0 {
+			slo.MinRequests = f.MinRequests
+		}
+	}
+
+	if *checkReport != "" {
+		if !slo.Enabled() {
+			return fmt.Errorf("-check needs at least one -slo-* flag or -slo-file")
+		}
+		raw, err := os.ReadFile(*checkReport)
+		if err != nil {
+			return err
+		}
+		if err := slo.CheckReport(*checkReport, raw); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: SLO satisfied\n", *checkReport)
+		return nil
+	}
+
+	mix, err := loadgen.ParseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "loadgen: target=%s workers=%d duration=%s seed=%d queries=%d mix=%s\n",
+		*target, *workers, *duration, *seed, *queries, mix)
+
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Target:         *target,
+		Workers:        *workers,
+		Duration:       *duration,
+		MaxRequests:    *maxRequests,
+		ReportInterval: *reportEvery,
+		Seed:           *seed,
+		Queries:        *queries,
+		Mix:            mix,
+		Timeout:        *timeout,
+		Interval:       *interval,
+		TraceSample:    *traceSample,
+		Progress:       stderr,
+	})
+	if err != nil {
+		return err
+	}
+
+	printSummary(stdout, res)
+
+	if *jsonOut != "" {
+		path := *jsonOut
+		if path == "auto" {
+			path = "CAPACITY_" + time.Now().UTC().Format("20060102T150405Z") + ".json"
+		}
+		raw, err := json.MarshalIndent(res.Report(), "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding report: %w", err)
+		}
+		raw = append(raw, '\n')
+		if path == "-" {
+			_, err = stdout.Write(raw)
+		} else {
+			err = os.WriteFile(path, raw, 0o644)
+		}
+		if err != nil {
+			return fmt.Errorf("writing report: %w", err)
+		}
+		if path != "-" {
+			fmt.Fprintf(stdout, "wrote %s\n", path)
+		}
+	}
+
+	if slo.Enabled() {
+		if err := slo.CheckResult(res); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "SLO satisfied")
+	}
+	return nil
+}
+
+// printSummary renders the per-endpoint table a human reads first.
+func printSummary(w io.Writer, res *loadgen.Result) {
+	rr := res.ReportResult()
+	fmt.Fprintf(w, "\n%d requests in %.2fs (%.1f req/s), fingerprint %s...\n",
+		rr.Total.Requests, rr.DurationSeconds, rr.ThroughputRPS, res.Fingerprint[:16])
+	fmt.Fprintf(w, "%-14s %9s %7s %6s %6s %9s %9s %9s %9s\n",
+		"endpoint", "requests", "errors", "t/o", "4xx", "p50", "p90", "p99", "p99.9")
+	row := func(e loadgen.EndpointReport) {
+		fmt.Fprintf(w, "%-14s %9d %7d %6d %6d %8.2fms %8.2fms %8.2fms %8.2fms\n",
+			e.Endpoint, e.Requests, e.Errors, e.Timeouts, e.HTTP4xx,
+			e.P50MS, e.P90MS, e.P99MS, e.P999MS)
+	}
+	for _, e := range rr.Endpoints {
+		row(e)
+	}
+	row(rr.Total)
+}

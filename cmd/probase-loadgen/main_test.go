@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+	"repro/internal/server"
+)
+
+var (
+	pbOnce sync.Once
+	pbVal  *core.Probase
+	pbErr  error
+)
+
+func testServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	pbOnce.Do(func() {
+		w := corpus.DefaultWorld(1)
+		c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: 3000, Seed: 11}).Generate()
+		inputs := make([]extraction.Input, len(c.Sentences))
+		for i, s := range c.Sentences {
+			inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+		}
+		pbVal, pbErr = core.Build(inputs, core.Config{})
+	})
+	if pbErr != nil {
+		t.Fatal(pbErr)
+	}
+	ts := httptest.NewServer(server.New(pbVal, server.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunEndToEnd drives the binary's run() against an in-process
+// server, then exercises the offline -check gate in both directions
+// on the report it wrote.
+func TestRunEndToEnd(t *testing.T) {
+	ts := testServer(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "capacity.json")
+
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", ts.URL,
+		"-workers", "4",
+		"-max-requests", "400",
+		"-duration", "30s",
+		"-report-interval", "0",
+		"-queries", "400",
+		"-json", path,
+		"-slo-p99", "1m",
+		"-slo-error-rate", "0",
+		"-slo-min-requests", "100",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"endpoint", "healthz", "SLO satisfied", "wrote "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := benchfmt.ValidateBytes(path, raw); err != nil {
+		t.Errorf("written report invalid: %v", err)
+	}
+
+	// Offline gate, passing thresholds.
+	stdout.Reset()
+	if err := run(context.Background(), []string{
+		"-check", path, "-slo-p99", "1m", "-slo-error-rate", "0",
+	}, &stdout, &stderr); err != nil {
+		t.Errorf("generous -check failed: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "SLO satisfied") {
+		t.Errorf("-check output: %q", stdout.String())
+	}
+
+	// Offline gate, threshold below the measured p99: must fail.
+	err = run(context.Background(), []string{
+		"-check", path, "-slo-p99", "1ns",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "p99") {
+		t.Errorf("1ns -check err = %v, want p99 violation", err)
+	}
+
+	// SLO file wiring: thresholds read from JSON, flag overrides win.
+	sloPath := filepath.Join(dir, "slo.json")
+	if err := os.WriteFile(sloPath, []byte(`{"p99_ms": 60000, "max_error_rate": 0, "min_requests": 10}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-check", path, "-slo-file", sloPath}, &stdout, &stderr); err != nil {
+		t.Errorf("slo-file check failed: %v", err)
+	}
+	err = run(context.Background(), []string{
+		"-check", path, "-slo-file", sloPath, "-slo-p99", "1ns",
+	}, &stdout, &stderr)
+	if err == nil {
+		t.Error("explicit -slo-p99 did not override the slo file")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cases := map[string][]string{
+		"bad-flag":        {"-bogus"},
+		"bad-mix":         {"-mix", "nonsense"},
+		"empty-target":    {"-target", "", "-duration", "1ms"},
+		"check-no-slo":    {"-check", "whatever.json"},
+		"check-missing":   {"-check", "/does/not/exist.json", "-slo-p99", "1s"},
+		"slo-file-absent": {"-slo-file", "/does/not/exist.json"},
+	}
+	for name, args := range cases {
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "probase-loadgen version") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+}
+
+// TestCheckRejectsNonLoadgenReport ensures -check refuses a report
+// without a loadgen experiment entry.
+func TestCheckRejectsNonLoadgenReport(t *testing.T) {
+	r := benchfmt.Report{
+		Schema:       benchfmt.Schema,
+		Options:      benchfmt.Options{Scale: 1, Sentences: 10, Seed: 1, Queries: 10},
+		Experiments:  []benchfmt.Experiment{{Name: "table1", Seconds: 1, Result: map[string]any{}}},
+		TotalSeconds: 1,
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	err = run(context.Background(), []string{"-check", path, "-slo-p99", "1s"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "loadgen") {
+		t.Errorf("err = %v, want missing-loadgen-experiment error", err)
+	}
+}

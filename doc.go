@@ -49,11 +49,18 @@
 //   - internal/server, internal/snapshot — the concurrent HTTP query
 //     service (cmd/probase-serve) with a sharded hot-query cache; see
 //     the server package docs for the endpoint contract.
+//   - internal/loadgen — closed-loop load generator over the six serve
+//     endpoints: deterministic seeded request plans, HDR-style
+//     log-linear latency histograms with coordinated-omission
+//     correction, and the SLO gate behind CI's capacity-smoke job.
+//   - internal/benchfmt — the probase-bench/v1 report schema and
+//     validator shared by probase-bench and probase-loadgen.
 //
 // The binaries under cmd/ wire these into a toolchain: corpusgen
 // (corpus), probase-build (corpus → snapshot, with -workers sizing the
-// shared pool), probase-query (CLI queries), probase-serve (HTTP), and
-// probase-bench (the evaluation).
+// shared pool), probase-query (CLI queries), probase-serve (HTTP),
+// probase-bench (the evaluation), and probase-loadgen (capacity
+// measurement against a live server).
 //
 // See README.md for the overview, ARCHITECTURE.md for the pipeline and
 // determinism contract, DESIGN.md for the system inventory and

@@ -1,0 +1,108 @@
+// Package benchfmt defines the machine-readable benchmark report
+// format shared by the benchmark producers — probase-bench's -json
+// reports and probase-loadgen's capacity reports — and the validation
+// the CI smoke jobs gate on.
+//
+// The layout is named by Schema ("probase-bench/v1"); bump the version
+// on breaking changes so downstream tooling can dispatch on it. Every
+// report is a flat document: a build stamp, the generation options, and
+// a list of named experiments each carrying a structured result (or an
+// error) plus its wall time. Consumers that only chart timings never
+// need to understand any experiment's Result payload.
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Schema names the report layout; bump on breaking changes so
+// downstream tooling can dispatch on it.
+const Schema = "probase-bench/v1"
+
+// Report is the top-level -json document.
+type Report struct {
+	Schema       string        `json:"schema"`
+	Build        obs.BuildInfo `json:"build"`
+	Options      Options       `json:"options"`
+	SetupSeconds float64       `json:"setup_seconds"`
+	Experiments  []Experiment  `json:"experiments"`
+	TotalSeconds float64       `json:"total_seconds"`
+}
+
+// Options records how the workload behind the report was generated.
+// For probase-bench these are the corpus knobs; probase-loadgen maps
+// its workload onto the same fields (Sentences and Queries both carry
+// the distinct-query count, Scale is 1).
+type Options struct {
+	Scale     float64 `json:"scale"`
+	Sentences int     `json:"sentences"`
+	Seed      int64   `json:"seed"`
+	Queries   int     `json:"queries"`
+}
+
+// Experiment holds one experiment's structured result — the same value
+// the producer's text output renders — plus its wall time.
+type Experiment struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Result  any     `json:"result,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// Experiment returns the named experiment entry, if present.
+func (r *Report) Experiment(name string) (Experiment, bool) {
+	for _, e := range r.Experiments {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ValidateBytes checks that raw holds a well-formed Report: the schema
+// marker, a build stamp, and at least one experiment with a name and a
+// non-negative duration. name labels errors (usually a file path).
+func ValidateBytes(name string, raw []byte) error {
+	var r Report
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	switch {
+	case r.Schema != Schema:
+		return fmt.Errorf("%s: schema %q, want %q", name, r.Schema, Schema)
+	case len(r.Experiments) == 0:
+		return fmt.Errorf("%s: no experiments recorded", name)
+	case r.TotalSeconds <= 0:
+		return fmt.Errorf("%s: non-positive total_seconds %v", name, r.TotalSeconds)
+	case r.Options.Sentences <= 0:
+		return fmt.Errorf("%s: non-positive options.sentences %d", name, r.Options.Sentences)
+	}
+	for i, e := range r.Experiments {
+		if e.Name == "" {
+			return fmt.Errorf("%s: experiment %d has no name", name, i)
+		}
+		if e.Seconds < 0 {
+			return fmt.Errorf("%s: experiment %q has negative seconds", name, e.Name)
+		}
+		if e.Result == nil && e.Error == "" {
+			return fmt.Errorf("%s: experiment %q has neither result nor error", name, e.Name)
+		}
+	}
+	return nil
+}
+
+// ValidateFile reads path and validates it as a Report.
+func ValidateFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return ValidateBytes(path, raw)
+}

@@ -1,0 +1,93 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func validReport() Report {
+	return Report{
+		Schema:       Schema,
+		Build:        obs.Version(),
+		Options:      Options{Scale: 1, Sentences: 100, Seed: 11, Queries: 100},
+		SetupSeconds: 0.01,
+		Experiments: []Experiment{
+			{Name: "loadgen", Seconds: 1.5, Result: map[string]any{"requests": 10}},
+		},
+		TotalSeconds: 1.6,
+	}
+}
+
+func TestValidateRoundTrip(t *testing.T) {
+	raw, err := json.Marshal(validReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBytes("mem", raw); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateFile(path); err != nil {
+		t.Fatalf("ValidateFile: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutate := func(fn func(*Report)) []byte {
+		r := validReport()
+		fn(&r)
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	cases := map[string]struct {
+		raw  []byte
+		want string
+	}{
+		"not-json":      {[]byte("nope"), "invalid"},
+		"unknown-field": {[]byte(`{"schema":"probase-bench/v1","bogus":1}`), "bogus"},
+		"wrong-schema":  {mutate(func(r *Report) { r.Schema = "other/v9" }), "schema"},
+		"no-experiments": {mutate(func(r *Report) { r.Experiments = nil }),
+			"no experiments"},
+		"bad-total": {mutate(func(r *Report) { r.TotalSeconds = 0 }), "total_seconds"},
+		"bad-sentences": {mutate(func(r *Report) { r.Options.Sentences = 0 }),
+			"sentences"},
+		"unnamed-experiment": {mutate(func(r *Report) { r.Experiments[0].Name = "" }),
+			"no name"},
+		"negative-seconds": {mutate(func(r *Report) { r.Experiments[0].Seconds = -1 }),
+			"negative seconds"},
+		"empty-experiment": {mutate(func(r *Report) { r.Experiments[0].Result = nil }),
+			"neither result nor error"},
+	}
+	for name, tc := range cases {
+		err := ValidateBytes(name, tc.raw)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestExperimentLookup(t *testing.T) {
+	r := validReport()
+	if _, ok := r.Experiment("loadgen"); !ok {
+		t.Error("loadgen experiment not found")
+	}
+	if _, ok := r.Experiment("missing"); ok {
+		t.Error("missing experiment found")
+	}
+}

@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile returns the rank-order statistic the histogram
+// approximates: the sample of rank ceil(q*n) in the sorted slice.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles records samples and asserts every tested quantile is
+// within the histogram's documented relative-error bound of the exact
+// rank-order statistic.
+func checkQuantiles(t *testing.T, name string, samples []int64) {
+	t.Helper()
+	h := NewHist(0)
+	for _, v := range samples {
+		h.Record(v)
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	bound := h.RelativeError()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := exactQuantile(sorted, q)
+		got := h.Quantile(q)
+		if exact == 0 {
+			if got != 0 {
+				t.Errorf("%s q%.3f: got %d, exact 0", name, q, got)
+			}
+			continue
+		}
+		rel := math.Abs(float64(got-exact)) / float64(exact)
+		if rel > bound {
+			t.Errorf("%s q%.3f: got %d, exact %d, relative error %.4f > bound %.4f",
+				name, q, got, exact, rel, bound)
+		}
+	}
+	if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+		t.Errorf("%s: min/max %d/%d, want %d/%d",
+			name, h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += float64(v)
+	}
+	if mean := sum / float64(len(samples)); math.Abs(h.Mean()-mean) > 1e-6*mean {
+		t.Errorf("%s: mean %.2f, want %.2f", name, h.Mean(), mean)
+	}
+}
+
+func TestHistQuantilesKnownDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 20000
+
+	uniform := make([]int64, n)
+	for i := range uniform {
+		uniform[i] = 1 + rng.Int63n(5_000_000) // 1ns..5ms
+	}
+	checkQuantiles(t, "uniform", uniform)
+
+	exponential := make([]int64, n)
+	for i := range exponential {
+		exponential[i] = int64(rng.ExpFloat64() * 800_000) // mean 0.8ms
+	}
+	checkQuantiles(t, "exponential", exponential)
+
+	// Bimodal: a fast cache-hit mode and a slow miss mode three orders
+	// of magnitude apart — the shape that defeats fixed-width buckets.
+	bimodal := make([]int64, n)
+	for i := range bimodal {
+		if rng.Float64() < 0.85 {
+			bimodal[i] = 20_000 + rng.Int63n(30_000) // 20-50µs
+		} else {
+			bimodal[i] = 40_000_000 + rng.Int63n(20_000_000) // 40-60ms
+		}
+	}
+	checkQuantiles(t, "bimodal", bimodal)
+}
+
+func TestHistSmallValuesExact(t *testing.T) {
+	h := NewHist(7)
+	for v := int64(0); v < 128; v++ {
+		h.Record(v)
+	}
+	// Below 2^subBits the buckets have unit width: quantiles are exact.
+	for _, q := range []float64{0.25, 0.5, 0.75, 1} {
+		want := int64(math.Ceil(q*128)) - 1
+		if got := h.Quantile(q); got != want {
+			t.Errorf("q%.2f = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestHistMergeEqualsConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]int64, 5000)
+	b := make([]int64, 3000)
+	for i := range a {
+		a[i] = rng.Int63n(10_000_000)
+	}
+	for i := range b {
+		b[i] = int64(rng.ExpFloat64() * 2_000_000)
+	}
+
+	ha, hb, hall := NewHist(0), NewHist(0), NewHist(0)
+	for _, v := range a {
+		ha.Record(v)
+	}
+	for _, v := range b {
+		hb.Record(v)
+	}
+	for _, v := range append(append([]int64(nil), a...), b...) {
+		hall.Record(v)
+	}
+	if err := ha.Merge(hb); err != nil {
+		t.Fatal(err)
+	}
+	if !ha.Equal(hall) {
+		t.Error("merge(a, b) differs from histogram of concatenated samples")
+	}
+	// Merging histograms of different resolution must refuse.
+	if err := NewHist(5).Merge(ha); err == nil {
+		t.Error("mixed-resolution merge accepted")
+	}
+}
+
+func TestHistRecordCorrected(t *testing.T) {
+	h := NewHist(7)
+	// A 100ms response under a 25ms expected interval hides three
+	// requests that would have been issued at 75, 50, and 25ms.
+	h.RecordCorrected(100, 25)
+	if h.Count() != 4 {
+		t.Fatalf("corrected count = %d, want 4", h.Count())
+	}
+	for _, want := range []int64{25, 50, 75, 100} {
+		if h.counts[h.index(want)] != 1 {
+			t.Errorf("backfill sample %d not recorded", want)
+		}
+	}
+	// Values at or below the interval backfill nothing.
+	h2 := NewHist(7)
+	h2.RecordCorrected(25, 25)
+	if h2.Count() != 1 {
+		t.Errorf("no-stall corrected count = %d, want 1", h2.Count())
+	}
+	// Zero interval degrades to plain Record.
+	h3 := NewHist(7)
+	h3.RecordCorrected(100, 0)
+	if h3.Count() != 1 {
+		t.Errorf("zero-interval count = %d, want 1", h3.Count())
+	}
+}
+
+func TestHistEdgeCases(t *testing.T) {
+	h := NewHist(7)
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Errorf("negative record: min=%d count=%d", h.Min(), h.Count())
+	}
+	huge := int64(1) << 62
+	h.Record(huge + 12345)
+	if h.Max() != huge+12345 {
+		t.Errorf("max = %d", h.Max())
+	}
+	if got := h.Quantile(1); got != huge+12345 {
+		t.Errorf("q1 = %d, want clamped max", got)
+	}
+	// Clone is independent of the original.
+	c := h.Clone()
+	h.Record(77)
+	if c.Count() != 2 {
+		t.Errorf("clone count changed to %d", c.Count())
+	}
+}

@@ -1,0 +1,489 @@
+// Package loadgen is a closed-loop HTTP load generator for
+// probase-serve: the macro-benchmark behind the CI capacity-smoke SLO
+// gate. It replays the internal/querylog Zipf query mix — the same
+// long-tailed workload the paper validates against two years of Bing
+// queries (Figures 5-7) — across the six serving endpoints and records
+// latency in coordinated-omission-aware HDR-style histograms (Hist).
+//
+// Design, after streamfold/otel-loadgen's bounded-worker shape:
+//
+//   - One deterministic request generator (requestGen) plans the URI
+//     stream from the seed alone and fingerprints it, so a run is
+//     replayable and worker count never changes *what* is sent, only
+//     how fast — the same determinism convention the build pipeline
+//     pins with its workers=1-vs-8 tests.
+//   - N closed-loop workers consume the stream over one shared
+//     http.Client: each worker issues, waits, records, repeats. With
+//     Interval > 0 workers instead pace requests on a fixed schedule
+//     and measure from the *intended* start, so a server stall is
+//     charged to every request it delayed (the coordinated-omission
+//     fix); the backfill path is Hist.RecordCorrected.
+//   - A reporter goroutine prints interval progress lines; the final
+//     Result renders as a probase-bench/v1 report (report.go) the
+//     existing bench tooling consumes unchanged.
+//
+// A fraction of requests (TraceSample) carries a W3C traceparent via
+// obs.Transport, and the slowest traced requests surface in the Result
+// with their trace IDs — joinable with the server's /debug/traces.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/obs"
+	"repro/internal/querylog"
+)
+
+// Config tunes one load-generation run. Zero values take the listed
+// defaults.
+type Config struct {
+	// Target is the base URL of the server under test, e.g.
+	// "http://127.0.0.1:8080". Required.
+	Target string
+	// Workers is the number of closed-loop clients. Default 4.
+	Workers int
+	// Duration bounds the run in wall time. Default 10s.
+	Duration time.Duration
+	// MaxRequests, when > 0, additionally bounds the run by request
+	// count — the mode deterministic-replay tests use, since a pure
+	// time bound makes the sent-stream length timing-dependent.
+	MaxRequests int64
+	// ReportInterval is the cadence of progress lines on Progress.
+	// Zero disables them.
+	ReportInterval time.Duration
+	// Seed drives the whole request plan (query pool and URI stream).
+	Seed int64
+	// Queries is the distinct-query pool size generated from
+	// internal/querylog. Default 5000.
+	Queries int
+	// Mix weights traffic across endpoints. Zero value = DefaultMix.
+	Mix Mix
+	// Timeout is the per-request deadline. Default 2s.
+	Timeout time.Duration
+	// Interval, when > 0, paces each worker on a fixed schedule
+	// (open-loop arrivals) and measures latency from the intended
+	// start; missed starts are additionally backfilled into the
+	// histogram (coordinated-omission correction).
+	Interval time.Duration
+	// TraceSample is the fraction of requests carrying an outbound
+	// traceparent header. Zero disables client tracing.
+	TraceSample float64
+	// SubBits is the histogram resolution; see NewHist. Default 7.
+	SubBits int
+	// Client overrides the HTTP client (tests). The default client
+	// pools Workers keep-alive connections behind obs.Transport.
+	Client *http.Client
+	// Progress receives interval lines and is ignored when nil.
+	Progress io.Writer
+	// World is the synthetic taxonomy world whose query log is
+	// replayed. Default corpus.DefaultWorld(1) — the same world the
+	// bench and server tests use.
+	World *corpus.World
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Queries <= 0 {
+		c.Queries = 5000
+	}
+	if c.Mix.total <= 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.SubBits == 0 {
+		c.SubBits = defaultSubBits
+	}
+	if c.Progress == nil {
+		c.Progress = io.Discard
+	}
+	return c
+}
+
+// Stats aggregates one endpoint's (or the whole run's) outcomes.
+// Latency covers every completed attempt, including errored and
+// timed-out ones — a timeout contributes its full deadline, so slow
+// failures cannot flatter the percentiles.
+type Stats struct {
+	Requests int64 // attempts issued
+	Errors   int64 // transport failures and HTTP 5xx
+	Timeouts int64 // per-request deadline exceeded
+	HTTP4xx  int64 // client-level misses (e.g. conceptualize 404); not errors
+	Latency  *Hist
+}
+
+// ErrorRate returns (Errors+Timeouts)/Requests — the fraction the SLO
+// gate charges against the run. 4xx responses are valid negative
+// answers on this API surface and are excluded.
+func (s *Stats) ErrorRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Errors+s.Timeouts) / float64(s.Requests)
+}
+
+func (s *Stats) add(o *Stats) error {
+	s.Requests += o.Requests
+	s.Errors += o.Errors
+	s.Timeouts += o.Timeouts
+	s.HTTP4xx += o.HTTP4xx
+	return s.Latency.Merge(o.Latency)
+}
+
+// SlowRequest is one of the slowest traced requests of a run, kept so
+// a bad percentile points at concrete server-side trace waterfalls.
+type SlowRequest struct {
+	Endpoint   string  `json:"endpoint"`
+	URI        string  `json:"uri"`
+	MS         float64 `json:"ms"`
+	TraceID    string  `json:"trace_id,omitempty"`
+	StatusCode int     `json:"status,omitempty"`
+}
+
+// Result is one finished run.
+type Result struct {
+	Target      string
+	Workers     int
+	Elapsed     time.Duration
+	Seed        int64
+	Queries     int
+	Mix         Mix
+	Fingerprint string // sha256 of the generated URI stream
+	Generated   int64  // requests planned (== Total.Requests when all were sent)
+	Total       *Stats
+	Endpoints   map[string]*Stats
+	Slowest     []SlowRequest
+}
+
+// workerStats is one worker's private recording surface. The mutex is
+// only contended when the interval reporter snapshots.
+type workerStats struct {
+	mu        sync.Mutex
+	total     *Stats
+	endpoints map[string]*Stats
+	slowest   []SlowRequest
+}
+
+func newWorkerStats(subBits int) *workerStats {
+	ws := &workerStats{
+		total:     &Stats{Latency: NewHist(subBits)},
+		endpoints: make(map[string]*Stats, len(Endpoints)),
+	}
+	for _, ep := range Endpoints {
+		ws.endpoints[ep] = &Stats{Latency: NewHist(subBits)}
+	}
+	return ws
+}
+
+const slowestKeep = 5
+
+// record books one completed attempt.
+func (ws *workerStats) record(ep string, lat time.Duration, interval time.Duration,
+	status int, timedOut, failed bool, slow SlowRequest) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for _, s := range []*Stats{ws.total, ws.endpoints[ep]} {
+		s.Requests++
+		switch {
+		case timedOut:
+			s.Timeouts++
+		case failed || status >= 500:
+			s.Errors++
+		case status >= 400:
+			s.HTTP4xx++
+		}
+		s.Latency.RecordCorrected(lat.Nanoseconds(), interval.Nanoseconds())
+	}
+	if slow.TraceID != "" {
+		ws.slowest = append(ws.slowest, slow)
+		sort.Slice(ws.slowest, func(i, j int) bool { return ws.slowest[i].MS > ws.slowest[j].MS })
+		if len(ws.slowest) > slowestKeep {
+			ws.slowest = ws.slowest[:slowestKeep]
+		}
+	}
+}
+
+// merge folds every worker's stats into one Result-shaped view.
+func merge(workers []*workerStats, subBits int) (*Stats, map[string]*Stats, []SlowRequest, error) {
+	total := &Stats{Latency: NewHist(subBits)}
+	endpoints := make(map[string]*Stats, len(Endpoints))
+	for _, ep := range Endpoints {
+		endpoints[ep] = &Stats{Latency: NewHist(subBits)}
+	}
+	var slowest []SlowRequest
+	for _, ws := range workers {
+		ws.mu.Lock()
+		if err := total.add(ws.total); err != nil {
+			ws.mu.Unlock()
+			return nil, nil, nil, err
+		}
+		for ep, s := range ws.endpoints {
+			if err := endpoints[ep].add(s); err != nil {
+				ws.mu.Unlock()
+				return nil, nil, nil, err
+			}
+		}
+		slowest = append(slowest, ws.slowest...)
+		ws.mu.Unlock()
+	}
+	sort.Slice(slowest, func(i, j int) bool { return slowest[i].MS > slowest[j].MS })
+	if len(slowest) > slowestKeep {
+		slowest = slowest[:slowestKeep]
+	}
+	return total, endpoints, slowest, nil
+}
+
+// Run executes one load-generation run and blocks until Duration (or
+// MaxRequests, or ctx cancellation) ends it and every in-flight
+// request has drained.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Target == "" {
+		return nil, errors.New("loadgen: Config.Target is required")
+	}
+
+	// The workload pool: query texts streamed off the Zipf log. Only
+	// the texts are retained — the iterator path exists so 50k+ query
+	// workloads never materialise a second []querylog.Query copy.
+	world := cfg.World
+	if world == nil {
+		world = corpus.DefaultWorld(1)
+	}
+	pool := make([]string, 0, cfg.Queries)
+	querylog.Iterate(world, querylog.Config{Queries: cfg.Queries, Seed: cfg.Seed}, func(q querylog.Query) bool {
+		pool = append(pool, q.Text)
+		return true
+	})
+	if len(pool) == 0 {
+		return nil, errors.New("loadgen: empty query pool")
+	}
+
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: obs.Transport{Base: &http.Transport{
+				MaxIdleConns:        cfg.Workers * 2,
+				MaxIdleConnsPerHost: cfg.Workers * 2,
+			}},
+		}
+	}
+	// Client-side tracer: roots are created per sampled request; the
+	// per-worker rng (not the plan rng) decides sampling so tracing
+	// never perturbs the request stream.
+	var tracer *obs.Tracer
+	if cfg.TraceSample > 0 {
+		tracer = obs.NewTracer(obs.TracerConfig{SampleRate: 1, BufferSize: 16, Seed: cfg.Seed + 1})
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// The generator goroutine owns the plan: it is the only writer of
+	// the rng and the fingerprint hash, so the stream is identical for
+	// any worker count.
+	gen := newRequestGen(cfg.Seed, cfg.Mix, pool)
+	reqs := make(chan request)
+	var generated int64
+	genDone := make(chan struct{})
+	go func() {
+		defer close(reqs)
+		defer close(genDone)
+		for cfg.MaxRequests <= 0 || generated < cfg.MaxRequests {
+			r := gen.next()
+			select {
+			case reqs <- r:
+				generated++
+			case <-runCtx.Done():
+				// The last planned request was hashed but never sent;
+				// MaxRequests-bound runs that finish in time never hit
+				// this path, keeping their fingerprints exact.
+				return
+			}
+		}
+	}()
+
+	stats := make([]*workerStats, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		stats[w] = newWorkerStats(cfg.SubBits)
+		wg.Add(1)
+		go func(ws *workerStats, id int) {
+			defer wg.Done()
+			runWorker(runCtx, cfg, client, tracer, reqs, ws, id, start)
+		}(stats[w], w)
+	}
+
+	// Interval progress lines: merged snapshot across workers.
+	var reportWG sync.WaitGroup
+	if cfg.ReportInterval > 0 {
+		reportWG.Add(1)
+		go func() {
+			defer reportWG.Done()
+			tick := time.NewTicker(cfg.ReportInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tick.C:
+					total, _, _, err := merge(stats, cfg.SubBits)
+					if err != nil {
+						return
+					}
+					h := total.Latency
+					fmt.Fprintf(cfg.Progress,
+						"[%s] requests=%d rps=%.1f errors=%d timeouts=%d 4xx=%d p50=%s p99=%s p99.9=%s\n",
+						time.Since(start).Round(time.Second), total.Requests,
+						float64(total.Requests)/time.Since(start).Seconds(),
+						total.Errors, total.Timeouts, total.HTTP4xx,
+						time.Duration(h.Quantile(0.5)).Round(10*time.Microsecond),
+						time.Duration(h.Quantile(0.99)).Round(10*time.Microsecond),
+						time.Duration(h.Quantile(0.999)).Round(10*time.Microsecond))
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	cancel()
+	<-genDone
+	reportWG.Wait()
+	elapsed := time.Since(start)
+
+	total, endpoints, slowest, err := merge(stats, cfg.SubBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Target:      cfg.Target,
+		Workers:     cfg.Workers,
+		Elapsed:     elapsed,
+		Seed:        cfg.Seed,
+		Queries:     cfg.Queries,
+		Mix:         cfg.Mix,
+		Fingerprint: gen.fingerprint(),
+		Generated:   generated,
+		Total:       total,
+		Endpoints:   endpoints,
+		Slowest:     slowest,
+	}, nil
+}
+
+// runWorker is one closed-loop client: receive a planned request,
+// issue it, record, repeat. With pacing, latency is measured from the
+// intended start so queueing delay behind a stalled server is charged
+// to every request it held up.
+func runWorker(ctx context.Context, cfg Config, client *http.Client, tracer *obs.Tracer,
+	reqs <-chan request, ws *workerStats, id int, start time.Time) {
+	// Worker-local sampling rng, decoupled from the plan.
+	sampleEvery := int64(0)
+	if cfg.TraceSample > 0 {
+		sampleEvery = int64(1 / cfg.TraceSample)
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+	}
+	var n int64
+	next := start.Add(time.Duration(id) * cfg.Interval / time.Duration(cfg.Workers))
+	for {
+		var req request
+		select {
+		case <-ctx.Done():
+			return
+		case r, ok := <-reqs:
+			if !ok {
+				return
+			}
+			req = r
+		}
+
+		var began time.Time
+		if cfg.Interval > 0 {
+			if wait := time.Until(next); wait > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+			began = next // intended start: the coordinated-omission fix
+			next = next.Add(cfg.Interval)
+		} else {
+			began = time.Now()
+		}
+
+		reqCtx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+		var span *obs.Span
+		n++
+		if sampleEvery > 0 && n%sampleEvery == 0 {
+			reqCtx, span = tracer.StartRoot(reqCtx, "loadgen."+req.endpoint)
+		}
+		status, failed, timedOut := doRequest(reqCtx, client, cfg.Target+req.uri)
+		if ctx.Err() != nil && (!timedOut || time.Since(began) < cfg.Timeout) {
+			// The run ended while this request was in flight: the
+			// cancellation (or the run deadline masquerading as the
+			// request deadline) is shutdown noise, not a server
+			// outcome — drop the sample, as a run-length change must
+			// not manufacture errors.
+			if span != nil {
+				span.End()
+			}
+			cancel()
+			return
+		}
+		lat := time.Since(began)
+		var slow SlowRequest
+		if span != nil {
+			if failed || status >= 500 {
+				span.SetError(fmt.Sprintf("status %d", status))
+			}
+			slow = SlowRequest{
+				Endpoint: req.endpoint, URI: req.uri,
+				MS: float64(lat.Nanoseconds()) / 1e6, TraceID: span.TraceID(), StatusCode: status,
+			}
+			span.End()
+		}
+		cancel()
+		ws.record(req.endpoint, lat, cfg.Interval, status, timedOut, failed, slow)
+	}
+}
+
+// doRequest performs one call and fully drains the body so keep-alive
+// connections are reused.
+func doRequest(ctx context.Context, client *http.Client, url string) (status int, failed, timedOut bool) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, true, false
+	}
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return 0, false, true
+		}
+		return 0, true, false
+	}
+	_, copyErr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if copyErr != nil {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return resp.StatusCode, false, true
+		}
+		return resp.StatusCode, true, false
+	}
+	return resp.StatusCode, false, false
+}

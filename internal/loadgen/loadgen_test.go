@@ -1,0 +1,342 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+	"repro/internal/server"
+)
+
+var (
+	pbOnce sync.Once
+	pbVal  *core.Probase
+	pbErr  error
+)
+
+// testProbase builds one small taxonomy for every loadgen test.
+func testProbase(t testing.TB) *core.Probase {
+	t.Helper()
+	pbOnce.Do(func() {
+		w := corpus.DefaultWorld(1)
+		c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: 4000, Seed: 11}).Generate()
+		inputs := make([]extraction.Input, len(c.Sentences))
+		for i, s := range c.Sentences {
+			inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+		}
+		pbVal, pbErr = core.Build(inputs, core.Config{})
+	})
+	if pbErr != nil {
+		t.Fatal(pbErr)
+	}
+	return pbVal
+}
+
+// testServer serves the test taxonomy in-process.
+func testServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(testProbase(t), server.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDeterministicReplay pins the PR-4 convention to the request
+// plan: same seed and config produce an identical URI stream
+// regardless of worker count, witnessed by the stream fingerprint.
+func TestDeterministicReplay(t *testing.T) {
+	ts := testServer(t)
+	base := Config{
+		Target:      ts.URL,
+		MaxRequests: 400,
+		Duration:    30 * time.Second, // bound by MaxRequests, not time
+		Seed:        11,
+		Queries:     500,
+	}
+
+	cfg1 := base
+	cfg1.Workers = 1
+	cfg8 := base
+	cfg8.Workers = 8
+
+	r1 := mustRun(t, cfg1)
+	r8 := mustRun(t, cfg8)
+	if r1.Generated != 400 || r8.Generated != 400 {
+		t.Fatalf("generated %d and %d requests, want 400", r1.Generated, r8.Generated)
+	}
+	if r1.Fingerprint == "" {
+		t.Fatal("empty fingerprint")
+	}
+	if r1.Fingerprint != r8.Fingerprint {
+		t.Errorf("workers=1 fingerprint %s != workers=8 fingerprint %s",
+			r1.Fingerprint, r8.Fingerprint)
+	}
+	// Same config again: exact replay.
+	if r1b := mustRun(t, cfg1); r1b.Fingerprint != r1.Fingerprint {
+		t.Error("same seed and config did not replay the same stream")
+	}
+	// A different seed must plan a different stream.
+	diff := cfg1
+	diff.Seed = 12
+	if rd := mustRun(t, diff); rd.Fingerprint == r1.Fingerprint {
+		t.Error("different seed produced an identical stream")
+	}
+}
+
+// TestGeneratorStreamIsWorkerIndependent exercises the plan without a
+// network: two generators with the same inputs emit identical URIs.
+func TestGeneratorStreamIsWorkerIndependent(t *testing.T) {
+	pool := []string{"companies", "best cities", "microsoft", "weather"}
+	g1 := newRequestGen(7, DefaultMix(), pool)
+	g2 := newRequestGen(7, DefaultMix(), pool)
+	for i := 0; i < 500; i++ {
+		a, b := g1.next(), g2.next()
+		if a != b {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	if g1.fingerprint() != g2.fingerprint() {
+		t.Error("fingerprints diverged on identical streams")
+	}
+}
+
+// TestEndToEnd runs the generator against an in-process server and
+// checks the whole contract: zero errors, every endpoint hit in its
+// configured proportion, a schema-valid probase-bench/v1 report, and a
+// live SLO gate.
+func TestEndToEnd(t *testing.T) {
+	ts := testServer(t)
+	var progress bytes.Buffer
+	mix, err := ParseMix("instances=30,concepts=30,typicality=10,plausibility=10,conceptualize=15,healthz=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, Config{
+		Target:         ts.URL,
+		Workers:        4,
+		MaxRequests:    1500,
+		Duration:       60 * time.Second,
+		ReportInterval: 50 * time.Millisecond,
+		Seed:           11,
+		Queries:        800,
+		Mix:            mix,
+		TraceSample:    0.25,
+		Progress:       &progress,
+	})
+
+	if res.Total.Requests != 1500 {
+		t.Fatalf("completed %d requests, want 1500", res.Total.Requests)
+	}
+	if res.Total.Errors != 0 || res.Total.Timeouts != 0 {
+		t.Fatalf("errors=%d timeouts=%d, want zero", res.Total.Errors, res.Total.Timeouts)
+	}
+	if res.Total.Latency.Count() == 0 || res.Total.Latency.Quantile(0.99) <= 0 {
+		t.Error("no latency recorded")
+	}
+
+	// Every endpoint saw traffic, in proportion. With n=1500 the
+	// binomial sd for p=0.30 is ~1.2%, so ±5pp is a >4σ tolerance.
+	for _, ep := range Endpoints {
+		s := res.Endpoints[ep]
+		if s.Requests == 0 {
+			t.Errorf("endpoint %s saw no traffic", ep)
+			continue
+		}
+		got := float64(s.Requests) / float64(res.Total.Requests)
+		want := mix.Share(ep)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("endpoint %s share %.3f, configured %.3f", ep, got, want)
+		}
+	}
+
+	// The JSON report validates against the probase-bench/v1 schema.
+	report := res.Report()
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := benchfmt.ValidateBytes("e2e", raw); err != nil {
+		t.Errorf("report does not validate: %v", err)
+	}
+	rr := res.ReportResult()
+	if rr.Total.P50MS <= 0 || rr.Total.P99MS < rr.Total.P50MS {
+		t.Errorf("implausible quantiles: %+v", rr.Total)
+	}
+	if len(rr.Endpoints) != len(Endpoints) {
+		t.Errorf("report has %d endpoint entries", len(rr.Endpoints))
+	}
+
+	// Client-side tracing surfaced slow-request trace IDs.
+	if len(res.Slowest) == 0 {
+		t.Error("no slowest-request samples despite TraceSample > 0")
+	}
+	for _, s := range res.Slowest {
+		if s.TraceID == "" || s.URI == "" {
+			t.Errorf("slow request missing identity: %+v", s)
+		}
+	}
+
+	// Interval progress lines were emitted.
+	if !strings.Contains(progress.String(), "requests=") {
+		t.Errorf("no interval progress lines; got %q", progress.String())
+	}
+
+	// The SLO gate is live in both directions: a generous threshold
+	// passes, an absurdly tight one fails on the same report.
+	pass := SLO{P99: time.Minute, MaxErrorRate: 0, MinRequests: 100}
+	if err := pass.CheckResult(res); err != nil {
+		t.Errorf("generous SLO failed: %v", err)
+	}
+	if err := pass.CheckReport("e2e", raw); err != nil {
+		t.Errorf("generous SLO failed on marshalled report: %v", err)
+	}
+	tight := SLO{P99: time.Nanosecond, MaxErrorRate: -1}
+	if err := tight.CheckReport("e2e", raw); err == nil {
+		t.Error("1ns p99 SLO passed — gate is not live")
+	} else if !strings.Contains(err.Error(), "p99") {
+		t.Errorf("violation does not name the gate: %v", err)
+	}
+	if err := (SLO{MinRequests: 1 << 40}).CheckResult(res); err == nil {
+		t.Error("min-requests gate not live")
+	}
+}
+
+// TestErrorAccounting points the generator at a server that fails and
+// checks 5xx, 4xx, and timeouts land in the right columns.
+func TestErrorAccounting(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "not found", http.StatusNotFound)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	mix, err := ParseMix("instances=50,healthz=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, Config{
+		Target: ts.URL, Workers: 2, MaxRequests: 200,
+		Duration: 30 * time.Second, Seed: 3, Queries: 100, Mix: mix,
+	})
+	if res.Endpoints["healthz"].Errors != res.Endpoints["healthz"].Requests {
+		t.Errorf("5xx not counted as errors: %+v", res.Endpoints["healthz"])
+	}
+	if res.Endpoints["instances"].HTTP4xx != res.Endpoints["instances"].Requests {
+		t.Errorf("4xx not counted separately: %+v", res.Endpoints["instances"])
+	}
+	if res.Endpoints["instances"].Errors != 0 {
+		t.Error("4xx responses were charged as errors")
+	}
+	if res.Total.ErrorRate() <= 0 {
+		t.Error("error rate not reflecting 5xx responses")
+	}
+	if err := (SLO{MaxErrorRate: 0}).CheckResult(res); err == nil {
+		t.Error("error-rate gate passed a failing server")
+	}
+}
+
+// TestTimeoutAccounting checks a stalled server registers timeouts,
+// not transport errors, and the deadline bounds recorded latency.
+func TestTimeoutAccounting(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer ts.Close()
+	defer once.Do(func() { close(release) })
+
+	mix, err := ParseMix("healthz=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, Config{
+		Target: ts.URL, Workers: 2, MaxRequests: 4,
+		Duration: 30 * time.Second, Seed: 3, Queries: 50, Mix: mix,
+		Timeout: 100 * time.Millisecond,
+	})
+	once.Do(func() { close(release) })
+	if res.Total.Timeouts != res.Total.Requests || res.Total.Requests == 0 {
+		t.Fatalf("timeouts=%d of %d requests", res.Total.Timeouts, res.Total.Requests)
+	}
+	if res.Total.Errors != 0 {
+		t.Error("timeouts double-counted as errors")
+	}
+	if min := res.Total.Latency.Min(); min < (90 * time.Millisecond).Nanoseconds() {
+		t.Errorf("timed-out latency %v under the deadline", time.Duration(min))
+	}
+}
+
+// TestPacedRunCompletes exercises the open-loop pacing path.
+func TestPacedRunCompletes(t *testing.T) {
+	ts := testServer(t)
+	res := mustRun(t, Config{
+		Target: ts.URL, Workers: 2, MaxRequests: 60,
+		Duration: 30 * time.Second, Seed: 5, Queries: 200,
+		Interval: 2 * time.Millisecond,
+	})
+	if res.Total.Requests != 60 {
+		t.Fatalf("paced run completed %d requests", res.Total.Requests)
+	}
+	if res.Total.Errors != 0 || res.Total.Timeouts != 0 {
+		t.Errorf("paced run errors=%d timeouts=%d", res.Total.Errors, res.Total.Timeouts)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("missing target accepted")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("instances=3, healthz=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Share("instances"); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("instances share = %v", got)
+	}
+	if got := m.Share("concepts"); got != 0 {
+		t.Errorf("unlisted endpoint share = %v", got)
+	}
+	if m.String() != "instances=3,healthz=1" {
+		t.Errorf("String() = %q", m.String())
+	}
+	for _, bad := range []string{"bogus=1", "instances", "instances=-1", "instances=x", "", "instances=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+	// The default spec parses and sums to 1.
+	var sum float64
+	for _, share := range DefaultMix().Shares() {
+		sum += share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("default mix shares sum to %v", sum)
+	}
+}

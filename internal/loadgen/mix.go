@@ -1,0 +1,225 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math/rand"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Endpoints lists the probase-serve query surface in canonical order.
+// The order matters: the request generator walks cumulative mix
+// weights in this order, so it is part of the deterministic-replay
+// contract.
+var Endpoints = []string{
+	"instances", "concepts", "typicality", "plausibility", "conceptualize", "healthz",
+}
+
+// Mix assigns each endpoint a relative traffic weight, in the
+// canonical Endpoints order. Construct with ParseMix or DefaultMix.
+type Mix struct {
+	weights []float64 // parallel to Endpoints
+	total   float64
+}
+
+// DefaultMixSpec weights the read-heavy endpoints the way a
+// search-style tenant would: abstraction and instance lookups
+// dominate, scoring pairs and conceptualisation follow, health checks
+// trickle.
+const DefaultMixSpec = "instances=25,concepts=25,typicality=15,plausibility=15,conceptualize=15,healthz=5"
+
+// DefaultMix returns the mix behind DefaultMixSpec.
+func DefaultMix() Mix {
+	m, err := ParseMix(DefaultMixSpec)
+	if err != nil {
+		panic(err) // the constant must parse
+	}
+	return m
+}
+
+// ParseMix parses "endpoint=weight,..." into a Mix. Endpoints absent
+// from the spec get weight 0; at least one weight must be positive.
+func ParseMix(spec string) (Mix, error) {
+	idx := make(map[string]int, len(Endpoints))
+	for i, ep := range Endpoints {
+		idx[ep] = i
+	}
+	m := Mix{weights: make([]float64, len(Endpoints))}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, raw, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("mix entry %q is not endpoint=weight", part)
+		}
+		name = strings.TrimSpace(name)
+		i, known := idx[name]
+		if !known {
+			return Mix{}, fmt.Errorf("unknown endpoint %q (have: %s)", name, strings.Join(Endpoints, ","))
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("endpoint %s: weight %q must be a non-negative number", name, raw)
+		}
+		m.weights[i] = w
+	}
+	for _, w := range m.weights {
+		m.total += w
+	}
+	if m.total <= 0 {
+		return Mix{}, fmt.Errorf("mix %q has no positive weight", spec)
+	}
+	return m, nil
+}
+
+// Share returns the endpoint's normalised traffic fraction.
+func (m Mix) Share(endpoint string) float64 {
+	for i, ep := range Endpoints {
+		if ep == endpoint {
+			return m.weights[i] / m.total
+		}
+	}
+	return 0
+}
+
+// Shares returns every endpoint's normalised fraction, keyed by name.
+func (m Mix) Shares() map[string]float64 {
+	out := make(map[string]float64, len(Endpoints))
+	for _, ep := range Endpoints {
+		out[ep] = m.Share(ep)
+	}
+	return out
+}
+
+// String renders the mix in the spec syntax (canonical order, zero
+// weights omitted).
+func (m Mix) String() string {
+	var parts []string
+	for i, ep := range Endpoints {
+		if m.weights[i] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", ep, m.weights[i]))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// pick chooses an endpoint index from the cumulative weights using one
+// uniform draw.
+func (m Mix) pick(r float64) int {
+	target := r * m.total
+	var cum float64
+	for i, w := range m.weights {
+		cum += w
+		if w > 0 && target < cum {
+			return i
+		}
+	}
+	// Float round-off at the top edge: last positive weight.
+	for i := len(m.weights) - 1; i >= 0; i-- {
+		if m.weights[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// request is one planned HTTP call: the endpoint family (for stats)
+// and the path+query, target-independent so the stream fingerprint is
+// a property of the configuration alone.
+type request struct {
+	endpoint string
+	uri      string
+}
+
+// requestGen deterministically turns a seed, a mix, and a query-text
+// pool into an endless request stream. All randomness flows from one
+// seeded source consumed in a fixed order, so the stream — and its
+// fingerprint — depends only on (seed, mix, pool), never on worker
+// count or timing. Queries are drawn rank-Zipf (s≈1.07) over the
+// frequency-sorted pool, reproducing the head-heavy replay the paper's
+// Bing log analysis assumes.
+type requestGen struct {
+	mix   Mix
+	pool  []string
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	hash  hash.Hash
+	count int64
+}
+
+func newRequestGen(seed int64, mix Mix, pool []string) *requestGen {
+	rng := rand.New(rand.NewSource(seed))
+	return &requestGen{
+		mix:  mix,
+		pool: pool,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, 1.07, 1, uint64(len(pool)-1)),
+		hash: sha256.New(),
+	}
+}
+
+// text draws one query text by Zipf rank.
+func (g *requestGen) text() string { return g.pool[g.zipf.Uint64()] }
+
+// next produces the following request in the stream and folds it into
+// the running fingerprint.
+func (g *requestGen) next() request {
+	ep := Endpoints[g.mix.pick(g.rng.Float64())]
+	var uri string
+	switch ep {
+	case "instances":
+		uri = "/v1/instances?" + url.Values{"concept": {g.text()}, "k": {"10"}}.Encode()
+	case "concepts":
+		uri = "/v1/concepts?" + url.Values{"term": {g.text()}, "k": {"10"}}.Encode()
+	case "typicality":
+		uri = "/v1/typicality?" + url.Values{"concept": {g.text()}, "instance": {g.text()}}.Encode()
+	case "plausibility":
+		uri = "/v1/plausibility?" + url.Values{"x": {g.text()}, "y": {g.text()}}.Encode()
+	case "conceptualize":
+		terms := g.text()
+		if g.rng.Intn(2) == 0 {
+			terms += "," + g.text()
+		}
+		uri = "/v1/conceptualize?" + url.Values{"terms": {terms}, "k": {"5"}}.Encode()
+	case "healthz":
+		uri = "/v1/healthz"
+	}
+	g.count++
+	g.hash.Write([]byte(uri))
+	g.hash.Write([]byte{'\n'})
+	return request{endpoint: ep, uri: uri}
+}
+
+// fingerprint returns the sha256 over the newline-joined URIs emitted
+// so far — the deterministic-replay witness.
+func (g *requestGen) fingerprint() string {
+	return hex.EncodeToString(g.hash.Sum(nil))
+}
+
+// sortedEndpoints returns the keys of a per-endpoint map in canonical
+// order (anything non-canonical goes last, alphabetically).
+func sortedEndpoints(present map[string]*Stats) []string {
+	canonical := make(map[string]bool, len(Endpoints))
+	var out []string
+	for _, ep := range Endpoints {
+		canonical[ep] = true
+		if _, ok := present[ep]; ok {
+			out = append(out, ep)
+		}
+	}
+	var extra []string
+	for ep := range present {
+		if !canonical[ep] {
+			extra = append(extra, ep)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}

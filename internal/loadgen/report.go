@@ -1,0 +1,192 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/obs"
+)
+
+// ExperimentName labels the loadgen entry inside a probase-bench/v1
+// report.
+const ExperimentName = "loadgen"
+
+// EndpointReport is the per-endpoint (and aggregate) slice of the JSON
+// result: counts, rates, and the latency quantiles in milliseconds.
+type EndpointReport struct {
+	Endpoint  string  `json:"endpoint"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	Timeouts  int64   `json:"timeouts"`
+	HTTP4xx   int64   `json:"http_4xx"`
+	Share     float64 `json:"share"`
+	ErrorRate float64 `json:"error_rate"`
+	P50MS     float64 `json:"p50_ms"`
+	P90MS     float64 `json:"p90_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	P999MS    float64 `json:"p999_ms"`
+	MinMS     float64 `json:"min_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	MeanMS    float64 `json:"mean_ms"`
+}
+
+// ReportResult is the Result payload of the loadgen experiment entry.
+type ReportResult struct {
+	Target          string             `json:"target"`
+	Workers         int                `json:"workers"`
+	DurationSeconds float64            `json:"duration_seconds"`
+	ThroughputRPS   float64            `json:"throughput_rps"`
+	Fingerprint     string             `json:"fingerprint"`
+	GeneratedReqs   int64              `json:"generated_requests"`
+	Mix             map[string]float64 `json:"mix"`
+	QuantileRelErr  float64            `json:"quantile_rel_error"`
+	Total           EndpointReport     `json:"total"`
+	Endpoints       []EndpointReport   `json:"endpoints"`
+	Slowest         []SlowRequest      `json:"slowest,omitempty"`
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+func endpointReport(name string, s *Stats, totalRequests int64) EndpointReport {
+	h := s.Latency
+	var share float64
+	if totalRequests > 0 {
+		share = float64(s.Requests) / float64(totalRequests)
+	}
+	return EndpointReport{
+		Endpoint:  name,
+		Requests:  s.Requests,
+		Errors:    s.Errors,
+		Timeouts:  s.Timeouts,
+		HTTP4xx:   s.HTTP4xx,
+		Share:     share,
+		ErrorRate: s.ErrorRate(),
+		P50MS:     ms(h.Quantile(0.5)),
+		P90MS:     ms(h.Quantile(0.9)),
+		P99MS:     ms(h.Quantile(0.99)),
+		P999MS:    ms(h.Quantile(0.999)),
+		MinMS:     ms(h.Min()),
+		MaxMS:     ms(h.Max()),
+		MeanMS:    h.Mean() / 1e6,
+	}
+}
+
+// ReportResult renders the run's structured result payload.
+func (r *Result) ReportResult() ReportResult {
+	rr := ReportResult{
+		Target:          r.Target,
+		Workers:         r.Workers,
+		DurationSeconds: r.Elapsed.Seconds(),
+		Fingerprint:     r.Fingerprint,
+		GeneratedReqs:   r.Generated,
+		Mix:             r.Mix.Shares(),
+		QuantileRelErr:  r.Total.Latency.RelativeError(),
+		Total:           endpointReport("total", r.Total, r.Total.Requests),
+	}
+	if r.Elapsed > 0 {
+		rr.ThroughputRPS = float64(r.Total.Requests) / r.Elapsed.Seconds()
+	}
+	for _, ep := range sortedEndpoints(r.Endpoints) {
+		rr.Endpoints = append(rr.Endpoints, endpointReport(ep, r.Endpoints[ep], r.Total.Requests))
+	}
+	rr.Slowest = r.Slowest
+	return rr
+}
+
+// Report renders the run as a probase-bench/v1 document, so
+// bench-compare tooling (validation, artifact diffing) consumes
+// capacity reports unchanged. The workload maps onto the shared
+// Options: Sentences and Queries both carry the distinct-query pool
+// size, Scale is 1.
+func (r *Result) Report() benchfmt.Report {
+	return benchfmt.Report{
+		Schema: benchfmt.Schema,
+		Build:  obs.Version(),
+		Options: benchfmt.Options{
+			Scale:     1,
+			Sentences: r.Queries,
+			Seed:      r.Seed,
+			Queries:   r.Queries,
+		},
+		SetupSeconds: 0,
+		Experiments: []benchfmt.Experiment{{
+			Name:    ExperimentName,
+			Seconds: r.Elapsed.Seconds(),
+			Result:  r.ReportResult(),
+		}},
+		TotalSeconds: r.Elapsed.Seconds(),
+	}
+}
+
+// SLO is the capacity gate: the thresholds the CI capacity-smoke job
+// checks a run against.
+type SLO struct {
+	// P99 bounds the aggregate 99th-percentile latency. Zero disables
+	// the latency gate.
+	P99 time.Duration
+	// MaxErrorRate bounds (errors+timeouts)/requests. Negative
+	// disables the gate; zero means "no errors tolerated".
+	MaxErrorRate float64
+	// MinRequests guards against a vacuous pass on a run that barely
+	// sent traffic. Zero disables.
+	MinRequests int64
+}
+
+// Enabled reports whether any gate is active.
+func (s SLO) Enabled() bool { return s.P99 > 0 || s.MaxErrorRate >= 0 || s.MinRequests > 0 }
+
+// Check applies the SLO to an aggregate report slice and returns a
+// descriptive error on the first violated gate.
+func (s SLO) Check(total EndpointReport) error {
+	if s.MinRequests > 0 && total.Requests < s.MinRequests {
+		return fmt.Errorf("slo: only %d requests completed, need >= %d for a meaningful run",
+			total.Requests, s.MinRequests)
+	}
+	if s.P99 > 0 {
+		p99 := time.Duration(total.P99MS * float64(time.Millisecond))
+		if p99 > s.P99 {
+			return fmt.Errorf("slo: p99 %.3fms exceeds threshold %.3fms",
+				total.P99MS, float64(s.P99)/float64(time.Millisecond))
+		}
+	}
+	if s.MaxErrorRate >= 0 && total.ErrorRate > s.MaxErrorRate {
+		return fmt.Errorf("slo: error rate %.4f (errors=%d timeouts=%d of %d) exceeds %.4f",
+			total.ErrorRate, total.Errors, total.Timeouts, total.Requests, s.MaxErrorRate)
+	}
+	return nil
+}
+
+// CheckResult applies the SLO to a live run.
+func (s SLO) CheckResult(r *Result) error {
+	return s.Check(endpointReport("total", r.Total, r.Total.Requests))
+}
+
+// CheckReport applies the SLO to a marshalled probase-bench/v1 report
+// containing a loadgen experiment — the offline -check mode the CI
+// gate-liveness step uses. The report is schema-validated first.
+func (s SLO) CheckReport(name string, raw []byte) error {
+	if err := benchfmt.ValidateBytes(name, raw); err != nil {
+		return err
+	}
+	var report benchfmt.Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	exp, ok := report.Experiment(ExperimentName)
+	if !ok {
+		return fmt.Errorf("%s: no %q experiment in report", name, ExperimentName)
+	}
+	// Result round-trips through JSON as map[string]any; re-decode it
+	// into the typed payload.
+	rawResult, err := json.Marshal(exp.Result)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	var rr ReportResult
+	if err := json.Unmarshal(rawResult, &rr); err != nil {
+		return fmt.Errorf("%s: loadgen result does not parse: %w", name, err)
+	}
+	return s.Check(rr.Total)
+}

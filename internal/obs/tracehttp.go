@@ -100,6 +100,37 @@ func (s *Span) Traceparent() string {
 	return fmt.Sprintf("00-%s-%s-%02x", s.data.TraceID, s.data.SpanID, FlagSampled)
 }
 
+// Transport is a client-side http.RoundTripper that propagates the
+// trace context of the request's context span as an outbound W3C
+// traceparent header — the injection mirror of the middleware's
+// extraction. Requests without a span in their context pass through
+// untouched, so a single client serves both traced and untraced
+// callers (probase-loadgen samples a fraction of its requests into
+// traces this way and joins them with the server's /debug/traces by
+// trace ID).
+type Transport struct {
+	// Base performs the actual round trip; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper. The request is cloned before
+// the header is added, per the RoundTripper contract that the original
+// request must not be mutated.
+func (t Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if sp := SpanFromContext(req.Context()); sp != nil {
+		if tp := sp.Traceparent(); tp != "" {
+			req = req.Clone(req.Context())
+			req.Header.Set(TraceparentHeader, tp)
+		}
+	}
+	return base.RoundTrip(req)
+}
+
 // Handler serves the tracer's ring buffer on /debug/traces, in the
 // spirit of golang.org/x/net/trace: JSON by default (machine-joinable
 // with log records and histogram exemplars on trace_id), or a minimal

@@ -234,3 +234,66 @@ func TestGracefulShutdownFlushesTraces(t *testing.T) {
 		t.Errorf("root = %q", traces[0].Root)
 	}
 }
+
+// TestTransportInjectsTraceparent checks the client RoundTripper emits
+// the context span's identity as a traceparent header, and leaves
+// span-less requests untouched.
+func TestTransportInjectsTraceparent(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		got = append(got, r.Header.Get(TraceparentHeader))
+		mu.Unlock()
+	}))
+	defer ts.Close()
+
+	client := &http.Client{Transport: Transport{}}
+	tracer := NewTracer(TracerConfig{SampleRate: 1, Seed: 7})
+
+	ctx, span := tracer.StartRoot(context.Background(), "client.call")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if req.Header.Get(TraceparentHeader) != "" {
+		t.Error("Transport mutated the caller's request")
+	}
+	wantID := span.TraceID()
+	span.End()
+
+	// A request with no span must carry no header.
+	plain, err := http.NewRequestWithContext(context.Background(), http.MethodGet, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Do(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("server saw %d requests", len(got))
+	}
+	sc, err := ParseTraceparent(got[0])
+	if err != nil {
+		t.Fatalf("injected header %q does not parse: %v", got[0], err)
+	}
+	if sc.TraceID.String() != wantID {
+		t.Errorf("header trace ID %s, span trace ID %s", sc.TraceID, wantID)
+	}
+	if sc.Flags&FlagSampled == 0 {
+		t.Error("injected header not flagged sampled")
+	}
+	if got[1] != "" {
+		t.Errorf("span-less request carried traceparent %q", got[1])
+	}
+}

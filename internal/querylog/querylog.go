@@ -36,6 +36,46 @@ func Generate(w *corpus.World, cfg Config) []Query {
 	if cfg.Queries == 0 {
 		cfg.Queries = 50000
 	}
+	out := make([]Query, 0, cfg.Queries)
+	Iterate(w, cfg, func(q Query) bool {
+		out = append(out, q)
+		return true
+	})
+	return out
+}
+
+// Iterate streams the same frequency-sorted query sequence Generate
+// returns, one Query at a time, stopping early when yield returns
+// false. The global popularity sort still requires the scored texts in
+// memory, but the final []Query slice is never materialised — callers
+// that keep only what they need (a text pool, a sample, a count) avoid
+// holding a second copy of a 50k+ query workload. The order delivered
+// to yield is exactly Generate's slice order for the same Config.
+func Iterate(w *corpus.World, cfg Config, yield func(Query) bool) {
+	if cfg.Queries == 0 {
+		cfg.Queries = 50000
+	}
+	for i, s := range generateScored(w, cfg) {
+		q := Query{
+			Text: s.text,
+			Freq: int64(math.Max(1, 1e7/math.Pow(float64(i+1), 1.05))),
+		}
+		if !yield(q) {
+			return
+		}
+	}
+}
+
+// scored is one distinct query text with its popularity draw; rank in
+// the popularity-sorted slice determines the Zipf frequency.
+type scored struct {
+	text string
+	pop  float64
+}
+
+// generateScored produces the distinct query texts sorted by
+// decreasing popularity — the shared core of Generate and Iterate.
+func generateScored(w *corpus.World, cfg Config) []scored {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Weighted term pools.
@@ -83,10 +123,6 @@ func Generate(w *corpus.World, cfg Config) []Query {
 		"lyrics", "translate", "maps", "calculator", "timer", "wallpaper"}
 
 	seen := make(map[string]bool, cfg.Queries)
-	type scored struct {
-		text string
-		pop  float64
-	}
 	var out []scored
 	for len(out) < cfg.Queries {
 		var text string
@@ -133,21 +169,14 @@ func Generate(w *corpus.World, cfg Config) []Query {
 		seen[text] = true
 		out = append(out, scored{text, pop})
 	}
-	// Popularity rank -> Zipf frequency.
+	// Popularity rank -> Zipf frequency, applied by the caller.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].pop != out[j].pop {
 			return out[i].pop > out[j].pop
 		}
 		return out[i].text < out[j].text
 	})
-	queries := make([]Query, len(out))
-	for i, s := range out {
-		queries[i] = Query{
-			Text: s.text,
-			Freq: int64(math.Max(1, 1e7/math.Pow(float64(i+1), 1.05))),
-		}
-	}
-	return queries
+	return out
 }
 
 // Vocabulary is a taxonomy's term inventory for coverage matching:

@@ -157,3 +157,37 @@ func TestNewVocabularyEmpty(t *testing.T) {
 		t.Error("empty vocabulary matched")
 	}
 }
+
+// TestIterateMatchesGenerate pins the streaming path to the slice path:
+// same Config, same queries, same order, same frequencies.
+func TestIterateMatchesGenerate(t *testing.T) {
+	w := corpus.DefaultWorld(1)
+	cfg := Config{Queries: 3000, Seed: 3}
+	want := Generate(w, cfg)
+	var got []Query
+	Iterate(w, cfg, func(q Query) bool {
+		got = append(got, q)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("iterator yielded %d queries, slice has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: iterator %+v, slice %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestIterateEarlyStop checks yield=false halts the stream.
+func TestIterateEarlyStop(t *testing.T) {
+	w := corpus.DefaultWorld(1)
+	var n int
+	Iterate(w, Config{Queries: 2000, Seed: 3}, func(Query) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("yield called %d times after stopping at 7", n)
+	}
+}
