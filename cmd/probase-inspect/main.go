@@ -1,0 +1,255 @@
+// Command probase-inspect reports the taxstats health profile of a
+// taxonomy snapshot — the data-plane inspection tool. It answers two
+// questions: "what does this snapshot look like?" (structural counts,
+// degree/depth shape, plausibility/typicality/entropy distributions)
+// and "how far has this snapshot drifted from the one it replaces?"
+// (per-metric deltas gated against a checked-in drift budget — the
+// pre-swap validation the snapshot hot-swap path runs in CI).
+//
+// Usage:
+//
+//	probase-inspect [-json] [-top k] [-sample n] <snapshot>
+//	    Profile one snapshot. -json emits a probase-inspect/v1 report.
+//
+//	probase-inspect -diff [-json] [-thresholds file] <old> <new>
+//	    Profile both snapshots and report per-metric drift. Without
+//	    -thresholds any drift at all fails (strict identity check);
+//	    with -thresholds only budget breaches fail.
+//
+//	probase-inspect -validate-json <report>
+//	    Validate a previously emitted -json report file.
+//
+// Exit status: 0 on success, 1 on drift-gate failure, 2 on usage or
+// I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/snapshot"
+	"repro/internal/taxstats"
+)
+
+// InspectSchema names the -json report layout: the benchfmt.Report
+// envelope under probase-inspect's own marker.
+const InspectSchema = "probase-inspect/v1"
+
+// exitcode pairs an error with the process exit status; run returns it
+// so gate failures (1) are distinguishable from usage errors (2).
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+
+func gateFailure(format string, args ...any) error {
+	return &exitError{code: 1, err: fmt.Errorf(format, args...)}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "probase-inspect:", err)
+		code := 2
+		if ee, ok := err.(*exitError); ok {
+			code = ee.code
+		}
+		os.Exit(code)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("probase-inspect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		diff         = fs.Bool("diff", false, "compare two snapshots: -diff <old> <new>")
+		jsonOut      = fs.Bool("json", false, "emit a probase-inspect/v1 JSON report")
+		thresholds   = fs.String("thresholds", "", "drift-budget file for -diff (breach exits 1)")
+		top          = fs.Int("top", 10, "top concepts to report")
+		workers      = fs.Int("workers", 0, "profile workers (0 = GOMAXPROCS; result is identical at any count)")
+		sample       = fs.Int("sample", 0, "cap instances scored by the typicality/entropy passes (0 = all)")
+		validateJSON = fs.String("validate-json", "", "validate a report file and exit")
+		version      = fs.Bool("version", false, "print build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		obs.PrintVersion(stdout, "probase-inspect")
+		return nil
+	}
+	if *validateJSON != "" {
+		if err := benchfmt.ValidateFileAs(*validateJSON, InspectSchema); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: valid %s report\n", *validateJSON, InspectSchema)
+		return nil
+	}
+
+	opts := taxstats.Options{Workers: *workers, TopK: *top, SampleInstances: *sample}
+	if *diff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: probase-inspect -diff <old> <new>")
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), *thresholds, *jsonOut, opts, stdout)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: probase-inspect [flags] <snapshot>")
+	}
+	return runProfile(fs.Arg(0), *jsonOut, opts, stdout)
+}
+
+// profileSnapshot loads one snapshot and computes its health profile.
+func profileSnapshot(path string, opts taxstats.Options) (*core.Probase, *taxstats.Profile, error) {
+	pb, err := snapshot.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := taxstats.Compute(pb.Graph, pb.Typicality(), opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return pb, p, nil
+}
+
+// report wraps experiments in the probase-inspect/v1 envelope. The
+// benchfmt options block is repurposed: Sentences carries the profiled
+// node count and Queries the edge count (the report's natural "size"),
+// Scale is always 1 — the same convention probase-loadgen set for
+// non-corpus reports.
+func report(p *taxstats.Profile, setup time.Duration, total time.Duration, exps []benchfmt.Experiment) benchfmt.Report {
+	return benchfmt.Report{
+		Schema:       InspectSchema,
+		Build:        obs.Version(),
+		Options:      benchfmt.Options{Scale: 1, Sentences: p.Nodes, Queries: p.Edges},
+		SetupSeconds: setup.Seconds(),
+		Experiments:  exps,
+		TotalSeconds: total.Seconds(),
+	}
+}
+
+func emitJSON(w io.Writer, r benchfmt.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func runProfile(path string, jsonOut bool, opts taxstats.Options, stdout io.Writer) error {
+	start := time.Now()
+	pb, p, err := profileSnapshot(path, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if jsonOut {
+		return emitJSON(stdout, report(p, 0, elapsed, []benchfmt.Experiment{
+			{Name: "profile", Seconds: elapsed.Seconds(), Result: p},
+		}))
+	}
+	printProfile(stdout, path, pb.Format, p)
+	return nil
+}
+
+func printProfile(w io.Writer, path, format string, p *taxstats.Profile) {
+	if format == "" {
+		format = "in-memory"
+	}
+	fmt.Fprintf(w, "%s (%s, fingerprint %s)\n", path, format, p.Fingerprint)
+	fmt.Fprintf(w, "  nodes %d  edges %d  concepts %d  instances %d\n",
+		p.Nodes, p.Edges, p.Concepts, p.Instances)
+	fmt.Fprintf(w, "  roots %d  orphans %d  max depth %d  topo levels %d  label bytes %d\n",
+		p.Roots, p.Orphans, p.MaxDepth, p.TopoLevels, p.LabelBytes)
+	fmt.Fprintf(w, "  out-degree mean %.2f max %d   in-degree mean %.2f max %d\n",
+		p.OutDegree.Mean, p.OutDegree.Max, p.InDegree.Mean, p.InDegree.Max)
+	printDist(w, "plausibility", p.Plausibility)
+	printDist(w, "typicality", p.Typicality)
+	printDist(w, "entropy", p.Entropy)
+	if len(p.TopConcepts) > 0 {
+		fmt.Fprintf(w, "  top concepts by direct instances:\n")
+		for _, c := range p.TopConcepts {
+			fmt.Fprintf(w, "    %-30s %6d instances  %6d out-degree\n", c.Label, c.Instances, c.OutDegree)
+		}
+	}
+}
+
+func printDist(w io.Writer, name string, d taxstats.ScoreDist) {
+	fmt.Fprintf(w, "  %-12s n=%-8d mean %.4f  p50 %.4f  p90 %.4f  p99 %.4f  zero %.3f  one %.3f\n",
+		name, d.Count, d.Mean, d.P50, d.P90, d.P99, d.ZeroMass, d.OneMass)
+}
+
+func runDiff(oldPath, newPath, thresholdsPath string, jsonOut bool, opts taxstats.Options, stdout io.Writer) error {
+	start := time.Now()
+	_, oldP, err := profileSnapshot(oldPath, opts)
+	if err != nil {
+		return err
+	}
+	setup := time.Since(start)
+	_, newP, err := profileSnapshot(newPath, opts)
+	if err != nil {
+		return err
+	}
+	drift := taxstats.DiffProfiles(oldP, newP)
+
+	var th *taxstats.Thresholds
+	if thresholdsPath != "" {
+		th, err = taxstats.LoadThresholds(thresholdsPath)
+		if err != nil {
+			return err
+		}
+		th.Gate(drift)
+	}
+	elapsed := time.Since(start)
+
+	if jsonOut {
+		if err := emitJSON(stdout, report(newP, setup, elapsed, []benchfmt.Experiment{
+			{Name: "profile_old", Seconds: setup.Seconds(), Result: oldP},
+			{Name: "profile_new", Seconds: (elapsed - setup).Seconds(), Result: newP},
+			{Name: "drift", Seconds: elapsed.Seconds(), Result: drift},
+		})); err != nil {
+			return err
+		}
+	} else {
+		printDrift(stdout, oldPath, newPath, drift)
+	}
+
+	switch {
+	case th != nil:
+		if len(drift.Breaches) > 0 {
+			return gateFailure("drift gate: %d breach(es), first: %s",
+				len(drift.Breaches), drift.Breaches[0])
+		}
+	case drift.Drifted():
+		// No budget file: any drift at all fails (strict identity check).
+		return gateFailure("snapshots differ (no -thresholds budget given)")
+	}
+	return nil
+}
+
+func printDrift(w io.Writer, oldPath, newPath string, r *taxstats.DriftReport) {
+	fmt.Fprintf(w, "drift %s -> %s (fingerprint changed: %v)\n", oldPath, newPath, r.FingerprintChanged)
+	for _, d := range r.Deltas {
+		if d.Abs == 0 {
+			continue
+		}
+		rel := "n/a"
+		if d.Rel != nil {
+			rel = fmt.Sprintf("%+.2f%%", *d.Rel*100)
+		}
+		fmt.Fprintf(w, "  %-26s %12.4f -> %12.4f  (abs %+.4f, rel %s)\n",
+			d.Metric, d.Old, d.New, d.Abs, rel)
+	}
+	if !r.Drifted() {
+		fmt.Fprintln(w, "  no drift: profiles are identical")
+	}
+	for _, b := range r.Breaches {
+		fmt.Fprintf(w, "  BREACH %s\n", b)
+	}
+}

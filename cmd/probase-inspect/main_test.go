@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/extraction"
+	"repro/internal/taxstats"
+)
+
+// buildSnapshot writes a small taxonomy snapshot to a temp file.
+func buildSnapshot(t *testing.T, extra ...string) string {
+	t.Helper()
+	sentences := append([]string{
+		"animals such as cats, dogs and rabbits live here.",
+		"domestic animals such as cats and dogs are popular.",
+		"companies such as IBM, Microsoft and Google compete.",
+		"large companies such as IBM and Microsoft hire.",
+		"pets such as cats and dogs need care.",
+	}, extra...)
+	inputs := make([]extraction.Input, len(sentences))
+	for i, s := range sentences {
+		inputs[i] = extraction.Input{Text: s, PageScore: 0.9}
+	}
+	pb, err := core.Build(inputs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runTool(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestProfileText(t *testing.T) {
+	snap := buildSnapshot(t)
+	out, err := runTool(t, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fingerprint", "PBC2", "nodes", "plausibility", "top concepts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileJSONValidates(t *testing.T) {
+	snap := buildSnapshot(t)
+	out, err := runTool(t, "-json", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := benchfmt.ValidateBytesAs("out", []byte(out), InspectSchema); err != nil {
+		t.Fatalf("emitted report fails validation: %v", err)
+	}
+	var r benchfmt.Report
+	if err := json.Unmarshal([]byte(out), &r); err != nil {
+		t.Fatal(err)
+	}
+	exp, ok := r.Experiment("profile")
+	if !ok {
+		t.Fatal("no profile experiment")
+	}
+	raw, _ := json.Marshal(exp.Result)
+	var p taxstats.Profile
+	if err := json.Unmarshal(raw, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes == 0 || p.Nodes != r.Options.Sentences {
+		t.Errorf("profile nodes %d, options.sentences %d", p.Nodes, r.Options.Sentences)
+	}
+	if p.Fingerprint == "" || p.Plausibility.Count == 0 {
+		t.Errorf("profile incomplete: %+v", p)
+	}
+
+	// Round-trip through -validate-json.
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runTool(t, "-validate-json", path); err != nil {
+		t.Errorf("-validate-json rejected our own report: %v", err)
+	}
+	if _, err := runTool(t, "-validate-json", snap); err == nil {
+		t.Error("-validate-json accepted a binary snapshot")
+	}
+}
+
+func TestDiffIdenticalPasses(t *testing.T) {
+	snap := buildSnapshot(t)
+	out, err := runTool(t, "-diff", snap, snap)
+	if err != nil {
+		t.Fatalf("self-diff failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no drift") {
+		t.Errorf("self-diff output:\n%s", out)
+	}
+}
+
+func TestDiffPerturbedFails(t *testing.T) {
+	old := buildSnapshot(t)
+	new := buildSnapshot(t,
+		"vehicles such as cars, trucks and bikes move.",
+		"fast vehicles such as cars and planes race.",
+	)
+	out, err := runTool(t, "-diff", old, new)
+	if err == nil {
+		t.Fatalf("perturbed diff passed without thresholds:\n%s", out)
+	}
+	ee, ok := err.(*exitError)
+	if !ok || ee.code != 1 {
+		t.Errorf("err = %v, want exit-1 gate failure", err)
+	}
+}
+
+func writeThresholds(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "thresholds.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffGate(t *testing.T) {
+	old := buildSnapshot(t)
+	new := buildSnapshot(t,
+		"vehicles such as cars, trucks and bikes move.",
+		"fast vehicles such as cars and planes race.",
+	)
+	loose := writeThresholds(t, `{
+		"schema": "probase-inspect-thresholds/v1",
+		"metrics": {"nodes": {"max_rel": 100.0}}
+	}`)
+	if out, err := runTool(t, "-diff", "-thresholds", loose, old, new); err != nil {
+		t.Errorf("loose gate failed: %v\n%s", err, out)
+	}
+	tight := writeThresholds(t, `{
+		"schema": "probase-inspect-thresholds/v1",
+		"metrics": {"nodes": {"max_abs": 0.5}}
+	}`)
+	out, err := runTool(t, "-diff", "-thresholds", tight, old, new)
+	if err == nil {
+		t.Fatalf("tight gate passed:\n%s", out)
+	}
+	if ee, ok := err.(*exitError); !ok || ee.code != 1 {
+		t.Errorf("err = %v, want exit-1 gate failure", err)
+	}
+	if !strings.Contains(out, "BREACH") {
+		t.Errorf("breach not reported:\n%s", out)
+	}
+	// A malformed budget is a usage error (exit 2), not a gate verdict.
+	bad := writeThresholds(t, `{"schema": "probase-inspect-thresholds/v1", "metrics": {"nodez": {"max_abs": 1}}}`)
+	if _, err := runTool(t, "-diff", "-thresholds", bad, old, new); err == nil {
+		t.Error("unknown-metric thresholds accepted")
+	} else if _, ok := err.(*exitError); ok {
+		t.Errorf("thresholds parse error returned a gate exit: %v", err)
+	}
+}
+
+func TestDiffJSONReport(t *testing.T) {
+	snap := buildSnapshot(t)
+	out, err := runTool(t, "-diff", "-json", snap, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := benchfmt.ValidateBytesAs("out", []byte(out), InspectSchema); err != nil {
+		t.Fatalf("diff report fails validation: %v", err)
+	}
+	var r benchfmt.Report
+	if err := json.Unmarshal([]byte(out), &r); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"profile_old", "profile_new", "drift"} {
+		if _, ok := r.Experiment(name); !ok {
+			t.Errorf("report missing experiment %q", name)
+		}
+	}
+	exp, _ := r.Experiment("drift")
+	raw, _ := json.Marshal(exp.Result)
+	var drift taxstats.DriftReport
+	if err := json.Unmarshal(raw, &drift); err != nil {
+		t.Fatal(err)
+	}
+	if drift.FingerprintChanged {
+		t.Error("self-diff reports a fingerprint change")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, err := runTool(t); err == nil {
+		t.Error("no-args run succeeded")
+	}
+	if _, err := runTool(t, "-diff", "only-one"); err == nil {
+		t.Error("-diff with one arg succeeded")
+	}
+	if _, err := runTool(t, filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("missing snapshot succeeded")
+	}
+}

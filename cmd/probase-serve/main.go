@@ -17,8 +17,11 @@
 //
 // Observability: logs are structured (-log-format json|text, -log-level),
 // every response carries an X-Request-ID header, /metrics serves
-// Prometheus text exposition, -slowlog enables a sampled slow-query log,
-// and -pprof-addr starts a separate net/http/pprof listener.
+// Prometheus text exposition (including probase_snapshot_* health
+// gauges for the served taxonomy), /v1/admin/stats serves the full
+// taxstats health profile as JSON, -slowlog enables a sampled
+// slow-query log, and -pprof-addr starts a separate net/http/pprof
+// listener.
 //
 // Tracing: -trace-sample and/or -trace-slow turn on per-request spans
 // with W3C traceparent propagation; kept traces (head-sampled, slow, or

@@ -264,6 +264,32 @@ func TestServeTracingEndToEnd(t *testing.T) {
 		t.Fatalf("response traceparent %q does not continue trace %s", out, wantTrace)
 	}
 
+	// The OpenMetrics exposition carries the trace ID as an exemplar on
+	// the latency histogram; the plain Prometheus exposition does not.
+	// Scraped before any further traffic: exemplars keep the latest
+	// trace per bucket, so a later request landing in the same bucket
+	// would legitimately replace this one.
+	mreq, _ := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	mreq.Header.Set("Accept", "application/openmetrics-text")
+	mresp, err := http.DefaultClient.Do(mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(om), `trace_id="`+wantTrace) {
+		t.Error("OpenMetrics exposition has no exemplar for the traced request")
+	}
+	plain, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainBody, _ := io.ReadAll(plain.Body)
+	plain.Body.Close()
+	if strings.Contains(string(plainBody), "trace_id=") {
+		t.Error("plain Prometheus exposition leaks exemplars (breaks strict 0.0.4 parsers)")
+	}
+
 	// Same query again: the second request must be answered from cache
 	// and traced as a hit.
 	status, _ := getJSON(t, base+"/v1/instances?concept=companies&k=3")
@@ -324,29 +350,6 @@ func TestServeTracingEndToEnd(t *testing.T) {
 	hresp.Body.Close()
 	if !strings.Contains(string(html), wantTrace) {
 		t.Errorf("HTML waterfall missing trace %s", wantTrace)
-	}
-
-	// The OpenMetrics exposition carries the trace ID as an exemplar on
-	// the latency histogram; the plain Prometheus exposition does not.
-	mreq, _ := http.NewRequest(http.MethodGet, base+"/metrics", nil)
-	mreq.Header.Set("Accept", "application/openmetrics-text")
-	mresp, err := http.DefaultClient.Do(mreq)
-	if err != nil {
-		t.Fatal(err)
-	}
-	om, _ := io.ReadAll(mresp.Body)
-	mresp.Body.Close()
-	if !strings.Contains(string(om), `trace_id="`+wantTrace) {
-		t.Error("OpenMetrics exposition has no exemplar for the traced request")
-	}
-	plain, err := http.Get(base + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	plainBody, _ := io.ReadAll(plain.Body)
-	plain.Body.Close()
-	if strings.Contains(string(plainBody), "trace_id=") {
-		t.Error("plain Prometheus exposition leaks exemplars (breaks strict 0.0.4 parsers)")
 	}
 
 	cancel()

@@ -53,14 +53,22 @@
 //     endpoints: deterministic seeded request plans, HDR-style
 //     log-linear latency histograms with coordinated-omission
 //     correction, and the SLO gate behind CI's capacity-smoke job.
-//   - internal/benchfmt — the probase-bench/v1 report schema and
-//     validator shared by probase-bench and probase-loadgen.
+//   - internal/benchfmt — the report envelope schema and validator
+//     shared by probase-bench, probase-loadgen, and probase-inspect
+//     (each under its own schema marker).
+//   - internal/taxstats — the snapshot health profile: deterministic
+//     structural counts, degree/depth histograms, score distributions
+//     (plausibility, typicality, instance-conceptualisation entropy),
+//     a backend-independent graph fingerprint, and profile diffing
+//     with a threshold-gated drift budget. Feeds the
+//     probase_snapshot_* gauges, /v1/admin/stats, and probase-inspect.
 //
 // The binaries under cmd/ wire these into a toolchain: corpusgen
 // (corpus), probase-build (corpus → snapshot, with -workers sizing the
 // shared pool), probase-query (CLI queries), probase-serve (HTTP),
-// probase-bench (the evaluation), and probase-loadgen (capacity
-// measurement against a live server).
+// probase-bench (the evaluation), probase-loadgen (capacity
+// measurement against a live server), and probase-inspect (snapshot
+// health profiles and the drift gate between them).
 //
 // See README.md for the overview, ARCHITECTURE.md for the pipeline and
 // determinism contract, DESIGN.md for the system inventory and

@@ -68,6 +68,13 @@ func (r *Report) Experiment(name string) (Experiment, bool) {
 // marker, a build stamp, and at least one experiment with a name and a
 // non-negative duration. name labels errors (usually a file path).
 func ValidateBytes(name string, raw []byte) error {
+	return ValidateBytesAs(name, raw, Schema)
+}
+
+// ValidateBytesAs is ValidateBytes for a tool that reuses the Report
+// layout under its own schema marker (e.g. probase-inspect/v1): the
+// structural rules are identical, only the expected schema differs.
+func ValidateBytesAs(name string, raw []byte, schema string) error {
 	var r Report
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
@@ -75,8 +82,8 @@ func ValidateBytes(name string, raw []byte) error {
 		return fmt.Errorf("%s: %w", name, err)
 	}
 	switch {
-	case r.Schema != Schema:
-		return fmt.Errorf("%s: schema %q, want %q", name, r.Schema, Schema)
+	case r.Schema != schema:
+		return fmt.Errorf("%s: schema %q, want %q", name, r.Schema, schema)
 	case len(r.Experiments) == 0:
 		return fmt.Errorf("%s: no experiments recorded", name)
 	case r.TotalSeconds <= 0:
@@ -100,9 +107,15 @@ func ValidateBytes(name string, raw []byte) error {
 
 // ValidateFile reads path and validates it as a Report.
 func ValidateFile(path string) error {
+	return ValidateFileAs(path, Schema)
+}
+
+// ValidateFileAs reads path and validates it as a Report carrying the
+// given schema marker.
+func ValidateFileAs(path, schema string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	return ValidateBytes(path, raw)
+	return ValidateBytesAs(path, raw, schema)
 }

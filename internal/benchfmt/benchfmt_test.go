@@ -82,6 +82,39 @@ func TestValidateRejections(t *testing.T) {
 	}
 }
 
+func TestValidateAs(t *testing.T) {
+	r := validReport()
+	r.Schema = "probase-inspect/v1"
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBytesAs("mem", raw, "probase-inspect/v1"); err != nil {
+		t.Fatalf("report rejected under its own schema: %v", err)
+	}
+	// The default validator still insists on the bench schema...
+	if err := ValidateBytes("mem", raw); err == nil {
+		t.Error("foreign schema accepted by ValidateBytes")
+	}
+	// ...and the structural rules apply unchanged under any schema.
+	r.Experiments = nil
+	raw, _ = json.Marshal(r)
+	if err := ValidateBytesAs("mem", raw, "probase-inspect/v1"); err == nil {
+		t.Error("experiment-free report accepted")
+	}
+
+	path := filepath.Join(t.TempDir(), "r.json")
+	r = validReport()
+	r.Schema = "probase-inspect/v1"
+	raw, _ = json.Marshal(r)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateFileAs(path, "probase-inspect/v1"); err != nil {
+		t.Fatalf("ValidateFileAs: %v", err)
+	}
+}
+
 func TestExperimentLookup(t *testing.T) {
 	r := validReport()
 	if _, ok := r.Experiment("loadgen"); !ok {

@@ -68,6 +68,11 @@ type Probase struct {
 	// Extraction is the raw extraction result (per-round pair attribution
 	// for the iteration experiments). Nil when loaded from a snapshot.
 	Extraction *extraction.Result
+	// Format records the on-disk snapshot format this Probase was loaded
+	// from — the 4-byte magic ("PBGR", "PBC2", "PBFL"); empty for an
+	// in-memory build. internal/snapshot sets it; the serving layer
+	// reports it on /v1/healthz.
+	Format string
 
 	typ   *prob.Typicality
 	model *prob.Model
@@ -359,6 +364,7 @@ func (p *Probase) Merge(other graph.Reader) (*Probase, error) {
 		Senses:     sensesFromGraph(fz),
 		Info:       p.Info,
 		Extraction: p.Extraction,
+		Format:     p.Format,
 		typ:        typ,
 		model:      p.model,
 	}, nil
@@ -379,6 +385,7 @@ func (p *Probase) Rebind(g graph.Reader) (*Probase, error) {
 		Senses:     p.Senses,
 		Info:       p.Info,
 		Extraction: p.Extraction,
+		Format:     p.Format,
 		typ:        typ,
 		model:      p.model,
 	}, nil

@@ -1,31 +1,149 @@
 package obs
 
-import "runtime"
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// gcPauseMetric is the runtime/metrics histogram of stop-the-world GC
+// pause durations since process start.
+const gcPauseMetric = "/sched/pauses/total/gc:seconds"
+
+// gcPauseQuantiles are the quantile labels exposed for GC pauses.
+var gcPauseQuantiles = []float64{0.5, 0.99, 1.0}
 
 // RegisterProcessGauges adds the standard process-health gauges to the
-// registry: goroutine count, heap usage, GC activity. Values are read
-// at scrape time (runtime.ReadMemStats briefly stops the world, which
-// is acceptable at scrape frequency).
+// registry: goroutine count, heap usage, GC activity, and GC pause
+// quantiles. runtime.ReadMemStats briefly stops the world, so the heap
+// gauges share one cached sample per scrape window instead of paying
+// that pause once per gauge.
 func RegisterProcessGauges(r *Registry) {
+	registerProcessGauges(r, newProcSampler())
+}
+
+func registerProcessGauges(r *Registry, s *procSampler) {
 	r.GaugeFunc("probase_process_goroutines",
 		"Number of live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 	r.GaugeFunc("probase_process_heap_alloc_bytes",
 		"Bytes of allocated heap objects.",
-		func() float64 { return float64(readMemStats().HeapAlloc) })
+		func() float64 { return float64(s.memStats().HeapAlloc) })
 	r.GaugeFunc("probase_process_heap_objects",
 		"Number of allocated heap objects.",
-		func() float64 { return float64(readMemStats().HeapObjects) })
+		func() float64 { return float64(s.memStats().HeapObjects) })
 	r.GaugeFunc("probase_process_sys_bytes",
 		"Total bytes of memory obtained from the OS.",
-		func() float64 { return float64(readMemStats().Sys) })
+		func() float64 { return float64(s.memStats().Sys) })
 	r.GaugeFunc("probase_process_gc_cycles_total",
 		"Completed GC cycles since process start.",
-		func() float64 { return float64(readMemStats().NumGC) })
+		func() float64 { return float64(s.memStats().NumGC) })
+	for _, q := range gcPauseQuantiles {
+		q := q
+		r.GaugeFunc("probase_process_gc_pause_seconds",
+			"Quantiles of the cumulative GC stop-the-world pause distribution.",
+			func() float64 { return histQuantile(s.gcPauses(), q) },
+			L("quantile", strconv.FormatFloat(q, 'g', -1, 64)))
+	}
 }
 
-func readMemStats() runtime.MemStats {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return ms
+// procSampler amortises runtime introspection across the gauges of one
+// scrape: the first gauge to ask within a TTL window pays for the
+// runtime.ReadMemStats stop-the-world and the metrics.Read, every other
+// gauge reuses the cached sample. The read and clock functions are
+// injectable so tests can count reads and steer the window.
+type procSampler struct {
+	ttl       time.Duration
+	now       func() time.Time
+	readMem   func(*runtime.MemStats)
+	readPause func() *metrics.Float64Histogram
+
+	mu    sync.Mutex
+	at    time.Time
+	ms    runtime.MemStats
+	pause *metrics.Float64Histogram
+	reads int
+}
+
+func newProcSampler() *procSampler {
+	return &procSampler{
+		ttl:       time.Second,
+		now:       time.Now,
+		readMem:   runtime.ReadMemStats,
+		readPause: readGCPauses,
+	}
+}
+
+// refresh re-reads the runtime if the cached sample is stale. Callers
+// hold s.mu.
+func (s *procSampler) refresh() {
+	now := s.now()
+	if !s.at.IsZero() && now.Sub(s.at) < s.ttl && !now.Before(s.at) {
+		return
+	}
+	s.readMem(&s.ms)
+	s.pause = s.readPause()
+	s.at = now
+	s.reads++
+}
+
+func (s *procSampler) memStats() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refresh()
+	return s.ms
+}
+
+func (s *procSampler) gcPauses() *metrics.Float64Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refresh()
+	return s.pause
+}
+
+// readGCPauses samples the GC pause histogram from runtime/metrics. A
+// nil return means the running runtime does not publish the metric (the
+// KindBad guard); the quantile gauges then report 0 rather than lying.
+func readGCPauses() *metrics.Float64Histogram {
+	samples := []metrics.Sample{{Name: gcPauseMetric}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return samples[0].Value.Float64Histogram()
+}
+
+// histQuantile reads a nearest-rank quantile out of a runtime/metrics
+// histogram: the upper bound of the bucket holding the target rank, or
+// the bucket's lower bound when that edge is +Inf (the open-ended top
+// bucket has no finite upper edge to report).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if upper := h.Buckets[i+1]; !math.IsInf(upper, 1) {
+				return upper
+			}
+			return h.Buckets[i]
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
 }

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeSampler wires a procSampler to a counting read and a manual
+// clock, so tests can observe exactly how many stop-the-world reads a
+// scrape costs.
+func fakeSampler() (*procSampler, *time.Time) {
+	now := time.Unix(1000, 0)
+	s := &procSampler{
+		ttl: time.Second,
+		now: func() time.Time { return now },
+		readMem: func(ms *runtime.MemStats) {
+			ms.HeapAlloc = 42
+			ms.HeapObjects = 7
+			ms.Sys = 1 << 20
+			ms.NumGC = 3
+		},
+		readPause: func() *metrics.Float64Histogram {
+			return &metrics.Float64Histogram{
+				Counts:  []uint64{9, 1},
+				Buckets: []float64{0, 1e-3, 1e-2},
+			}
+		},
+	}
+	return s, &now
+}
+
+// TestProcSamplerSharesOneRead is the satellite's core claim: four heap
+// gauges scraping through one sampler pay one ReadMemStats, not four.
+func TestProcSamplerSharesOneRead(t *testing.T) {
+	s, now := fakeSampler()
+	for i := 0; i < 4; i++ {
+		if got := s.memStats().HeapAlloc; got != 42 {
+			t.Fatalf("HeapAlloc = %d", got)
+		}
+		s.gcPauses()
+	}
+	if s.reads != 1 {
+		t.Errorf("reads = %d, want 1 within a TTL window", s.reads)
+	}
+
+	// The next scrape window refreshes exactly once more.
+	*now = now.Add(2 * time.Second)
+	s.memStats()
+	s.gcPauses()
+	if s.reads != 2 {
+		t.Errorf("reads = %d after TTL expiry, want 2", s.reads)
+	}
+
+	// A clock that jumps backwards (wall-clock step) refreshes rather
+	// than serving a sample from the future forever.
+	*now = now.Add(-time.Hour)
+	s.memStats()
+	if s.reads != 3 {
+		t.Errorf("reads = %d after backwards clock jump, want 3", s.reads)
+	}
+}
+
+// TestProcessGaugesOneReadPerScrape wires the fake sampler into a real
+// registry: a full exposition touches every process gauge yet costs a
+// single runtime read.
+func TestProcessGaugesOneReadPerScrape(t *testing.T) {
+	s, _ := fakeSampler()
+	reg := NewRegistry()
+	registerProcessGauges(reg, s)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s.reads != 1 {
+		t.Errorf("one scrape cost %d runtime reads, want 1", s.reads)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"probase_process_heap_alloc_bytes 42",
+		"probase_process_heap_objects 7",
+		"probase_process_gc_cycles_total 3",
+		`probase_process_gc_pause_seconds{quantile="0.5"} 0.001`,
+		`probase_process_gc_pause_seconds{quantile="0.99"} 0.01`,
+		`probase_process_gc_pause_seconds{quantile="1"} 0.01`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{5, 3, 2},
+		Buckets: []float64{0, 1, 2, math.Inf(1)},
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 1},   // rank 5 of 10 lands in the first bucket
+		{0.6, 2},   // rank 6 crosses into the second
+		{0.99, 2},  // rank 10 is in the +Inf bucket: lower bound
+		{1.0, 2},   // same open-ended bucket
+		{0.001, 1}, // target clamps up to rank 1
+	}
+	for _, tc := range cases {
+		if got := histQuantile(h, tc.q); got != tc.want {
+			t.Errorf("histQuantile(q=%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := histQuantile(nil, 0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+// TestReadGCPauses checks the live runtime publishes the pause metric
+// in the kind we expect; if a future runtime changes the kind, the
+// KindBad guard must turn that into nil, and this test into a loud
+// signal.
+func TestReadGCPauses(t *testing.T) {
+	runtime.GC()
+	h := readGCPauses()
+	if h == nil {
+		t.Fatalf("runtime does not publish %s as a float64 histogram", gcPauseMetric)
+	}
+	if len(h.Buckets) != len(h.Counts)+1 {
+		t.Errorf("histogram shape: %d buckets, %d counts", len(h.Buckets), len(h.Counts))
+	}
+	if q := histQuantile(h, 1.0); q < 0 {
+		t.Errorf("max pause quantile = %v", q)
+	}
+}

@@ -297,3 +297,131 @@ func TestTransportInjectsTraceparent(t *testing.T) {
 		t.Errorf("span-less request carried traceparent %q", got[1])
 	}
 }
+
+// TestTransportPreExistingHeader pins the overwrite semantics: when the
+// context carries a span, its identity replaces any traceparent the
+// caller already set (the span is the truth of this hop); with no span
+// in the context a caller-set header passes through untouched.
+func TestTransportPreExistingHeader(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		got = append(got, r.Header.Get(TraceparentHeader))
+		mu.Unlock()
+	}))
+	defer ts.Close()
+
+	client := &http.Client{Transport: Transport{}}
+	tracer := NewTracer(TracerConfig{SampleRate: 1, Seed: 3})
+
+	stale := "00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbbbbbbbbbbbbbb-01"
+
+	ctx, span := tracer.StartRoot(context.Background(), "client.call")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TraceparentHeader, stale)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h := req.Header.Get(TraceparentHeader); h != stale {
+		t.Errorf("Transport mutated the caller's header to %q", h)
+	}
+	wantID := span.TraceID()
+	span.End()
+
+	plain, err := http.NewRequestWithContext(context.Background(), http.MethodGet, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Header.Set(TraceparentHeader, stale)
+	resp, err = client.Do(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("server saw %d requests", len(got))
+	}
+	sc, err := ParseTraceparent(got[0])
+	if err != nil {
+		t.Fatalf("outbound header %q does not parse: %v", got[0], err)
+	}
+	if sc.TraceID.String() != wantID {
+		t.Errorf("span did not overwrite stale header: sent trace %s, span %s", sc.TraceID, wantID)
+	}
+	if got[1] != stale {
+		t.Errorf("span-less request rewrote caller header to %q", got[1])
+	}
+}
+
+// TestTransportConcurrent drives one shared Transport from many
+// goroutines, each with its own span, and checks every request carried
+// its own trace ID. Run under -race this also proves the clone-only
+// design never mutates shared request state.
+func TestTransportConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.Header.Get(TraceparentHeader)]++
+		mu.Unlock()
+	}))
+	defer ts.Close()
+
+	client := &http.Client{Transport: Transport{}}
+	tracer := NewTracer(TracerConfig{SampleRate: 1, Seed: 9})
+
+	const callers = 16
+	wantIDs := make([]string, callers)
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, span := tracer.StartRoot(context.Background(), "concurrent.call")
+			defer span.End()
+			wantIDs[i] = span.TraceID()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, id := range wantIDs {
+		found := false
+		for header := range seen {
+			if sc, err := ParseTraceparent(header); err == nil && sc.TraceID.String() == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("caller %d trace %s never reached the server; saw %v", i, id, seen)
+		}
+	}
+}

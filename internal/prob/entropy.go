@@ -1,0 +1,38 @@
+package prob
+
+import "math"
+
+// Entropy returns the Shannon entropy, in bits, of a ranked score
+// distribution — the ambiguity signal of Section 5: H of
+// P(concept|instance) is 0 when an instance belongs unambiguously to
+// one concept and grows as its membership spreads across concepts
+// (maximal, log2 n, when all n scores are equal).
+//
+// The scores are treated as an unnormalised distribution and
+// renormalised over their sum, so callers may pass any ranked slice
+// whether or not it sums to exactly 1. Zero scores contribute nothing
+// (lim p→0 of -p·log2 p = 0). An empty or all-zero slice has entropy 0.
+func Entropy(rs []Ranked) float64 {
+	var total float64
+	for _, r := range rs {
+		if r.Score > 0 {
+			total += r.Score
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, r := range rs {
+		if r.Score <= 0 {
+			continue
+		}
+		p := r.Score / total
+		h -= p * math.Log2(p)
+	}
+	if h < 0 {
+		// Rounding can push a one-entry distribution a hair below zero.
+		h = 0
+	}
+	return h
+}

@@ -1,0 +1,42 @@
+package prob
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEntropy(t *testing.T) {
+	cases := []struct {
+		name string
+		rs   []Ranked
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []Ranked{{"a", 1}}, 0},
+		{"uniform2", []Ranked{{"a", 0.5}, {"b", 0.5}}, 1},
+		{"uniform4", []Ranked{{"a", 0.25}, {"b", 0.25}, {"c", 0.25}, {"d", 0.25}}, 2},
+		// Unnormalised scores renormalise over their sum.
+		{"unnormalised", []Ranked{{"a", 3}, {"b", 3}}, 1},
+		{"zeros ignored", []Ranked{{"a", 0.5}, {"b", 0.5}, {"c", 0}}, 1},
+		{"all zero", []Ranked{{"a", 0}, {"b", 0}}, 0},
+		// H(0.9, 0.1) = -(0.9 log2 0.9 + 0.1 log2 0.1).
+		{"skewed", []Ranked{{"a", 0.9}, {"b", 0.1}},
+			-(0.9*math.Log2(0.9) + 0.1*math.Log2(0.1))},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Entropy(c.rs); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Entropy = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestEntropyNeverNegative(t *testing.T) {
+	// A lone score whose self-division rounds to slightly over 1 could
+	// push -p log2 p below zero; the clamp keeps the signal a valid
+	// entropy.
+	if got := Entropy([]Ranked{{"a", 0.1}}); got != 0 {
+		t.Errorf("Entropy(single) = %v, want exactly 0", got)
+	}
+}

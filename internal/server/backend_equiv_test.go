@@ -47,11 +47,14 @@ func TestBackendsByteIdentical(t *testing.T) {
 	}
 
 	// healthz carries uptime and cache occupancy, so compare just the
-	// snapshot shape.
+	// snapshot identity. The fingerprint hashes logical graph content,
+	// so the two storage backends must agree on it too.
 	var fh, bh struct {
-		Status string `json:"status"`
-		Nodes  int    `json:"nodes"`
-		Edges  int    `json:"edges"`
+		Status      string `json:"status"`
+		Nodes       int    `json:"nodes"`
+		Edges       int    `json:"edges"`
+		Format      string `json:"snapshot_format"`
+		Fingerprint string `json:"fingerprint"`
 	}
 	if err := json.Unmarshal([]byte(fetchBody(t, frozenSrv, "/v1/healthz")), &fh); err != nil {
 		t.Fatal(err)
@@ -61,6 +64,25 @@ func TestBackendsByteIdentical(t *testing.T) {
 	}
 	if fh != bh {
 		t.Errorf("healthz shape diverges: frozen %+v, builder %+v", fh, bh)
+	}
+	if fh.Fingerprint == "" {
+		t.Error("healthz fingerprint is empty")
+	}
+
+	// And the full health profiles (admin stats) must agree as well;
+	// uptime naturally differs, so compare only the profile payload.
+	var fs, bs struct {
+		Profile json.RawMessage `json:"profile"`
+	}
+	if err := json.Unmarshal([]byte(fetchBody(t, frozenSrv, "/v1/admin/stats")), &fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(fetchBody(t, builderSrv, "/v1/admin/stats")), &bs); err != nil {
+		t.Fatal(err)
+	}
+	if string(fs.Profile) != string(bs.Profile) {
+		t.Errorf("health profiles diverge across backends:\nfrozen:  %s\nbuilder: %s",
+			fs.Profile, bs.Profile)
 	}
 }
 

@@ -101,6 +101,19 @@ func (c *Cache) Put(key string, val []byte) {
 	sh.items[key] = sh.ll.PushFront(&cacheEntry{key: key, val: val})
 }
 
+// Purge empties every shard — called on snapshot swap, since cached
+// response bodies answer for the snapshot that produced them. Shards
+// are cleared one at a time; concurrent readers of other shards are
+// unaffected.
+func (c *Cache) Purge() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.ll.Init()
+		clear(sh.items)
+		sh.mu.Unlock()
+	}
+}
+
 // Len returns the total number of cached entries across all shards.
 func (c *Cache) Len() int {
 	n := 0

@@ -43,15 +43,29 @@
 //	    -> {"terms": [...], "k": 5, "results": [...]}
 //
 //	GET /v1/healthz
-//	    Liveness plus snapshot shape.
-//	    -> {"status": "ok", "nodes": .., "edges": .., "uptime_ms": ..}
+//	    Liveness plus snapshot identity: shape counts, the on-disk
+//	    format magic (empty for in-memory builds), and the logical
+//	    graph fingerprint (identical across storage backends).
+//	    -> {"status": "ok", "nodes": .., "edges": ..,
+//	        "snapshot_format": "PBC2", "fingerprint": "..",
+//	        "uptime_ms": ..}
+//
+//	GET /v1/admin/stats
+//	    The full taxstats health profile of the served snapshot:
+//	    structural counts, degree/depth histograms, top concepts, and
+//	    plausibility/typicality/entropy score distributions. Computed
+//	    once per snapshot (at startup and on every Swap), served from
+//	    memory. 503 if the snapshot could not be profiled.
+//	    -> {"snapshot_format": .., "uptime_ms": .., "profile": {...}}
 //
 //	GET /metrics
 //	    Prometheus text exposition: probase_http_requests_total,
 //	    probase_http_errors_total, probase_cache_{hits,misses}_total,
 //	    probase_http_request_duration_seconds (histogram),
 //	    probase_http_inflight_requests, probase_cache_shard_entries,
-//	    probase_snapshot_{nodes,edges}, probase_process_* gauges.
+//	    probase_snapshot_* health gauges (shape counts plus
+//	    probase_snapshot_score{dist,stat} distribution stats, refreshed
+//	    on Swap), probase_process_* gauges.
 //
 //	GET /debug/vars
 //	    The same counters as a JSON tree: per-endpoint requests,
@@ -71,6 +85,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/apps"
@@ -78,6 +93,7 @@ import (
 	"repro/internal/extraction"
 	"repro/internal/obs"
 	"repro/internal/prob"
+	"repro/internal/taxstats"
 )
 
 // Config tunes the serving layer. The zero value is usable.
@@ -91,6 +107,11 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxK caps the k parameter. Default 1000.
 	MaxK int
+	// StatsSampleInstances caps how many instances the taxstats health
+	// profile scores on snapshot load and swap (0 = all). Large
+	// taxonomies can cap this to bound startup time; the profile records
+	// the cap so a sampled profile is never mistaken for exhaustive.
+	StatsSampleInstances int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,19 +138,29 @@ const (
 	epPlausibility  = "plausibility"
 	epConceptualize = "conceptualize"
 	epHealthz       = "healthz"
+	epAdminStats    = "admin_stats"
 )
 
 var allEndpoints = []string{
 	epInstances, epConcepts, epTypicality, epPlausibility,
-	epConceptualize, epHealthz,
+	epConceptualize, epHealthz, epAdminStats,
+}
+
+// snapState bundles everything derived from one snapshot — the engine,
+// the entity recogniser built over its labels, and the taxstats health
+// profile. Swapping snapshots replaces the whole bundle atomically so a
+// request never sees the new graph with the old recogniser or profile.
+type snapState struct {
+	pb      *core.Probase
+	rec     *apps.Recognizer
+	profile *taxstats.Profile
 }
 
 // Server answers taxonomy queries over HTTP. Safe for concurrent use;
 // construct with New and mount via Handler (or use it directly as an
 // http.Handler).
 type Server struct {
-	pb      *core.Probase
-	rec     *apps.Recognizer
+	snap    atomic.Pointer[snapState]
 	cache   *Cache
 	metrics *Metrics
 	cfg     Config
@@ -141,25 +172,67 @@ type Server struct {
 func New(pb *core.Probase, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		pb:      pb,
-		rec:     apps.NewRecognizer(pb),
 		cache:   NewCache(cfg.CacheShards, cfg.CacheEntriesPerShard),
 		metrics: newMetrics(allEndpoints),
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
+	s.snap.Store(newSnapState(pb, cfg))
 	s.mux.Handle("/v1/instances", s.wrap(epInstances, true, s.handleInstances))
 	s.mux.Handle("/v1/concepts", s.wrap(epConcepts, true, s.handleConcepts))
 	s.mux.Handle("/v1/typicality", s.wrap(epTypicality, true, s.handleTypicality))
 	s.mux.Handle("/v1/plausibility", s.wrap(epPlausibility, true, s.handlePlausibility))
 	s.mux.Handle("/v1/conceptualize", s.wrap(epConceptualize, true, s.handleConceptualize))
 	s.mux.Handle("/v1/healthz", s.wrap(epHealthz, false, s.handleHealthz))
+	s.mux.Handle("/v1/admin/stats", s.wrap(epAdminStats, false, s.handleAdminStats))
 	s.mux.Handle("/debug/vars", s.metrics.Handler())
 	s.mux.Handle("/metrics", s.metrics.PrometheusHandler())
 	s.metrics.observeCache(s.cache)
-	s.metrics.observeSnapshot(pb.Graph.NumNodes, pb.Graph.NumEdges)
+	s.metrics.observeSnapshot(
+		func() int { return s.probase().Graph.NumNodes() },
+		func() int { return s.probase().Graph.NumEdges() })
+	taxstats.Register(s.metrics.Registry(), s.profile)
 	return s
+}
+
+// newSnapState derives the per-snapshot bundle. The profile pass can
+// only fail on a cyclic graph, which a built or loaded Probase cannot
+// be; if it somehow does, the state ships with a nil profile (stats
+// gauges read 0, /v1/admin/stats reports 503) rather than refusing to
+// serve queries.
+func newSnapState(pb *core.Probase, cfg Config) *snapState {
+	profile, _ := taxstats.Compute(pb.Graph, pb.Typicality(), taxstats.Options{
+		SampleInstances: cfg.StatsSampleInstances,
+	})
+	return &snapState{pb: pb, rec: apps.NewRecognizer(pb), profile: profile}
+}
+
+// state returns the current snapshot bundle.
+func (s *Server) state() *snapState { return s.snap.Load() }
+
+// probase returns the currently served engine.
+func (s *Server) probase() *core.Probase { return s.state().pb }
+
+// profile returns the current taxstats health profile (nil only if
+// profiling failed).
+func (s *Server) profile() *taxstats.Profile { return s.state().profile }
+
+// Swap replaces the served snapshot — the hot-swap seam. The new
+// engine's state (recogniser, health profile) is built before the
+// pointer flips, the hot-query cache is purged after (stale bodies must
+// not outlive the snapshot that produced them), and the probase_snapshot_*
+// gauges read the new profile on the next scrape. In-flight requests
+// finish against whichever state they started with. An unprofilable
+// graph (cycle) is refused.
+func (s *Server) Swap(pb *core.Probase) error {
+	st := newSnapState(pb, s.cfg)
+	if st.profile == nil {
+		return fmt.Errorf("server: refusing swap: new snapshot is not profilable")
+	}
+	s.snap.Store(st)
+	s.cache.Purge()
+	return nil
 }
 
 // Handler returns the root handler for mounting under an http.Server.
@@ -341,7 +414,7 @@ func (s *Server) handleInstances(r *http.Request) (string, any, error) {
 	}
 	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
 	sp.SetAttr("op", "instances_of")
-	results := toResults(s.pb.InstancesOf(concept, k))
+	results := toResults(s.probase().InstancesOf(concept, k))
 	sp.End()
 	return key, struct {
 		Concept string         `json:"concept"`
@@ -365,7 +438,7 @@ func (s *Server) handleConcepts(r *http.Request) (string, any, error) {
 	}
 	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
 	sp.SetAttr("op", "concepts_of")
-	results := toResults(s.pb.ConceptsOf(term, k))
+	results := toResults(s.probase().ConceptsOf(term, k))
 	sp.End()
 	return key, struct {
 		Term    string         `json:"term"`
@@ -386,8 +459,8 @@ func (s *Server) handleTypicality(r *http.Request) (string, any, error) {
 	}
 	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
 	sp.SetAttr("op", "typicality")
-	down := s.scoreFor(s.pb.InstancesOf(concept, s.cfg.MaxK), instance, false)
-	up := s.scoreFor(s.pb.ConceptsOf(instance, s.cfg.MaxK), concept, true)
+	down := s.scoreFor(s.probase().InstancesOf(concept, s.cfg.MaxK), instance, false)
+	up := s.scoreFor(s.probase().ConceptsOf(instance, s.cfg.MaxK), concept, true)
 	sp.End()
 	return key, struct {
 		Concept           string  `json:"concept"`
@@ -428,7 +501,7 @@ func (s *Server) handlePlausibility(r *http.Request) (string, any, error) {
 	}
 	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
 	sp.SetAttr("op", "plausibility")
-	p := s.pb.Plausibility(x, y)
+	p := s.probase().Plausibility(x, y)
 	sp.End()
 	return key, struct {
 		X            string  `json:"x"`
@@ -463,7 +536,7 @@ func (s *Server) handleConceptualize(r *http.Request) (string, any, error) {
 		if len(text) > maxConceptualizeText {
 			return "", nil, badRequest("text exceeds %d bytes", maxConceptualizeText)
 		}
-		for _, m := range s.rec.Recognize(text) {
+		for _, m := range s.state().rec.Recognize(text) {
 			terms = append(terms, m.Text)
 		}
 		if len(terms) == 0 {
@@ -481,7 +554,7 @@ func (s *Server) handleConceptualize(r *http.Request) (string, any, error) {
 	}
 	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
 	sp.SetAttr("op", "conceptualize")
-	ranked, ok := s.pb.Conceptualize(terms, k)
+	ranked, ok := s.probase().Conceptualize(terms, k)
 	if !ok {
 		// Per-term abstraction fills in when the joint set is unknown —
 		// the internal/apps short-text fallback.
@@ -505,7 +578,7 @@ func (s *Server) handleConceptualize(r *http.Request) (string, any, error) {
 func (s *Server) perTermFallback(terms []string, k int) []prob.Ranked {
 	scores := map[string]float64{}
 	for _, term := range terms {
-		for _, r := range s.pb.ConceptsOf(term, k) {
+		for _, r := range s.probase().ConceptsOf(term, k) {
 			scores[core.BaseLabel(r.Label)] += r.Score
 		}
 	}
@@ -523,21 +596,60 @@ func (s *Server) perTermFallback(terms []string, k int) []prob.Ranked {
 }
 
 func (s *Server) handleHealthz(r *http.Request) (string, any, error) {
+	st := s.state()
 	return "", struct {
-		Status   string        `json:"status"`
-		Nodes    int           `json:"nodes"`
-		Edges    int           `json:"edges"`
-		Shards   int           `json:"cache_shards"`
-		Cached   int           `json:"cache_entries"`
-		UptimeMS int64         `json:"uptime_ms"`
-		Build    obs.BuildInfo `json:"build"`
+		Status string `json:"status"`
+		Nodes  int    `json:"nodes"`
+		Edges  int    `json:"edges"`
+		// Format is the snapshot's on-disk format magic ("PBGR", "PBC2",
+		// "PBFL"); empty when serving an in-memory build.
+		Format string `json:"snapshot_format,omitempty"`
+		// Fingerprint identifies the logical graph content; two replicas
+		// serving the same taxonomy report the same value regardless of
+		// storage backend or snapshot format.
+		Fingerprint string        `json:"fingerprint"`
+		Shards      int           `json:"cache_shards"`
+		Cached      int           `json:"cache_entries"`
+		UptimeMS    int64         `json:"uptime_ms"`
+		Build       obs.BuildInfo `json:"build"`
 	}{
-		Status:   "ok",
-		Nodes:    s.pb.Graph.NumNodes(),
-		Edges:    s.pb.Graph.NumEdges(),
-		Shards:   s.cache.Shards(),
-		Cached:   s.cache.Len(),
-		UptimeMS: time.Since(s.start).Milliseconds(),
-		Build:    obs.Version(),
+		Status:      "ok",
+		Nodes:       st.pb.Graph.NumNodes(),
+		Edges:       st.pb.Graph.NumEdges(),
+		Format:      st.pb.Format,
+		Fingerprint: st.fingerprint(),
+		Shards:      s.cache.Shards(),
+		Cached:      s.cache.Len(),
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+		Build:       obs.Version(),
+	}, nil
+}
+
+// fingerprint returns the graph fingerprint from the health profile,
+// falling back to hashing the graph directly if profiling failed.
+func (st *snapState) fingerprint() string {
+	if st.profile != nil {
+		return st.profile.Fingerprint
+	}
+	return taxstats.Fingerprint(st.pb.Graph)
+}
+
+// handleAdminStats serves the full taxstats health profile of the
+// currently served snapshot — the same data the probase_snapshot_*
+// gauges summarise, with the complete histograms and top-concept table.
+func (s *Server) handleAdminStats(r *http.Request) (string, any, error) {
+	st := s.state()
+	if st.profile == nil {
+		return "", nil, &httpError{status: http.StatusServiceUnavailable,
+			msg: "snapshot health profile unavailable"}
+	}
+	return "", struct {
+		SnapshotFormat string            `json:"snapshot_format,omitempty"`
+		UptimeMS       int64             `json:"uptime_ms"`
+		Profile        *taxstats.Profile `json:"profile"`
+	}{
+		SnapshotFormat: st.pb.Format,
+		UptimeMS:       time.Since(s.start).Milliseconds(),
+		Profile:        st.profile,
 	}, nil
 }

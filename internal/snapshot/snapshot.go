@@ -41,12 +41,24 @@ func Open(path string) (*core.Probase, error) {
 // any stream — a pipe or a network body, not just a seekable file.
 func Load(r io.Reader) (*core.Probase, error) {
 	br := bufio.NewReader(r)
-	magic, err := br.Peek(4)
+	peeked, err := br.Peek(4)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
 	}
-	if string(magic) == fullMagic {
-		return core.LoadFull(br)
+	// Peek returns a view into the bufio buffer, which the load below
+	// overwrites — copy the magic out before reading on.
+	magic := string(peeked)
+	var pb *core.Probase
+	if magic == fullMagic {
+		pb, err = core.LoadFull(br)
+	} else {
+		pb, err = core.Load(br)
 	}
-	return core.Load(br)
+	if err != nil {
+		return nil, err
+	}
+	// Record which on-disk format the snapshot used; the serving layer
+	// surfaces it on /v1/healthz as part of the snapshot identity.
+	pb.Format = magic
+	return pb, nil
 }

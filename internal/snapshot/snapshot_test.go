@@ -3,6 +3,7 @@ package snapshot
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -86,6 +87,84 @@ func TestOpenFlavours(t *testing.T) {
 				t.Error("loaded snapshot answers no queries")
 			}
 		})
+	}
+}
+
+// TestLoadRecordsFormat pins the snapshot-identity contract: Load
+// stamps the Probase with the on-disk format magic it sniffed, for
+// every format version and flavour, while in-memory builds stay blank.
+func TestLoadRecordsFormat(t *testing.T) {
+	pb := buildProbase(t)
+	if pb.Format != "" {
+		t.Errorf("in-memory build has format %q, want empty", pb.Format)
+	}
+
+	var v1 bytes.Buffer
+	if err := pb.SaveVersion(&v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"v1 adjacency", v1.Bytes(), "PBGR"},
+		{"v2 csr", graphOnlyBytes(t, pb), "PBC2"},
+		{"full", fullBytes(t, pb), "PBFL"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Open(writeTemp(t, tc.data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Format != tc.want {
+				t.Errorf("format = %q, want %q", got.Format, tc.want)
+			}
+			// The format survives a backend rebind (hot-swap path).
+			reb, err := got.Rebind(graph.NewBuilderFrom(got.Graph))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reb.Format != tc.want {
+				t.Errorf("format after rebind = %q, want %q", reb.Format, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadRecordsFormatLargeSnapshot guards the magic-aliasing trap:
+// Peek returns a view into the bufio buffer, so a snapshot big enough
+// to refill the buffer overwrites the peeked bytes mid-load. The format
+// must be copied out before reading on, or it comes back as garbage —
+// which a sub-buffer-sized test snapshot can never catch.
+func TestLoadRecordsFormatLargeSnapshot(t *testing.T) {
+	var sentences []string
+	for i := 0; i < 400; i++ {
+		tag := fmt.Sprintf("%c%c%c", 'a'+i/100, 'a'+(i/10)%10, 'a'+i%10)
+		s := fmt.Sprintf(
+			"category%ss such as item%salpha, item%sbeta and item%sgamma exist.",
+			tag, tag, tag, tag)
+		// Each pair needs repeated evidence to survive extraction.
+		sentences = append(sentences, s, s, s)
+	}
+	inputs := make([]extraction.Input, len(sentences))
+	for i, s := range sentences {
+		inputs[i] = extraction.Input{Text: s, PageScore: 0.9}
+	}
+	pb, err := core.Build(inputs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := graphOnlyBytes(t, pb)
+	if len(data) < 8192 {
+		t.Fatalf("snapshot only %d bytes; too small to exercise a buffer refill", len(data))
+	}
+	got, err := Open(writeTemp(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Format != "PBC2" {
+		t.Errorf("format = %q, want %q", got.Format, "PBC2")
 	}
 }
 

@@ -1,0 +1,270 @@
+package taxstats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ThresholdsSchema names the drift-thresholds file layout; bump on
+// breaking changes.
+const ThresholdsSchema = "probase-inspect-thresholds/v1"
+
+// Delta is one metric's movement between two profiles.
+type Delta struct {
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Abs is New - Old.
+	Abs float64 `json:"abs"`
+	// Rel is (New-Old)/Old; nil when Old == 0 and the ratio is
+	// undefined (a 0 -> nonzero move breaches any relative limit, see
+	// Thresholds.Gate).
+	Rel *float64 `json:"rel,omitempty"`
+}
+
+// Breach is one threshold violation found by Gate.
+type Breach struct {
+	Metric string `json:"metric"`
+	// Kind is "abs" or "rel".
+	Kind string `json:"kind"`
+	// Limit is the configured bound, Value the |drift| that broke it.
+	// A 0 -> nonzero move under a relative limit reports Value as +Inf
+	// rendered via its JSON-safe sentinel (see infRel).
+	Limit float64 `json:"limit"`
+	Value float64 `json:"value"`
+}
+
+func (b Breach) String() string {
+	return fmt.Sprintf("%s: |%s drift| %g exceeds limit %g", b.Metric, b.Kind, b.Value, b.Limit)
+}
+
+// DriftReport is the outcome of diffing two profiles, optionally gated
+// against thresholds.
+type DriftReport struct {
+	FingerprintChanged bool     `json:"fingerprint_changed"`
+	Deltas             []Delta  `json:"deltas"`
+	Breaches           []Breach `json:"breaches,omitempty"`
+}
+
+// Drifted reports whether any metric moved at all (fingerprint changes
+// on identical content are impossible, so identical snapshots report
+// false everywhere).
+func (r *DriftReport) Drifted() bool {
+	if r.FingerprintChanged {
+		return true
+	}
+	for _, d := range r.Deltas {
+		if d.Abs != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// metric is one named scalar extracted from a profile for diffing.
+type metric struct {
+	name  string
+	value float64
+}
+
+// metricsOf flattens the profile's drift-relevant scalars in a fixed,
+// documented order. Adding a metric here automatically makes it
+// diffable and gateable (and rejects stale threshold files that name
+// metrics which no longer exist).
+func metricsOf(p *Profile) []metric {
+	return []metric{
+		{"nodes", float64(p.Nodes)},
+		{"edges", float64(p.Edges)},
+		{"concepts", float64(p.Concepts)},
+		{"instances", float64(p.Instances)},
+		{"roots", float64(p.Roots)},
+		{"orphans", float64(p.Orphans)},
+		{"label_bytes", float64(p.LabelBytes)},
+		{"max_depth", float64(p.MaxDepth)},
+		{"topo_levels", float64(p.TopoLevels)},
+		{"out_degree_mean", p.OutDegree.Mean},
+		{"out_degree_max", float64(p.OutDegree.Max)},
+		{"in_degree_mean", p.InDegree.Mean},
+		{"in_degree_max", float64(p.InDegree.Max)},
+		{"plausibility_mean", p.Plausibility.Mean},
+		{"plausibility_p50", p.Plausibility.P50},
+		{"plausibility_p90", p.Plausibility.P90},
+		{"plausibility_p99", p.Plausibility.P99},
+		{"plausibility_zero_mass", p.Plausibility.ZeroMass},
+		{"plausibility_one_mass", p.Plausibility.OneMass},
+		{"typicality_mean", p.Typicality.Mean},
+		{"typicality_p50", p.Typicality.P50},
+		{"typicality_p90", p.Typicality.P90},
+		{"typicality_p99", p.Typicality.P99},
+		{"entropy_mean", p.Entropy.Mean},
+		{"entropy_p50", p.Entropy.P50},
+		{"entropy_p90", p.Entropy.P90},
+		{"entropy_p99", p.Entropy.P99},
+		{"entropy_zero_mass", p.Entropy.ZeroMass},
+	}
+}
+
+// topConceptChurnMetric is the one cross-profile metric: the fraction
+// of old top-k concepts that fell out of the new top-k.
+const topConceptChurnMetric = "top_concept_churn"
+
+// KnownMetrics lists every metric name DiffProfiles emits, sorted —
+// the vocabulary a thresholds file may gate on.
+func KnownMetrics() []string {
+	ms := metricsOf(&Profile{})
+	names := make([]string, 0, len(ms)+1)
+	for _, m := range ms {
+		names = append(names, m.name)
+	}
+	names = append(names, topConceptChurnMetric)
+	sort.Strings(names)
+	return names
+}
+
+// DiffProfiles computes the per-metric drift from old to new, in the
+// fixed metricsOf order plus the top-concept churn. Identical profiles
+// produce all-zero deltas.
+func DiffProfiles(old, new *Profile) *DriftReport {
+	oldMs, newMs := metricsOf(old), metricsOf(new)
+	r := &DriftReport{FingerprintChanged: old.Fingerprint != new.Fingerprint}
+	for i, om := range oldMs {
+		d := Delta{Metric: om.name, Old: om.value, New: newMs[i].value}
+		d.Abs = d.New - d.Old
+		if d.Old != 0 {
+			rel := d.Abs / d.Old
+			d.Rel = &rel
+		}
+		r.Deltas = append(r.Deltas, d)
+	}
+	churn := topChurn(old.TopConcepts, new.TopConcepts)
+	r.Deltas = append(r.Deltas, Delta{
+		Metric: topConceptChurnMetric, Old: 0, New: churn, Abs: churn,
+	})
+	return r
+}
+
+// topChurn is the fraction of old top concepts missing from the new
+// top list; 0 when the old list is empty.
+func topChurn(old, new []ConceptStat) float64 {
+	if len(old) == 0 {
+		return 0
+	}
+	kept := make(map[string]bool, len(new))
+	for _, c := range new {
+		kept[c.Label] = true
+	}
+	missing := 0
+	for _, c := range old {
+		if !kept[c.Label] {
+			missing++
+		}
+	}
+	return float64(missing) / float64(len(old))
+}
+
+// Limit bounds one metric's drift; nil fields are unbounded.
+type Limit struct {
+	// MaxAbs bounds |new - old|.
+	MaxAbs *float64 `json:"max_abs,omitempty"`
+	// MaxRel bounds |new - old| / |old|. A move from 0 to nonzero has
+	// no defined ratio and breaches any MaxRel.
+	MaxRel *float64 `json:"max_rel,omitempty"`
+}
+
+// Thresholds is the checked-in drift budget a new snapshot must stay
+// inside to be considered safe to serve.
+type Thresholds struct {
+	Schema  string           `json:"schema"`
+	Metrics map[string]Limit `json:"metrics"`
+}
+
+// ParseThresholds strictly decodes a thresholds document: unknown JSON
+// fields, a wrong schema marker, or a metric name DiffProfiles never
+// emits are all errors — a typo must not silently disarm the gate.
+func ParseThresholds(raw []byte) (*Thresholds, error) {
+	var t Thresholds
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("taxstats: thresholds: %w", err)
+	}
+	if t.Schema != ThresholdsSchema {
+		return nil, fmt.Errorf("taxstats: thresholds schema %q, want %q", t.Schema, ThresholdsSchema)
+	}
+	if len(t.Metrics) == 0 {
+		return nil, fmt.Errorf("taxstats: thresholds gate no metrics")
+	}
+	known := make(map[string]bool)
+	for _, name := range KnownMetrics() {
+		known[name] = true
+	}
+	for name, lim := range t.Metrics {
+		if !known[name] {
+			return nil, fmt.Errorf("taxstats: thresholds name unknown metric %q", name)
+		}
+		if lim.MaxAbs == nil && lim.MaxRel == nil {
+			return nil, fmt.Errorf("taxstats: thresholds metric %q has no bound", name)
+		}
+	}
+	return &t, nil
+}
+
+// LoadThresholds reads and parses a thresholds file.
+func LoadThresholds(path string) (*Thresholds, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseThresholds(raw)
+}
+
+// infRel is the JSON-safe stand-in for an infinite relative drift (a
+// metric that moved off zero under a relative limit): encoding/json
+// cannot represent +Inf.
+const infRel = 1e308
+
+// Gate checks the report's deltas against the thresholds, records any
+// breaches on the report, and returns them. No breaches means the new
+// snapshot is inside the drift budget.
+func (t *Thresholds) Gate(r *DriftReport) []Breach {
+	byName := make(map[string]Delta, len(r.Deltas))
+	for _, d := range r.Deltas {
+		byName[d.Metric] = d
+	}
+	// Iterate the deltas (fixed order), not the map, so the breach
+	// list is deterministic.
+	var breaches []Breach
+	for _, d := range r.Deltas {
+		lim, ok := t.Metrics[d.Metric]
+		if !ok {
+			continue
+		}
+		abs := d.Abs
+		if abs < 0 {
+			abs = -abs
+		}
+		if lim.MaxAbs != nil && abs > *lim.MaxAbs {
+			breaches = append(breaches, Breach{Metric: d.Metric, Kind: "abs", Limit: *lim.MaxAbs, Value: abs})
+		}
+		if lim.MaxRel != nil {
+			switch {
+			case d.Rel != nil:
+				rel := *d.Rel
+				if rel < 0 {
+					rel = -rel
+				}
+				if rel > *lim.MaxRel {
+					breaches = append(breaches, Breach{Metric: d.Metric, Kind: "rel", Limit: *lim.MaxRel, Value: rel})
+				}
+			case d.Abs != 0:
+				// 0 -> nonzero: infinite relative drift.
+				breaches = append(breaches, Breach{Metric: d.Metric, Kind: "rel", Limit: *lim.MaxRel, Value: infRel})
+			}
+		}
+	}
+	r.Breaches = breaches
+	return breaches
+}
