@@ -50,6 +50,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/snapshot"
+	"repro/internal/window"
 )
 
 func main() {
@@ -84,6 +85,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 		traceSample = fs.Float64("trace-sample", 0, "head-sample this fraction of requests into /debug/traces (0 disables head sampling)")
 		traceSlow   = fs.Duration("trace-slow", 0, "always keep traces of requests slower than this (0 disables the tail rule)")
 		traceBuf    = fs.Int("trace-buf", 256, "kept traces ring-buffer capacity")
+		sloFile     = fs.String("slo-file", "", "traffic-SLO config (probase-traffic-slo/v1 JSON) for the in-server burn-rate engine; empty uses the built-in default")
+		failInject  = fs.Int("fail-inject", 0, "TESTING ONLY: fail every Nth query request with a synthetic 500 (0 disables)")
 		version     = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -107,11 +110,26 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 		"nodes", pb.Graph.NumNodes(),
 		"edges", pb.Graph.NumEdges())
 
+	sloCfg := window.DefaultSLOConfig()
+	if *sloFile != "" {
+		sloCfg, err = window.LoadSLOConfig(*sloFile)
+		if err != nil {
+			return err
+		}
+		logger.Info("traffic SLO loaded", "path", *sloFile,
+			"target", sloCfg.AvailabilityTarget, "rules", len(sloCfg.BurnRules))
+	}
+	if *failInject > 0 {
+		logger.Warn("fault injection enabled — every Nth query request will 500",
+			"every", *failInject)
+	}
 	srv := server.New(pb, server.Config{
 		CacheShards:          *shards,
 		CacheEntriesPerShard: *perShard,
 		RequestTimeout:       *reqTO,
 		MaxK:                 *maxK,
+		SLO:                  sloCfg,
+		FailInject:           *failInject,
 	})
 	if fi, err := os.Stat(*snapPath); err == nil {
 		size := float64(fi.Size())

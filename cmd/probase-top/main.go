@@ -1,0 +1,237 @@
+// Command probase-top is "top" for a running Probase server: it polls
+// /v1/admin/traffic and renders the live per-endpoint picture — qps,
+// p50/p99 latency, error rate, cache-hit rate over a rolling window —
+// plus the heavy-hitter query keys and the SLO burn-rate verdict that
+// drives the server's ok|degraded health status.
+//
+// Usage:
+//
+//	probase-top -target http://127.0.0.1:8080            # live, redraws every 2s
+//	probase-top -target ... -once                        # one text frame
+//	probase-top -target ... -once -json                  # raw probase-traffic/v1 report
+//
+// -once -json validates the payload against the probase-traffic/v1
+// schema and emits it verbatim, which is what scripts and the CI
+// traffic-smoke job consume; the exit status is non-zero on an invalid
+// payload, so the pipe is also the validation.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/obs"
+	"repro/internal/sketch"
+	"repro/internal/window"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "probase-top:", err)
+		os.Exit(1)
+	}
+}
+
+// trafficSchema mirrors server.TrafficSchema; probase-top deliberately
+// does not import internal/server (the client of an HTTP contract
+// should compile without the server).
+const trafficSchema = "probase-traffic/v1"
+
+// endpointTraffic mirrors the per-experiment result payload of
+// /v1/admin/traffic.
+type endpointTraffic struct {
+	Endpoint string         `json:"endpoint"`
+	Windows  []window.Stats `json:"windows"`
+	HotKeys  []sketch.Item  `json:"hot_keys,omitempty"`
+}
+
+// frame is one decoded poll of /v1/admin/traffic.
+type frame struct {
+	raw       []byte
+	total     endpointTraffic
+	endpoints []endpointTraffic
+	slo       window.SLOEval
+	uptime    float64
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("probase-top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target   = fs.String("target", "http://127.0.0.1:8080", "base URL of the probase-serve instance")
+		interval = fs.Duration("interval", 2*time.Second, "poll/redraw cadence in live mode")
+		windowN  = fs.String("window", "1m", "rolling window to display (1m, 5m, 30m)")
+		hotK     = fs.Int("k", 5, "hot keys shown per endpoint")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-poll request deadline")
+		once     = fs.Bool("once", false, "render one frame and exit")
+		asJSON   = fs.Bool("json", false, "with -once: emit the raw validated probase-traffic/v1 report")
+		version  = fs.Bool("version", false, "print build version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		obs.PrintVersion(stderr, "probase-top")
+		return nil
+	}
+	if *asJSON && !*once {
+		return fmt.Errorf("-json requires -once (live mode is for terminals)")
+	}
+
+	client := &http.Client{}
+	poll := func() (*frame, error) {
+		return fetch(ctx, client, strings.TrimRight(*target, "/"), *timeout)
+	}
+
+	if *once {
+		f, err := poll()
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			stdout.Write(f.raw)
+			if len(f.raw) > 0 && f.raw[len(f.raw)-1] != '\n' {
+				io.WriteString(stdout, "\n")
+			}
+			return nil
+		}
+		render(stdout, f, *target, *windowN, *hotK, false)
+		return nil
+	}
+
+	// Live mode: redraw on every tick until interrupted.
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		f, err := poll()
+		if err != nil {
+			fmt.Fprintln(stderr, "poll failed:", err)
+		} else {
+			render(stdout, f, *target, *windowN, *hotK, true)
+		}
+		select {
+		case <-ctx.Done():
+			io.WriteString(stdout, "\n")
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+// fetch polls /v1/admin/traffic once, validates the envelope, and
+// decodes the typed payload.
+func fetch(ctx context.Context, client *http.Client, target string, timeout time.Duration) (*frame, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v1/admin/traffic", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d: %s", req.URL, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if err := benchfmt.ValidateBytesAs(req.URL.String(), raw, trafficSchema); err != nil {
+		return nil, err
+	}
+	// Decode a second time with typed experiment results (Report.Result
+	// is any; the envelope was already validated above).
+	var typed struct {
+		Experiments []struct {
+			Name   string          `json:"name"`
+			Result json.RawMessage `json:"result"`
+		} `json:"experiments"`
+		TotalSeconds float64 `json:"total_seconds"`
+	}
+	if err := json.Unmarshal(raw, &typed); err != nil {
+		return nil, err
+	}
+	f := &frame{raw: raw, uptime: typed.TotalSeconds}
+	for _, e := range typed.Experiments {
+		switch {
+		case e.Name == "total":
+			if err := json.Unmarshal(e.Result, &f.total); err != nil {
+				return nil, fmt.Errorf("total experiment: %w", err)
+			}
+		case e.Name == "slo":
+			if err := json.Unmarshal(e.Result, &f.slo); err != nil {
+				return nil, fmt.Errorf("slo experiment: %w", err)
+			}
+		case strings.HasPrefix(e.Name, "traffic:"):
+			var et endpointTraffic
+			if err := json.Unmarshal(e.Result, &et); err != nil {
+				return nil, fmt.Errorf("%s experiment: %w", e.Name, err)
+			}
+			f.endpoints = append(f.endpoints, et)
+		}
+	}
+	sort.Slice(f.endpoints, func(i, j int) bool { return f.endpoints[i].Endpoint < f.endpoints[j].Endpoint })
+	return f, nil
+}
+
+// pick returns the named window's stats (zero value when absent).
+func pick(ws []window.Stats, name string) window.Stats {
+	for _, w := range ws {
+		if w.Window == name {
+			return w
+		}
+	}
+	return window.Stats{Window: name}
+}
+
+// render draws one frame. In live mode the screen is cleared first
+// (ANSI home+clear, the top idiom).
+func render(out io.Writer, f *frame, target, windowName string, hotK int, live bool) {
+	var b strings.Builder
+	if live {
+		b.WriteString("\x1b[H\x1b[2J")
+	}
+	tot := pick(f.total.Windows, windowName)
+	status := strings.ToUpper(f.slo.Status)
+	fmt.Fprintf(&b, "probase-top  %s  up %s  window %s  slo %s (max burn %.1fx, target %.3f%%)\n",
+		target, (time.Duration(f.uptime) * time.Second).String(), windowName,
+		status, f.slo.MaxBurnRate, 100*f.slo.AvailabilityTarget)
+	for _, r := range f.slo.Reasons {
+		fmt.Fprintf(&b, "  !! %s\n", r)
+	}
+	fmt.Fprintf(&b, "\n%-14s %8s %9s %9s %7s %7s  %s\n",
+		"ENDPOINT", "QPS", "P50(ms)", "P99(ms)", "ERR%", "HIT%", "HOT KEYS")
+	row := func(name string, st window.Stats, hot []sketch.Item) {
+		keys := make([]string, 0, hotK)
+		for i, h := range hot {
+			if i >= hotK {
+				break
+			}
+			keys = append(keys, fmt.Sprintf("%s(%d)", h.Key, h.Count))
+		}
+		fmt.Fprintf(&b, "%-14s %8.1f %9.2f %9.2f %6.1f%% %6.1f%%  %s\n",
+			name, st.RPS, st.P50MS, st.P99MS,
+			100*st.ErrorRate, 100*st.CacheHitRate, strings.Join(keys, " "))
+	}
+	row("TOTAL", tot, nil)
+	for _, ep := range f.endpoints {
+		row(ep.Endpoint, pick(ep.Windows, windowName), ep.HotKeys)
+	}
+	io.WriteString(out, b.String())
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+	"repro/internal/loadgen"
+	"repro/internal/server"
+	"repro/internal/window"
+)
+
+var (
+	pbOnce sync.Once
+	pbVal  *core.Probase
+	pbErr  error
+)
+
+func testProbase(t testing.TB) *core.Probase {
+	t.Helper()
+	pbOnce.Do(func() {
+		w := corpus.DefaultWorld(1)
+		c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: 4000, Seed: 11}).Generate()
+		inputs := make([]extraction.Input, len(c.Sentences))
+		for i, s := range c.Sentences {
+			inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+		}
+		pbVal, pbErr = core.Build(inputs, core.Config{})
+	})
+	if pbErr != nil {
+		t.Fatal(pbErr)
+	}
+	return pbVal
+}
+
+// TestOnceJSONAfterLoadgen is the e2e path CI's traffic-smoke job
+// replays in-process: drive real traffic with the load generator, then
+// poll with -once -json and check the payload is a valid, populated
+// probase-traffic/v1 report.
+func TestOnceJSONAfterLoadgen(t *testing.T) {
+	ts := httptest.NewServer(server.New(testProbase(t), server.Config{}).Handler())
+	defer ts.Close()
+
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:      ts.URL,
+		Workers:     4,
+		MaxRequests: 400,
+		Duration:    30 * time.Second,
+		Seed:        7,
+		Queries:     200,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), []string{"-target", ts.URL, "-once", "-json"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	raw := out.Bytes()
+	if err := benchfmt.ValidateBytesAs("probase-top -once -json", raw, trafficSchema); err != nil {
+		t.Fatal(err)
+	}
+	var report benchfmt.Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	total, ok := report.Experiment("total")
+	if !ok {
+		t.Fatal("no total experiment")
+	}
+	wins := total.Result.(map[string]any)["windows"].([]any)
+	if reqs := wins[0].(map[string]any)["requests"].(float64); reqs < 400 {
+		t.Errorf("total 1m requests = %v, want >= 400", reqs)
+	}
+	if _, ok := report.Experiment("slo"); !ok {
+		t.Fatal("no slo experiment")
+	}
+	if _, ok := report.Experiment("traffic:instances"); !ok {
+		t.Fatal("no traffic:instances experiment")
+	}
+}
+
+func TestOnceTextFrame(t *testing.T) {
+	ts := httptest.NewServer(server.New(testProbase(t), server.Config{}).Handler())
+	defer ts.Close()
+
+	// A little identifiable traffic so the frame has hot keys.
+	client := ts.Client()
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(ts.URL + "/v1/instances?concept=companies&k=5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), []string{"-target", ts.URL, "-once"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	frame := out.String()
+	for _, want := range []string{"ENDPOINT", "TOTAL", "instances", "slo OK", "companies(5)"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[") {
+		t.Error("-once frame contains ANSI escapes; those are for live mode only")
+	}
+}
+
+func TestJSONRequiresOnce(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), []string{"-json"}, &out, &errOut); err == nil {
+		t.Fatal("-json without -once accepted")
+	}
+}
+
+func httpHandlerJSON(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		io.WriteString(w, body)
+	})
+}
+
+func TestFetchRejectsWrongSchema(t *testing.T) {
+	// A server speaking the wrong schema must be rejected by validation,
+	// not rendered as an empty frame.
+	ts := httptest.NewServer(httpHandlerJSON(`{"schema":"probase-bench/v1","build":{},"options":{"scale":1,"sentences":1,"seed":0,"queries":0},"setup_seconds":0,"experiments":[{"name":"x","seconds":0,"result":{}}],"total_seconds":1}`))
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	err := run(context.Background(), []string{"-target", ts.URL, "-once", "-json"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("err = %v, want schema mismatch", err)
+	}
+}
+
+func TestPickWindow(t *testing.T) {
+	ws := []window.Stats{{Window: "1m", Requests: 5}, {Window: "5m", Requests: 9}}
+	if got := pick(ws, "5m"); got.Requests != 9 {
+		t.Fatalf("pick(5m) = %+v", got)
+	}
+	if got := pick(ws, "30m"); got.Requests != 0 || got.Window != "30m" {
+		t.Fatalf("pick(missing) = %+v", got)
+	}
+}

@@ -50,12 +50,22 @@
 //     service (cmd/probase-serve) with a sharded hot-query cache; see
 //     the server package docs for the endpoint contract.
 //   - internal/loadgen — closed-loop load generator over the six serve
-//     endpoints: deterministic seeded request plans, HDR-style
-//     log-linear latency histograms with coordinated-omission
-//     correction, and the SLO gate behind CI's capacity-smoke job.
+//     endpoints: deterministic seeded request plans,
+//     coordinated-omission correction, and the SLO gate behind CI's
+//     capacity-smoke job.
+//   - internal/hdr — the dependency-free HDR-style log-linear latency
+//     histogram (documented quantile-error bound) shared by loadgen's
+//     client-side measurements and the server's rolling windows.
+//   - internal/window — sliding time-bucket rings aggregating
+//     per-endpoint RED stats over rolling 1m/5m/30m windows, plus the
+//     multi-window SLO burn-rate engine behind the probase_slo_*
+//     gauges and the healthz ok|degraded status.
+//   - internal/sketch — Space-Saving top-k heavy-hitter summaries
+//     (bounded error, deterministic merge/eviction) tracking hot query
+//     keys per endpoint.
 //   - internal/benchfmt — the report envelope schema and validator
-//     shared by probase-bench, probase-loadgen, and probase-inspect
-//     (each under its own schema marker).
+//     shared by probase-bench, probase-loadgen, probase-inspect, and
+//     /v1/admin/traffic (each under its own schema marker).
 //   - internal/taxstats — the snapshot health profile: deterministic
 //     structural counts, degree/depth histograms, score distributions
 //     (plausibility, typicality, instance-conceptualisation entropy),
@@ -67,8 +77,10 @@
 // (corpus), probase-build (corpus → snapshot, with -workers sizing the
 // shared pool), probase-query (CLI queries), probase-serve (HTTP),
 // probase-bench (the evaluation), probase-loadgen (capacity
-// measurement against a live server), and probase-inspect (snapshot
-// health profiles and the drift gate between them).
+// measurement against a live server), probase-inspect (snapshot
+// health profiles and the drift gate between them), and probase-top
+// (live per-endpoint traffic, hot keys, and SLO burn rate from a
+// running server).
 //
 // See README.md for the overview, ARCHITECTURE.md for the pipeline and
 // determinism contract, DESIGN.md for the system inventory and

@@ -1,4 +1,11 @@
-package loadgen
+// Package hdr holds the dependency-free HDR-style log-linear histogram
+// shared by the measurement layers: internal/loadgen records
+// client-side latencies into it, and internal/window aggregates
+// server-side per-endpoint latencies into one Hist per time bucket.
+// It lives in its own package so the serving stack never has to import
+// the load generator (and its synthetic-corpus dependencies) just to
+// reuse the bucketing.
+package hdr
 
 import (
 	"fmt"
@@ -7,7 +14,7 @@ import (
 
 // Hist is a dependency-free HDR-style log-linear histogram of
 // non-negative int64 values (latencies in nanoseconds, in this
-// package's use). The value axis is split into octaves [2^e, 2^(e+1));
+// module's use). The value axis is split into octaves [2^e, 2^(e+1));
 // each octave holds 2^(subBits-1) equal-width sub-buckets, and values
 // below 2^subBits are recorded exactly in unit-width buckets. Bucket
 // width therefore tracks magnitude, which gives the defining HDR
@@ -20,7 +27,9 @@ import (
 //
 // With the default subBits=7 that is ≤ 0.79% from 1ns to ~4.6 hours,
 // over 3,712 buckets (~29KB). Hist is not safe for concurrent use;
-// each loadgen worker owns its own set and the collector merges them.
+// owners keep one per goroutine (loadgen workers) or guard it with the
+// lock that already covers the surrounding aggregate (window buckets)
+// and merge under that discipline.
 //
 // The coordinated-omission story: RecordCorrected backfills the
 // samples a stalled closed-loop client never issued (one synthetic
@@ -36,20 +45,20 @@ type Hist struct {
 	max     int64
 }
 
-// defaultSubBits gives a ≤ 2^-7 ≈ 0.79% relative quantile error.
-const defaultSubBits = 7
+// DefaultSubBits gives a ≤ 2^-7 ≈ 0.79% relative quantile error.
+const DefaultSubBits = 7
 
 // maxExp is the largest representable octave exponent: values at or
 // above 2^62 saturate into the top bucket (and Max still reports them
 // exactly).
 const maxExp = 62
 
-// NewHist builds a histogram with the given sub-bucket resolution;
-// subBits outside [1, 20] falls back to defaultSubBits. The relative
+// New builds a histogram with the given sub-bucket resolution;
+// subBits outside [1, 20] falls back to DefaultSubBits. The relative
 // quantile-error bound is 2^-subBits.
-func NewHist(subBits int) *Hist {
+func New(subBits int) *Hist {
 	if subBits < 1 || subBits > 20 {
-		subBits = defaultSubBits
+		subBits = DefaultSubBits
 	}
 	sbc := 1 << subBits
 	// One unit-width region plus (maxExp - subBits + 1) octaves of
@@ -211,6 +220,22 @@ func (h *Hist) Merge(other *Hist) error {
 	}
 	return nil
 }
+
+// Reset zeroes the histogram in place, keeping the bucket allocation —
+// the recycling path for ring buffers that reuse buckets as time
+// windows rotate.
+func (h *Hist) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = int64(1) << 62
+	h.max = 0
+}
+
+// SubBits returns the configured resolution exponent.
+func (h *Hist) SubBits() int { return int(h.subBits) }
 
 // Clone returns an independent copy (for lock-scoped snapshots).
 func (h *Hist) Clone() *Hist {

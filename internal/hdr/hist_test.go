@@ -1,4 +1,4 @@
-package loadgen
+package hdr
 
 import (
 	"math"
@@ -22,7 +22,7 @@ func exactQuantile(sorted []int64, q float64) int64 {
 // rank-order statistic.
 func checkQuantiles(t *testing.T, name string, samples []int64) {
 	t.Helper()
-	h := NewHist(0)
+	h := New(0)
 	for _, v := range samples {
 		h.Record(v)
 	}
@@ -88,7 +88,7 @@ func TestHistQuantilesKnownDistributions(t *testing.T) {
 }
 
 func TestHistSmallValuesExact(t *testing.T) {
-	h := NewHist(7)
+	h := New(7)
 	for v := int64(0); v < 128; v++ {
 		h.Record(v)
 	}
@@ -112,7 +112,7 @@ func TestHistMergeEqualsConcatenation(t *testing.T) {
 		b[i] = int64(rng.ExpFloat64() * 2_000_000)
 	}
 
-	ha, hb, hall := NewHist(0), NewHist(0), NewHist(0)
+	ha, hb, hall := New(0), New(0), New(0)
 	for _, v := range a {
 		ha.Record(v)
 	}
@@ -129,13 +129,13 @@ func TestHistMergeEqualsConcatenation(t *testing.T) {
 		t.Error("merge(a, b) differs from histogram of concatenated samples")
 	}
 	// Merging histograms of different resolution must refuse.
-	if err := NewHist(5).Merge(ha); err == nil {
+	if err := New(5).Merge(ha); err == nil {
 		t.Error("mixed-resolution merge accepted")
 	}
 }
 
 func TestHistRecordCorrected(t *testing.T) {
-	h := NewHist(7)
+	h := New(7)
 	// A 100ms response under a 25ms expected interval hides three
 	// requests that would have been issued at 75, 50, and 25ms.
 	h.RecordCorrected(100, 25)
@@ -148,13 +148,13 @@ func TestHistRecordCorrected(t *testing.T) {
 		}
 	}
 	// Values at or below the interval backfill nothing.
-	h2 := NewHist(7)
+	h2 := New(7)
 	h2.RecordCorrected(25, 25)
 	if h2.Count() != 1 {
 		t.Errorf("no-stall corrected count = %d, want 1", h2.Count())
 	}
 	// Zero interval degrades to plain Record.
-	h3 := NewHist(7)
+	h3 := New(7)
 	h3.RecordCorrected(100, 0)
 	if h3.Count() != 1 {
 		t.Errorf("zero-interval count = %d, want 1", h3.Count())
@@ -162,7 +162,7 @@ func TestHistRecordCorrected(t *testing.T) {
 }
 
 func TestHistEdgeCases(t *testing.T) {
-	h := NewHist(7)
+	h := New(7)
 	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
 		t.Error("empty histogram must report zeros")
 	}

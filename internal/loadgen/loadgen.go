@@ -3,7 +3,7 @@
 // gate. It replays the internal/querylog Zipf query mix — the same
 // long-tailed workload the paper validates against two years of Bing
 // queries (Figures 5-7) — across the six serving endpoints and records
-// latency in coordinated-omission-aware HDR-style histograms (Hist).
+// latency in coordinated-omission-aware HDR-style histograms (internal/hdr).
 //
 // Design, after streamfold/otel-loadgen's bounded-worker shape:
 //
@@ -17,7 +17,7 @@
 //     Interval > 0 workers instead pace requests on a fixed schedule
 //     and measure from the *intended* start, so a server stall is
 //     charged to every request it delayed (the coordinated-omission
-//     fix); the backfill path is Hist.RecordCorrected.
+//     fix); the backfill path is hdr.Hist.RecordCorrected.
 //   - A reporter goroutine prints interval progress lines; the final
 //     Result renders as a probase-bench/v1 report (report.go) the
 //     existing bench tooling consumes unchanged.
@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/hdr"
 	"repro/internal/obs"
 	"repro/internal/querylog"
 )
@@ -76,7 +77,7 @@ type Config struct {
 	// TraceSample is the fraction of requests carrying an outbound
 	// traceparent header. Zero disables client tracing.
 	TraceSample float64
-	// SubBits is the histogram resolution; see NewHist. Default 7.
+	// SubBits is the histogram resolution; see hdr.New. Default 7.
 	SubBits int
 	// Client overrides the HTTP client (tests). The default client
 	// pools Workers keep-alive connections behind obs.Transport.
@@ -106,7 +107,7 @@ func (c Config) withDefaults() Config {
 		c.Timeout = 2 * time.Second
 	}
 	if c.SubBits == 0 {
-		c.SubBits = defaultSubBits
+		c.SubBits = hdr.DefaultSubBits
 	}
 	if c.Progress == nil {
 		c.Progress = io.Discard
@@ -123,7 +124,7 @@ type Stats struct {
 	Errors   int64 // transport failures and HTTP 5xx
 	Timeouts int64 // per-request deadline exceeded
 	HTTP4xx  int64 // client-level misses (e.g. conceptualize 404); not errors
-	Latency  *Hist
+	Latency  *hdr.Hist
 }
 
 // ErrorRate returns (Errors+Timeouts)/Requests — the fraction the SLO
@@ -180,11 +181,11 @@ type workerStats struct {
 
 func newWorkerStats(subBits int) *workerStats {
 	ws := &workerStats{
-		total:     &Stats{Latency: NewHist(subBits)},
+		total:     &Stats{Latency: hdr.New(subBits)},
 		endpoints: make(map[string]*Stats, len(Endpoints)),
 	}
 	for _, ep := range Endpoints {
-		ws.endpoints[ep] = &Stats{Latency: NewHist(subBits)}
+		ws.endpoints[ep] = &Stats{Latency: hdr.New(subBits)}
 	}
 	return ws
 }
@@ -219,10 +220,10 @@ func (ws *workerStats) record(ep string, lat time.Duration, interval time.Durati
 
 // merge folds every worker's stats into one Result-shaped view.
 func merge(workers []*workerStats, subBits int) (*Stats, map[string]*Stats, []SlowRequest, error) {
-	total := &Stats{Latency: NewHist(subBits)}
+	total := &Stats{Latency: hdr.New(subBits)}
 	endpoints := make(map[string]*Stats, len(Endpoints))
 	for _, ep := range Endpoints {
-		endpoints[ep] = &Stats{Latency: NewHist(subBits)}
+		endpoints[ep] = &Stats{Latency: hdr.New(subBits)}
 	}
 	var slowest []SlowRequest
 	for _, ws := range workers {

@@ -104,14 +104,18 @@ func (c *Cache) Put(key string, val []byte) {
 // Purge empties every shard — called on snapshot swap, since cached
 // response bodies answer for the snapshot that produced them. Shards
 // are cleared one at a time; concurrent readers of other shards are
-// unaffected.
-func (c *Cache) Purge() {
+// unaffected. Returns the number of entries evicted (feeding the
+// probase_cache_purged_entries gauge).
+func (c *Cache) Purge() int {
+	purged := 0
 	for _, sh := range c.shards {
 		sh.mu.Lock()
+		purged += sh.ll.Len()
 		sh.ll.Init()
 		clear(sh.items)
 		sh.mu.Unlock()
 	}
+	return purged
 }
 
 // Len returns the total number of cached entries across all shards.

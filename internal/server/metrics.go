@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/window"
 )
 
 // Metric family names exported on /metrics. Kept as constants so the
@@ -21,6 +22,11 @@ const (
 	famShardLen  = "probase_cache_shard_entries"
 	famNodes     = "probase_snapshot_nodes"
 	famEdges     = "probase_snapshot_edges"
+	famPurges    = "probase_cache_purges_total"
+	famPurged    = "probase_cache_purged_entries"
+	famSLOBurn   = "probase_slo_burn_rate"
+	famSLOBad    = "probase_slo_degraded"
+	famSLOTarget = "probase_slo_availability_target"
 )
 
 // endpointMetrics aggregates one endpoint's counters and latency.
@@ -42,6 +48,10 @@ type Metrics struct {
 	endpoints map[string]*endpointMetrics
 	names     []string
 	inflight  *obs.Gauge
+	// Snapshot hot-swap cache purges: how many swaps have purged the
+	// hot-query cache, and how many entries the latest purge evicted.
+	cachePurges *obs.Counter
+	cachePurged *obs.Gauge
 }
 
 // newMetrics prepares per-endpoint metric families plus the process
@@ -53,6 +63,10 @@ func newMetrics(endpoints []string) *Metrics {
 		endpoints: make(map[string]*endpointMetrics, len(endpoints)),
 		names:     endpoints,
 		inflight:  reg.Gauge(famInflight, "Requests currently being served."),
+		cachePurges: reg.Counter(famPurges,
+			"Hot-query cache purges (one per snapshot hot-swap)."),
+		cachePurged: reg.Gauge(famPurged,
+			"Entries evicted by the most recent cache purge."),
 	}
 	for _, name := range endpoints {
 		l := obs.L("endpoint", name)
@@ -78,6 +92,31 @@ func (m *Metrics) observeCache(c *Cache) {
 			func() float64 { return float64(c.ShardLen(shard)) },
 			obs.L("shard", strconv.Itoa(shard)))
 	}
+}
+
+// observeSLO registers the burn-rate engine's verdict as gauges,
+// evaluated at scrape time (the engine's internal TTL cache keeps a
+// scrape storm from re-merging the rings per gauge).
+func (m *Metrics) observeSLO(e *window.Engine) {
+	for _, name := range e.WindowNames() {
+		w := name
+		m.reg.GaugeFunc(famSLOBurn,
+			"Error-budget burn rate over the rolling window (1.0 = budget exactly exhausted at period end).",
+			func() float64 { return e.BurnRate(w) },
+			obs.L("window", w))
+	}
+	m.reg.GaugeFunc(famSLOBad,
+		"1 when a multi-window burn rule is firing and /v1/healthz reports degraded, else 0.",
+		func() float64 {
+			if e.Eval().Status == window.HealthDegraded {
+				return 1
+			}
+			return 0
+		})
+	target := e.Config().AvailabilityTarget
+	m.reg.GaugeFunc(famSLOTarget,
+		"Configured availability target (fraction of requests that must not be 5xx).",
+		func() float64 { return target })
 }
 
 // observeSnapshot registers the loaded taxonomy's shape as gauges.

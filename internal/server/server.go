@@ -45,8 +45,11 @@
 //	GET /v1/healthz
 //	    Liveness plus snapshot identity: shape counts, the on-disk
 //	    format magic (empty for in-memory builds), and the logical
-//	    graph fingerprint (identical across storage backends).
-//	    -> {"status": "ok", "nodes": .., "edges": ..,
+//	    graph fingerprint (identical across storage backends). Status
+//	    is "ok", or "degraded" when the in-server SLO burn-rate engine
+//	    has a multi-window error-budget rule firing (reasons explains
+//	    which); load balancers use it as a readiness signal.
+//	    -> {"status": "ok|degraded", "nodes": .., "edges": ..,
 //	        "snapshot_format": "PBC2", "fingerprint": "..",
 //	        "uptime_ms": ..}
 //
@@ -58,14 +61,29 @@
 //	    memory. 503 if the snapshot could not be profiled.
 //	    -> {"snapshot_format": .., "uptime_ms": .., "profile": {...}}
 //
+//	GET /v1/admin/traffic
+//	    Live traffic analytics as a probase-traffic/v1 report (the
+//	    benchfmt envelope): per-endpoint rolling 1m/5m/30m RED windows
+//	    (qps, error rate, cache-hit rate, p50/p90/p99), Space-Saving
+//	    heavy-hitter keys per endpoint, and the SLO burn-rate
+//	    evaluation behind the healthz status. This is what
+//	    cmd/probase-top polls.
+//
+//	Health and analytics responses (/v1/healthz, /v1/admin/*) carry
+//	Cache-Control: no-store so intermediaries never serve them stale.
+//
 //	GET /metrics
 //	    Prometheus text exposition: probase_http_requests_total,
 //	    probase_http_errors_total, probase_cache_{hits,misses}_total,
 //	    probase_http_request_duration_seconds (histogram),
 //	    probase_http_inflight_requests, probase_cache_shard_entries,
-//	    probase_snapshot_* health gauges (shape counts plus
-//	    probase_snapshot_score{dist,stat} distribution stats, refreshed
-//	    on Swap), probase_process_* gauges.
+//	    probase_cache_purges_total + probase_cache_purged_entries
+//	    (snapshot hot-swap purges), probase_slo_burn_rate{window} +
+//	    probase_slo_degraded + probase_slo_availability_target (the
+//	    burn-rate engine's live verdict), probase_snapshot_* health
+//	    gauges (shape counts plus probase_snapshot_score{dist,stat}
+//	    distribution stats, refreshed on Swap), probase_process_*
+//	    gauges.
 //
 //	GET /debug/vars
 //	    The same counters as a JSON tree: per-endpoint requests,
@@ -94,6 +112,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prob"
 	"repro/internal/taxstats"
+	"repro/internal/window"
 )
 
 // Config tunes the serving layer. The zero value is usable.
@@ -112,6 +131,22 @@ type Config struct {
 	// taxonomies can cap this to bound startup time; the profile records
 	// the cap so a sampled profile is never mistaken for exhaustive.
 	StatsSampleInstances int
+	// SLO is the availability objective the in-server burn-rate engine
+	// evaluates against the live traffic windows (probase_slo_* gauges,
+	// the ok|degraded /v1/healthz status). The zero value means
+	// window.DefaultSLOConfig. A non-zero config must be valid —
+	// binaries load it via window.LoadSLOConfig, which validates; New
+	// panics on an invalid one (programmer error, not runtime input).
+	SLO window.SLOConfig
+	// FailInject, when > 0, fails every Nth query-endpoint request with
+	// a synthetic 500 — the CI gate-liveness hook proving an error storm
+	// actually flips healthz to degraded. Health and admin endpoints are
+	// exempt so the degraded verdict stays observable. Never set this in
+	// production.
+	FailInject int
+	// Now is the clock the traffic analytics rings read. Default
+	// time.Now; tests inject a fake for deterministic rotation.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +162,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxK <= 0 {
 		c.MaxK = 1000
 	}
+	if len(c.SLO.BurnRules) == 0 {
+		c.SLO = window.DefaultSLOConfig()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
 }
 
@@ -139,11 +180,12 @@ const (
 	epConceptualize = "conceptualize"
 	epHealthz       = "healthz"
 	epAdminStats    = "admin_stats"
+	epAdminTraffic  = "admin_traffic"
 )
 
 var allEndpoints = []string{
 	epInstances, epConcepts, epTypicality, epPlausibility,
-	epConceptualize, epHealthz, epAdminStats,
+	epConceptualize, epHealthz, epAdminStats, epAdminTraffic,
 }
 
 // snapState bundles everything derived from one snapshot — the engine,
@@ -160,20 +202,29 @@ type snapState struct {
 // construct with New and mount via Handler (or use it directly as an
 // http.Handler).
 type Server struct {
-	snap    atomic.Pointer[snapState]
-	cache   *Cache
-	metrics *Metrics
-	cfg     Config
-	mux     *http.ServeMux
-	start   time.Time
+	snap     atomic.Pointer[snapState]
+	cache    *Cache
+	metrics  *Metrics
+	traffic  *traffic
+	cfg      Config
+	mux      *http.ServeMux
+	start    time.Time
+	reqCount atomic.Int64 // drives FailInject's every-Nth selection
 }
 
 // New builds a Server around a loaded taxonomy.
 func New(pb *core.Probase, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	tr, err := newTraffic(allEndpoints, cfg.SLO, cfg.Now)
+	if err != nil {
+		// Config.SLO is validated where it enters the program
+		// (window.LoadSLOConfig); reaching here is a programming error.
+		panic("server: invalid Config.SLO: " + err.Error())
+	}
 	s := &Server{
 		cache:   NewCache(cfg.CacheShards, cfg.CacheEntriesPerShard),
 		metrics: newMetrics(allEndpoints),
+		traffic: tr,
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
@@ -186,12 +237,14 @@ func New(pb *core.Probase, cfg Config) *Server {
 	s.mux.Handle("/v1/conceptualize", s.wrap(epConceptualize, true, s.handleConceptualize))
 	s.mux.Handle("/v1/healthz", s.wrap(epHealthz, false, s.handleHealthz))
 	s.mux.Handle("/v1/admin/stats", s.wrap(epAdminStats, false, s.handleAdminStats))
+	s.mux.Handle("/v1/admin/traffic", s.wrap(epAdminTraffic, false, s.handleAdminTraffic))
 	s.mux.Handle("/debug/vars", s.metrics.Handler())
 	s.mux.Handle("/metrics", s.metrics.PrometheusHandler())
 	s.metrics.observeCache(s.cache)
 	s.metrics.observeSnapshot(
 		func() int { return s.probase().Graph.NumNodes() },
 		func() int { return s.probase().Graph.NumEdges() })
+	s.metrics.observeSLO(tr.engine)
 	taxstats.Register(s.metrics.Registry(), s.profile)
 	return s
 }
@@ -222,16 +275,22 @@ func (s *Server) profile() *taxstats.Profile { return s.state().profile }
 // engine's state (recogniser, health profile) is built before the
 // pointer flips, the hot-query cache is purged after (stale bodies must
 // not outlive the snapshot that produced them), and the probase_snapshot_*
-// gauges read the new profile on the next scrape. In-flight requests
-// finish against whichever state they started with. An unprofilable
-// graph (cycle) is refused.
+// gauges read the new profile on the next scrape. The purge is
+// instrumented (probase_cache_purges_total, probase_cache_purged_entries)
+// and the traffic analytics — rolling windows, hot-key sketches — reset
+// with it: the new snapshot's latencies and hit rates are a different
+// population. In-flight requests finish against whichever state they
+// started with. An unprofilable graph (cycle) is refused.
 func (s *Server) Swap(pb *core.Probase) error {
 	st := newSnapState(pb, s.cfg)
 	if st.profile == nil {
 		return fmt.Errorf("server: refusing swap: new snapshot is not profilable")
 	}
 	s.snap.Store(st)
-	s.cache.Purge()
+	purged := s.cache.Purge()
+	s.metrics.cachePurges.Inc()
+	s.metrics.cachePurged.Set(float64(purged))
+	s.traffic.reset()
 	return nil
 }
 
@@ -268,24 +327,57 @@ func notFound(format string, args ...any) error {
 type handlerFunc func(r *http.Request) (cacheKey string, body any, err error)
 
 // wrap applies the per-request pipeline: method check, deadline, a
-// per-endpoint child span, cache lookup, handler, cache fill, metrics.
-// When the request is traced (the obs middleware opened a root span),
-// the latency observation carries the trace ID as an exemplar, so a
-// slow histogram bucket points at a concrete /debug/traces waterfall.
+// per-endpoint child span, cache lookup, handler, cache fill, metrics,
+// and a traffic-analytics observation (rolling RED windows + hot-key
+// sketch) booked when the request finishes. When the request is traced
+// (the obs middleware opened a root span), the latency observation
+// carries the trace ID as an exemplar, so a slow histogram bucket
+// points at a concrete /debug/traces waterfall.
 func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 	em := s.metrics.endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		started := time.Now()
 		em.requests.Inc()
 		s.metrics.inflight.Add(1)
+		status := http.StatusOK
+		var cacheHit, cacheMiss bool
 		defer func() {
 			s.metrics.inflight.Add(-1)
-			em.latency.ObserveDurationExemplar(time.Since(started), obs.TraceIDFromContext(r.Context()))
+			elapsed := time.Since(started)
+			em.latency.ObserveDurationExemplar(elapsed, obs.TraceIDFromContext(r.Context()))
+			s.traffic.record(name, window.Outcome{
+				Latency: elapsed,
+				// Only server faults burn SLO budget; 4xx responses are
+				// valid negative answers (unknown concepts, bad params)
+				// and would let clients degrade our own health verdict.
+				Error:     status >= http.StatusInternalServerError,
+				CacheHit:  cacheHit,
+				CacheMiss: cacheMiss,
+			}, hotKeyFor(name, r))
 		}()
+
+		// Health and analytics must never be served stale by an
+		// intermediary; these endpoints are exactly the uncacheable ones.
+		if !cacheable {
+			w.Header().Set("Cache-Control", "no-store")
+		}
 
 		if r.Method != http.MethodGet && !(name == epConceptualize && r.Method == http.MethodPost) {
 			em.errors.Inc()
-			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
+			status = http.StatusMethodNotAllowed
+			writeJSONError(w, status, "method not allowed")
+			return
+		}
+
+		// Synthetic fault injection (CI gate-liveness only): fail every
+		// Nth query request so the burn-rate engine has a storm to see.
+		// Health/admin endpoints stay exempt, or the degraded verdict
+		// would be unobservable during the storm it reports.
+		if s.cfg.FailInject > 0 && cacheable &&
+			s.reqCount.Add(1)%int64(s.cfg.FailInject) == 0 {
+			em.errors.Inc()
+			status = http.StatusInternalServerError
+			writeJSONError(w, status, "synthetic fault (fail-inject)")
 			return
 		}
 
@@ -298,7 +390,7 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 		key, body, err := h(r)
 		canCache := cacheable && key != ""
 		if err != nil {
-			status := http.StatusInternalServerError
+			status = http.StatusInternalServerError
 			var he *httpError
 			if errors.As(err, &he) {
 				status = he.status
@@ -323,12 +415,14 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 			w.Header().Set("X-Cache", "hit")
 			span.SetAttr("cache", "hit")
 			em.cacheHits.Inc()
+			cacheHit = true
 		} else {
 			payload, err = json.Marshal(body)
 			if err != nil {
 				em.errors.Inc()
+				status = http.StatusInternalServerError
 				span.SetError("encoding response")
-				writeJSONError(w, http.StatusInternalServerError, "encoding response")
+				writeJSONError(w, status, "encoding response")
 				return
 			}
 			if canCache {
@@ -336,6 +430,7 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 				w.Header().Set("X-Cache", "miss")
 				span.SetAttr("cache", "miss")
 				em.cacheMiss.Inc()
+				cacheMiss = true
 			}
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -597,10 +692,14 @@ func (s *Server) perTermFallback(terms []string, k int) []prob.Ranked {
 
 func (s *Server) handleHealthz(r *http.Request) (string, any, error) {
 	st := s.state()
+	ev := s.traffic.engine.Eval()
 	return "", struct {
-		Status string `json:"status"`
-		Nodes  int    `json:"nodes"`
-		Edges  int    `json:"edges"`
+		// Status is "ok", or "degraded" when the SLO burn-rate engine
+		// has a multi-window rule firing (Reasons says which).
+		Status  string   `json:"status"`
+		Reasons []string `json:"reasons,omitempty"`
+		Nodes   int      `json:"nodes"`
+		Edges   int      `json:"edges"`
 		// Format is the snapshot's on-disk format magic ("PBGR", "PBC2",
 		// "PBFL"); empty when serving an in-memory build.
 		Format string `json:"snapshot_format,omitempty"`
@@ -613,7 +712,8 @@ func (s *Server) handleHealthz(r *http.Request) (string, any, error) {
 		UptimeMS    int64         `json:"uptime_ms"`
 		Build       obs.BuildInfo `json:"build"`
 	}{
-		Status:      "ok",
+		Status:      ev.Status,
+		Reasons:     ev.Reasons,
 		Nodes:       st.pb.Graph.NumNodes(),
 		Edges:       st.pb.Graph.NumEdges(),
 		Format:      st.pb.Format,

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/obs"
+	"repro/internal/sketch"
+	"repro/internal/window"
+)
+
+// TrafficSchema names the /v1/admin/traffic payload layout (a
+// benchfmt.Report envelope, like probase-inspect/v1); bump on breaking
+// changes.
+const TrafficSchema = "probase-traffic/v1"
+
+// hotKeyCapacity is the per-endpoint Space-Saving capacity: hot keys
+// reported with count ≫ observed/64 are genuinely hot (see
+// internal/sketch for the bound).
+const hotKeyCapacity = 64
+
+// defaultHotKeys is how many heavy hitters /v1/admin/traffic reports
+// per endpoint.
+const defaultHotKeys = 10
+
+// traffic is the server's live analytics state: per-endpoint rolling
+// RED windows, per-endpoint heavy-hitter sketches over query
+// arguments, and the SLO burn-rate engine over the aggregate window.
+type traffic struct {
+	windows *window.Set
+	engine  *window.Engine
+
+	mu  sync.Mutex
+	hot map[string]*sketch.TopK
+}
+
+// newTraffic wires the analytics layer for the given endpoints. The
+// injected clock steers rings and engine alike — the determinism seam
+// the tests and the fake-clock acceptance criterion rely on.
+func newTraffic(endpoints []string, slo window.SLOConfig, now func() time.Time) (*traffic, error) {
+	set := window.NewSet(endpoints, window.Options{Now: now})
+	engine, err := window.NewEngine(slo, set.Total())
+	if err != nil {
+		return nil, err
+	}
+	hot := make(map[string]*sketch.TopK, len(endpoints))
+	for _, ep := range endpoints {
+		hot[ep] = sketch.New(hotKeyCapacity)
+	}
+	return &traffic{windows: set, engine: engine, hot: hot}, nil
+}
+
+// record books one finished request; hotKey is the request's query
+// argument ("" for endpoints without one).
+func (t *traffic) record(endpoint string, o window.Outcome, hotKey string) {
+	t.windows.Record(endpoint, o)
+	if hotKey == "" {
+		return
+	}
+	t.mu.Lock()
+	if s, ok := t.hot[endpoint]; ok {
+		s.Observe(hotKey)
+	}
+	t.mu.Unlock()
+}
+
+// hotKeys reports up to k heavy hitters for one endpoint.
+func (t *traffic) hotKeys(endpoint string, k int) []sketch.Item {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.hot[endpoint]
+	if !ok {
+		return nil
+	}
+	return s.Top(k)
+}
+
+// reset clears windows and sketches — the snapshot hot-swap path: the
+// new snapshot starts with a clean traffic history (its latencies and
+// hit rates are a different population).
+func (t *traffic) reset() {
+	t.windows.Reset()
+	t.mu.Lock()
+	for _, s := range t.hot {
+		s.Reset()
+	}
+	t.mu.Unlock()
+}
+
+// hotKeyFor extracts the query argument a request is "about" — what
+// the heavy-hitter sketches aggregate. Endpoints without a natural key
+// (healthz, admin) return "".
+func hotKeyFor(endpoint string, r *http.Request) string {
+	switch endpoint {
+	case epInstances:
+		return strings.TrimSpace(r.FormValue("concept"))
+	case epConcepts:
+		return strings.TrimSpace(r.FormValue("term"))
+	case epTypicality:
+		c := strings.TrimSpace(r.FormValue("concept"))
+		i := strings.TrimSpace(r.FormValue("instance"))
+		if c == "" && i == "" {
+			return ""
+		}
+		return c + "/" + i
+	case epPlausibility:
+		x := strings.TrimSpace(r.FormValue("x"))
+		y := strings.TrimSpace(r.FormValue("y"))
+		if x == "" && y == "" {
+			return ""
+		}
+		return x + "/" + y
+	case epConceptualize:
+		if terms := strings.TrimSpace(r.FormValue("terms")); terms != "" {
+			return terms
+		}
+		if text := strings.TrimSpace(r.FormValue("text")); text != "" {
+			return "text:" + text
+		}
+	}
+	return ""
+}
+
+// endpointTraffic is one endpoint's live analytics in the
+// probase-traffic/v1 payload.
+type endpointTraffic struct {
+	Endpoint string         `json:"endpoint"`
+	Windows  []window.Stats `json:"windows"`
+	HotKeys  []sketch.Item  `json:"hot_keys,omitempty"`
+}
+
+// handleAdminTraffic serves the live traffic analytics as a
+// probase-traffic/v1 report: one experiment per endpoint (rolling
+// windows + hot keys), one "total" aggregate, and one "slo" experiment
+// carrying the burn-rate evaluation that also drives /v1/healthz.
+func (s *Server) handleAdminTraffic(r *http.Request) (string, any, error) {
+	uptime := time.Since(s.start).Seconds()
+	if uptime <= 0 {
+		uptime = 1e-9 // monotonic clock cannot actually go backwards; guard for tests with frozen clocks
+	}
+	totalStats := s.traffic.windows.Total().Stats(window.DefaultWindows...)
+	report := benchfmt.Report{
+		Schema: TrafficSchema,
+		Build:  obs.Version(),
+		Options: benchfmt.Options{
+			Scale: 1,
+			// Sentences carries the snapshot node count (the
+			// probase-inspect convention for reusing the envelope);
+			// Queries is the request count in the longest window.
+			Sentences: s.probase().Graph.NumNodes(),
+			Queries:   int(totalStats[len(totalStats)-1].Requests),
+		},
+		TotalSeconds: uptime,
+	}
+	report.Experiments = append(report.Experiments, benchfmt.Experiment{
+		Name:   "total",
+		Result: endpointTraffic{Endpoint: "total", Windows: totalStats},
+	})
+	for _, ep := range s.traffic.windows.Endpoints() {
+		report.Experiments = append(report.Experiments, benchfmt.Experiment{
+			Name: "traffic:" + ep,
+			Result: endpointTraffic{
+				Endpoint: ep,
+				Windows:  s.traffic.windows.Series(ep).Stats(window.DefaultWindows...),
+				HotKeys:  s.traffic.hotKeys(ep, defaultHotKeys),
+			},
+		})
+	}
+	report.Experiments = append(report.Experiments, benchfmt.Experiment{
+		Name:   "slo",
+		Result: s.traffic.engine.Eval(),
+	})
+	return "", report, nil
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/window"
+)
+
+func decodeTraffic(t *testing.T, rec *httptest.ResponseRecorder) benchfmt.Report {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/admin/traffic status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := benchfmt.ValidateBytesAs("traffic", rec.Body.Bytes(), TrafficSchema); err != nil {
+		t.Fatalf("traffic payload invalid: %v", err)
+	}
+	var r benchfmt.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func trafficExperiment(t *testing.T, r benchfmt.Report, name string) map[string]any {
+	t.Helper()
+	e, ok := r.Experiment(name)
+	if !ok {
+		t.Fatalf("no %q experiment in traffic report", name)
+	}
+	m, ok := e.Result.(map[string]any)
+	if !ok {
+		t.Fatalf("%q result is %T, want object", name, e.Result)
+	}
+	return m
+}
+
+func TestAdminTrafficEndpoint(t *testing.T) {
+	s := newTestServer(t)
+
+	// Generate identifiable traffic: repeated hot concept + some misses.
+	for i := 0; i < 12; i++ {
+		get(t, s, "/v1/instances?concept=companies&k=5")
+	}
+	get(t, s, "/v1/concepts?term=microsoft&k=3")
+	get(t, s, "/v1/healthz")
+
+	rec, _ := get(t, s, "/v1/admin/traffic")
+	report := decodeTraffic(t, rec)
+
+	// The envelope reuses the benchfmt fields the validator requires:
+	// Sentences carries the snapshot node count, Queries the 30m request
+	// count.
+	if report.Options.Sentences != s.probase().Graph.NumNodes() {
+		t.Errorf("options.sentences = %d, want node count %d",
+			report.Options.Sentences, s.probase().Graph.NumNodes())
+	}
+
+	total := trafficExperiment(t, report, "total")
+	wins, ok := total["windows"].([]any)
+	if !ok || len(wins) != len(window.DefaultWindows) {
+		t.Fatalf("total windows = %v, want %d entries", total["windows"], len(window.DefaultWindows))
+	}
+	w1 := wins[0].(map[string]any)
+	if w1["window"] != "1m" {
+		t.Errorf("first window = %v, want 1m", w1["window"])
+	}
+	if reqs := w1["requests"].(float64); reqs < 14 {
+		t.Errorf("total 1m requests = %v, want >= 14", reqs)
+	}
+
+	inst := trafficExperiment(t, report, "traffic:instances")
+	hot, ok := inst["hot_keys"].([]any)
+	if !ok || len(hot) == 0 {
+		t.Fatalf("instances hot_keys = %v, want non-empty", inst["hot_keys"])
+	}
+	top := hot[0].(map[string]any)
+	if top["key"] != "companies" || top["count"].(float64) != 12 {
+		t.Errorf("top hot key = %v, want companies x12", top)
+	}
+
+	slo := trafficExperiment(t, report, "slo")
+	if slo["status"] != window.HealthOK {
+		t.Errorf("slo status = %v, want ok", slo["status"])
+	}
+}
+
+func TestNoStoreHeaders(t *testing.T) {
+	s := newTestServer(t)
+	// Health and analytics must carry no-store and an explicit content
+	// type; cacheable query endpoints must NOT be marked no-store (they
+	// are legitimately cacheable by intermediaries).
+	for _, path := range []string{"/v1/healthz", "/v1/admin/stats", "/v1/admin/traffic"} {
+		rec, _ := get(t, s, path)
+		if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", path, cc)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Errorf("%s Content-Type = %q", path, ct)
+		}
+	}
+	rec, _ := get(t, s, "/v1/instances?concept=companies&k=5")
+	if cc := rec.Header().Get("Cache-Control"); cc != "" {
+		t.Errorf("query endpoint Cache-Control = %q, want unset", cc)
+	}
+}
+
+// TestSwapMovesPurgeCounters is the purge-instrumentation satellite:
+// each Swap increments probase_cache_purges_total and records the
+// evicted count, and the traffic analytics reset with it.
+func TestSwapMovesPurgeCounters(t *testing.T) {
+	pb := testProbase(t)
+	s := New(pb, Config{})
+
+	// Warm the cache and the traffic windows.
+	for i := 0; i < 5; i++ {
+		get(t, s, "/v1/instances?concept=companies&k="+strconv.Itoa(i+1))
+	}
+	warmed := s.cache.Len()
+	if warmed == 0 {
+		t.Fatal("cache not warmed")
+	}
+	if gaugeValue(t, scrape(t, s), "probase_cache_purges_total") != "0" {
+		t.Fatal("purge counter non-zero before any swap")
+	}
+
+	if err := s.Swap(pb); err != nil {
+		t.Fatal(err)
+	}
+	exp := scrape(t, s)
+	if got := gaugeValue(t, exp, "probase_cache_purges_total"); got != "1" {
+		t.Errorf("purges after swap = %s, want 1", got)
+	}
+	if got := gaugeValue(t, exp, "probase_cache_purged_entries"); got != strconv.Itoa(warmed) {
+		t.Errorf("purged entries = %s, want %d", got, warmed)
+	}
+
+	// Traffic history belongs to the old snapshot; Swap must clear it.
+	rec, _ := get(t, s, "/v1/admin/traffic")
+	report := decodeTraffic(t, rec)
+	inst := trafficExperiment(t, report, "traffic:instances")
+	if hot, _ := inst["hot_keys"].([]any); len(hot) != 0 {
+		t.Errorf("hot keys survived swap: %v", hot)
+	}
+
+	if err := s.Swap(pb); err != nil {
+		t.Fatal(err)
+	}
+	if got := gaugeValue(t, scrape(t, s), "probase_cache_purges_total"); got != "2" {
+		t.Errorf("purges after second swap = %s, want 2", got)
+	}
+}
+
+// TestFailInjectDegradesHealthz is the gate-liveness mechanism CI
+// relies on: a synthetic error storm must flip /v1/healthz to degraded
+// and push probase_slo_burn_rate above the configured threshold.
+func TestFailInjectDegradesHealthz(t *testing.T) {
+	s := New(testProbase(t), Config{FailInject: 2})
+
+	rec, health := get(t, s, "/v1/healthz")
+	if rec.Code != http.StatusOK || health["status"] != window.HealthOK {
+		t.Fatalf("pre-storm healthz = %d %v, want 200 ok", rec.Code, health["status"])
+	}
+
+	// Every 2nd query request 500s: a 50% error rate against the 0.1%
+	// default budget is a 500x burn in every window.
+	fails := 0
+	for i := 0; i < 60; i++ {
+		r, _ := get(t, s, "/v1/typicality?concept=companies&instance=microsoft")
+		if r.Code == http.StatusInternalServerError {
+			fails++
+		}
+	}
+	if fails != 30 {
+		t.Fatalf("fail-inject produced %d faults of 60, want 30", fails)
+	}
+
+	// The engine caches verdicts for 1s; wait out the TTL so healthz
+	// re-evaluates against the stormy windows.
+	time.Sleep(1100 * time.Millisecond)
+	rec, health = get(t, s, "/v1/healthz")
+	if health["status"] != window.HealthDegraded {
+		t.Fatalf("healthz status after storm = %v, want degraded", health["status"])
+	}
+	if reasons, _ := health["reasons"].([]any); len(reasons) == 0 {
+		t.Error("degraded healthz carries no reasons")
+	}
+
+	exp := scrape(t, s)
+	burn, err := strconv.ParseFloat(gaugeValue(t, exp, `probase_slo_burn_rate{window="1m"}`), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burn < 14.4 {
+		t.Errorf("1m burn rate = %v, want above the 14.4 threshold", burn)
+	}
+	if got := gaugeValue(t, exp, "probase_slo_degraded"); got != "1" {
+		t.Errorf("probase_slo_degraded = %s, want 1", got)
+	}
+
+	// Health and admin endpoints are exempt from injection — the
+	// degraded verdict stayed observable throughout.
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz status code during storm = %d, want 200", rec.Code)
+	}
+}
+
+// TestTrafficWindowsRollWithInjectedClock drives the server's rings
+// with a fake clock: events expire out of the short window exactly at
+// bucket granularity.
+func TestTrafficWindowsRollWithInjectedClock(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	s := New(testProbase(t), Config{Now: func() time.Time { return now }})
+
+	for i := 0; i < 8; i++ {
+		get(t, s, "/v1/concepts?term=microsoft&k=3")
+	}
+	stats := s.traffic.windows.Series(epConcepts).Stats(time.Minute, 30*time.Minute)
+	if stats[0].Requests != 8 {
+		t.Fatalf("1m requests = %d, want 8", stats[0].Requests)
+	}
+
+	now = now.Add(2 * time.Minute)
+	stats = s.traffic.windows.Series(epConcepts).Stats(time.Minute, 30*time.Minute)
+	if stats[0].Requests != 0 {
+		t.Errorf("1m requests after 2m idle = %d, want 0", stats[0].Requests)
+	}
+	if stats[1].Requests != 8 {
+		t.Errorf("30m requests after 2m idle = %d, want 8", stats[1].Requests)
+	}
+}
+
+func TestAdminTrafficRejectsPost(t *testing.T) {
+	s := newTestServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/v1/admin/traffic", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", rec.Code)
+	}
+}

@@ -1,0 +1,155 @@
+// Package sketch holds the Space-Saving heavy-hitter summary (Metwally,
+// Agrawal, El Abbadi, "Efficient computation of frequent and top-k
+// elements in data streams", ICDT 2005) the traffic layer uses to track
+// hot query arguments per endpoint in O(capacity) memory.
+//
+// # Guarantees
+//
+// A TopK of capacity m observing a stream of N (weighted) events keeps
+// every key whose true count exceeds N/m — a heavy hitter cannot be
+// evicted, because eviction replaces the minimum counter and the
+// minimum counter is ≤ N/m. Each tracked key's Count overestimates its
+// true count by at most its Err field (the minimum counter's value at
+// the moment the key was adopted), so
+//
+//	true count ∈ [Count-Err, Count]   and   Err ≤ N/m.
+//
+// Smaller streams or larger capacities tighten the bound; with the
+// traffic layer's defaults (m=64 per endpoint) a key reported hot with
+// Count ≫ N/64 is genuinely hot.
+//
+// # Determinism
+//
+// Replacement victims and report order are deterministic: the eviction
+// victim is the entry with the minimum count, ties broken by the
+// lexically greatest key (so among equals the newest-alphabet key is
+// recycled first and the report order — count descending, then key
+// ascending — is stable). Merge sums counts symmetrically and re-evicts
+// down to capacity with the same rule, so Merge(a,b) and Merge(b,a)
+// summarize identically.
+package sketch
+
+import "sort"
+
+type entry struct {
+	key   string
+	count int64
+	err   int64
+}
+
+// Item is one reported heavy hitter. The true count lies in
+// [Count-Err, Count].
+type Item struct {
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+	Err   int64  `json:"err,omitempty"`
+}
+
+// TopK is a Space-Saving summary. Not safe for concurrent use; callers
+// guard it with the lock covering the surrounding aggregate.
+type TopK struct {
+	cap      int
+	entries  map[string]*entry
+	observed int64 // N: total observed weight, for the N/m bound
+}
+
+// New builds a sketch tracking at most capacity keys; capacity < 1 is
+// raised to 1.
+func New(capacity int) *TopK {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TopK{cap: capacity, entries: make(map[string]*entry, capacity)}
+}
+
+// Capacity returns the maximum number of tracked keys (the m of the
+// N/m error bound).
+func (t *TopK) Capacity() int { return t.cap }
+
+// Observed returns the total observed weight N.
+func (t *TopK) Observed() int64 { return t.observed }
+
+// Observe counts one occurrence of key.
+func (t *TopK) Observe(key string) { t.ObserveN(key, 1) }
+
+// ObserveN counts n occurrences of key (n ≤ 0 is ignored).
+func (t *TopK) ObserveN(key string, n int64) {
+	if n <= 0 {
+		return
+	}
+	t.observed += n
+	if e, ok := t.entries[key]; ok {
+		e.count += n
+		return
+	}
+	if len(t.entries) < t.cap {
+		t.entries[key] = &entry{key: key, count: n}
+		return
+	}
+	// Space-Saving replacement: adopt the minimum counter. The new key
+	// inherits the victim's count as its overestimate bound.
+	v := t.victim()
+	delete(t.entries, v.key)
+	t.entries[key] = &entry{key: key, count: v.count + n, err: v.count}
+}
+
+// victim returns the eviction candidate: minimum count, ties broken by
+// the lexically greatest key.
+func (t *TopK) victim() *entry {
+	var v *entry
+	for _, e := range t.entries {
+		if v == nil || e.count < v.count || (e.count == v.count && e.key > v.key) {
+			v = e
+		}
+	}
+	return v
+}
+
+// Top returns up to k items ordered by count descending, ties by key
+// ascending. k ≤ 0 returns every tracked key.
+func (t *TopK) Top(k int) []Item {
+	out := make([]Item, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, Item{Key: e.key, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Merge folds other into t (mergeable-summaries style: counts and
+// error bounds sum for shared keys; keys only in other are adopted
+// with their counts, then the union is re-evicted down to capacity by
+// the standard victim rule). Merging summaries of two disjoint stream
+// halves preserves the combined N/m guarantee, and the operation is
+// symmetric: Merge(a,b) and Merge(b,a) produce identical summaries.
+func (t *TopK) Merge(other *TopK) {
+	if other == nil {
+		return
+	}
+	t.observed += other.observed
+	for key, oe := range other.entries {
+		if e, ok := t.entries[key]; ok {
+			e.count += oe.count
+			e.err += oe.err
+		} else {
+			t.entries[key] = &entry{key: key, count: oe.count, err: oe.err}
+		}
+	}
+	for len(t.entries) > t.cap {
+		delete(t.entries, t.victim().key)
+	}
+}
+
+// Reset empties the sketch, keeping its capacity.
+func (t *TopK) Reset() {
+	t.entries = make(map[string]*entry, t.cap)
+	t.observed = 0
+}

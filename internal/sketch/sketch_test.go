@@ -1,0 +1,175 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestTopKExact(t *testing.T) {
+	// Below capacity the sketch is exact: every count right, Err zero.
+	s := New(10)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			s.Observe(fmt.Sprintf("k%d", i))
+		}
+	}
+	got := s.Top(0)
+	want := []Item{
+		{Key: "k4", Count: 5}, {Key: "k3", Count: 4}, {Key: "k2", Count: 3},
+		{Key: "k1", Count: 2}, {Key: "k0", Count: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Top = %+v, want %+v", got, want)
+	}
+	if s.Observed() != 15 {
+		t.Fatalf("observed = %d, want 15", s.Observed())
+	}
+}
+
+func TestTopKOrderTies(t *testing.T) {
+	s := New(10)
+	for _, k := range []string{"b", "a", "c"} {
+		s.Observe(k)
+	}
+	got := s.Top(2)
+	want := []Item{{Key: "a", Count: 1}, {Key: "b", Count: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Top(2) = %+v, want %+v", got, want)
+	}
+}
+
+// TestTopKHeavyHitterGuarantee checks the Space-Saving invariant on an
+// adversarial-ish stream: every key with true count > N/m is present,
+// and every reported count brackets the truth within Err.
+func TestTopKHeavyHitterGuarantee(t *testing.T) {
+	const m = 16
+	s := New(m)
+	truth := map[string]int64{}
+	rng := rand.New(rand.NewSource(42))
+
+	record := func(key string, n int64) {
+		s.ObserveN(key, n)
+		truth[key] += n
+	}
+	// A few heavy keys buried in a long tail of singletons.
+	for i := 0; i < 2000; i++ {
+		switch {
+		case i%10 == 0:
+			record("hot-1", 1)
+		case i%15 == 0:
+			record("hot-2", 1)
+		default:
+			record(fmt.Sprintf("tail-%d", rng.Intn(1500)), 1)
+		}
+	}
+
+	n := s.Observed()
+	bound := n / m
+	present := map[string]Item{}
+	for _, it := range s.Top(0) {
+		present[it.Key] = it
+		if it.Err > bound {
+			t.Errorf("%s: err %d exceeds N/m = %d", it.Key, it.Err, bound)
+		}
+		tc := truth[it.Key]
+		if it.Count < tc || it.Count-it.Err > tc {
+			t.Errorf("%s: reported %d (err %d) does not bracket true %d", it.Key, it.Count, it.Err, tc)
+		}
+	}
+	for key, tc := range truth {
+		if tc > bound {
+			if _, ok := present[key]; !ok {
+				t.Errorf("heavy hitter %s (true %d > N/m %d) evicted", key, tc, bound)
+			}
+		}
+	}
+	if len(s.Top(0)) > m {
+		t.Fatalf("tracked %d keys, capacity %d", len(s.Top(0)), m)
+	}
+}
+
+func TestTopKDeterministicEviction(t *testing.T) {
+	// Two sketches fed the same stream in the same order must report
+	// identically — the victim rule leaves no room for map-iteration
+	// nondeterminism.
+	stream := make([]string, 0, 1000)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		stream = append(stream, fmt.Sprintf("k%d", rng.Intn(50)))
+	}
+	a, b := New(8), New(8)
+	for _, k := range stream {
+		a.Observe(k)
+		b.Observe(k)
+	}
+	if !reflect.DeepEqual(a.Top(0), b.Top(0)) {
+		t.Fatalf("same stream, different summaries:\n%+v\nvs\n%+v", a.Top(0), b.Top(0))
+	}
+}
+
+func TestTopKMergeCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mk := func(seed int64) *TopK {
+		s := New(8)
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			s.Observe(fmt.Sprintf("k%d", r.Intn(30)))
+		}
+		return s
+	}
+	for trial := 0; trial < 5; trial++ {
+		s1, s2 := rng.Int63(), rng.Int63()
+		ab, ba := mk(s1), mk(s2)
+		ab.Merge(mk(s2))
+		ba.Merge(mk(s1))
+		if !reflect.DeepEqual(ab.Top(0), ba.Top(0)) {
+			t.Fatalf("trial %d: Merge(a,b) != Merge(b,a):\n%+v\nvs\n%+v", trial, ab.Top(0), ba.Top(0))
+		}
+		if ab.Observed() != ba.Observed() {
+			t.Fatalf("trial %d: observed %d vs %d", trial, ab.Observed(), ba.Observed())
+		}
+	}
+}
+
+func TestTopKMergeExactWhenDisjointFits(t *testing.T) {
+	a, b := New(10), New(10)
+	a.ObserveN("x", 5)
+	a.ObserveN("y", 3)
+	b.ObserveN("y", 2)
+	b.ObserveN("z", 7)
+	a.Merge(b)
+	want := []Item{{Key: "z", Count: 7}, {Key: "x", Count: 5}, {Key: "y", Count: 5}}
+	if got := a.Top(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged = %+v, want %+v", got, want)
+	}
+	if a.Observed() != 17 {
+		t.Fatalf("observed = %d, want 17", a.Observed())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestTopKReset(t *testing.T) {
+	s := New(4)
+	s.ObserveN("x", 9)
+	s.Reset()
+	if len(s.Top(0)) != 0 || s.Observed() != 0 {
+		t.Fatalf("after Reset: %+v, observed %d", s.Top(0), s.Observed())
+	}
+	if s.Capacity() != 4 {
+		t.Fatalf("capacity lost on Reset: %d", s.Capacity())
+	}
+}
+
+func TestTopKDegenerateCapacity(t *testing.T) {
+	s := New(0) // raised to 1
+	s.Observe("a")
+	s.Observe("b")
+	s.ObserveN("b", 0)  // ignored
+	s.ObserveN("c", -5) // ignored
+	got := s.Top(0)
+	if len(got) != 1 || got[0].Key != "b" || got[0].Count != 2 || got[0].Err != 1 {
+		t.Fatalf("capacity-1 sketch = %+v", got)
+	}
+}

@@ -1,0 +1,325 @@
+package window
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLOSchema names the checked-in traffic-SLO config layout
+// (.github/traffic-slo.json); bump on breaking changes, the same
+// versioning idiom as the benchfmt report schemas.
+const SLOSchema = "probase-traffic-slo/v1"
+
+// BurnRule is one multi-window error-budget alert, after the Google
+// SRE workbook pattern: the rule fires only when the budget burns
+// faster than Threshold× in BOTH the long window (sustained, not a
+// blip) and the short window (still happening now, not a stale echo).
+type BurnRule struct {
+	// ShortWindow and LongWindow name rolling spans ("5m", "30m");
+	// both must divide into bucket-aligned windows the rings retain.
+	ShortWindow string `json:"short_window"`
+	LongWindow  string `json:"long_window"`
+	// BurnRate is the firing threshold: a burn rate of N means the
+	// error budget is being consumed N times faster than the SLO
+	// allows (burn 1.0 for a full compliance period exactly exhausts
+	// the budget).
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// SLOConfig is the checked-in service-level objective document the
+// in-server engine evaluates live — the serving-side sibling of the
+// .github/capacity-slo.json gate the load generator applies offline.
+type SLOConfig struct {
+	Schema string `json:"schema"`
+	// AvailabilityTarget is the fraction of requests that must not be
+	// server faults (5xx), e.g. 0.999. The error budget rate is
+	// 1 - AvailabilityTarget.
+	AvailabilityTarget float64 `json:"availability_target"`
+	// LatencyP99MS, when > 0, additionally degrades the server if the
+	// rolling p99 exceeds it in both windows of any rule — the same
+	// multi-window hysteresis applied to latency.
+	LatencyP99MS float64 `json:"latency_p99_ms,omitempty"`
+	// MinRequests guards against vacuous evaluation: a rule cannot
+	// fire unless its short window saw at least this many requests.
+	MinRequests int64 `json:"min_requests"`
+	// BurnRules are the multi-window alerts; any firing rule degrades
+	// the server.
+	BurnRules []BurnRule `json:"burn_rules"`
+}
+
+// DefaultSLOConfig is the built-in objective used when no config file
+// is given: 99.9% availability with the SRE workbook's classic
+// (14.4× over 1m+5m, 6× over 5m+30m) page-worthy burn pairs.
+func DefaultSLOConfig() SLOConfig {
+	return SLOConfig{
+		Schema:             SLOSchema,
+		AvailabilityTarget: 0.999,
+		MinRequests:        20,
+		BurnRules: []BurnRule{
+			{ShortWindow: "1m", LongWindow: "5m", BurnRate: 14.4},
+			{ShortWindow: "5m", LongWindow: "30m", BurnRate: 6},
+		},
+	}
+}
+
+// Validate checks the config is internally consistent and its window
+// names parse.
+func (c SLOConfig) Validate() error {
+	if c.Schema != SLOSchema {
+		return fmt.Errorf("slo config: schema %q, want %q", c.Schema, SLOSchema)
+	}
+	if c.AvailabilityTarget <= 0 || c.AvailabilityTarget >= 1 {
+		return fmt.Errorf("slo config: availability_target %v outside (0, 1)", c.AvailabilityTarget)
+	}
+	if c.LatencyP99MS < 0 {
+		return fmt.Errorf("slo config: negative latency_p99_ms %v", c.LatencyP99MS)
+	}
+	if c.MinRequests < 0 {
+		return fmt.Errorf("slo config: negative min_requests %d", c.MinRequests)
+	}
+	if len(c.BurnRules) == 0 {
+		return fmt.Errorf("slo config: no burn_rules")
+	}
+	for i, r := range c.BurnRules {
+		short, err := time.ParseDuration(r.ShortWindow)
+		if err != nil {
+			return fmt.Errorf("slo config: rule %d short_window %q: %w", i, r.ShortWindow, err)
+		}
+		long, err := time.ParseDuration(r.LongWindow)
+		if err != nil {
+			return fmt.Errorf("slo config: rule %d long_window %q: %w", i, r.LongWindow, err)
+		}
+		if short <= 0 || long <= short {
+			return fmt.Errorf("slo config: rule %d windows %s/%s must satisfy 0 < short < long",
+				i, r.ShortWindow, r.LongWindow)
+		}
+		if r.BurnRate <= 0 {
+			return fmt.Errorf("slo config: rule %d non-positive burn_rate %v", i, r.BurnRate)
+		}
+	}
+	return nil
+}
+
+// LoadSLOConfig reads and strictly validates a traffic-SLO file
+// (unknown fields are rejected, the usual config hygiene).
+func LoadSLOConfig(path string) (SLOConfig, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return SLOConfig{}, err
+	}
+	var c SLOConfig
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return SLOConfig{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return SLOConfig{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// WindowBurn is one window's live budget accounting.
+type WindowBurn struct {
+	Window    string  `json:"window"`
+	Requests  int64   `json:"requests"`
+	ErrorRate float64 `json:"error_rate"`
+	P99MS     float64 `json:"p99_ms"`
+	// BurnRate = ErrorRate / (1 - AvailabilityTarget); +Inf is
+	// rendered as a very large finite number so the value survives
+	// JSON.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// RuleEval is one burn rule's verdict.
+type RuleEval struct {
+	ShortWindow string  `json:"short_window"`
+	LongWindow  string  `json:"long_window"`
+	Threshold   float64 `json:"threshold"`
+	ShortBurn   float64 `json:"short_burn"`
+	LongBurn    float64 `json:"long_burn"`
+	Firing      bool    `json:"firing"`
+}
+
+// Health status values. HealthDegraded means at least one burn rule
+// (or the latency objective) is firing.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+)
+
+// SLOEval is one engine evaluation: the health verdict plus everything
+// needed to explain it.
+type SLOEval struct {
+	Status             string       `json:"status"`
+	AvailabilityTarget float64      `json:"availability_target"`
+	BudgetErrorRate    float64      `json:"budget_error_rate"`
+	LatencyP99MS       float64      `json:"latency_p99_ms,omitempty"`
+	MaxBurnRate        float64      `json:"max_burn_rate"`
+	Windows            []WindowBurn `json:"windows"`
+	Rules              []RuleEval   `json:"rules"`
+	Reasons            []string     `json:"reasons,omitempty"`
+}
+
+// Engine evaluates an SLOConfig against a live aggregate Series. One
+// evaluation merges each distinct window's trailing buckets, so the
+// result is cached for a short TTL (scrapes, healthz probes, and
+// /v1/admin/traffic share one evaluation per second).
+type Engine struct {
+	cfg     SLOConfig
+	total   *Series
+	windows []time.Duration // distinct, ascending
+	now     func() time.Time
+	ttl     time.Duration
+
+	mu     sync.Mutex
+	at     time.Time
+	cached SLOEval
+}
+
+// NewEngine validates cfg and binds it to the aggregate series. The
+// engine reads the series' clock so injected time steers both.
+func NewEngine(cfg SLOConfig, total *Series) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	seen := map[time.Duration]bool{}
+	var windows []time.Duration
+	for _, r := range cfg.BurnRules {
+		for _, name := range []string{r.ShortWindow, r.LongWindow} {
+			d, _ := time.ParseDuration(name) // validated above
+			if !seen[d] {
+				seen[d] = true
+				windows = append(windows, d)
+			}
+		}
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
+	return &Engine{
+		cfg:     cfg,
+		total:   total,
+		windows: windows,
+		now:     total.opts.Now,
+		ttl:     time.Second,
+	}, nil
+}
+
+// Config returns the bound objective.
+func (e *Engine) Config() SLOConfig { return e.cfg }
+
+// WindowNames returns the distinct windows the engine evaluates, in
+// ascending span order — the label set of the probase_slo_burn_rate
+// gauge family.
+func (e *Engine) WindowNames() []string {
+	out := make([]string, len(e.windows))
+	for i, d := range e.windows {
+		out[i] = Name(d)
+	}
+	return out
+}
+
+// Eval returns the current verdict, re-evaluating at most once per TTL
+// (backwards clock steps force a re-evaluation rather than serving a
+// future-stamped cache forever — the procSampler guard).
+func (e *Engine) Eval() SLOEval {
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.at.IsZero() && now.Sub(e.at) < e.ttl && !now.Before(e.at) {
+		return e.cached
+	}
+	e.cached = e.eval()
+	e.at = now
+	return e.cached
+}
+
+// BurnRate returns the named window's current burn rate (0 when the
+// window is not part of any rule) — the gauge read path.
+func (e *Engine) BurnRate(window string) float64 {
+	ev := e.Eval()
+	for _, wb := range ev.Windows {
+		if wb.Window == window {
+			return wb.BurnRate
+		}
+	}
+	return 0
+}
+
+// maxFiniteBurn caps the burn rate when the error budget is zero or
+// the observed rate saturates it: large enough to trip any sane
+// threshold, finite so the value survives JSON encoding.
+const maxFiniteBurn = 1e6
+
+func (e *Engine) eval() SLOEval {
+	stats := e.total.Stats(e.windows...)
+	budget := 1 - e.cfg.AvailabilityTarget
+	ev := SLOEval{
+		Status:             HealthOK,
+		AvailabilityTarget: e.cfg.AvailabilityTarget,
+		BudgetErrorRate:    budget,
+		LatencyP99MS:       e.cfg.LatencyP99MS,
+	}
+	byName := make(map[string]Stats, len(stats))
+	for _, st := range stats {
+		burn := 0.0
+		if st.ErrorRate > 0 {
+			burn = st.ErrorRate / budget
+			if math.IsInf(burn, 1) || burn > maxFiniteBurn {
+				burn = maxFiniteBurn
+			}
+		}
+		ev.Windows = append(ev.Windows, WindowBurn{
+			Window:    st.Window,
+			Requests:  st.Requests,
+			ErrorRate: st.ErrorRate,
+			P99MS:     st.P99MS,
+			BurnRate:  burn,
+		})
+		if burn > ev.MaxBurnRate {
+			ev.MaxBurnRate = burn
+		}
+		byName[st.Window] = st
+	}
+	burnOf := func(name string) float64 {
+		for _, wb := range ev.Windows {
+			if wb.Window == name {
+				return wb.BurnRate
+			}
+		}
+		return 0
+	}
+	for _, r := range e.cfg.BurnRules {
+		re := RuleEval{
+			ShortWindow: r.ShortWindow,
+			LongWindow:  r.LongWindow,
+			Threshold:   r.BurnRate,
+			ShortBurn:   burnOf(r.ShortWindow),
+			LongBurn:    burnOf(r.LongWindow),
+		}
+		enough := byName[r.ShortWindow].Requests >= e.cfg.MinRequests
+		if enough && re.ShortBurn >= r.BurnRate && re.LongBurn >= r.BurnRate {
+			re.Firing = true
+			ev.Status = HealthDegraded
+			ev.Reasons = append(ev.Reasons, fmt.Sprintf(
+				"error budget burning %.1fx/%.1fx over %s/%s (threshold %.1fx)",
+				re.ShortBurn, re.LongBurn, r.ShortWindow, r.LongWindow, r.BurnRate))
+		}
+		if e.cfg.LatencyP99MS > 0 && enough &&
+			byName[r.ShortWindow].P99MS > e.cfg.LatencyP99MS &&
+			byName[r.LongWindow].P99MS > e.cfg.LatencyP99MS {
+			ev.Status = HealthDegraded
+			ev.Reasons = append(ev.Reasons, fmt.Sprintf(
+				"p99 %.1fms/%.1fms over %s/%s exceeds %.1fms",
+				byName[r.ShortWindow].P99MS, byName[r.LongWindow].P99MS,
+				r.ShortWindow, r.LongWindow, e.cfg.LatencyP99MS))
+		}
+		ev.Rules = append(ev.Rules, re)
+	}
+	return ev
+}

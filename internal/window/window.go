@@ -1,0 +1,354 @@
+// Package window brings the time dimension of observability
+// in-process: lock-cheap sliding time-bucket rings that aggregate
+// per-endpoint RED stats (request/error counts, cache hits, and
+// log-linear latency histograms from internal/hdr) over rolling
+// windows, plus the SLO burn-rate engine (slo.go) that evaluates a
+// checked-in multi-window error-budget config against those windows.
+//
+// Every cumulative-since-start counter the server already exports only
+// turns into a rate if an external Prometheus is scraping; the rings
+// here are what lets the server itself answer "what is my qps / p99 /
+// error rate right now" — the substrate /v1/admin/traffic, probase-top,
+// the healthz ok|degraded status, and any future load shedder read.
+//
+// # Design
+//
+//	      ┌ bucket (10s) ┐
+//	ring: [b0][b1][b2] ... [b179]   180 × 10s = the 30m retention
+//	                 ▲cur
+//
+// One Series per endpoint (plus one for the aggregate) owns a ring of
+// fixed-width buckets covering the longest window. Recording is O(1):
+// take the series mutex, rotate the ring to the current wall-clock
+// bucket, bump four counters, record one histogram sample. Rotation
+// reuses bucket allocations (hdr.Hist.Reset), so a steady-state server
+// allocates nothing per request. A rolling window of width W is read
+// by merging the trailing ceil(W/bucket) buckets — the window slides at
+// bucket granularity, the standard time-series trade of exactness for
+// bounded memory, and the bucket width bounds the error.
+//
+// # Determinism
+//
+// The clock is injectable (Options.Now). Under a fake clock the whole
+// pipeline — rotation, idle-gap recycling, window selection, histogram
+// quantiles — is a pure function of the recorded event sequence, and
+// Stats snapshots marshal to byte-identical JSON however the events
+// were interleaved across goroutines within a bucket (histogram merge
+// is commutative; counters are order-free). Backwards clock steps
+// never rotate the ring (the internal/obs procSampler guard idiom):
+// events during the step land in the current bucket and time resumes
+// once the clock passes the bucket's start again.
+package window
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/hdr"
+)
+
+// DefaultWindows are the rolling spans the traffic layer reports:
+// 1m (is the spike now), 5m (is it sustained), 30m (the long burn-rate
+// window). Canonical order: shortest first.
+var DefaultWindows = []time.Duration{time.Minute, 5 * time.Minute, 30 * time.Minute}
+
+// Options tunes a Set (and every Series in it). The zero value is
+// usable.
+type Options struct {
+	// BucketWidth is the ring's rotation granularity. Default 10s.
+	BucketWidth time.Duration
+	// Retention is the longest readable window; the ring holds
+	// Retention/BucketWidth buckets. Default 30m.
+	Retention time.Duration
+	// SubBits is the per-bucket latency-histogram resolution
+	// (hdr.New); the default 5 gives a ≤ 2^-5 ≈ 3.2% relative
+	// quantile error at ~7.7KB per active bucket — window quantiles
+	// feed dashboards and SLO gates, not microbenchmarks.
+	SubBits int
+	// Now is the injectable clock. Default time.Now.
+	Now func() time.Time
+}
+
+// defaultWindowSubBits trades histogram memory for a 3.2% quantile
+// error: a fully warm 30m ring across nine series stays under ~13MB.
+const defaultWindowSubBits = 5
+
+func (o Options) withDefaults() Options {
+	if o.BucketWidth <= 0 {
+		o.BucketWidth = 10 * time.Second
+	}
+	if o.Retention < o.BucketWidth {
+		o.Retention = 30 * time.Minute
+	}
+	if o.SubBits == 0 {
+		o.SubBits = defaultWindowSubBits
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Outcome is one finished request as the ring records it.
+type Outcome struct {
+	// Latency is the served duration (negative clamps to 0).
+	Latency time.Duration
+	// Error marks a server fault: a 5xx response (including deadline
+	// 503s). 4xx responses are valid negative answers on this API and
+	// are deliberately NOT errors here — the SLO engine burns budget
+	// on faults, not on clients asking about unknown concepts.
+	Error bool
+	// CacheHit / CacheMiss report the hot-query cache outcome;
+	// both false on uncacheable endpoints.
+	CacheHit  bool
+	CacheMiss bool
+}
+
+// bucket is one time slot of the ring.
+type bucket struct {
+	requests  int64
+	errors    int64
+	cacheHits int64
+	cacheMiss int64
+	lat       *hdr.Hist // allocated on first use, recycled by Reset
+}
+
+func (b *bucket) reset() {
+	b.requests, b.errors, b.cacheHits, b.cacheMiss = 0, 0, 0, 0
+	if b.lat != nil {
+		b.lat.Reset()
+	}
+}
+
+// Series is one endpoint's sliding ring. Safe for concurrent use; the
+// critical section per Record is four increments and one histogram
+// sample under a single mutex.
+type Series struct {
+	opts  Options
+	width time.Duration
+
+	mu       sync.Mutex
+	buckets  []bucket
+	cur      int
+	curStart time.Time // aligned start of buckets[cur]; zero until first event
+}
+
+// NewSeries builds an empty ring.
+func NewSeries(opts Options) *Series {
+	opts = opts.withDefaults()
+	n := int(opts.Retention / opts.BucketWidth)
+	if n < 1 {
+		n = 1
+	}
+	return &Series{
+		opts:    opts,
+		width:   opts.BucketWidth,
+		buckets: make([]bucket, n),
+	}
+}
+
+// rotate advances the ring to the bucket containing now, zeroing every
+// slot stepped over — which is exactly what expires data older than the
+// retention: a gap longer than the whole ring clears it wholesale.
+// A now before the current bucket's start (backwards clock step) is a
+// no-op: the ring never moves backwards, the event simply lands in the
+// bucket the clock last confirmed. Callers hold s.mu.
+func (s *Series) rotate(now time.Time) {
+	aligned := now.Truncate(s.width)
+	if s.curStart.IsZero() {
+		s.curStart = aligned
+		return
+	}
+	if !aligned.After(s.curStart) {
+		return
+	}
+	steps := int64(aligned.Sub(s.curStart) / s.width)
+	if steps >= int64(len(s.buckets)) {
+		for i := range s.buckets {
+			s.buckets[i].reset()
+		}
+	} else {
+		for i := int64(0); i < steps; i++ {
+			s.cur = (s.cur + 1) % len(s.buckets)
+			s.buckets[s.cur].reset()
+		}
+	}
+	s.curStart = aligned
+}
+
+// Record books one outcome into the bucket current at the clock's now.
+func (s *Series) Record(o Outcome) {
+	now := s.opts.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotate(now)
+	b := &s.buckets[s.cur]
+	b.requests++
+	if o.Error {
+		b.errors++
+	}
+	if o.CacheHit {
+		b.cacheHits++
+	}
+	if o.CacheMiss {
+		b.cacheMiss++
+	}
+	if b.lat == nil {
+		b.lat = hdr.New(s.opts.SubBits)
+	}
+	b.lat.Record(o.Latency.Nanoseconds())
+}
+
+// Reset empties the ring (snapshot hot-swap: the new snapshot starts
+// with a clean traffic history).
+func (s *Series) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.buckets {
+		s.buckets[i].reset()
+	}
+	s.cur = 0
+	s.curStart = time.Time{}
+}
+
+// Stats is one rolling window's RED summary, shaped for JSON (the
+// probase-traffic/v1 payload) and for the SLO engine. Rates use the
+// nominal window span, so a fresh series under-reports RPS until the
+// window fills — by design: "qps over the last minute" is a property
+// of the minute, not of however long the server has been up.
+type Stats struct {
+	Window       string  `json:"window"` // canonical name, e.g. "1m"
+	Seconds      float64 `json:"seconds"`
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	RPS          float64 `json:"rps"`
+	ErrorRate    float64 `json:"error_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	P50MS        float64 `json:"p50_ms"`
+	P90MS        float64 `json:"p90_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	MaxMS        float64 `json:"max_ms"`
+}
+
+// Stats reads the trailing windows in one pass under the lock. Each
+// window merges its trailing buckets (including the current partial
+// one) into counters and one scratch histogram; merge order cannot
+// matter because histogram merge and integer addition commute.
+func (s *Series) Stats(windows ...time.Duration) []Stats {
+	now := s.opts.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotate(now)
+	out := make([]Stats, len(windows))
+	scratch := hdr.New(s.opts.SubBits)
+	for wi, w := range windows {
+		n := int(w / s.width)
+		if n < 1 {
+			n = 1
+		}
+		if n > len(s.buckets) {
+			n = len(s.buckets)
+		}
+		scratch.Reset()
+		st := Stats{Window: Name(w), Seconds: w.Seconds()}
+		for i := 0; i < n; i++ {
+			b := &s.buckets[(s.cur-i+len(s.buckets))%len(s.buckets)]
+			st.Requests += b.requests
+			st.Errors += b.errors
+			st.CacheHits += b.cacheHits
+			st.CacheMisses += b.cacheMiss
+			if b.lat != nil {
+				// Same resolution by construction; Merge cannot fail.
+				scratch.Merge(b.lat)
+			}
+		}
+		if w > 0 {
+			st.RPS = float64(st.Requests) / w.Seconds()
+		}
+		if st.Requests > 0 {
+			st.ErrorRate = float64(st.Errors) / float64(st.Requests)
+		}
+		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+			st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+		}
+		if scratch.Count() > 0 {
+			st.P50MS = ms(scratch.Quantile(0.5))
+			st.P90MS = ms(scratch.Quantile(0.9))
+			st.P99MS = ms(scratch.Quantile(0.99))
+			st.MaxMS = ms(scratch.Max())
+		}
+		out[wi] = st
+	}
+	return out
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// Name renders a window span the way the config files and JSON
+// payloads spell it: "1m", "5m", "30m", "1h" — not time.Duration's
+// "1m0s".
+func Name(d time.Duration) string {
+	switch {
+	case d >= time.Hour && d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d >= time.Minute && d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	case d >= time.Second && d%time.Second == 0:
+		return fmt.Sprintf("%ds", d/time.Second)
+	}
+	return d.String()
+}
+
+// Set is the per-endpoint fan-out: one Series per endpoint plus one
+// aggregate Series recorded in lockstep (cheaper than merging rings on
+// every read, and the aggregate is what the SLO engine polls).
+type Set struct {
+	opts   Options
+	names  []string
+	series map[string]*Series
+	total  *Series
+}
+
+// NewSet builds a Set for a fixed endpoint list (unknown endpoints are
+// recorded into the aggregate only).
+func NewSet(endpoints []string, opts Options) *Set {
+	opts = opts.withDefaults()
+	st := &Set{
+		opts:   opts,
+		names:  append([]string(nil), endpoints...),
+		series: make(map[string]*Series, len(endpoints)),
+		total:  NewSeries(opts),
+	}
+	for _, ep := range endpoints {
+		st.series[ep] = NewSeries(opts)
+	}
+	return st
+}
+
+// Record books one outcome under its endpoint and into the aggregate.
+func (st *Set) Record(endpoint string, o Outcome) {
+	if s, ok := st.series[endpoint]; ok {
+		s.Record(o)
+	}
+	st.total.Record(o)
+}
+
+// Endpoints returns the fixed endpoint list in registration order.
+func (st *Set) Endpoints() []string { return st.names }
+
+// Series returns one endpoint's ring (nil when unknown).
+func (st *Set) Series(endpoint string) *Series { return st.series[endpoint] }
+
+// Total returns the aggregate ring across all endpoints.
+func (st *Set) Total() *Series { return st.total }
+
+// Reset empties every ring — the snapshot hot-swap path.
+func (st *Set) Reset() {
+	for _, s := range st.series {
+		s.Reset()
+	}
+	st.total.Reset()
+}

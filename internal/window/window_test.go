@@ -1,0 +1,312 @@
+package window
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-steered clock for deterministic ring tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testOpts(c *fakeClock) Options {
+	return Options{BucketWidth: 10 * time.Second, Retention: 30 * time.Minute, Now: c.now}
+}
+
+func ok(lat time.Duration) Outcome  { return Outcome{Latency: lat} }
+func errOut() Outcome               { return Outcome{Latency: time.Millisecond, Error: true} }
+func hit(lat time.Duration) Outcome { return Outcome{Latency: lat, CacheHit: true} }
+
+func TestSeriesBasicWindowStats(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSeries(testOpts(clk))
+
+	// 60 requests spread over one minute: one per second, every 10th a
+	// cache hit, every 20th an error.
+	for i := 0; i < 60; i++ {
+		o := ok(2 * time.Millisecond)
+		if i%10 == 0 {
+			o = hit(2 * time.Millisecond)
+		}
+		if i%20 == 0 {
+			o = errOut()
+		}
+		s.Record(o)
+		clk.advance(time.Second)
+	}
+
+	// The window slides at bucket granularity: at exactly 12:01:00 the
+	// 1m view is the (empty) current bucket plus five trailing full
+	// buckets, i.e. events i = 10..59 — the first 10s bucket just slid
+	// out.
+	st := s.Stats(time.Minute, 5*time.Minute)[0]
+	if st.Window != "1m" {
+		t.Fatalf("window name = %q, want 1m", st.Window)
+	}
+	if st.Requests != 50 {
+		t.Fatalf("requests = %d, want 50", st.Requests)
+	}
+	if st.Errors != 2 { // i=20,40 (i=0 slid out)
+		t.Fatalf("errors = %d, want 2", st.Errors)
+	}
+	if st.CacheHits != 3 { // i=10,30,50 (i=0,20,40 became errors)
+		t.Fatalf("cache hits = %d, want 3", st.CacheHits)
+	}
+	if want := 50.0 / 60.0; st.RPS != want {
+		t.Fatalf("rps = %v, want %v", st.RPS, want)
+	}
+	if want := 2.0 / 50.0; st.ErrorRate != want {
+		t.Fatalf("error rate = %v, want %v", st.ErrorRate, want)
+	}
+	if st.P50MS < 1.8 || st.P50MS > 2.2 {
+		t.Fatalf("p50 = %vms, want ~2ms", st.P50MS)
+	}
+
+	// The 5m window saw the same 60 events but over a 5m nominal span.
+	st5 := s.Stats(5 * time.Minute)[0]
+	if st5.Requests != 60 {
+		t.Fatalf("5m requests = %d, want 60", st5.Requests)
+	}
+	if want := 60.0 / 300.0; st5.RPS != want {
+		t.Fatalf("5m rps = %v, want %v", st5.RPS, want)
+	}
+}
+
+func TestSeriesWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSeries(testOpts(clk))
+
+	s.Record(ok(time.Millisecond))
+	clk.advance(2 * time.Minute)
+	s.Record(ok(time.Millisecond))
+
+	// The first event fell out of the 1m window but not the 5m one.
+	sts := s.Stats(time.Minute, 5*time.Minute)
+	if sts[0].Requests != 1 {
+		t.Fatalf("1m requests = %d, want 1", sts[0].Requests)
+	}
+	if sts[1].Requests != 2 {
+		t.Fatalf("5m requests = %d, want 2", sts[1].Requests)
+	}
+}
+
+func TestSeriesIdleGapLongerThanRetention(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSeries(testOpts(clk))
+
+	for i := 0; i < 100; i++ {
+		s.Record(errOut())
+	}
+	// Sleep past the entire retention: every bucket must clear wholesale,
+	// not wrap around and resurface stale counts.
+	clk.advance(31 * time.Minute)
+	s.Record(ok(time.Millisecond))
+
+	st := s.Stats(30 * time.Minute)[0]
+	if st.Requests != 1 || st.Errors != 0 {
+		t.Fatalf("after long idle gap: requests=%d errors=%d, want 1/0", st.Requests, st.Errors)
+	}
+}
+
+func TestSeriesIdleGapWithinRetention(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSeries(testOpts(clk))
+
+	s.Record(errOut())
+	// A gap longer than the short windows but within retention: the old
+	// bucket survives in the 30m view only.
+	clk.advance(10 * time.Minute)
+	s.Record(ok(time.Millisecond))
+
+	sts := s.Stats(time.Minute, 5*time.Minute, 30*time.Minute)
+	if sts[0].Requests != 1 || sts[1].Requests != 1 {
+		t.Fatalf("1m/5m requests = %d/%d, want 1/1", sts[0].Requests, sts[1].Requests)
+	}
+	if sts[2].Requests != 2 || sts[2].Errors != 1 {
+		t.Fatalf("30m requests/errors = %d/%d, want 2/1", sts[2].Requests, sts[2].Errors)
+	}
+}
+
+func TestSeriesBackwardsClock(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSeries(testOpts(clk))
+
+	s.Record(ok(time.Millisecond))
+	clk.advance(time.Minute)
+	s.Record(ok(time.Millisecond))
+
+	// NTP yanks the clock back two minutes. The ring must not rotate
+	// backwards, clear anything, or panic; events land in the bucket the
+	// clock last confirmed.
+	clk.advance(-2 * time.Minute)
+	s.Record(ok(time.Millisecond))
+	st := s.Stats(5 * time.Minute)[0]
+	if st.Requests != 3 {
+		t.Fatalf("requests after backwards step = %d, want 3", st.Requests)
+	}
+
+	// Time resumes: once the clock passes the current bucket again the
+	// ring rotates normally and nothing was corrupted.
+	clk.advance(3 * time.Minute)
+	s.Record(ok(time.Millisecond))
+	st = s.Stats(30 * time.Minute)[0]
+	if st.Requests != 4 {
+		t.Fatalf("requests after clock resume = %d, want 4", st.Requests)
+	}
+}
+
+// TestSeriesMergeOrderIndependence proves the determinism contract: any
+// interleaving of the same event multiset within the same buckets
+// yields byte-identical Stats JSON.
+func TestSeriesMergeOrderIndependence(t *testing.T) {
+	events := make([]Outcome, 0, 500)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		events = append(events, Outcome{
+			Latency:  time.Duration(rng.Intn(20_000_000)),
+			Error:    rng.Intn(10) == 0,
+			CacheHit: rng.Intn(3) == 0,
+		})
+	}
+
+	run := func(perm []int) []byte {
+		clk := newFakeClock()
+		s := NewSeries(testOpts(clk))
+		for _, i := range perm {
+			s.Record(events[i])
+		}
+		clk.advance(5 * time.Second)
+		b, err := json.Marshal(s.Stats(DefaultWindows...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	base := make([]int, len(events))
+	for i := range base {
+		base[i] = i
+	}
+	want := run(base)
+	for trial := 0; trial < 3; trial++ {
+		perm := rng.Perm(len(events))
+		if got := run(perm); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: permuted event order changed Stats JSON:\n%s\nvs\n%s", trial, got, want)
+		}
+	}
+}
+
+// TestSeriesDeterministicJSON pins the exact serialized form under an
+// injected clock — the acceptance criterion that rolling-window stats
+// are byte-deterministic.
+func TestSeriesDeterministicJSON(t *testing.T) {
+	build := func() []byte {
+		clk := newFakeClock()
+		s := NewSeries(testOpts(clk))
+		for i := 0; i < 30; i++ {
+			s.Record(Outcome{Latency: time.Duration(i) * time.Millisecond, Error: i%7 == 0, CacheHit: i%2 == 0})
+			clk.advance(3 * time.Second)
+		}
+		b, err := json.Marshal(s.Stats(DefaultWindows...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs produced different JSON:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSeriesReset(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSeries(testOpts(clk))
+	for i := 0; i < 10; i++ {
+		s.Record(errOut())
+	}
+	s.Reset()
+	st := s.Stats(30 * time.Minute)[0]
+	if st.Requests != 0 || st.Errors != 0 || st.P99MS != 0 {
+		t.Fatalf("after Reset: %+v, want zeroes", st)
+	}
+}
+
+func TestSetFanOut(t *testing.T) {
+	clk := newFakeClock()
+	set := NewSet([]string{"instances", "concepts"}, testOpts(clk))
+
+	set.Record("instances", ok(time.Millisecond))
+	set.Record("instances", errOut())
+	set.Record("concepts", ok(time.Millisecond))
+	set.Record("unknown-endpoint", ok(time.Millisecond)) // aggregate only
+
+	if got := set.Series("instances").Stats(time.Minute)[0].Requests; got != 2 {
+		t.Fatalf("instances requests = %d, want 2", got)
+	}
+	if got := set.Series("concepts").Stats(time.Minute)[0].Errors; got != 0 {
+		t.Fatalf("concepts errors = %d, want 0", got)
+	}
+	if set.Series("unknown-endpoint") != nil {
+		t.Fatal("unknown endpoint should have no series")
+	}
+	tot := set.Total().Stats(time.Minute)[0]
+	if tot.Requests != 4 || tot.Errors != 1 {
+		t.Fatalf("total requests/errors = %d/%d, want 4/1", tot.Requests, tot.Errors)
+	}
+
+	set.Reset()
+	if got := set.Total().Stats(time.Minute)[0].Requests; got != 0 {
+		t.Fatalf("total after Reset = %d, want 0", got)
+	}
+	if got := len(set.Endpoints()); got != 2 {
+		t.Fatalf("endpoints = %d, want 2", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{time.Minute, "1m"},
+		{5 * time.Minute, "5m"},
+		{30 * time.Minute, "30m"},
+		{time.Hour, "1h"},
+		{90 * time.Second, "90s"},
+		{1500 * time.Millisecond, "1.5s"},
+	}
+	for _, c := range cases {
+		if got := Name(c.d); got != c.want {
+			t.Errorf("Name(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestSeriesConcurrentRecord(t *testing.T) {
+	s := NewSeries(Options{})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				s.Record(ok(time.Duration(i)))
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := s.Stats(30 * time.Minute)[0].Requests; got != 4000 {
+		t.Fatalf("concurrent requests = %d, want 4000", got)
+	}
+}
