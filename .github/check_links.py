@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative markdown link must resolve.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+Checks inline links and images ([text](target), ![alt](target)) whose
+target is a relative path: the referenced file or directory must exist
+relative to the linking document. External links (scheme://, mailto:)
+and pure in-page anchors (#...) are skipped; a fragment on a relative
+link is stripped before the existence check. Code spans and fenced code
+blocks are ignored so `[0]` indexing examples and sample output do not
+trip the checker.
+
+Exits non-zero listing every broken link.
+"""
+import os
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE = re.compile(r"^(```|~~~)")
+CODESPAN = re.compile(r"`[^`]*`")
+
+broken = []
+checked = 0
+for path in sys.argv[1:]:
+    base = os.path.dirname(path)
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK.findall(CODESPAN.sub("``", line)):
+                if "://" in target or target.startswith(("mailto:", "#")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                checked += 1
+                if not os.path.exists(os.path.join(base, rel)):
+                    broken.append(f"{path}:{lineno}: broken link -> {target}")
+
+for b in broken:
+    print(b)
+if broken:
+    sys.exit(f"{len(broken)} broken relative link(s)")
+if checked == 0:
+    sys.exit("no relative links checked — wrong file list?")
+print(f"{checked} relative links OK across {len(sys.argv) - 1} files")

@@ -30,6 +30,14 @@
 // carry trace_id/span_id, and latency histogram buckets carry trace-ID
 // exemplars in the OpenMetrics exposition.
 //
+// Storage: -mmap serves PBC2 graph-only snapshots zero-copy out of a
+// memory mapping instead of decoding them onto the heap (see FORMATS.md
+// for the layout that makes this possible); formats that cannot be
+// mapped fall back to the heap load with a warning. SIGHUP — or POST
+// /v1/admin/reload — hot-swaps the snapshot from the same path without
+// dropping in-flight requests; the old mapping is released only after
+// its last reader finishes. See OPERATIONS.md for the full runbook.
+//
 // On SIGINT/SIGTERM the listener closes and in-flight requests drain
 // (bounded by -drain) before the process exits.
 package main
@@ -47,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/snapshot"
@@ -71,6 +80,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 	fs.SetOutput(stderr)
 	var (
 		snapPath    = fs.String("snapshot", "probase.bin", "taxonomy snapshot from probase-build")
+		useMmap     = fs.Bool("mmap", false, "serve the snapshot zero-copy out of a memory mapping (PBC2 graph-only snapshots; others fall back to a heap load)")
 		addr        = fs.String("addr", ":8080", "listen address")
 		shards      = fs.Int("cache-shards", 16, "hot-query cache shards (rounded up to a power of two)")
 		perShard    = fs.Int("cache-per-shard", 512, "max cached responses per shard")
@@ -99,8 +109,12 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 	logger := obs.NewLogger(stderr, *logFormat, obs.ParseLevel(*logLevel))
 	logger.Info("starting", "binary", "probase-serve", "version", obs.Version().String())
 
+	openSnap := snapshot.Open
+	if *useMmap {
+		openSnap = snapshot.OpenMapped
+	}
 	start := time.Now()
-	pb, err := snapshot.Open(*snapPath)
+	pb, err := openSnap(*snapPath)
 	if err != nil {
 		return err
 	}
@@ -108,7 +122,12 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 		"path", *snapPath,
 		"elapsed", time.Since(start).Round(time.Millisecond).String(),
 		"nodes", pb.Graph.NumNodes(),
-		"edges", pb.Graph.NumEdges())
+		"edges", pb.Graph.NumEdges(),
+		"mapped", pb.Mapped())
+	if *useMmap && !pb.Mapped() {
+		logger.Warn("mmap requested but snapshot cannot be served zero-copy; loaded onto the heap instead",
+			"path", *snapPath, "format", pb.Format)
+	}
 
 	sloCfg := window.DefaultSLOConfig()
 	if *sloFile != "" {
@@ -130,6 +149,10 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 		MaxK:                 *maxK,
 		SLO:                  sloCfg,
 		FailInject:           *failInject,
+		// Hot reload (POST /v1/admin/reload or SIGHUP) re-opens the same
+		// path in the same storage mode; the old mapping is released only
+		// after its last in-flight request finishes.
+		Reloader: func() (*core.Probase, error) { return openSnap(*snapPath) },
 	})
 	if fi, err := os.Stat(*snapPath); err == nil {
 		size := float64(fi.Size())
@@ -184,6 +207,16 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 		}()
 	}
 
+	// SIGHUP hot-reloads the snapshot through the same path as POST
+	// /v1/admin/reload: load the new file, swap it in, and release the
+	// old mapping only after its last in-flight request drains. A failed
+	// reload logs and keeps the previous snapshot serving. Registered
+	// before the listener is announced so a reload signal can never hit
+	// the default terminate-on-SIGHUP disposition.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -196,10 +229,29 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- net.
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
+serveLoop:
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case <-hup:
+			reloadStart := time.Now()
+			npb, err := srv.Reload()
+			if err != nil {
+				logger.Error("SIGHUP reload failed; previous snapshot still serving",
+					"path", *snapPath, "err", err.Error())
+				continue
+			}
+			logger.Info("snapshot reloaded",
+				"trigger", "SIGHUP",
+				"path", *snapPath,
+				"elapsed", time.Since(reloadStart).Round(time.Millisecond).String(),
+				"nodes", npb.Graph.NumNodes(),
+				"edges", npb.Graph.NumEdges(),
+				"mapped", npb.Mapped())
+		case <-ctx.Done():
+			break serveLoop
+		}
 	}
 	logger.Info("shutdown requested, draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)

@@ -28,7 +28,15 @@
 //     six Hearst patterns with all ambiguous readings kept.
 //   - internal/kb — Γ, the pair/evidence store.
 //   - internal/graph — embedded graph engine (the Trinity stand-in)
-//     with checksummed binary snapshots.
+//     with checksummed binary snapshots (FORMATS.md). Frozen, the CSR
+//     serve-side view, is backed either by owned heap slices or by
+//     zero-copy views into a memory-mapped revision-3 snapshot
+//     (LoadMapped + the off-heap label arena), byte-identical either
+//     way.
+//   - internal/mmap — minimal read-only memory-mapping wrapper
+//     (syscall.Mmap on unix, a read-into-heap fallback elsewhere or
+//     under the probase_nommap build tag) whose Mapping is the closer
+//     that travels with a mapped Frozen.
 //   - internal/corpus, internal/querylog — the seeded synthetic world,
 //     corpus generator, and Zipf query log that replace the paper's
 //     web-scale inputs with ground truth retained.
@@ -47,8 +55,12 @@
 //   - internal/eval, internal/experiments — metrics and one function
 //     per paper table/figure; cmd/probase-bench regenerates them all.
 //   - internal/server, internal/snapshot — the concurrent HTTP query
-//     service (cmd/probase-serve) with a sharded hot-query cache; see
-//     the server package docs for the endpoint contract.
+//     service (cmd/probase-serve) with a sharded hot-query cache,
+//     refcounted snapshot epochs behind zero-downtime reload (SIGHUP /
+//     POST /v1/admin/reload), and mmap-or-heap snapshot opening
+//     (snapshot.Open / snapshot.OpenMapped); see the server package
+//     docs for the endpoint contract and OPERATIONS.md for the
+//     runbook.
 //   - internal/loadgen — closed-loop load generator over the six serve
 //     endpoints: deterministic seeded request plans,
 //     coordinated-omission correction, and the SLO gate behind CI's
@@ -84,5 +96,7 @@
 //
 // See README.md for the overview, ARCHITECTURE.md for the pipeline and
 // determinism contract, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// experiment index, EXPERIMENTS.md for paper-vs-measured results,
+// FORMATS.md for the snapshot wire formats, and OPERATIONS.md for the
+// serving runbook.
 package repro

@@ -416,11 +416,44 @@ func Load(r io.Reader) (*Probase, error) {
 	if err != nil {
 		return nil, err
 	}
+	return FromFrozen(g)
+}
+
+// FromFrozen builds the query engine over an already-loaded graph view
+// — the seam the memory-mapped loading path enters through
+// (snapshot.OpenMapped): graph.LoadMapped produces the Frozen, this
+// wires typicality and the sense index over it. Also accepts any other
+// Reader.
+func FromFrozen(g graph.Reader) (*Probase, error) {
 	typ, err := prob.NewTypicality(g)
 	if err != nil {
 		return nil, fmt.Errorf("core: snapshot is not a DAG: %w", err)
 	}
 	return &Probase{Graph: g, Senses: sensesFromGraph(g), typ: typ}, nil
+}
+
+// Close releases resources held by the graph backend — for a
+// memory-mapped snapshot, the mapping itself. After Close on a mapped
+// Probase every label string and edge slice previously obtained is
+// invalid, so no query may run concurrently with or after it; the
+// serving layer guarantees that by refcounting snapshot epochs and
+// closing only when the last in-flight request drains. Idempotent, and
+// a no-op for heap-backed graphs.
+func (p *Probase) Close() error {
+	if c, ok := p.Graph.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Mapped reports whether the graph backend is a zero-copy view of a
+// memory-mapped snapshot. Surfaced on /v1/healthz so operators can
+// confirm which storage mode a replica runs.
+func (p *Probase) Mapped() bool {
+	if m, ok := p.Graph.(interface{ Mapped() bool }); ok {
+		return m.Mapped()
+	}
+	return false
 }
 
 // sensesFromGraph rebuilds the concept -> sense-node index from node

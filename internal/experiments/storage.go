@@ -1,12 +1,18 @@
 package experiments
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/mmap"
 	"repro/internal/prob"
 )
 
@@ -38,6 +44,25 @@ type StorageResult struct {
 	DescendantsSpeedup float64 `json:"descendants_speedup"`
 	HasPathSpeedup     float64 `json:"haspath_speedup"`
 	LoadSpeedup        float64 `json:"load_speedup"`
+
+	// Memory-mapped serving (FORMATS.md rev-3 layout): the copying
+	// loader decodes the same file onto the heap; the mapped loader
+	// validates the header and points the CSR arrays and label arena
+	// into the mapping. First-query cost is the cold batch right after
+	// each load — the page-fault bill mmap defers from load time to
+	// first touch. The GC numbers show what each resident graph costs a
+	// forced collection: the mapped arrays are off-heap, so the
+	// collector neither scans nor retains them.
+	LoadCopyMillis       float64 `json:"load_copy_ms"`
+	LoadMmapMillis       float64 `json:"load_mmap_ms"`
+	MmapLoadSpeedup      float64 `json:"mmap_load_speedup"`
+	MmapZeroCopy         bool    `json:"mmap_zero_copy"`
+	FirstQueryCopyMicros float64 `json:"first_query_copy_us"`
+	FirstQueryMmapMicros float64 `json:"first_query_mmap_us"`
+	GCPauseCopyMicros    float64 `json:"gc_pause_copy_us"`
+	GCPauseMmapMicros    float64 `json:"gc_pause_mmap_us"`
+	HeapCopyBytes        uint64  `json:"heap_copy_bytes"`
+	HeapMmapBytes        uint64  `json:"heap_mmap_bytes"`
 
 	// ResultsIdentical is true when the frozen CSR view and the builder
 	// answer the whole Reader surface plus the ranked query surfaces
@@ -213,10 +238,94 @@ func (s *Setup) StorageExp() (*StorageResult, string) {
 		}
 	}) * 1e3
 
+	// Mmap vs copy, measured from a real file so the mapped loader takes
+	// its production path (page cache, not a bytes.Reader).
+	dir, err := os.MkdirTemp("", "probase-storage-bench")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	benchPath := filepath.Join(dir, "bench.pbc2")
+	if err := os.WriteFile(benchPath, v2.Bytes(), 0o644); err != nil {
+		panic(err)
+	}
+	res.LoadCopyMillis = minSeconds(reps, func() {
+		fh, err := os.Open(benchPath)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := graph.LoadFrozen(bufio.NewReader(fh)); err != nil {
+			panic(err)
+		}
+		fh.Close()
+	}) * 1e3
+	res.LoadMmapMillis = minSeconds(reps, func() {
+		m, err := mmap.Open(benchPath)
+		if err != nil {
+			panic(err)
+		}
+		g, err := graph.LoadMapped(m.Bytes(), m)
+		if err != nil {
+			panic(err)
+		}
+		g.Close()
+	}) * 1e3
+
+	// Cold first-query batch and GC cost, one fresh load per mode. The
+	// copy graph is measured first and dropped before the mapped
+	// measurements so the heap numbers describe one resident graph each.
+	firstQueryMicros := func(g graph.Reader) float64 {
+		start := time.Now()
+		touched := 0
+		for i := 0; i < closureOps; i++ {
+			touched += len(g.Descendants(graph.NodeID(i % 200)))
+		}
+		if touched == 0 {
+			panic("cold query batch traversed nothing")
+		}
+		return time.Since(start).Seconds() * 1e6
+	}
+	gcCost := func(g graph.Reader) (heap uint64, pauseMicros float64) {
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		runtime.GC()
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		runtime.KeepAlive(g)
+		return m1.HeapAlloc, float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e3
+	}
+	fh, err := os.Open(benchPath)
+	if err != nil {
+		panic(err)
+	}
+	gcopy, err := graph.LoadFrozen(bufio.NewReader(fh))
+	if err != nil {
+		panic(err)
+	}
+	fh.Close()
+	res.FirstQueryCopyMicros = firstQueryMicros(gcopy)
+	res.HeapCopyBytes, res.GCPauseCopyMicros = gcCost(gcopy)
+	gcopy = nil
+	_ = gcopy
+	m, err := mmap.Open(benchPath)
+	if err != nil {
+		panic(err)
+	}
+	gm, err := graph.LoadMapped(m.Bytes(), m)
+	if err != nil {
+		panic(err)
+	}
+	res.MmapZeroCopy = gm.Mapped()
+	res.FirstQueryMmapMicros = firstQueryMicros(gm)
+	res.HeapMmapBytes, res.GCPauseMmapMicros = gcCost(gm)
+	gm.Close()
+
 	res.LookupSpeedup = res.LookupBuilderNs / res.LookupFrozenNs
 	res.DescendantsSpeedup = res.DescendantsBuilderNs / res.DescendantsFrozenNs
 	res.HasPathSpeedup = res.HasPathBuilderNs / res.HasPathFrozenNs
 	res.LoadSpeedup = res.LoadV1Millis / res.LoadV2Millis
+	res.MmapLoadSpeedup = res.LoadCopyMillis / res.LoadMmapMillis
 
 	// Equivalence on the corpus-built taxonomy: thaw the frozen graph
 	// back into a builder and compare the whole Reader surface plus the
@@ -239,6 +348,10 @@ func (s *Setup) StorageExp() (*StorageResult, string) {
 		{"haspath ns/op", fmt.Sprintf("%.0f", res.HasPathBuilderNs), fmt.Sprintf("%.0f", res.HasPathFrozenNs), fmt.Sprintf("%.2fx", res.HasPathSpeedup)},
 		{"snapshot bytes", itoa(res.SaveV1Bytes), itoa(res.SaveV2Bytes), "-"},
 		{"load ms", fmt.Sprintf("%.2f", res.LoadV1Millis), fmt.Sprintf("%.2f", res.LoadV2Millis), fmt.Sprintf("%.2fx", res.LoadSpeedup)},
+		{"load ms (copy vs mmap)", fmt.Sprintf("%.2f", res.LoadCopyMillis), fmt.Sprintf("%.2f", res.LoadMmapMillis), fmt.Sprintf("%.2fx", res.MmapLoadSpeedup)},
+		{"first-query µs", fmt.Sprintf("%.0f", res.FirstQueryCopyMicros), fmt.Sprintf("%.0f", res.FirstQueryMmapMicros), "-"},
+		{"gc pause µs", fmt.Sprintf("%.0f", res.GCPauseCopyMicros), fmt.Sprintf("%.0f", res.GCPauseMmapMicros), "-"},
+		{"heap bytes", fmt.Sprintf("%d", res.HeapCopyBytes), fmt.Sprintf("%d", res.HeapMmapBytes), "-"},
 	}
 	title := fmt.Sprintf("Storage backends: builder vs frozen CSR on %d nodes / %d edges (results_identical=%v)",
 		res.Nodes, res.Edges, res.ResultsIdentical)

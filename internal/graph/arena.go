@@ -1,0 +1,80 @@
+package graph
+
+import "unsafe"
+
+// labelArena is the node-label store of a Frozen view: one contiguous
+// byte region holding every label back-to-back, plus an offset table of
+// length n+1 so label i is data[off[i]:off[i+1]]. It replaces the
+// earlier []string representation for two reasons:
+//
+//   - one allocation instead of one per label, so a copy-loaded
+//     taxonomy contributes two GC objects rather than millions, and
+//   - both slices can be *views into a memory-mapped snapshot*
+//     (graph.LoadMapped): the labels then never touch the Go heap at
+//     all, and label lookups read the page cache directly.
+//
+// label() materialises a string header over the arena bytes without
+// copying (unsafe.String). The returned strings alias the arena: they
+// are valid exactly as long as the arena's backing store — for a
+// mapped Frozen, until Frozen.Close unmaps it. Everything that must
+// outlive the snapshot (metrics labels, cached profiles) has to copy;
+// within the graph package the strings are only compared and hashed.
+type labelArena struct {
+	off  []uint32
+	data []byte
+}
+
+// arenaFromLabels packs owned label strings into a fresh heap arena —
+// the Freeze / copying-load path.
+func arenaFromLabels(labels []string) labelArena {
+	off := make([]uint32, len(labels)+1)
+	total := 0
+	for i, l := range labels {
+		off[i] = uint32(total)
+		total += len(l)
+	}
+	off[len(labels)] = uint32(total)
+	data := make([]byte, 0, total)
+	for _, l := range labels {
+		data = append(data, l...)
+	}
+	return labelArena{off: off, data: data}
+}
+
+// count returns the number of labels.
+func (a *labelArena) count() int {
+	if len(a.off) == 0 {
+		return 0
+	}
+	return len(a.off) - 1
+}
+
+// label returns label id as a zero-copy string view into the arena.
+func (a *labelArena) label(id NodeID) string {
+	lo, hi := a.off[id], a.off[id+1]
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&a.data[lo], int(hi-lo))
+}
+
+// validate checks the arena invariants before anything slices into it:
+// offsets start at 0, never decrease, end exactly at the data length,
+// and no single label exceeds the format's label-length cap.
+func (a *labelArena) validate() error {
+	if len(a.off) == 0 || a.off[0] != 0 {
+		return errBadSnapshotf("label arena offsets must start at 0")
+	}
+	if a.off[len(a.off)-1] != uint32(len(a.data)) {
+		return errBadSnapshotf("label arena offsets do not span the data section")
+	}
+	for i := 1; i < len(a.off); i++ {
+		if a.off[i] < a.off[i-1] {
+			return errBadSnapshotf("label arena offsets decrease at label %d", i-1)
+		}
+		if a.off[i]-a.off[i-1] > maxLabelLen {
+			return errBadSnapshotf("label %d exceeds maximum length", i-1)
+		}
+	}
+	return nil
+}

@@ -187,3 +187,25 @@ func benchmarkLoadVersion(b *testing.B, version int) {
 		}
 	}
 }
+
+// BenchmarkLoadMapped measures the zero-copy path on the same v2 bytes
+// BenchmarkLoadV2 decodes: parseV3 validates the header and checksum
+// and points the CSR arrays and label arena into the buffer instead of
+// copying them out.
+func BenchmarkLoadMapped(b *testing.B) {
+	s := benchGraph()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s, 2); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := LoadMapped(data, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Close()
+	}
+}

@@ -9,11 +9,14 @@ import (
 )
 
 // Snapshot format v2 "PBC2" (little-endian) serialises the Frozen CSR
-// layout directly, so loading is a sequential read into preallocated
-// flat arrays — no interning, no per-edge sorted insert, no re-freeze:
+// layout directly. The container carries an internal layout revision
+// (the uvarint after the magic) with two revisions in the wild — both
+// fully specified byte-by-byte in FORMATS.md:
+//
+// Revision 2 (legacy, read-only today): varint-framed and unaligned.
 //
 //	magic    [4]byte  "PBC2"
-//	version  uvarint  (currently 2)
+//	revision uvarint  (2)
 //	nodes    uvarint
 //	edges    uvarint
 //	labels   nodes x (uvarint len, bytes)
@@ -23,19 +26,35 @@ import (
 //	inEdges  edges x (uint32 to, uint64 count, float64 bits plausibility)
 //	crc32    uint32 (IEEE, over everything before it)
 //
+// Revision 3 (current, what Save writes) is the memory-mappable layout:
+// a fixed-width header, a section table, and 8-byte-aligned sections —
+// a length-prefixed label arena plus the four CSR arrays — so a loader
+// may use the on-disk bytes directly as its in-memory arrays
+// (LoadMapped) instead of decoding them. See mapped.go for the layout
+// constants and the parser shared by the zero-copy and copying paths.
+//
 // The derived tables (label index, node classes, topo levels, depths)
-// are recomputed at load: they are cheap relative to parsing and keeping
-// them out of the file means the format cannot disagree with itself
-// about them.
+// are recomputed at load in every revision: they are cheap relative to
+// parsing and keeping them out of the file means the format cannot
+// disagree with itself about them.
 const (
-	csrMagic   = "PBC2"
-	csrVersion = 2
+	csrMagic = "PBC2"
+	// csrRevLegacy is the unaligned varint-framed layout (read-only).
+	csrRevLegacy = 2
+	// csrRevArena is the aligned, arena-bearing, mappable layout.
+	csrRevArena = 3
 
 	maxSnapshotNodes = 1 << 28
 	maxSnapshotEdges = 1 << 28
+	maxLabelLen      = 1 << 20
 
 	edgeRecordSize = 4 + 8 + 8
 )
+
+// errBadSnapshotf wraps ErrBadSnapshot with a formatted detail message.
+func errBadSnapshotf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrBadSnapshot}, args...)...)
+}
 
 // WriteSnapshot writes a checksummed binary snapshot of g in the given
 // format version: 1 is the adjacency-list "PBGR" format readable by
@@ -44,8 +63,10 @@ func WriteSnapshot(w io.Writer, g Reader, version int) error {
 	switch version {
 	case snapshotVersion:
 		return saveV1(w, g)
-	case csrVersion:
-		return saveV2(w, frozenView(g))
+	case csrRevLegacy:
+		// External "version 2" selects the PBC2 container; inside it we
+		// write the current layout revision (3, the mappable one).
+		return saveV3(w, frozenView(g))
 	default:
 		return fmt.Errorf("graph: unsupported snapshot version %d", version)
 	}
@@ -64,25 +85,31 @@ func frozenView(g Reader) *Frozen {
 	}
 }
 
-// Save writes the frozen view as a v2 "PBC2" snapshot.
-func (f *Frozen) Save(w io.Writer) error { return saveV2(w, f) }
+// Save writes the frozen view as a v2 "PBC2" snapshot (layout
+// revision 3, the mappable one).
+func (f *Frozen) Save(w io.Writer) error { return saveV3(w, f) }
 
-func saveV2(w io.Writer, f *Frozen) error {
+// saveV2Legacy writes the unaligned revision-2 layout. The production
+// writer moved to revision 3; this stays so tests can pin that old
+// revision-2 artifacts remain loadable.
+func saveV2Legacy(w io.Writer, f *Frozen) error {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	if _, err := cw.Write([]byte(csrMagic)); err != nil {
 		return err
 	}
-	if err := writeUvarint(cw, csrVersion); err != nil {
+	if err := writeUvarint(cw, csrRevLegacy); err != nil {
 		return err
 	}
-	if err := writeUvarint(cw, uint64(len(f.labels))); err != nil {
+	n := f.NumNodes()
+	if err := writeUvarint(cw, uint64(n)); err != nil {
 		return err
 	}
 	if err := writeUvarint(cw, uint64(len(f.outEdges))); err != nil {
 		return err
 	}
-	for _, l := range f.labels {
+	for id := 0; id < n; id++ {
+		l := f.Label(NodeID(id))
 		if err := writeUvarint(cw, uint64(len(l))); err != nil {
 			return err
 		}
@@ -134,19 +161,32 @@ func writeEdges(w io.Writer, es []Edge) error {
 	return nil
 }
 
-// LoadFrozen reads a snapshot in either format and returns the CSR
-// view: "PBC2" decodes straight into the flat arrays, while legacy
-// "PBGR" loads through the mutable store and freezes (freeze-on-load).
-// The format is sniffed from buffered magic bytes, so r need not be
-// seekable.
+// LoadFrozen reads a snapshot in any supported format and returns the
+// CSR view: "PBC2" decodes straight into the flat arrays (both layout
+// revisions), while legacy "PBGR" loads through the mutable store and
+// freezes (freeze-on-load). The format is sniffed from buffered magic
+// bytes, so r need not be seekable. This is the copying loader; for
+// the zero-copy path over a memory-mapped file, see LoadMapped.
 func LoadFrozen(r io.Reader) (*Frozen, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(4)
 	if err != nil {
-		return nil, fmt.Errorf("%w: magic: %v", ErrBadSnapshot, err)
+		return nil, fmt.Errorf("%w: %d-byte input is too short for a snapshot magic: %v",
+			ErrBadSnapshot, len(magic), err)
 	}
 	switch string(magic) {
 	case csrMagic:
+		// The layout revision directly follows the magic (one uvarint
+		// byte for every known revision). Revision 3 is a fixed-width
+		// random-access layout, so it parses from a byte slice; the
+		// varint-framed revision 2 streams through the bufio reader.
+		if head, err := br.Peek(5); err == nil && head[4] == csrRevArena {
+			data, err := io.ReadAll(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: reading stream: %v", ErrBadSnapshot, err)
+			}
+			return parseV3(data, false)
+		}
 		return loadCSR(br)
 	case snapshotMagic:
 		b, err := Load(br)
@@ -172,8 +212,8 @@ func loadCSR(br *bufio.Reader) (*Frozen, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: version: %v", ErrBadSnapshot, err)
 	}
-	if version != csrVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
+	if version != csrRevLegacy {
+		return nil, fmt.Errorf("%w: unsupported PBC2 layout revision %d", ErrBadSnapshot, version)
 	}
 	nodes, err := binary.ReadUvarint(cr)
 	if err != nil || nodes > maxSnapshotNodes {
@@ -183,18 +223,22 @@ func loadCSR(br *bufio.Reader) (*Frozen, error) {
 	if err != nil || edges > maxSnapshotEdges {
 		return nil, fmt.Errorf("%w: edge count", ErrBadSnapshot)
 	}
-	f := &Frozen{labels: make([]string, 0, minU64(nodes, 1<<16))}
+	// Labels stream straight into an owned arena: offsets first, bytes
+	// appended — the same representation a mapped view gets for free.
+	arena := labelArena{off: make([]uint32, 1, nodes+1)}
 	for i := uint64(0); i < nodes; i++ {
 		ln, err := binary.ReadUvarint(cr)
-		if err != nil || ln > 1<<20 {
+		if err != nil || ln > maxLabelLen {
 			return nil, fmt.Errorf("%w: label length", ErrBadSnapshot)
 		}
-		buf := make([]byte, ln)
-		if _, err := io.ReadFull(cr, buf); err != nil {
+		start := len(arena.data)
+		arena.data = append(arena.data, make([]byte, ln)...)
+		if _, err := io.ReadFull(cr, arena.data[start:]); err != nil {
 			return nil, fmt.Errorf("%w: label bytes: %v", ErrBadSnapshot, err)
 		}
-		f.labels = append(f.labels, string(buf))
+		arena.off = append(arena.off, uint32(len(arena.data)))
 	}
+	f := &Frozen{arena: arena}
 	if f.outOff, err = readUint32s(cr, nodes+1); err != nil {
 		return nil, fmt.Errorf("%w: out offsets: %v", ErrBadSnapshot, err)
 	}
@@ -215,6 +259,14 @@ func loadCSR(br *bufio.Reader) (*Frozen, error) {
 	if binary.LittleEndian.Uint32(crcBuf[:]) != want {
 		return nil, ErrChecksum
 	}
+	return finishLoadedCSR(f)
+}
+
+// finishLoadedCSR runs the structural validation and derived-table
+// computation shared by every CSR loader (streaming rev2, copying rev3,
+// zero-copy mapped rev3): offsets/sortedness, transpose cross-check,
+// finish, and the duplicate-label scan over the sorted table.
+func finishLoadedCSR(f *Frozen) (*Frozen, error) {
 	if err := validateCSR(f, "out", f.outOff, f.outEdges); err != nil {
 		return nil, err
 	}
@@ -226,8 +278,8 @@ func loadCSR(br *bufio.Reader) (*Frozen, error) {
 	}
 	f.finish()
 	for i := 1; i < len(f.sorted); i++ {
-		if f.labels[f.sorted[i-1]] == f.labels[f.sorted[i]] {
-			return nil, fmt.Errorf("%w: duplicate label %q", ErrBadSnapshot, f.labels[f.sorted[i]])
+		if f.Label(f.sorted[i-1]) == f.Label(f.sorted[i]) {
+			return nil, fmt.Errorf("%w: duplicate label %q", ErrBadSnapshot, f.Label(f.sorted[i]))
 		}
 	}
 	return f, nil
@@ -238,7 +290,7 @@ func loadCSR(br *bufio.Reader) (*Frozen, error) {
 // fit the edge array exactly, and every row must be strictly
 // To-ascending with in-range targets.
 func validateCSR(f *Frozen, dir string, off []uint32, edges []Edge) error {
-	n := len(f.labels)
+	n := f.NumNodes()
 	if off[0] != 0 || off[n] != uint32(len(edges)) {
 		return fmt.Errorf("%w: %s offsets do not span edge array", ErrBadSnapshot, dir)
 	}
@@ -264,7 +316,7 @@ func validateCSR(f *Frozen, dir string, off []uint32, edges []Edge) error {
 // the total edge counts must agree (full mirror equality is asserted by
 // tests, not re-derived on every load).
 func validateTranspose(f *Frozen) error {
-	n := len(f.labels)
+	n := f.NumNodes()
 	indeg := make([]uint32, n)
 	for _, e := range f.outEdges {
 		indeg[e.To]++

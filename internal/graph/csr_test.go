@@ -143,7 +143,7 @@ func TestLoadFrozenRejectsHugeCounts(t *testing.T) {
 	var huge bytes.Buffer
 	huge.WriteString(csrMagic)
 	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], csrVersion)
+	n := binary.PutUvarint(tmp[:], csrRevLegacy)
 	huge.Write(tmp[:n])
 	n = binary.PutUvarint(tmp[:], 1<<40) // nodes
 	huge.Write(tmp[:n])

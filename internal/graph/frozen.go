@@ -1,8 +1,10 @@
 package graph
 
 import (
+	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Frozen is the immutable compressed-sparse-row (CSR) view of a
@@ -15,10 +17,19 @@ import (
 // use pooled bitset scratch so Descendants/Ancestors allocate only
 // their result and HasPath allocates nothing.
 //
-// Frozen is safe for concurrent use. Obtain one with Builder.Freeze or
-// LoadFrozen; there is no way to mutate it afterwards.
+// Frozen is safe for concurrent use. Obtain one with Builder.Freeze,
+// LoadFrozen or LoadMapped; there is no way to mutate it afterwards.
+//
+// A Frozen's labels, offset tables and edge arrays are either owned
+// heap slices (Freeze, the copying loaders) or zero-copy views into a
+// memory-mapped snapshot (LoadMapped). Both backings sit behind the
+// same accessors, so nothing downstream can tell them apart — except
+// that a mapped Frozen must be Closed once the last reader is done,
+// after which every slice or label string it handed out is invalid.
 type Frozen struct {
-	labels []string
+	// arena holds all node labels in one contiguous region (owned or
+	// mapped); label strings are zero-copy views into it.
+	arena labelArena
 
 	// sorted is the label table: all node ids ordered by label. It
 	// drives the binary-search Lookup fallback and is also the sorted
@@ -58,6 +69,12 @@ type Frozen struct {
 	topoErr error
 
 	scratch sync.Pool // *csrScratch, reused across traversals
+
+	// closer releases the backing store of a mapped view (the mmap
+	// region); nil for owned slices. Swapped to nil on Close so the
+	// release happens exactly once.
+	closer atomic.Pointer[io.Closer]
+	mapped bool
 }
 
 // lookupIndexMin is the node count below which Frozen skips building
@@ -68,7 +85,7 @@ const lookupIndexMin = 16
 // Freeze converts the builder into its immutable CSR view. The builder
 // remains usable afterwards; the frozen view shares nothing with it.
 func (b *Builder) Freeze() *Frozen {
-	f := &Frozen{labels: append([]string(nil), b.labels...)}
+	f := &Frozen{arena: arenaFromLabels(b.labels)}
 	f.outOff, f.outEdges = flattenAdjacency(b.out)
 	f.inOff, f.inEdges = flattenAdjacency(b.in)
 	f.finish()
@@ -96,14 +113,16 @@ func flattenAdjacency(rows [][]Edge) ([]uint32, []Edge) {
 // tables and the precomputed node classes, levels and depths. Shared by
 // Freeze and the v2 snapshot loader.
 func (f *Frozen) finish() {
-	n := len(f.labels)
+	n := f.arena.count()
 	f.outTo = targetsOf(f.outEdges)
 	f.inTo = targetsOf(f.inEdges)
 	f.sorted = make([]NodeID, n)
 	for i := range f.sorted {
 		f.sorted[i] = NodeID(i)
 	}
-	sort.Slice(f.sorted, func(i, j int) bool { return f.labels[f.sorted[i]] < f.labels[f.sorted[j]] })
+	sort.Slice(f.sorted, func(i, j int) bool {
+		return f.arena.label(f.sorted[i]) < f.arena.label(f.sorted[j])
+	})
 	if n >= lookupIndexMin {
 		size := uint32(1)
 		for size < uint32(4*n) {
@@ -111,8 +130,8 @@ func (f *Frozen) finish() {
 		}
 		f.idx = make([]uint32, size)
 		mask := size - 1
-		for id, label := range f.labels {
-			i := labelHash(label) & mask
+		for id := 0; id < n; id++ {
+			i := labelHash(f.arena.label(NodeID(id))) & mask
 			for f.idx[i] != 0 {
 				i = (i + 1) & mask
 			}
@@ -147,7 +166,27 @@ func labelHash(s string) uint32 {
 }
 
 // NumNodes returns the node count.
-func (f *Frozen) NumNodes() int { return len(f.labels) }
+func (f *Frozen) NumNodes() int { return f.arena.count() }
+
+// Mapped reports whether the view's arrays alias a memory-mapped
+// snapshot (true only for LoadMapped on a compatible platform).
+func (f *Frozen) Mapped() bool { return f.mapped }
+
+// LabelBytes returns the total size of the label arena in bytes.
+func (f *Frozen) LabelBytes() int { return len(f.arena.data) }
+
+// Close releases the mapped backing store, if any. Idempotent, and a
+// no-op for owned views. After Close on a mapped view, every slice and
+// label string obtained from the Frozen is invalid: callers must
+// guarantee the last reader has drained first (the serving layer does
+// this with a refcounted snapshot epoch).
+func (f *Frozen) Close() error {
+	cp := f.closer.Swap(nil)
+	if cp == nil {
+		return nil
+	}
+	return (*cp).Close()
+}
 
 // NumEdges returns the edge count.
 func (f *Frozen) NumEdges() int { return len(f.outEdges) }
@@ -163,20 +202,22 @@ func (f *Frozen) Lookup(label string) NodeID {
 			if slot == 0 {
 				return NoNode
 			}
-			if id := NodeID(slot - 1); f.labels[id] == label {
+			if id := NodeID(slot - 1); f.arena.label(id) == label {
 				return id
 			}
 		}
 	}
-	i := sort.Search(len(f.sorted), func(k int) bool { return f.labels[f.sorted[k]] >= label })
-	if i < len(f.sorted) && f.labels[f.sorted[i]] == label {
+	i := sort.Search(len(f.sorted), func(k int) bool { return f.arena.label(f.sorted[k]) >= label })
+	if i < len(f.sorted) && f.arena.label(f.sorted[i]) == label {
 		return f.sorted[i]
 	}
 	return NoNode
 }
 
-// Label returns the label of a node.
-func (f *Frozen) Label(id NodeID) string { return f.labels[id] }
+// Label returns the label of a node. The string is a zero-copy view
+// into the label arena: valid until the Frozen is Closed (mapped views
+// only; owned views live as long as the Frozen itself).
+func (f *Frozen) Label(id NodeID) string { return f.arena.label(id) }
 
 // Kind classifies the node: out-edges make a concept, none an instance.
 func (f *Frozen) Kind(id NodeID) Kind {
@@ -279,7 +320,7 @@ func (f *Frozen) getScratch(n int) *csrScratch {
 // its offset and dense-target arrays) and returns the visited nodes
 // excluding id, in visit order.
 func (f *Frozen) closure(id NodeID, off []uint32, targets []NodeID) []NodeID {
-	sc := f.getScratch(len(f.labels))
+	sc := f.getScratch(f.NumNodes())
 	sc.mark(id)
 	sc.queue = append(sc.queue, id)
 	for head := 0; head < len(sc.queue); head++ {
@@ -320,7 +361,7 @@ func (f *Frozen) HasPath(from, to NodeID) bool {
 	if from == to {
 		return true
 	}
-	sc := f.getScratch(len(f.labels))
+	sc := f.getScratch(f.NumNodes())
 	sc.mark(from)
 	sc.queue = append(sc.queue, from)
 	found := false

@@ -80,10 +80,15 @@ func FuzzLoadFrozen(f *testing.F) {
 	if err := fuzzSeedStore().Save(&v1); err != nil {
 		f.Fatal(err)
 	}
-	snap := v2.Bytes()
+	var rev2 bytes.Buffer
+	if err := saveV2Legacy(&rev2, fz); err != nil {
+		f.Fatal(err)
+	}
+	snap := v2.Bytes() // revision 3 (arena-bearing): what Save writes today
 	f.Add(snap)
+	f.Add(rev2.Bytes())        // legacy revision-2 layout
 	f.Add(v1.Bytes())          // legacy format through freeze-on-load
-	f.Add(snap[:len(snap)/2])  // truncated mid-arrays
+	f.Add(snap[:len(snap)/2])  // truncated mid-arena
 	f.Add(snap[:4])            // magic only
 	f.Add([]byte{})            // empty
 	f.Add([]byte("PBC2xxxxx")) // magic + garbage
@@ -94,18 +99,35 @@ func FuzzLoadFrozen(f *testing.F) {
 	offsets := append([]byte(nil), snap...)
 	offsets[len(offsets)/2] ^= 0x55 // corrupt offsets / edge region
 	f.Add(offsets)
-	bigNodes := append([]byte("PBC2\x02"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // huge node count
+	table := append([]byte(nil), snap...)
+	table[40] ^= 0x01 // corrupt the rev-3 section table
+	f.Add(table)
+	header := append([]byte(nil), snap...)
+	header[9] = 0xFF // implausible fixed-width node count
+	f.Add(header)
+	bigNodes := append([]byte("PBC2\x02"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // huge varint node count
 	f.Add(bigNodes)
-	bigEdges := append([]byte("PBC2\x02\x01"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // huge edge count
+	bigEdges := append([]byte("PBC2\x02\x01"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // huge varint edge count
 	f.Add(bigEdges)
+	f.Add([]byte("PBC2\x03\x00\x00\x00")) // rev-3 header cut before the counts
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {
 			t.Skip("oversized input")
 		}
+		// The mapped loader sees the same adversarial bytes as the
+		// streaming one and must agree on accept/reject.
+		fm, errM := LoadMapped(append([]byte(nil), data...), nil)
 		fz, err := LoadFrozen(bytes.NewReader(data))
+		if (err == nil) != (errM == nil) {
+			t.Fatalf("loaders disagree: LoadFrozen err=%v, LoadMapped err=%v", err, errM)
+		}
 		if err != nil {
 			return
+		}
+		if fm.NumNodes() != fz.NumNodes() || fm.NumEdges() != fz.NumEdges() {
+			t.Fatalf("mapped loader shape %d/%d != streamed %d/%d",
+				fm.NumNodes(), fm.NumEdges(), fz.NumNodes(), fz.NumEdges())
 		}
 		var buf bytes.Buffer
 		if err := fz.Save(&buf); err != nil {

@@ -1,0 +1,278 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"unsafe"
+
+	"repro/internal/mmap"
+)
+
+// validV3 returns a revision-3 snapshot of a non-trivial graph.
+func validV3(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := randomDAG(60, 180, 29).Freeze().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// refreshCRC rewrites the trailer after a deliberate mutation so the
+// test exercises the structural check, not the checksum.
+func refreshCRC(data []byte) {
+	binary.LittleEndian.PutUint32(data[len(data)-4:],
+		crc32.ChecksumIEEE(data[:len(data)-4]))
+}
+
+func TestLoadMappedFromFile(t *testing.T) {
+	b := randomDAG(80, 240, 31)
+	want := b.Freeze()
+	path := filepath.Join(t.TempDir(), "graph.pbc2")
+	var buf bytes.Buffer
+	if err := want.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mmap.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadMapped(m.Bytes(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Mapped() != m.Mapped() {
+		t.Errorf("Frozen.Mapped() = %v, mapping.Mapped() = %v", f.Mapped(), m.Mapped())
+	}
+	assertReadersEqual(t, want, f)
+}
+
+// TestLoadMappedZeroCopyAliasing: on a zero-copy view the label arena
+// must alias the input bytes, not a heap copy.
+func TestLoadMappedZeroCopyAliasing(t *testing.T) {
+	data := validV3(t)
+	f, err := LoadMapped(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Mapped() {
+		t.Skip("host cannot zero-copy (big-endian or unexpected Edge layout)")
+	}
+	lo := uintptr(unsafe.Pointer(&data[0]))
+	hi := lo + uintptr(len(data))
+	if p := uintptr(unsafe.Pointer(&f.arena.data[0])); p < lo || p >= hi {
+		t.Error("label arena does not alias the input buffer")
+	}
+}
+
+// TestLoadMappedUnalignedFallsBack: an input buffer that is not 8-byte
+// aligned must still load correctly — via the copying decoder.
+func TestLoadMappedUnalignedFallsBack(t *testing.T) {
+	data := validV3(t)
+	want, err := LoadFrozen(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := make([]byte, len(data)+1)
+	copy(shifted[1:], data)
+	f, err := LoadMapped(shifted[1:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mapped() {
+		t.Fatal("unaligned buffer claims zero-copy")
+	}
+	assertReadersEqual(t, want, f)
+}
+
+// TestLoadMappedLegacyFormats: the mapped entry point accepts every
+// snapshot format, falling back to the copying loaders for the
+// non-mappable ones.
+func TestLoadMappedLegacyFormats(t *testing.T) {
+	b := randomDAG(50, 140, 37)
+	want := b.Freeze()
+	var v1, rev2 bytes.Buffer
+	if err := b.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveV2Legacy(&rev2, want); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"v1 PBGR": v1.Bytes(), "PBC2 rev2": rev2.Bytes()} {
+		t.Run(name, func(t *testing.T) {
+			f, err := LoadMapped(data, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Mapped() {
+				t.Errorf("%s claims zero-copy", name)
+			}
+			assertReadersEqual(t, want, f)
+		})
+	}
+}
+
+// TestSaveV2LegacyStillLoads pins backward compatibility: revision-2
+// artifacts written before the layout change must keep loading.
+func TestSaveV2LegacyStillLoads(t *testing.T) {
+	want := randomDAG(40, 120, 41).Freeze()
+	var buf bytes.Buffer
+	if err := saveV2Legacy(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFrozen(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertReadersEqual(t, want, got)
+}
+
+// TestSaveV3Deterministic: the canonical layout means one graph has
+// exactly one encoding.
+func TestSaveV3Deterministic(t *testing.T) {
+	f := randomDAG(30, 90, 43).Freeze()
+	var a, b bytes.Buffer
+	if err := f.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of the same graph differ")
+	}
+}
+
+func TestLoadMappedRejectsCorruption(t *testing.T) {
+	snap := validV3(t)
+
+	// Cut inside the label-data section (section 1 of the table).
+	arenaOff := binary.LittleEndian.Uint64(snap[32+16:])
+	arenaLen := binary.LittleEndian.Uint64(snap[40+16:])
+	midArena := snap[:arenaOff+arenaLen/2]
+
+	badTable := append([]byte(nil), snap...)
+	badTable[32+32] ^= 0x08 // shift section 2's offset
+	refreshCRC(badTable)
+
+	badCount := append([]byte(nil), snap...)
+	badCount[12] = 0xFF // node count beyond maxSnapshotNodes
+	refreshCRC(badCount)
+
+	badPad := append([]byte(nil), snap...)
+	badPad[5] = 0x01
+	refreshCRC(badPad)
+
+	cases := map[string][]byte{
+		"empty":             {},
+		"header only":       snap[:v3HeaderSize],
+		"truncated arena":   midArena,
+		"trailing garbage":  append(append([]byte(nil), snap...), 0xAA),
+		"bad section table": badTable,
+		"huge node count":   badCount,
+		"nonzero pad":       badPad,
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadMapped(append([]byte(nil), data...), nil); !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("err = %v, want ErrBadSnapshot", err)
+			}
+		})
+	}
+
+	t.Run("flipped byte fails checksum", func(t *testing.T) {
+		flipped := append([]byte(nil), snap...)
+		flipped[len(flipped)/2] ^= 0x40
+		if _, err := LoadMapped(flipped, nil); !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("err = %v, want ErrChecksum or ErrBadSnapshot", err)
+		}
+	})
+}
+
+// countingCloser records Close calls so tests can pin the ownership
+// contract of LoadMapped.
+type countingCloser struct{ n int }
+
+func (c *countingCloser) Close() error { c.n++; return nil }
+
+func TestLoadMappedCloserOwnership(t *testing.T) {
+	snap := validV3(t)
+
+	t.Run("retained until Frozen.Close on zero-copy", func(t *testing.T) {
+		c := &countingCloser{}
+		f, err := LoadMapped(append([]byte(nil), snap...), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Mapped() {
+			t.Skip("host cannot zero-copy")
+		}
+		if c.n != 0 {
+			t.Fatalf("closer closed %d times before Frozen.Close", c.n)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		if c.n != 1 {
+			t.Fatalf("closer closed %d times, want exactly 1", c.n)
+		}
+	})
+
+	t.Run("closed immediately on parse error", func(t *testing.T) {
+		c := &countingCloser{}
+		if _, err := LoadMapped([]byte("PBC2\x03 garbage"), c); err == nil {
+			t.Fatal("corrupt input accepted")
+		}
+		if c.n != 1 {
+			t.Fatalf("closer closed %d times, want 1", c.n)
+		}
+	})
+
+	t.Run("closed immediately on copy fallback", func(t *testing.T) {
+		var v1 bytes.Buffer
+		if err := randomDAG(10, 20, 47).Save(&v1); err != nil {
+			t.Fatal(err)
+		}
+		c := &countingCloser{}
+		f, err := LoadMapped(v1.Bytes(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.n != 1 {
+			t.Fatalf("closer closed %d times, want 1", c.n)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if c.n != 1 {
+			t.Fatalf("Frozen.Close re-closed the already-closed closer (%d)", c.n)
+		}
+	})
+}
+
+// TestMappedMatchesStreamedExactly: the mapped and streamed loaders of
+// one snapshot answer every Reader query identically.
+func TestMappedMatchesStreamedExactly(t *testing.T) {
+	snap := validV3(t)
+	streamed, err := LoadFrozen(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := LoadMapped(snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertReadersEqual(t, streamed, mapped)
+}

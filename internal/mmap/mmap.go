@@ -1,0 +1,77 @@
+// Package mmap provides a read-only memory mapping of a file — the
+// storage primitive behind zero-copy PBC2 snapshot loading. On Linux
+// and macOS the mapping is a real mmap(2): the file's pages enter the
+// process address space lazily, stay off the Go heap, and are shared
+// through the page cache with every other process mapping the same
+// snapshot. Everywhere else (or when built with the probase_nommap
+// tag) Open degrades to reading the file into an anonymous byte slice,
+// so callers never need a platform branch: the fallback costs one copy
+// but preserves the API and the lifetime contract.
+//
+// The lifetime contract is the whole point of the type: Bytes() views
+// become invalid the instant Close runs. Callers that hand Bytes() to
+// long-lived structures (graph.LoadMapped) must keep the Mapping alive
+// and close it only after the last reader is done — the serving layer
+// does this with a refcounted snapshot epoch (see internal/server).
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Mapping is a read-only view of a file's contents. Safe for
+// concurrent readers; Close is idempotent and safe to call while no
+// reader holds a Bytes() view.
+type Mapping struct {
+	data   []byte
+	mapped bool // true when data is a real OS mapping, not a heap copy
+	closed atomic.Bool
+}
+
+// Open maps the file at path read-only. An empty file yields an empty,
+// valid mapping. The returned Mapping must be closed; closing is the
+// only way the pages (or the fallback copy) are released.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmap: %s: size %d overflows int", path, size)
+	}
+	return openFile(f, int(size))
+}
+
+// Bytes returns the mapped contents. The slice aliases the mapping:
+// it must not be modified, and it must not be used after Close.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Mapped reports whether the data is a true OS memory mapping (false
+// on the portable copying fallback).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close releases the mapping. Idempotent: the second and later calls
+// are no-ops. After Close every slice previously returned by Bytes is
+// invalid — on a real mapping, touching it faults.
+func (m *Mapping) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	if !m.mapped || len(data) == 0 {
+		return nil
+	}
+	return unmap(data)
+}

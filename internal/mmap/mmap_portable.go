@@ -1,0 +1,23 @@
+//go:build !((linux || darwin) && !probase_nommap)
+
+package mmap
+
+import (
+	"io"
+	"os"
+)
+
+// openFile is the portable fallback: read the file into one heap
+// allocation. The Mapping API and lifetime contract are identical; the
+// pages simply live on the Go heap, so the zero-copy and shared-page
+// benefits do not apply. Selected on platforms without the mmap wrapper
+// or when built with -tags probase_nommap.
+func openFile(f *os.File, size int) (*Mapping, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, mapped: false}, nil
+}
+
+func unmap(data []byte) error { return nil }

@@ -1,0 +1,66 @@
+package mmap
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenReadsFileContents(t *testing.T) {
+	want := bytes.Repeat([]byte("probase snapshot bytes "), 1024)
+	m, err := Open(writeTemp(t, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !bytes.Equal(m.Bytes(), want) {
+		t.Fatalf("mapped %d bytes differ from file contents (%d bytes)", len(m.Bytes()), len(want))
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	m, err := Open(writeTemp(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Bytes()) != 0 {
+		t.Fatalf("empty file mapped to %d bytes", len(m.Bytes()))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("Open succeeded on a missing file")
+	}
+}
+
+// Close must be idempotent: the snapshot lifetime machinery (refcounted
+// epochs, error paths that both close) may reach it more than once.
+func TestCloseIdempotent(t *testing.T) {
+	m, err := Open(writeTemp(t, []byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if m.Bytes() != nil {
+		t.Fatal("Bytes non-nil after Close")
+	}
+}

@@ -1,0 +1,22 @@
+//go:build (linux || darwin) && !probase_nommap
+
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// openFile maps size bytes of f with mmap(2), read-only and shared:
+// every process serving the same snapshot file shares one copy of its
+// pages in the page cache.
+func openFile(f *os.File, size int) (*Mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %s: %w", f.Name(), err)
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }

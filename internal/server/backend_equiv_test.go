@@ -1,30 +1,57 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/snapshot"
 )
 
-// TestBackendsByteIdentical is the storage-refactor acceptance bar: a
-// server backed by the frozen CSR view and one rebound onto a mutable
-// Builder holding the same taxonomy must answer every endpoint with
-// byte-identical JSON. Any divergence means the two Reader
-// implementations disagree on iteration order, scores, or tie-breaks.
+// TestBackendsByteIdentical is the storage-refactor acceptance bar,
+// three ways: one taxonomy snapshot served from (1) the heap-decoded
+// frozen CSR view, (2) a mutable Builder rebind of it, and (3) the
+// memory-mapped zero-copy view, must answer every endpoint with
+// byte-identical JSON. Any divergence means a Reader implementation
+// disagrees on iteration order, scores, or tie-breaks — or that the
+// mapped arrays are misinterpreting the on-disk bytes.
 func TestBackendsByteIdentical(t *testing.T) {
-	pb := testProbase(t)
+	var buf bytes.Buffer
+	if err := testProbase(t).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.pbc2")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pb, err := snapshot.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, ok := pb.Graph.(*graph.Frozen); !ok {
-		t.Fatalf("Build produced %T, want the frozen CSR backend", pb.Graph)
+		t.Fatalf("Open produced %T, want the frozen CSR backend", pb.Graph)
 	}
 	bpb, err := pb.Rebind(graph.NewBuilderFrom(pb.Graph))
 	if err != nil {
 		t.Fatal(err)
 	}
-	frozenSrv := New(pb, Config{})
-	builderSrv := New(bpb, Config{})
+	mpb, err := snapshot.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mpb.Close()
+
+	servers := map[string]*Server{
+		"frozen":  New(pb, Config{}),
+		"builder": New(bpb, Config{}),
+		"mapped":  New(mpb, Config{}),
+	}
 
 	paths := []string{
 		"/v1/instances?concept=companies&k=10",
@@ -38,51 +65,72 @@ func TestBackendsByteIdentical(t *testing.T) {
 		"/v1/conceptualize?terms=China,India,Brazil&k=5",
 		"/v1/conceptualize?text=IBM+opened+an+office&k=5",
 	}
-	for _, path := range paths {
-		fb := fetchBody(t, frozenSrv, path)
-		bb := fetchBody(t, builderSrv, path)
-		if fb != bb {
-			t.Errorf("%s diverges across backends:\nfrozen:  %s\nbuilder: %s", path, fb, bb)
+	for _, p := range paths {
+		want := fetchBody(t, servers["frozen"], p)
+		for _, name := range []string{"builder", "mapped"} {
+			if got := fetchBody(t, servers[name], p); got != want {
+				t.Errorf("%s diverges across backends:\nfrozen: %s\n%s: %s", p, want, name, got)
+			}
 		}
 	}
 
-	// healthz carries uptime and cache occupancy, so compare just the
-	// snapshot identity. The fingerprint hashes logical graph content,
-	// so the two storage backends must agree on it too.
-	var fh, bh struct {
+	// healthz carries uptime, cache occupancy and the storage mode
+	// (mapped is expected to differ there), so compare just the logical
+	// snapshot identity. The fingerprint hashes graph content, so all
+	// three storage backends must agree on it.
+	type identity struct {
 		Status      string `json:"status"`
 		Nodes       int    `json:"nodes"`
 		Edges       int    `json:"edges"`
 		Format      string `json:"snapshot_format"`
 		Fingerprint string `json:"fingerprint"`
 	}
-	if err := json.Unmarshal([]byte(fetchBody(t, frozenSrv, "/v1/healthz")), &fh); err != nil {
-		t.Fatal(err)
+	ids := map[string]identity{}
+	for name, srv := range servers {
+		var id identity
+		if err := json.Unmarshal([]byte(fetchBody(t, srv, "/v1/healthz")), &id); err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
 	}
-	if err := json.Unmarshal([]byte(fetchBody(t, builderSrv, "/v1/healthz")), &bh); err != nil {
-		t.Fatal(err)
-	}
-	if fh != bh {
-		t.Errorf("healthz shape diverges: frozen %+v, builder %+v", fh, bh)
-	}
-	if fh.Fingerprint == "" {
+	if ids["frozen"].Fingerprint == "" {
 		t.Error("healthz fingerprint is empty")
+	}
+	for _, name := range []string{"builder", "mapped"} {
+		if ids[name] != ids["frozen"] {
+			t.Errorf("healthz identity diverges: frozen %+v, %s %+v", ids["frozen"], name, ids[name])
+		}
+	}
+
+	// The mapped server must actually be serving zero-copy (on hosts
+	// where the platform supports it) and say so on healthz.
+	var mh struct {
+		Mapped bool `json:"snapshot_mapped"`
+	}
+	if err := json.Unmarshal([]byte(fetchBody(t, servers["mapped"], "/v1/healthz")), &mh); err != nil {
+		t.Fatal(err)
+	}
+	if mh.Mapped != mpb.Mapped() {
+		t.Errorf("healthz snapshot_mapped = %v, engine says %v", mh.Mapped, mpb.Mapped())
 	}
 
 	// And the full health profiles (admin stats) must agree as well;
 	// uptime naturally differs, so compare only the profile payload.
-	var fs, bs struct {
-		Profile json.RawMessage `json:"profile"`
+	profiles := map[string]string{}
+	for name, srv := range servers {
+		var ps struct {
+			Profile json.RawMessage `json:"profile"`
+		}
+		if err := json.Unmarshal([]byte(fetchBody(t, srv, "/v1/admin/stats")), &ps); err != nil {
+			t.Fatal(err)
+		}
+		profiles[name] = string(ps.Profile)
 	}
-	if err := json.Unmarshal([]byte(fetchBody(t, frozenSrv, "/v1/admin/stats")), &fs); err != nil {
-		t.Fatal(err)
-	}
-	if err := json.Unmarshal([]byte(fetchBody(t, builderSrv, "/v1/admin/stats")), &bs); err != nil {
-		t.Fatal(err)
-	}
-	if string(fs.Profile) != string(bs.Profile) {
-		t.Errorf("health profiles diverge across backends:\nfrozen:  %s\nbuilder: %s",
-			fs.Profile, bs.Profile)
+	for _, name := range []string{"builder", "mapped"} {
+		if profiles[name] != profiles["frozen"] {
+			t.Errorf("health profiles diverge across backends:\nfrozen: %s\n%s: %s",
+				profiles["frozen"], name, profiles[name])
+		}
 	}
 }
 

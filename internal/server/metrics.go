@@ -22,6 +22,7 @@ const (
 	famShardLen  = "probase_cache_shard_entries"
 	famNodes     = "probase_snapshot_nodes"
 	famEdges     = "probase_snapshot_edges"
+	famMapped    = "probase_snapshot_mapped"
 	famPurges    = "probase_cache_purges_total"
 	famPurged    = "probase_cache_purged_entries"
 	famSLOBurn   = "probase_slo_burn_rate"
@@ -119,12 +120,21 @@ func (m *Metrics) observeSLO(e *window.Engine) {
 		func() float64 { return target })
 }
 
-// observeSnapshot registers the loaded taxonomy's shape as gauges.
-func (m *Metrics) observeSnapshot(nodes, edges func() int) {
+// observeSnapshot registers the loaded taxonomy's shape and storage
+// mode as gauges.
+func (m *Metrics) observeSnapshot(nodes, edges func() int, mapped func() bool) {
 	m.reg.GaugeFunc(famNodes, "Nodes in the loaded taxonomy snapshot.",
 		func() float64 { return float64(nodes()) })
 	m.reg.GaugeFunc(famEdges, "Edges in the loaded taxonomy snapshot.",
 		func() float64 { return float64(edges()) })
+	m.reg.GaugeFunc(famMapped,
+		"1 when the graph is served zero-copy out of a memory-mapped snapshot, else 0.",
+		func() float64 {
+			if mapped() {
+				return 1
+			}
+			return 0
+		})
 }
 
 func (m *Metrics) endpoint(name string) *endpointMetrics { return m.endpoints[name] }

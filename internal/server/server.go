@@ -147,6 +147,12 @@ type Config struct {
 	// Now is the clock the traffic analytics rings read. Default
 	// time.Now; tests inject a fake for deterministic rotation.
 	Now func() time.Time
+	// Reloader produces a freshly loaded Probase for POST
+	// /v1/admin/reload (and is what probase-serve wires SIGHUP to): the
+	// server Swaps the result in with zero dropped requests and releases
+	// the old snapshot's resources once its last in-flight request
+	// drains. Nil disables the endpoint (501).
+	Reloader func() (*core.Probase, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -181,21 +187,55 @@ const (
 	epHealthz       = "healthz"
 	epAdminStats    = "admin_stats"
 	epAdminTraffic  = "admin_traffic"
+	epAdminReload   = "admin_reload"
 )
 
 var allEndpoints = []string{
 	epInstances, epConcepts, epTypicality, epPlausibility,
 	epConceptualize, epHealthz, epAdminStats, epAdminTraffic,
+	epAdminReload,
 }
 
 // snapState bundles everything derived from one snapshot — the engine,
 // the entity recogniser built over its labels, and the taxstats health
 // profile. Swapping snapshots replaces the whole bundle atomically so a
 // request never sees the new graph with the old recogniser or profile.
+//
+// The bundle is a refcounted epoch: refs starts at 1 (the Server's own
+// reference) and every request acquires/releases around its handler.
+// When the server Swaps the snapshot out it drops its reference; the
+// last releaser — server or straggling request — closes the Probase,
+// which for a memory-mapped snapshot unmaps the file. A request can
+// therefore never touch unmapped memory, and a reload under load drops
+// zero requests.
 type snapState struct {
 	pb      *core.Probase
 	rec     *apps.Recognizer
 	profile *taxstats.Profile
+	refs    atomic.Int64
+}
+
+// acquire takes a reference; it fails only when the epoch already hit
+// zero (swapped out and fully drained), in which case the caller must
+// re-read the current state.
+func (st *snapState) acquire() bool {
+	for {
+		n := st.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if st.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops a reference, closing the snapshot's resources (the mmap
+// of a mapped snapshot) when the last one goes.
+func (st *snapState) release() {
+	if st.refs.Add(-1) == 0 {
+		st.pb.Close()
+	}
 }
 
 // Server answers taxonomy queries over HTTP. Safe for concurrent use;
@@ -238,12 +278,16 @@ func New(pb *core.Probase, cfg Config) *Server {
 	s.mux.Handle("/v1/healthz", s.wrap(epHealthz, false, s.handleHealthz))
 	s.mux.Handle("/v1/admin/stats", s.wrap(epAdminStats, false, s.handleAdminStats))
 	s.mux.Handle("/v1/admin/traffic", s.wrap(epAdminTraffic, false, s.handleAdminTraffic))
+	s.mux.Handle("/v1/admin/reload", s.wrap(epAdminReload, false, s.handleAdminReload))
 	s.mux.Handle("/debug/vars", s.metrics.Handler())
 	s.mux.Handle("/metrics", s.metrics.PrometheusHandler())
 	s.metrics.observeCache(s.cache)
+	// Scrape-time gauges hold a snapshot reference while they read, so a
+	// concurrent swap cannot unmap the graph under them.
 	s.metrics.observeSnapshot(
-		func() int { return s.probase().Graph.NumNodes() },
-		func() int { return s.probase().Graph.NumEdges() })
+		func() int { st := s.acquireState(); defer st.release(); return st.pb.Graph.NumNodes() },
+		func() int { st := s.acquireState(); defer st.release(); return st.pb.Graph.NumEdges() },
+		func() bool { st := s.acquireState(); defer st.release(); return st.pb.Mapped() })
 	s.metrics.observeSLO(tr.engine)
 	taxstats.Register(s.metrics.Registry(), s.profile)
 	return s
@@ -258,17 +302,30 @@ func newSnapState(pb *core.Probase, cfg Config) *snapState {
 	profile, _ := taxstats.Compute(pb.Graph, pb.Typicality(), taxstats.Options{
 		SampleInstances: cfg.StatsSampleInstances,
 	})
-	return &snapState{pb: pb, rec: apps.NewRecognizer(pb), profile: profile}
+	st := &snapState{pb: pb, rec: apps.NewRecognizer(pb), profile: profile}
+	st.refs.Store(1) // the Server's own reference, dropped on Swap
+	return st
 }
 
-// state returns the current snapshot bundle.
+// state returns the current snapshot bundle without taking a reference
+// — only for reads that never touch snapshot-backed memory.
 func (s *Server) state() *snapState { return s.snap.Load() }
 
-// probase returns the currently served engine.
-func (s *Server) probase() *core.Probase { return s.state().pb }
+// acquireState returns the current snapshot bundle with a reference
+// held; callers must release it. The retry loop covers the narrow race
+// where a swap retires the bundle between the load and the acquire.
+func (s *Server) acquireState() *snapState {
+	for {
+		st := s.snap.Load()
+		if st.acquire() {
+			return st
+		}
+	}
+}
 
 // profile returns the current taxstats health profile (nil only if
-// profiling failed).
+// profiling failed). Profiles own all their data (no snapshot-backed
+// memory), so no reference is needed to read one.
 func (s *Server) profile() *taxstats.Profile { return s.state().profile }
 
 // Swap replaces the served snapshot — the hot-swap seam. The new
@@ -286,12 +343,39 @@ func (s *Server) Swap(pb *core.Probase) error {
 	if st.profile == nil {
 		return fmt.Errorf("server: refusing swap: new snapshot is not profilable")
 	}
-	s.snap.Store(st)
+	old := s.snap.Swap(st)
 	purged := s.cache.Purge()
 	s.metrics.cachePurges.Inc()
 	s.metrics.cachePurged.Set(float64(purged))
 	s.traffic.reset()
+	// Drop the server's reference on the old epoch. The mapped backing
+	// store (if any) is unmapped by whoever releases last — here if the
+	// old snapshot is idle, or the final straggling request otherwise —
+	// so a reload under load drops zero requests.
+	if old != nil {
+		old.release()
+	}
 	return nil
+}
+
+// Reload re-runs Config.Reloader and hot-swaps the result in — the
+// shared implementation behind POST /v1/admin/reload and probase-serve's
+// SIGHUP handler. On success it returns the newly live Probase (owned
+// by the server from then on); on failure the previous snapshot keeps
+// serving.
+func (s *Server) Reload() (*core.Probase, error) {
+	if s.cfg.Reloader == nil {
+		return nil, fmt.Errorf("reload not configured (no snapshot source)")
+	}
+	pb, err := s.cfg.Reloader()
+	if err != nil {
+		return nil, fmt.Errorf("reload: %w", err)
+	}
+	if err := s.Swap(pb); err != nil {
+		pb.Close()
+		return nil, fmt.Errorf("reload: %w", err)
+	}
+	return pb, nil
 }
 
 // Handler returns the root handler for mounting under an http.Server.
@@ -324,7 +408,11 @@ func notFound(format string, args ...any) error {
 
 // handlerFunc computes a response. Returning (key != "", body) makes the
 // response cacheable under that key. Errors map to JSON error bodies.
-type handlerFunc func(r *http.Request) (cacheKey string, body any, err error)
+// st is the snapshot epoch the wrapper acquired for this request:
+// handlers must answer from it — never from s.state() — so that a
+// concurrent Swap can neither mix old and new snapshots within one
+// response nor unmap a mapped graph mid-query.
+type handlerFunc func(st *snapState, r *http.Request) (cacheKey string, body any, err error)
 
 // wrap applies the per-request pipeline: method check, deadline, a
 // per-endpoint child span, cache lookup, handler, cache fill, metrics,
@@ -362,7 +450,15 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 			w.Header().Set("Cache-Control", "no-store")
 		}
 
-		if r.Method != http.MethodGet && !(name == epConceptualize && r.Method == http.MethodPost) {
+		// Method policy: reload mutates serving state and is POST-only;
+		// conceptualize additionally accepts POST form data; everything
+		// else is GET.
+		methodOK := r.Method == http.MethodGet ||
+			(name == epConceptualize && r.Method == http.MethodPost)
+		if name == epAdminReload {
+			methodOK = r.Method == http.MethodPost
+		}
+		if !methodOK {
 			em.errors.Inc()
 			status = http.StatusMethodNotAllowed
 			writeJSONError(w, status, "method not allowed")
@@ -387,7 +483,12 @@ func (s *Server) wrap(name string, cacheable bool, h handlerFunc) http.Handler {
 		defer span.End()
 		r = r.WithContext(ctx)
 
-		key, body, err := h(r)
+		// Pin the snapshot epoch for the whole handler: the reference
+		// keeps a concurrent Swap from unmapping the graph under us.
+		st := s.acquireState()
+		defer st.release()
+
+		key, body, err := h(st, r)
 		canCache := cacheable && key != ""
 		if err != nil {
 			status = http.StatusInternalServerError
@@ -494,7 +595,7 @@ func (s *Server) parseK(r *http.Request) (int, error) {
 
 func cacheKey(parts ...string) string { return strings.Join(parts, "\x1f") }
 
-func (s *Server) handleInstances(r *http.Request) (string, any, error) {
+func (s *Server) handleInstances(st *snapState, r *http.Request) (string, any, error) {
 	concept := strings.TrimSpace(r.FormValue("concept"))
 	if concept == "" {
 		return "", nil, badRequest("missing required parameter: concept")
@@ -509,7 +610,7 @@ func (s *Server) handleInstances(r *http.Request) (string, any, error) {
 	}
 	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
 	sp.SetAttr("op", "instances_of")
-	results := toResults(s.probase().InstancesOf(concept, k))
+	results := toResults(st.pb.InstancesOf(concept, k))
 	sp.End()
 	return key, struct {
 		Concept string         `json:"concept"`
@@ -518,7 +619,7 @@ func (s *Server) handleInstances(r *http.Request) (string, any, error) {
 	}{concept, k, results}, nil
 }
 
-func (s *Server) handleConcepts(r *http.Request) (string, any, error) {
+func (s *Server) handleConcepts(st *snapState, r *http.Request) (string, any, error) {
 	term := strings.TrimSpace(r.FormValue("term"))
 	if term == "" {
 		return "", nil, badRequest("missing required parameter: term")
@@ -533,7 +634,7 @@ func (s *Server) handleConcepts(r *http.Request) (string, any, error) {
 	}
 	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
 	sp.SetAttr("op", "concepts_of")
-	results := toResults(s.probase().ConceptsOf(term, k))
+	results := toResults(st.pb.ConceptsOf(term, k))
 	sp.End()
 	return key, struct {
 		Term    string         `json:"term"`
@@ -542,7 +643,7 @@ func (s *Server) handleConcepts(r *http.Request) (string, any, error) {
 	}{term, k, results}, nil
 }
 
-func (s *Server) handleTypicality(r *http.Request) (string, any, error) {
+func (s *Server) handleTypicality(st *snapState, r *http.Request) (string, any, error) {
 	concept := strings.TrimSpace(r.FormValue("concept"))
 	instance := strings.TrimSpace(r.FormValue("instance"))
 	if concept == "" || instance == "" {
@@ -554,8 +655,8 @@ func (s *Server) handleTypicality(r *http.Request) (string, any, error) {
 	}
 	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
 	sp.SetAttr("op", "typicality")
-	down := s.scoreFor(s.probase().InstancesOf(concept, s.cfg.MaxK), instance, false)
-	up := s.scoreFor(s.probase().ConceptsOf(instance, s.cfg.MaxK), concept, true)
+	down := s.scoreFor(st.pb.InstancesOf(concept, s.cfg.MaxK), instance, false)
+	up := s.scoreFor(st.pb.ConceptsOf(instance, s.cfg.MaxK), concept, true)
 	sp.End()
 	return key, struct {
 		Concept           string  `json:"concept"`
@@ -584,7 +685,7 @@ func (s *Server) scoreFor(rs []prob.Ranked, label string, conceptPos bool) float
 	return 0
 }
 
-func (s *Server) handlePlausibility(r *http.Request) (string, any, error) {
+func (s *Server) handlePlausibility(st *snapState, r *http.Request) (string, any, error) {
 	x := strings.TrimSpace(r.FormValue("x"))
 	y := strings.TrimSpace(r.FormValue("y"))
 	if x == "" || y == "" {
@@ -596,7 +697,7 @@ func (s *Server) handlePlausibility(r *http.Request) (string, any, error) {
 	}
 	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
 	sp.SetAttr("op", "plausibility")
-	p := s.probase().Plausibility(x, y)
+	p := st.pb.Plausibility(x, y)
 	sp.End()
 	return key, struct {
 		X            string  `json:"x"`
@@ -610,7 +711,7 @@ const (
 	maxConceptualizeText  = 4096
 )
 
-func (s *Server) handleConceptualize(r *http.Request) (string, any, error) {
+func (s *Server) handleConceptualize(st *snapState, r *http.Request) (string, any, error) {
 	k, err := s.parseK(r)
 	if err != nil {
 		return "", nil, err
@@ -631,7 +732,7 @@ func (s *Server) handleConceptualize(r *http.Request) (string, any, error) {
 		if len(text) > maxConceptualizeText {
 			return "", nil, badRequest("text exceeds %d bytes", maxConceptualizeText)
 		}
-		for _, m := range s.state().rec.Recognize(text) {
+		for _, m := range st.rec.Recognize(text) {
 			terms = append(terms, m.Text)
 		}
 		if len(terms) == 0 {
@@ -649,12 +750,12 @@ func (s *Server) handleConceptualize(r *http.Request) (string, any, error) {
 	}
 	_, sp := obs.StartSpan(r.Context(), "snapshot.query")
 	sp.SetAttr("op", "conceptualize")
-	ranked, ok := s.probase().Conceptualize(terms, k)
+	ranked, ok := st.pb.Conceptualize(terms, k)
 	if !ok {
 		// Per-term abstraction fills in when the joint set is unknown —
 		// the internal/apps short-text fallback.
 		sp.SetAttr("fallback", "per_term")
-		ranked = s.perTermFallback(terms, k)
+		ranked = perTermFallback(st.pb, terms, k)
 		if len(ranked) == 0 {
 			sp.End()
 			return "", nil, notFound("no term in %v is known to the taxonomy", terms)
@@ -670,10 +771,10 @@ func (s *Server) handleConceptualize(r *http.Request) (string, any, error) {
 
 // perTermFallback merges per-term abstractions by summed score when the
 // joint conceptualisation has no candidate covering every term.
-func (s *Server) perTermFallback(terms []string, k int) []prob.Ranked {
+func perTermFallback(pb *core.Probase, terms []string, k int) []prob.Ranked {
 	scores := map[string]float64{}
 	for _, term := range terms {
-		for _, r := range s.probase().ConceptsOf(term, k) {
+		for _, r := range pb.ConceptsOf(term, k) {
 			scores[core.BaseLabel(r.Label)] += r.Score
 		}
 	}
@@ -690,8 +791,7 @@ func (s *Server) perTermFallback(terms []string, k int) []prob.Ranked {
 	return prob.TopK(out, k)
 }
 
-func (s *Server) handleHealthz(r *http.Request) (string, any, error) {
-	st := s.state()
+func (s *Server) handleHealthz(st *snapState, r *http.Request) (string, any, error) {
 	ev := s.traffic.engine.Eval()
 	return "", struct {
 		// Status is "ok", or "degraded" when the SLO burn-rate engine
@@ -703,6 +803,9 @@ func (s *Server) handleHealthz(r *http.Request) (string, any, error) {
 		// Format is the snapshot's on-disk format magic ("PBGR", "PBC2",
 		// "PBFL"); empty when serving an in-memory build.
 		Format string `json:"snapshot_format,omitempty"`
+		// Mapped reports whether the graph is served zero-copy out of a
+		// memory-mapped snapshot file.
+		Mapped bool `json:"snapshot_mapped"`
 		// Fingerprint identifies the logical graph content; two replicas
 		// serving the same taxonomy report the same value regardless of
 		// storage backend or snapshot format.
@@ -717,6 +820,7 @@ func (s *Server) handleHealthz(r *http.Request) (string, any, error) {
 		Nodes:       st.pb.Graph.NumNodes(),
 		Edges:       st.pb.Graph.NumEdges(),
 		Format:      st.pb.Format,
+		Mapped:      st.pb.Mapped(),
 		Fingerprint: st.fingerprint(),
 		Shards:      s.cache.Shards(),
 		Cached:      s.cache.Len(),
@@ -737,8 +841,7 @@ func (st *snapState) fingerprint() string {
 // handleAdminStats serves the full taxstats health profile of the
 // currently served snapshot — the same data the probase_snapshot_*
 // gauges summarise, with the complete histograms and top-concept table.
-func (s *Server) handleAdminStats(r *http.Request) (string, any, error) {
-	st := s.state()
+func (s *Server) handleAdminStats(st *snapState, r *http.Request) (string, any, error) {
 	if st.profile == nil {
 		return "", nil, &httpError{status: http.StatusServiceUnavailable,
 			msg: "snapshot health profile unavailable"}
@@ -751,5 +854,35 @@ func (s *Server) handleAdminStats(r *http.Request) (string, any, error) {
 		SnapshotFormat: st.pb.Format,
 		UptimeMS:       time.Since(s.start).Milliseconds(),
 		Profile:        st.profile,
+	}, nil
+}
+
+// handleAdminReload re-runs Config.Reloader and hot-swaps the result in
+// (POST only). The response describes the snapshot now being served.
+// Concurrent in-flight requests finish against the snapshot they
+// started on; the old mapping (if any) is unmapped only after the last
+// of them drains. probase-serve wires SIGHUP to the same path, so
+// `kill -HUP` and `curl -X POST .../v1/admin/reload` are equivalent.
+func (s *Server) handleAdminReload(st *snapState, r *http.Request) (string, any, error) {
+	if s.cfg.Reloader == nil {
+		return "", nil, &httpError{status: http.StatusNotImplemented,
+			msg: "reload not configured (no snapshot source)"}
+	}
+	pb, err := s.Reload()
+	if err != nil {
+		return "", nil, err
+	}
+	return "", struct {
+		Status string `json:"status"`
+		Nodes  int    `json:"nodes"`
+		Edges  int    `json:"edges"`
+		Format string `json:"snapshot_format,omitempty"`
+		Mapped bool   `json:"snapshot_mapped"`
+	}{
+		Status: "reloaded",
+		Nodes:  pb.Graph.NumNodes(),
+		Edges:  pb.Graph.NumEdges(),
+		Format: pb.Format,
+		Mapped: pb.Mapped(),
 	}, nil
 }

@@ -136,7 +136,7 @@ type endpointTraffic struct {
 // probase-traffic/v1 report: one experiment per endpoint (rolling
 // windows + hot keys), one "total" aggregate, and one "slo" experiment
 // carrying the burn-rate evaluation that also drives /v1/healthz.
-func (s *Server) handleAdminTraffic(r *http.Request) (string, any, error) {
+func (s *Server) handleAdminTraffic(st *snapState, r *http.Request) (string, any, error) {
 	uptime := time.Since(s.start).Seconds()
 	if uptime <= 0 {
 		uptime = 1e-9 // monotonic clock cannot actually go backwards; guard for tests with frozen clocks
@@ -150,7 +150,7 @@ func (s *Server) handleAdminTraffic(r *http.Request) (string, any, error) {
 			// Sentences carries the snapshot node count (the
 			// probase-inspect convention for reusing the envelope);
 			// Queries is the request count in the longest window.
-			Sentences: s.probase().Graph.NumNodes(),
+			Sentences: st.pb.Graph.NumNodes(),
 			Queries:   int(totalStats[len(totalStats)-1].Requests),
 		},
 		TotalSeconds: uptime,

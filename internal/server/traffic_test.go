@@ -56,9 +56,9 @@ func TestAdminTrafficEndpoint(t *testing.T) {
 	// The envelope reuses the benchfmt fields the validator requires:
 	// Sentences carries the snapshot node count, Queries the 30m request
 	// count.
-	if report.Options.Sentences != s.probase().Graph.NumNodes() {
+	if report.Options.Sentences != s.state().pb.Graph.NumNodes() {
 		t.Errorf("options.sentences = %d, want node count %d",
-			report.Options.Sentences, s.probase().Graph.NumNodes())
+			report.Options.Sentences, s.state().pb.Graph.NumNodes())
 	}
 
 	total := trafficExperiment(t, report, "total")

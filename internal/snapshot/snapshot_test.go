@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -209,6 +210,141 @@ func TestOpenErrors(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestOpenShortFileError pins the error contract for inputs too short
+// to carry a magic: a clear "not a snapshot" diagnosis wrapping
+// ErrBadSnapshot, never a bare EOF out of the sniffing machinery.
+func TestOpenShortFileError(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"zero-byte file", []byte{}},
+		{"one byte", []byte("P")},
+		{"three bytes", []byte("PBC")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Open(writeTemp(t, tc.data))
+			if err == nil {
+				t.Fatal("Open accepted a short file")
+			}
+			if !errors.Is(err, graph.ErrBadSnapshot) {
+				t.Errorf("err = %v, want errors.Is(…, ErrBadSnapshot)", err)
+			}
+			if !strings.Contains(err.Error(), "too short to be a snapshot") {
+				t.Errorf("err = %q, want a 'too short to be a snapshot' diagnosis", err)
+			}
+		})
+	}
+}
+
+// TestOpenMappedFlavours: the mapped entry point accepts every snapshot
+// flavour and answers identically to the copying loader; only the
+// current CSR format actually maps.
+func TestOpenMappedFlavours(t *testing.T) {
+	pb := buildProbase(t)
+	var v1 bytes.Buffer
+	if err := pb.SaveVersion(&v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		data     []byte
+		format   string
+		mappable bool
+	}{
+		{"v2 csr", graphOnlyBytes(t, pb), "PBC2", true},
+		{"v1 adjacency", v1.Bytes(), "PBGR", false},
+		{"full", fullBytes(t, pb), "PBFL", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTemp(t, tc.data)
+			want, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := OpenMapped(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer got.Close()
+			if got.Format != tc.format {
+				t.Errorf("format = %q, want %q", got.Format, tc.format)
+			}
+			if !tc.mappable && got.Mapped() {
+				t.Errorf("%s claims to be mapped", tc.name)
+			}
+			if got.Graph.NumNodes() != want.Graph.NumNodes() ||
+				got.Graph.NumEdges() != want.Graph.NumEdges() {
+				t.Errorf("mapped shape %d/%d != copied %d/%d",
+					got.Graph.NumNodes(), got.Graph.NumEdges(),
+					want.Graph.NumNodes(), want.Graph.NumEdges())
+			}
+			if rs := got.InstancesOf("animals", 5); len(rs) == 0 {
+				t.Error("mapped snapshot answers no queries")
+			}
+			if err := got.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+		})
+	}
+}
+
+// TestOpenMappedErrors: corrupt inputs — including a file truncated in
+// the middle of the label arena — are rejected with the same error
+// taxonomy as the copying loader, and never leak the mapping (verified
+// indirectly: Close of a failed open is unreachable, so rejection must
+// have closed it; the race detector would flag a leaked unmapped read).
+func TestOpenMappedErrors(t *testing.T) {
+	pb := buildProbase(t)
+	gsnap := graphOnlyBytes(t, pb)
+
+	// Section 1 of the rev-3 table is the label arena; cut inside it.
+	arenaOff := int(le64(gsnap[32+16:]))
+	arenaLen := int(le64(gsnap[40+16:]))
+	midArena := gsnap[:arenaOff+arenaLen/2]
+
+	corrupt := append([]byte(nil), gsnap...)
+	corrupt[len(corrupt)-1] ^= 0xFF
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr error
+	}{
+		{name: "empty file", data: []byte{}, wantErr: graph.ErrBadSnapshot},
+		{name: "short magic", data: []byte("PB"), wantErr: graph.ErrBadSnapshot},
+		{name: "truncated mid-arena", data: midArena, wantErr: graph.ErrBadSnapshot},
+		{name: "bad checksum", data: corrupt, wantErr: graph.ErrChecksum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := OpenMapped(writeTemp(t, tc.data))
+			if err == nil {
+				t.Fatal("OpenMapped accepted invalid input")
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Errorf("err = %v, want errors.Is(…, %v)", err, tc.wantErr)
+			}
+		})
+	}
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := OpenMapped(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+			t.Fatal("OpenMapped accepted a missing file")
+		}
+	})
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
 }
 
 // Load sniffs the magic through a buffered reader, so it must accept a

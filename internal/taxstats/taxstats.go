@@ -27,6 +27,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/parallel"
@@ -194,7 +195,11 @@ func Compute(g graph.Reader, typ *prob.Typicality, opts Options) (*Profile, erro
 	for i, row := range rows {
 		plaus = append(plaus, row.plaus...)
 		stats[i] = ConceptStat{
-			Label:     g.Label(concepts[i]),
+			// Clone: g.Label may be a zero-copy view into a memory-mapped
+			// snapshot, and the profile (served on /v1/admin/stats, read by
+			// metrics gauges) can be inspected after that snapshot is
+			// swapped out and unmapped.
+			Label:     strings.Clone(g.Label(concepts[i])),
 			Instances: row.instances,
 			OutDegree: len(row.plaus),
 		}
