@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Gate the incremental-build speed SLO: a 1% delta build must finish in
+at most half the wall time of a from-scratch build over the same
+concatenated corpus.
+
+Usage: check_delta_speed.py STATS.json [STATS.json ...]
+
+The arguments are probase-build -stats-out reports, full and delta runs
+mixed freely: a report carrying a "delta" object is a delta build,
+anything else is a full build. Both sides need at least one report; the
+gate compares min-of-runs wall times so a single scheduler hiccup on a
+shared CI runner cannot flip the verdict (the same rationale as
+check_storage_bench.py's min-of-reps timings).
+
+The delta reports must also prove they actually ran incrementally: the
+pipeline must not have fallen back to a full build, and the dirty-set
+counters must be present and non-zero.
+
+Exits non-zero on any violated gate. ci.yml re-runs this script on a
+doctored report to prove the gate is live.
+"""
+import json
+import sys
+
+MAX_RATIO = 0.5
+
+if len(sys.argv) < 2:
+    sys.exit(f"usage: {sys.argv[0]} STATS.json [STATS.json ...]")
+
+fulls, deltas = [], []
+for path in sys.argv[1:]:
+    report = json.load(open(path))
+    (deltas if report.get("delta") else fulls).append((path, report))
+
+if not fulls or not deltas:
+    sys.exit(f"need at least one full and one delta report, got {len(fulls)} full / {len(deltas)} delta")
+
+for path, report in deltas:
+    d = report["delta"]
+    if d["full_build"]:
+        sys.exit(f"{path}: delta build fell back to a full rebuild")
+    for counter in ("dirty_roots", "dirty_labels", "dirty_pairs"):
+        if d.get(counter, 0) <= 0:
+            sys.exit(f"{path}: delta counter {counter} is missing or zero")
+
+full_wall = min(r["total_seconds"] for _, r in fulls)
+delta_wall = min(r["total_seconds"] for _, r in deltas)
+ratio = delta_wall / full_wall
+print(
+    f"full {full_wall:.3f}s (min of {len(fulls)}), "
+    f"delta {delta_wall:.3f}s (min of {len(deltas)}), ratio {ratio:.3f}"
+)
+d = deltas[0][1]["delta"]
+print(
+    f"delta work: {d['dirty_roots']} dirty roots, {d['dirty_labels']} dirty labels "
+    f"({d['reused_labels']} reused), {d['dirty_pairs']} dirty pairs, {d['dirty_seeds']} alg3 seeds"
+)
+
+if ratio > MAX_RATIO:
+    sys.exit(f"delta build took {ratio:.3f}x of the full build wall time, budget is {MAX_RATIO}")
+print(f"OK: delta/full ratio {ratio:.3f} <= {MAX_RATIO}")

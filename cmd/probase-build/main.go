@@ -5,11 +5,21 @@
 // Usage:
 //
 //	probase-build -corpus corpus.tsv -o probase.bin [-scale 1] [-rounds 12] [-full]
+//	probase-build -base probase.bin -corpus delta.tsv -o probase.bin   (incremental)
 //
 // The -scale flag must match the scale the corpus was generated with; the
 // expanded world is used as the plausibility model's training oracle (the
 // role WordNet plays in the paper). With -full, Γ (evidence and
-// co-occurrence statistics) is persisted alongside the graph.
+// co-occurrence statistics) is persisted alongside the graph, together
+// with the resumable build state a later -base run extends from.
+//
+// With -base, the corpus file is treated as a *delta* — only the
+// sentences appended since the base snapshot was built — and the
+// pipeline re-scores just the dirty set the delta touches. The output is
+// byte-identical to a from-scratch build over the concatenated corpus.
+// The base must be a -full snapshot (it carries the extraction
+// checkpoint, merge state and model counts); -scale and the taxonomy
+// settings must match the base build's.
 // -snapshot-version selects the binary format: 2 (default) writes the
 // CSR "PBC2" layout that probase-serve loads with a single sequential
 // read; 1 writes the legacy "PBGR" adjacency-list format.
@@ -59,6 +69,10 @@ type statsReport struct {
 	Trace         *traceSummary    `json:"trace,omitempty"`
 	SnapshotPath  string           `json:"snapshot_path"`
 	SnapshotBytes int64            `json:"snapshot_bytes"`
+	// Delta is present on -base builds: the incremental work actually
+	// done (dirty roots/labels/pairs, reused state, Algorithm 3 seeds).
+	Delta *core.DeltaStats `json:"delta,omitempty"`
+	Base  string           `json:"base,omitempty"`
 }
 
 // traceSummary is the build trace rendered for the report: every stage
@@ -106,7 +120,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scale      = fs.Float64("scale", 1, "world scale used when generating the corpus")
 		rounds     = fs.Int("rounds", 0, "max extraction rounds (0 = default)")
 		workers    = fs.Int("workers", 0, "worker pool size for all parallel build stages (0 = GOMAXPROCS)")
-		full       = fs.Bool("full", false, "also persist Γ (evidence, co-occurrence) for richer reload")
+		full       = fs.Bool("full", false, "also persist Γ (evidence, co-occurrence) and the resumable build state")
+		basePath   = fs.String("base", "", "delta mode: extend this -full snapshot over the (delta-only) corpus")
 		snapVer    = fs.Int("snapshot-version", core.SnapshotVersionDefault, "snapshot format version: 1 = legacy PBGR adjacency lists, 2 = PBC2 CSR (fast load)")
 		quiet      = fs.Bool("quiet", false, "suppress progress output on stderr")
 		statsOut   = fs.String("stats-out", "", "write a JSON build report to this file ('-' for stdout)")
@@ -169,9 +184,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.Workers = *workers
 
 	start := time.Now()
-	pb, err := core.Build(inputs, cfg)
-	if err != nil {
-		return err
+	var pb *core.Probase
+	if *basePath != "" {
+		bf, err := os.Open(*basePath)
+		if err != nil {
+			return err
+		}
+		base, err := core.LoadFull(bf)
+		bf.Close()
+		if err != nil {
+			return fmt.Errorf("loading base snapshot: %w", err)
+		}
+		pb, err = core.DeltaBuild(base, inputs, cfg)
+		if err != nil {
+			return fmt.Errorf("delta build: %w", err)
+		}
+	} else {
+		var err error
+		pb, err = core.Build(inputs, cfg)
+		if err != nil {
+			return err
+		}
 	}
 
 	of, err := os.Create(*out)
@@ -196,6 +229,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	elapsed := time.Since(start)
 
 	st := pb.Store.Stats()
+	if *basePath != "" {
+		d := pb.Info.Delta
+		progress(
+			"probase-build: delta over %s: %d dirty roots, %d/%d labels re-merged, %d pairs retrained, %d alg3 seeds\n",
+			*basePath, d.DirtyRoots, d.DirtyLabels, d.DirtyLabels+d.ReusedLabels, d.DirtyPairs, d.DirtySeeds)
+	}
 	progress(
 		"probase-build: %d sentences parsed, %d rounds, %d pairs, %d concepts; taxonomy %d nodes / %d edges; %v\n",
 		pb.Info.Parsed, len(pb.Info.Rounds), st.Pairs, st.Supers,
@@ -215,6 +254,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 			TotalSeconds: elapsed.Seconds(),
 			Stages:       stats.Stages(),
 			SnapshotPath: *out,
+		}
+		if *basePath != "" {
+			d := pb.Info.Delta
+			report.Delta = &d
+			report.Base = *basePath
 		}
 		if spanRep != nil {
 			if td, ok := spanRep.Finish(); ok {

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/extraction"
+	"repro/internal/prob"
+)
+
+// deltaCorpus returns a seeded synthetic corpus plus the world-backed
+// training oracle — the same fixture shape buildFixture uses, but with
+// the raw inputs exposed so tests can split them.
+func deltaCorpus(t testing.TB, sentences int) ([]extraction.Input, prob.Oracle) {
+	t.Helper()
+	w := corpus.DefaultWorld(1)
+	c := corpus.NewGenerator(w, corpus.GenConfig{Sentences: sentences, Seed: 11}).Generate()
+	inputs := make([]extraction.Input, len(c.Sentences))
+	for i, s := range c.Sentences {
+		inputs[i] = extraction.Input{Text: s.Text, PageScore: s.PageScore}
+	}
+	oracle := func(x, y string) (bool, bool) {
+		if !w.KnownTerm(x) || !w.KnownTerm(y) {
+			return false, false
+		}
+		return w.IsTrueIsA(x, y), true
+	}
+	return inputs, oracle
+}
+
+// snapshot returns the default-version snapshot bytes — the fingerprint
+// probase-inspect hashes.
+func snapshot(t testing.TB, pb *Probase) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// probeQueries exercises all six public query endpoints over a fixed
+// probe set and returns the answers in one comparable value.
+func probeQueries(pb *Probase) map[string]any {
+	concepts := []string{"companies", "countries", "animals", "fruits", "plants"}
+	terms := []string{"IBM", "cat", "china", "apple", "microsoft"}
+	out := make(map[string]any)
+	for _, x := range concepts {
+		out["instances:"+x] = pb.InstancesOf(x, 10)
+		out["senses:"+x] = pb.SensesOf(x)
+		for _, s := range pb.SensesOf(x) {
+			out["sense-instances:"+s] = pb.InstancesOfSense(s, 10)
+		}
+		for _, y := range terms {
+			out["plausibility:"+x+":"+y] = pb.Plausibility(x, y)
+		}
+	}
+	for _, y := range terms {
+		out["concepts:"+y] = pb.ConceptsOf(y, 10)
+	}
+	if ranked, ok := pb.Conceptualize([]string{"IBM", "microsoft"}, 10); ok {
+		out["conceptualize:ibm+microsoft"] = ranked
+	}
+	if ranked, ok := pb.Conceptualize(terms, 10); ok {
+		out["conceptualize:all"] = ranked
+	}
+	return out
+}
+
+// TestDeltaBuildMatchesFullBuild is the end-to-end equivalence property:
+// split the corpus at random points, Build the prefix, DeltaBuild the
+// suffix, and the result must match the from-scratch Build over the
+// whole corpus — snapshot bytes (the fingerprint) and every query
+// endpoint's answers.
+func TestDeltaBuildMatchesFullBuild(t *testing.T) {
+	const n = 6000
+	inputs, oracle := deltaCorpus(t, n)
+	cfg := Config{Oracle: oracle}
+	full, err := Build(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSnap := snapshot(t, full)
+	wantAnswers := probeQueries(full)
+
+	rng := rand.New(rand.NewSource(7))
+	splits := []int{1024, n - 60} // a chunk boundary and a tiny 1% delta
+	for i := 0; i < 3; i++ {
+		splits = append(splits, 1+rng.Intn(n-1))
+	}
+	for _, split := range splits {
+		base, err := Build(inputs[:split], cfg)
+		if err != nil {
+			t.Fatalf("split %d: base build: %v", split, err)
+		}
+		delta, err := DeltaBuild(base, inputs[split:], cfg)
+		if err != nil {
+			t.Fatalf("split %d: delta build: %v", split, err)
+		}
+		if !bytes.Equal(snapshot(t, delta), wantSnap) {
+			t.Errorf("split %d: delta snapshot differs from full build", split)
+			continue
+		}
+		if got := probeQueries(delta); !reflect.DeepEqual(got, wantAnswers) {
+			t.Errorf("split %d: query answers differ from full build", split)
+		}
+		if delta.State == nil || delta.State.Checkpoint == nil {
+			t.Errorf("split %d: delta build lost its own build state", split)
+		}
+		if delta.Info.Delta.FullBuild {
+			t.Errorf("split %d: delta build flagged as full", split)
+		}
+	}
+}
+
+// TestDeltaBuildChains: two stacked deltas equal one full build — the
+// state a DeltaBuild emits is itself a valid base.
+func TestDeltaBuildChains(t *testing.T) {
+	const n = 5000
+	inputs, oracle := deltaCorpus(t, n)
+	cfg := Config{Oracle: oracle}
+	full, err := Build(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Build(inputs[:n/2], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{3 * n / 4, n} {
+		next, err := DeltaBuild(pb, inputs[consumed(pb):cut], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb = next
+	}
+	if !bytes.Equal(snapshot(t, pb), snapshot(t, full)) {
+		t.Fatal("chained delta builds diverge from full build")
+	}
+}
+
+// consumed recovers how many corpus sentences a Probase has consumed,
+// from its extraction checkpoint's global numbering.
+func consumed(pb *Probase) int {
+	return pb.State.Checkpoint.NumInputs
+}
+
+// TestDeltaBuildThroughFullSnapshot: the save/load cycle preserves the
+// build state well enough that a delta from the reloaded base is
+// byte-identical to a delta from the in-memory base.
+func TestDeltaBuildThroughFullSnapshot(t *testing.T) {
+	const n = 5000
+	inputs, oracle := deltaCorpus(t, n)
+	cfg := Config{Oracle: oracle}
+	base, err := Build(inputs[:n-200], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := base.SaveFull(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFull(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.State == nil {
+		t.Fatal("full snapshot dropped the build state")
+	}
+	want, err := DeltaBuild(base, inputs[n-200:], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DeltaBuild(loaded, inputs[n-200:], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapshot(t, got), snapshot(t, want)) {
+		t.Fatal("delta from reloaded base differs from delta from live base")
+	}
+	// And the reloaded model answers plausibility like the live one.
+	if a, b := loaded.Plausibility("companies", "IBM"), base.Plausibility("companies", "IBM"); a != b {
+		t.Fatalf("reloaded plausibility %v, live %v", a, b)
+	}
+}
+
+// TestDeltaBuildRequiresState: graph-only bases are rejected with a
+// sentinel the CLI can explain.
+func TestDeltaBuildRequiresState(t *testing.T) {
+	inputs, oracle := deltaCorpus(t, 2000)
+	base, err := Build(inputs[:1000], Config{Oracle: oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := base.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeltaBuild(loaded, inputs[1000:], Config{Oracle: oracle}); !errors.Is(err, ErrNoBuildState) {
+		t.Fatalf("err = %v, want ErrNoBuildState", err)
+	}
+	if _, err := DeltaBuild(nil, nil, Config{}); !errors.Is(err, ErrNoBuildState) {
+		t.Fatalf("nil base: err = %v", err)
+	}
+}

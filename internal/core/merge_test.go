@@ -6,6 +6,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/corpus"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func TestMergeFreebaseInstances(t *testing.T) {
@@ -79,5 +80,66 @@ func TestMergeEmptySource(t *testing.T) {
 	}
 	if merged.Graph.NumNodes() != pb.Graph.NumNodes() || merged.Graph.NumEdges() != pb.Graph.NumEdges() {
 		t.Error("empty merge changed the graph")
+	}
+}
+
+// TestMergeObservedReannotates: with a live evidence model, the merged
+// graph's edges carry freshly computed plausibilities — an imported edge
+// that duplicates a Γ-known pair is rescored by the model, while pairs
+// unknown to Γ keep the plausibility the source shipped. The stage
+// reporter sees the annotation pass.
+func TestMergeObservedReannotates(t *testing.T) {
+	pb, _ := buildFixture(t, 8000)
+
+	// Find a real edge of the built taxonomy whose pair is in Γ.
+	var fromLabel, toLabel string
+	var want float64
+	for _, c := range pb.Graph.Concepts() {
+		x := BaseLabel(pb.Graph.Label(c))
+		for _, e := range pb.Graph.Children(c) {
+			y := BaseLabel(pb.Graph.Label(e.To))
+			if e.Plausibility > 0 && pb.Store.Count(x, y) > 0 {
+				fromLabel, toLabel = pb.Graph.Label(c), pb.Graph.Label(e.To)
+				want = e.Plausibility
+				break
+			}
+		}
+		if fromLabel != "" {
+			break
+		}
+	}
+	if fromLabel == "" {
+		t.Fatal("no annotated edge with Γ backing found")
+	}
+
+	src := graph.NewStore()
+	// Duplicate the known pair with a bogus imported plausibility...
+	src.AddEdge(src.Intern(BaseLabel(fromLabel)), src.Intern(toLabel), 1, 0.123)
+	// ...and bring one pair Γ knows nothing about.
+	src.AddEdge(src.Intern("martian vehicle"), src.Intern("rover x-99"), 3, 0.777)
+
+	col := obs.NewStatsCollector()
+	merged, err := pb.MergeObserved(src, 2, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := merged.Graph.Lookup(fromLabel), merged.Graph.Lookup(toLabel)
+	e, ok := merged.Graph.EdgeBetween(from, to)
+	if !ok {
+		t.Fatal("merged edge vanished")
+	}
+	if e.Plausibility != want {
+		t.Errorf("Γ-known edge plausibility = %v after merge, want model value %v", e.Plausibility, want)
+	}
+	mf, mt := merged.Graph.Lookup("martian vehicle"), merged.Graph.Lookup("rover x-99")
+	if me, ok := merged.Graph.EdgeBetween(mf, mt); !ok || me.Plausibility != 0.777 {
+		t.Errorf("imported-only edge = %+v, want stored plausibility 0.777", me)
+	}
+	seen := map[string]bool{}
+	for _, s := range col.Stages() {
+		seen[s.Name] = true
+	}
+	if !seen[obs.StageProbAnnotate] {
+		t.Error("reporter saw no annotation stage during merge")
 	}
 }

@@ -50,6 +50,9 @@ type BuildInfo struct {
 	Rounds   []extraction.RoundStats
 	Taxonomy taxonomy.BuildStats
 	Parsed   int
+	// Delta reports the incremental work of a DeltaBuild (zero-valued
+	// except FullBuild after a from-scratch Build).
+	Delta DeltaStats
 }
 
 // Probase is a built probabilistic taxonomy.
@@ -73,62 +76,28 @@ type Probase struct {
 	// in-memory build. internal/snapshot sets it; the serving layer
 	// reports it on /v1/healthz.
 	Format string
+	// State is the resumable build residue a DeltaBuild extends from.
+	// Populated by Build and DeltaBuild; persisted by SaveFull; nil for
+	// graph-only snapshots.
+	State *BuildState
 
 	typ   *prob.Typicality
 	model *prob.Model
 }
 
-// Build runs the full pipeline over corpus sentences.
+// Build runs the full pipeline over corpus sentences: the staged
+// sequence extract -> taxonomy -> train -> score -> typicality (see
+// pipeline.go). DeltaBuild runs the same stages with dirty-set reuse.
 func Build(inputs []extraction.Input, cfg Config) (*Probase, error) {
-	rep := obs.ReporterOrNop(cfg.Reporter)
-	if cfg.Extraction.Reporter == nil {
-		cfg.Extraction.Reporter = rep
+	p := newPipeline(cfg)
+	p.stageExtract(inputs)
+	p.stageTaxonomy()
+	p.stageTrain()
+	p.stageScore()
+	if err := p.stageTypicality(nil, nil); err != nil {
+		return nil, err
 	}
-	if cfg.Taxonomy.Reporter == nil {
-		cfg.Taxonomy.Reporter = rep
-	}
-	workers := parallel.Workers(cfg.Workers)
-	if cfg.Extraction.Workers == 0 {
-		cfg.Extraction.Workers = workers
-	}
-	if cfg.Taxonomy.Workers == 0 {
-		cfg.Taxonomy.Workers = workers
-	}
-	res := extraction.Run(inputs, cfg.Extraction)
-	if cfg.Taxonomy.Sim == nil && cfg.Taxonomy.MinSenseEvidence == 0 {
-		// Default: drop single-sighting fragment senses; their pairs stay
-		// queryable in Γ, but they would pollute the sense inventory.
-		cfg.Taxonomy.MinSenseEvidence = 2
-	}
-	tax := taxonomy.Build(res.Groups, cfg.Taxonomy)
-
-	rep.StageStart(obs.StageProbTrain)
-	trainStart := time.Now()
-	model := prob.Train(res.Store, oracleOrUnknown(cfg.Oracle))
-	rep.StageEnd(obs.StageProbTrain, time.Since(trainStart))
-
-	g := tax.Graph
-	AnnotatePlausibility(g, model, workers, rep)
-	// Construction is done: freeze the builder into the CSR view so the
-	// probabilistic layer and every query below read the serving layout.
-	fz := g.Freeze()
-	typ, err := prob.New(fz, prob.Options{Workers: workers, Reporter: rep})
-	if err != nil {
-		return nil, fmt.Errorf("core: taxonomy is not a DAG: %w", err)
-	}
-	return &Probase{
-		Store:      res.Store,
-		Graph:      fz,
-		Senses:     tax.Senses,
-		Extraction: res,
-		Info: BuildInfo{
-			Rounds:   res.Rounds,
-			Taxonomy: tax.Stats,
-			Parsed:   res.Parsed,
-		},
-		typ:   typ,
-		model: model,
-	}, nil
+	return p.finish(), nil
 }
 
 // AnnotatePlausibility scores every taxonomy edge with the evidence
@@ -316,8 +285,20 @@ func (p *Probase) Typicality() *prob.Typicality { return p.typ }
 // in Freebase ... can be easily merged into Probase". A source concept
 // label that matches one of ours attaches to our dominant sense;
 // everything else is interned fresh. Counts accumulate; imported edges
-// keep their plausibility.
+// keep their plausibility. Equivalent to MergeObserved(other, 0, nil).
 func (p *Probase) Merge(other graph.Reader) (*Probase, error) {
+	return p.MergeObserved(other, 0, nil)
+}
+
+// MergeObserved is Merge on the delta machinery: the frozen base is
+// thawed (graph.NewBuilderFrom), the import applied, and — when a live
+// evidence model is available — plausibility re-annotated over the
+// merged graph, so edges whose accumulated counts changed the noisy-or
+// are rescored instead of keeping stale values. Imported pairs unknown
+// to Γ score zero and keep their stored plausibility. workers bounds the
+// annotation and typicality pools (<= 0 means GOMAXPROCS); rep receives
+// the stage telemetry (nil discards it).
+func (p *Probase) MergeObserved(other graph.Reader, workers int, rep obs.StageReporter) (*Probase, error) {
 	g := graph.NewBuilderFrom(p.Graph)
 	resolve := func(label string, conceptPosition bool) graph.NodeID {
 		if conceptPosition {
@@ -353,8 +334,14 @@ func (p *Probase) Merge(other graph.Reader) (*Probase, error) {
 		}
 		g.AddEdge(pe.from, pe.to, pe.e.Count, pe.e.Plausibility)
 	}
+	if p.model != nil && p.Store != nil {
+		// Accumulated counts feed the count-based fallback and the
+		// beyond-cap extrapolation, so merged-in sightings can move a
+		// pair's noisy-or; rescore rather than serve stale values.
+		AnnotatePlausibility(g, p.model, workers, rep)
+	}
 	fz := g.Freeze()
-	typ, err := prob.NewTypicality(fz)
+	typ, err := prob.New(fz, prob.Options{Workers: workers, Reporter: rep})
 	if err != nil {
 		return nil, fmt.Errorf("core: merge broke the DAG: %w", err)
 	}
@@ -365,8 +352,11 @@ func (p *Probase) Merge(other graph.Reader) (*Probase, error) {
 		Info:       p.Info,
 		Extraction: p.Extraction,
 		Format:     p.Format,
-		typ:        typ,
-		model:      p.model,
+		// State is deliberately dropped: a DeltaBuild reassembles the graph
+		// from the extraction/merge state alone and would silently lose the
+		// imported edges. Merge after delta-building, not before.
+		typ:   typ,
+		model: p.model,
 	}, nil
 }
 

@@ -68,7 +68,12 @@ func NewSetup(o Options) (*Setup, error) {
 		}
 		return w.IsTrueIsA(x, y), true
 	}
-	pb, err := core.Build(inputs, core.Config{Oracle: oracle})
+	// The figure experiments reproduce the paper's global Algorithm 1
+	// fixpoint (every sentence iterated together), so disable the chunked
+	// incremental-build fold by making the corpus a single chunk.
+	cfg := core.Config{Oracle: oracle}
+	cfg.Extraction.ChunkSize = len(inputs)
+	pb, err := core.Build(inputs, cfg)
 	if err != nil {
 		return nil, err
 	}

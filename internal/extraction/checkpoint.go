@@ -1,0 +1,328 @@
+package extraction
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/kb"
+)
+
+// Checkpoint is the resumable state of the extraction fold, captured at
+// the last chunk boundary the corpus crossed: everything Resume needs to
+// continue over a corpus delta and produce bit-identical output to a
+// from-scratch run over the concatenated corpus.
+//
+// The fold settles the Algorithm 1 fixpoint at absolute multiples of
+// ChunkSize. Decisions made by settles at those boundaries are canonical
+// — any longer corpus would have settled at the same points with the same
+// consumed prefix, so the boundary state is exact regardless of where the
+// corpus was later cut. The sentences past the last boundary (Tail) also
+// got a settle at end-of-corpus, but that settle is *provisional*: it
+// exists only so the base build can ship a complete taxonomy. The
+// checkpoint therefore stores the boundary state plus the raw Tail, and
+// Resume replays the Tail together with the delta, re-deciding it exactly
+// as the longer corpus would have.
+//
+//   - NumInputs anchors the global sentence numbering (Tail occupies
+//     indices NumInputs-len(Tail)..NumInputs-1), so delta sentences get
+//     the same canonical evidence seq keys a from-scratch run over the
+//     concatenated corpus would assign them.
+//   - Store is Γ as of the boundary — Tail contributions excluded.
+//   - Pending carries the boundary's undecided sentences (raw text
+//     re-parses deterministically; only the per-position decisions and
+//     accepted readings are state).
+//   - Groups holds the groups of sentences fully decided at the boundary;
+//     pending and tail groups are regenerated on resume.
+type Checkpoint struct {
+	NumInputs int // corpus sentences consumed so far (global numbering)
+	ChunkSize int // settle granularity; resume must use the same value
+	Parsed    int // sentences matching a Hearst pattern, as of the boundary
+	PartOf    int // negative part-whole evidence records, as of the boundary
+	Store     *kb.Store
+	Pending   []PendingSentence
+	Groups    []Group
+	Tail      []Input // consumed after the boundary; replayed on resume
+	// RootHashes fingerprints, per super-concept, the run's final emitted
+	// group list (the groups taxonomy construction consumed). A resumed
+	// run compares its own final group lists against these: a root whose
+	// hash is unchanged produced bit-identical group records, so its
+	// taxonomy state can be reused; everything else — changed, new, or
+	// vanished — is the exact dirty set.
+	RootHashes map[string]uint64
+}
+
+// PendingSentence is one undecided sentence's fixpoint state. The
+// Hearst match is reconstructed by re-parsing Text (parsing is pure);
+// Status and Accepted restore the per-position decisions.
+type PendingSentence struct {
+	Index     int // global input index of the sentence
+	Text      string
+	PageScore float64
+	Super     string // canonical super key, empty if not yet detected
+	SuperDone bool
+	Status    []uint8 // posState per segment position
+	Accepted  []string
+}
+
+// ErrBadCheckpoint reports a structurally invalid extraction checkpoint.
+var ErrBadCheckpoint = errors.New("extraction: bad checkpoint")
+
+// EncodeCheckpoint writes cp in the binary layout embedded in full
+// snapshots (core wraps it in the checksummed "PBCK" section).
+func EncodeCheckpoint(w io.Writer, cp *Checkpoint) error {
+	bw := bufio.NewWriter(w)
+	putUv := func(v uint64) { writeUvarint(bw, v) }
+	putStr := func(s string) {
+		writeUvarint(bw, uint64(len(s)))
+		bw.WriteString(s)
+	}
+	putF64 := func(v float64) {
+		var f64 [8]byte
+		binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v))
+		bw.Write(f64[:])
+	}
+	putUv(uint64(cp.NumInputs))
+	putUv(uint64(cp.ChunkSize))
+	putUv(uint64(cp.Parsed))
+	putUv(uint64(cp.PartOf))
+	var kbBuf bytes.Buffer
+	if cp.Store != nil {
+		if err := cp.Store.Save(&kbBuf); err != nil {
+			return err
+		}
+	}
+	putUv(uint64(kbBuf.Len()))
+	bw.Write(kbBuf.Bytes())
+	putUv(uint64(len(cp.Tail)))
+	for _, in := range cp.Tail {
+		putStr(in.Text)
+		putF64(in.PageScore)
+	}
+	putUv(uint64(len(cp.Groups)))
+	for _, g := range cp.Groups {
+		putStr(g.Super)
+		putUv(uint64(g.Order))
+		putUv(uint64(len(g.Subs)))
+		for _, s := range g.Subs {
+			putStr(s)
+		}
+	}
+	putUv(uint64(len(cp.Pending)))
+	for _, ps := range cp.Pending {
+		putUv(uint64(ps.Index))
+		putStr(ps.Text)
+		var f64 [8]byte
+		binary.LittleEndian.PutUint64(f64[:], math.Float64bits(ps.PageScore))
+		bw.Write(f64[:])
+		putStr(ps.Super)
+		done := byte(0)
+		if ps.SuperDone {
+			done = 1
+		}
+		bw.WriteByte(done)
+		putUv(uint64(len(ps.Status)))
+		bw.Write(ps.Status)
+		putUv(uint64(len(ps.Accepted)))
+		for _, s := range ps.Accepted {
+			putStr(s)
+		}
+	}
+	roots := make([]string, 0, len(cp.RootHashes))
+	for r := range cp.RootHashes {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	putUv(uint64(len(roots)))
+	for _, r := range roots {
+		putStr(r)
+		putUv(cp.RootHashes[r])
+	}
+	return bw.Flush()
+}
+
+// DecodeCheckpoint reads a checkpoint written by EncodeCheckpoint.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	getUv := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getStr := func() (string, error) {
+		n, err := getUv()
+		if err != nil || n > 1<<20 {
+			return "", fmt.Errorf("%w: string length", ErrBadCheckpoint)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", fmt.Errorf("%w: string bytes: %v", ErrBadCheckpoint, err)
+		}
+		return string(buf), nil
+	}
+	getF64 := func() (float64, error) {
+		var f64 [8]byte
+		if _, err := io.ReadFull(br, f64[:]); err != nil {
+			return 0, fmt.Errorf("%w: float: %v", ErrBadCheckpoint, err)
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(f64[:])), nil
+	}
+	cp := &Checkpoint{}
+	hdr := [4]*int{&cp.NumInputs, &cp.ChunkSize, &cp.Parsed, &cp.PartOf}
+	for _, dst := range hdr {
+		v, err := getUv()
+		if err != nil || v > 1<<40 {
+			return nil, fmt.Errorf("%w: header", ErrBadCheckpoint)
+		}
+		*dst = int(v)
+	}
+	kbLen, err := getUv()
+	if err != nil || kbLen > 1<<32 {
+		return nil, fmt.Errorf("%w: store length", ErrBadCheckpoint)
+	}
+	if kbLen > 0 {
+		lr := io.LimitReader(br, int64(kbLen))
+		store, err := kb.Load(lr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: store: %v", ErrBadCheckpoint, err)
+		}
+		// The loader may leave buffered slack; stay section-aligned.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, fmt.Errorf("%w: store trailer: %v", ErrBadCheckpoint, err)
+		}
+		cp.Store = store
+	}
+	ntail, err := getUv()
+	if err != nil || ntail > 1<<28 {
+		return nil, fmt.Errorf("%w: tail count", ErrBadCheckpoint)
+	}
+	if ntail > 0 {
+		cp.Tail = make([]Input, 0, minU64(ntail, 1<<16))
+	}
+	for i := uint64(0); i < ntail; i++ {
+		var in Input
+		if in.Text, err = getStr(); err != nil {
+			return nil, err
+		}
+		if in.PageScore, err = getF64(); err != nil {
+			return nil, err
+		}
+		cp.Tail = append(cp.Tail, in)
+	}
+	ngroups, err := getUv()
+	if err != nil || ngroups > 1<<28 {
+		return nil, fmt.Errorf("%w: group count", ErrBadCheckpoint)
+	}
+	if ngroups > 0 {
+		cp.Groups = make([]Group, 0, minU64(ngroups, 1<<16))
+	}
+	for i := uint64(0); i < ngroups; i++ {
+		var g Group
+		if g.Super, err = getStr(); err != nil {
+			return nil, err
+		}
+		ord, err := getUv()
+		if err != nil || ord > 1<<40 {
+			return nil, fmt.Errorf("%w: group order", ErrBadCheckpoint)
+		}
+		g.Order = int(ord)
+		nsubs, err := getUv()
+		if err != nil || nsubs > 1<<20 {
+			return nil, fmt.Errorf("%w: sub count", ErrBadCheckpoint)
+		}
+		g.Subs = make([]string, 0, minU64(nsubs, 1<<10))
+		for j := uint64(0); j < nsubs; j++ {
+			s, err := getStr()
+			if err != nil {
+				return nil, err
+			}
+			g.Subs = append(g.Subs, s)
+		}
+		cp.Groups = append(cp.Groups, g)
+	}
+	npending, err := getUv()
+	if err != nil || npending > 1<<28 {
+		return nil, fmt.Errorf("%w: pending count", ErrBadCheckpoint)
+	}
+	if npending > 0 {
+		cp.Pending = make([]PendingSentence, 0, minU64(npending, 1<<16))
+	}
+	for i := uint64(0); i < npending; i++ {
+		var ps PendingSentence
+		idx, err := getUv()
+		if err != nil || idx > 1<<40 {
+			return nil, fmt.Errorf("%w: pending index", ErrBadCheckpoint)
+		}
+		ps.Index = int(idx)
+		if ps.Text, err = getStr(); err != nil {
+			return nil, err
+		}
+		var f64 [8]byte
+		if _, err := io.ReadFull(br, f64[:]); err != nil {
+			return nil, fmt.Errorf("%w: page score: %v", ErrBadCheckpoint, err)
+		}
+		ps.PageScore = math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
+		if ps.Super, err = getStr(); err != nil {
+			return nil, err
+		}
+		done, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: super flag: %v", ErrBadCheckpoint, err)
+		}
+		ps.SuperDone = done == 1
+		nstatus, err := getUv()
+		if err != nil || nstatus > 1<<16 {
+			return nil, fmt.Errorf("%w: status count", ErrBadCheckpoint)
+		}
+		ps.Status = make([]uint8, nstatus)
+		if _, err := io.ReadFull(br, ps.Status); err != nil {
+			return nil, fmt.Errorf("%w: status bytes: %v", ErrBadCheckpoint, err)
+		}
+		nacc, err := getUv()
+		if err != nil || nacc > 1<<20 {
+			return nil, fmt.Errorf("%w: accepted count", ErrBadCheckpoint)
+		}
+		ps.Accepted = make([]string, 0, minU64(nacc, 1<<10))
+		for j := uint64(0); j < nacc; j++ {
+			s, err := getStr()
+			if err != nil {
+				return nil, err
+			}
+			ps.Accepted = append(ps.Accepted, s)
+		}
+		cp.Pending = append(cp.Pending, ps)
+	}
+	nroots, err := getUv()
+	if err != nil || nroots > 1<<28 {
+		return nil, fmt.Errorf("%w: root hash count", ErrBadCheckpoint)
+	}
+	if nroots > 0 {
+		cp.RootHashes = make(map[string]uint64, minU64(nroots, 1<<16))
+	}
+	for i := uint64(0); i < nroots; i++ {
+		r, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		h, err := getUv()
+		if err != nil {
+			return nil, fmt.Errorf("%w: root hash", ErrBadCheckpoint)
+		}
+		cp.RootHashes[r] = h
+	}
+	return cp, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

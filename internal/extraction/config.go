@@ -36,9 +36,17 @@ type Config struct {
 	// modifier-stripped concept when a candidate super-concept is not yet
 	// in Γ ("domestic animals" borrowing from "animals").
 	ModifierDiscount float64
-	// MaxRounds caps the number of iterations; the driver also stops at
-	// the fixpoint (no new pairs).
+	// MaxRounds caps the number of iterations per settle; the driver also
+	// stops at the fixpoint (no new pairs).
 	MaxRounds int
+	// ChunkSize is the consume granularity of the extraction fold: the
+	// fixpoint settles each time the global sentence index crosses a
+	// multiple of ChunkSize. Boundaries are absolute corpus positions, not
+	// relative to a run, which is what makes a base run plus a resumed
+	// delta bit-identical to one run over the concatenated corpus: both
+	// settle at exactly the same points. Must match between the run that
+	// wrote a checkpoint and the run resuming it.
+	ChunkSize int
 	// Workers is the map-phase parallelism.
 	Workers int
 	// MaxEvidencePerPair caps stored evidence per pair (the noisy-or
@@ -58,6 +66,7 @@ func DefaultConfig() Config {
 		Epsilon:            1e-6,
 		ModifierDiscount:   0.5,
 		MaxRounds:          12,
+		ChunkSize:          1024,
 		Workers:            runtime.GOMAXPROCS(0),
 		MaxEvidencePerPair: 32,
 	}
@@ -82,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRounds <= 0 {
 		c.MaxRounds = d.MaxRounds
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = d.ChunkSize
 	}
 	if c.Workers <= 0 {
 		c.Workers = d.Workers

@@ -27,6 +27,8 @@ const (
 
 // sentenceState tracks a parsed sentence across rounds.
 type sentenceState struct {
+	index     int    // global corpus index of the sentence (resume-stable)
+	text      string // raw sentence, kept for checkpointing pending states
 	match     hearst.Match
 	pageScore float64
 	super     string // canonical super-concept key, once detected
@@ -35,6 +37,22 @@ type sentenceState struct {
 	readings  [][]string // accepted canonical readings per position
 	accepted  []string   // all accepted canonical subs, in acceptance order
 	done      bool
+}
+
+// evidenceSeq packs a sentence's global corpus index, the 1-based segment
+// position, and the sub-index within the position's reading into the
+// canonical evidence ordering key. The key is a pure function of *where*
+// the evidence sits in the corpus, never of when the fixpoint discovered
+// it, so evidence lists (and the kept set under the per-pair cap) come out
+// identical whether the corpus was processed in one run or as base+delta.
+func evidenceSeq(index, pos, sub int) int64 {
+	if pos > 4095 {
+		pos = 4095
+	}
+	if sub > 511 {
+		sub = 511
+	}
+	return int64(index+1)<<21 | int64(pos)<<9 | int64(sub)
 }
 
 // CanonicalSuper maps a super-concept surface form to its Γ key:

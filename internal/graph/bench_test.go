@@ -209,3 +209,29 @@ func BenchmarkLoadMapped(b *testing.B) {
 		g.Close()
 	}
 }
+
+// BenchmarkNewBuilderFrom measures the thaw cost a delta build pays to
+// turn the previous frozen taxonomy back into a mutable Builder before
+// extending it.
+func BenchmarkNewBuilderFrom(b *testing.B) {
+	fz := benchGraph().Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := NewBuilderFrom(fz); g.NumNodes() != fz.NumNodes() {
+			b.Fatal("thaw lost nodes")
+		}
+	}
+}
+
+// BenchmarkThawRefreeze is the full round trip: thaw, mutate nothing,
+// refreeze — the fixed overhead of an incremental build that touches a
+// vanishing fraction of the graph.
+func BenchmarkThawRefreeze(b *testing.B) {
+	fz := benchGraph().Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := NewBuilderFrom(fz).Freeze(); g.NumEdges() != fz.NumEdges() {
+			b.Fatal("round trip lost edges")
+		}
+	}
+}

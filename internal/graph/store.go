@@ -2,6 +2,7 @@ package graph
 
 import (
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -37,14 +38,16 @@ func NewStore() *Builder { return NewBuilder() }
 
 // NewBuilderFrom returns a mutable copy of any Reader — the thaw
 // direction of Builder.Freeze, used when edges must be added to an
-// already-frozen taxonomy (e.g. merging). Both implementations keep
-// adjacency sorted by Edge.To, so the copied rows are valid Builder
-// rows as-is.
+// already-frozen taxonomy (merging, delta builds). Both implementations
+// keep adjacency sorted by Edge.To, so the copied rows are valid Builder
+// rows as-is. Labels are copied out of the source: a mapped Frozen's
+// Label returns zero-copy views into the mmap arena, which dangle once
+// the mapping closes, and the thawed Builder must outlive the source.
 func NewBuilderFrom(r Reader) *Builder {
 	b := NewBuilder()
 	n := r.NumNodes()
 	for id := 0; id < n; id++ {
-		b.Intern(r.Label(NodeID(id)))
+		b.Intern(strings.Clone(r.Label(NodeID(id))))
 	}
 	for id := 0; id < n; id++ {
 		b.out[id] = append([]Edge(nil), r.Children(NodeID(id))...)

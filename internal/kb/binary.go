@@ -14,21 +14,23 @@ import (
 // Binary snapshot format for Γ (little-endian):
 //
 //	magic    "PBKB"
-//	version  uvarint (1)
+//	version  uvarint (2)
 //	strings  uvarint count, then per string: uvarint len + bytes
 //	pairs    uvarint count, then per pair:
 //	           uvarint xRef, uvarint yRef, uvarint n,
 //	           uvarint evidence count, then per evidence:
 //	             uvarint pattern, float64 pageScore, uvarint listLen,
-//	             uvarint pos, byte negative
+//	             uvarint pos, byte negative, uvarint seq (version >= 2)
 //	co       uvarint count, then per entry:
 //	           uvarint xRef, uvarint aRef, uvarint bRef, uvarint n
 //	crc32    uint32 (IEEE, over everything before it)
 //
-// Strings are interned once and referenced by index.
+// Strings are interned once and referenced by index. Version 1 lacked
+// the per-evidence seq field; v1 snapshots load with zero seqs (legacy
+// arrival order), which is exactly the order they were written in.
 const (
 	kbMagic   = "PBKB"
-	kbVersion = 1
+	kbVersion = 2
 )
 
 var (
@@ -193,6 +195,9 @@ func (s *Store) Save(w io.Writer) error {
 			if _, err := cw.Write([]byte{neg}); err != nil {
 				return err
 			}
+			if err := putUvarint(cw, uint64(ev.Seq)); err != nil {
+				return err
+			}
 		}
 	}
 	if err := putUvarint(cw, uint64(len(coKeys))); err != nil {
@@ -216,41 +221,42 @@ func (s *Store) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-type kbCRCReader struct {
-	r   *bufio.Reader
-	crc uint32
-}
-
-func (cr *kbCRCReader) Read(p []byte) (int, error) {
-	n, err := cr.r.Read(p)
-	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
-	return n, err
-}
-
-func (cr *kbCRCReader) ReadByte() (byte, error) {
-	b, err := cr.r.ReadByte()
-	if err == nil {
-		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, []byte{b})
-	}
-	return b, err
-}
-
 // Load reads a snapshot written by Save. The evidence cap of the
 // returned store is unlimited.
+//
+// The whole section is slurped and checksummed in one pass, then parsed
+// from the byte slice — a snapshot-restore hot path (a delta build loads
+// Γ twice: the final store and the checkpoint's boundary store), so the
+// decoder avoids per-byte reader and CRC overhead.
 func Load(r io.Reader) (*Store, error) {
-	cr := &kbCRCReader{r: bufio.NewReader(r)}
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(cr, magic); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadKBSnapshot, err)
 	}
-	if string(magic) != kbMagic {
-		return nil, fmt.Errorf("%w: magic %q", ErrBadKBSnapshot, magic)
+	if len(data) < len(kbMagic)+4 {
+		return nil, fmt.Errorf("%w: truncated", ErrBadKBSnapshot)
 	}
-	version, err := binary.ReadUvarint(cr)
-	if err != nil || version != kbVersion {
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if string(body[:len(kbMagic)]) != kbMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadKBSnapshot, body[:len(kbMagic)])
+	}
+	if binary.LittleEndian.Uint32(tail) != crc32.ChecksumIEEE(body) {
+		return nil, ErrKBChecksum
+	}
+	pos := len(kbMagic)
+	getUv := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: %s", ErrBadKBSnapshot, what)
+		}
+		pos += n
+		return v, nil
+	}
+	version, err := getUv("version")
+	if err != nil || version < 1 || version > kbVersion {
 		return nil, fmt.Errorf("%w: version", ErrBadKBSnapshot)
 	}
-	nstrs, err := binary.ReadUvarint(cr)
+	nstrs, err := getUv("string count")
 	if err != nil || nstrs > 1<<28 {
 		return nil, fmt.Errorf("%w: string count", ErrBadKBSnapshot)
 	}
@@ -258,29 +264,32 @@ func Load(r io.Reader) (*Store, error) {
 	// corrupt header must not be able to demand gigabytes up front.
 	strs := make([]string, 0, minUint64(nstrs, 1<<16))
 	for i := uint64(0); i < nstrs; i++ {
-		ln, err := binary.ReadUvarint(cr)
-		if err != nil || ln > 1<<20 {
+		ln, err := getUv("string length")
+		if err != nil || ln > 1<<20 || uint64(len(body)-pos) < ln {
 			return nil, fmt.Errorf("%w: string length", ErrBadKBSnapshot)
 		}
-		buf := make([]byte, ln)
-		if _, err := io.ReadFull(cr, buf); err != nil {
-			return nil, fmt.Errorf("%w: string bytes: %v", ErrBadKBSnapshot, err)
-		}
-		strs = append(strs, string(buf))
+		strs = append(strs, string(body[pos:pos+int(ln)]))
+		pos += int(ln)
 	}
 	ref := func() (string, error) {
-		id, err := binary.ReadUvarint(cr)
+		id, err := getUv("string ref")
 		if err != nil || id >= nstrs {
 			return "", fmt.Errorf("%w: string ref", ErrBadKBSnapshot)
 		}
 		return strs[id], nil
 	}
 	s := NewStore(0)
-	npairs, err := binary.ReadUvarint(cr)
+	npairs, err := getUv("pair count")
 	if err != nil || npairs > 1<<30 {
 		return nil, fmt.Errorf("%w: pair count", ErrBadKBSnapshot)
 	}
-	var f64 [8]byte
+	// The loader holds the only reference, so the store is built by direct
+	// field writes — no per-record locking. Save emits pairs grouped by
+	// super and evidence lists already in canonical Seq order (v1 files
+	// hold zero seqs in arrival order, which sorts identically), so rows
+	// land with one inner-map lookup and a plain append.
+	curX := ""
+	var curYs map[string]int64
 	for i := uint64(0); i < npairs; i++ {
 		x, err := ref()
 		if err != nil {
@@ -290,45 +299,91 @@ func Load(r io.Reader) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		n, err := binary.ReadUvarint(cr)
+		n, err := getUv("pair count field")
 		if err != nil {
-			return nil, fmt.Errorf("%w: pair count field", ErrBadKBSnapshot)
+			return nil, err
 		}
-		s.Add(x, y, int64(n))
-		nev, err := binary.ReadUvarint(cr)
+		if n > 0 {
+			if x != curX || curYs == nil {
+				curX = x
+				curYs = s.bySuper[x]
+				if curYs == nil {
+					curYs = make(map[string]int64)
+					s.bySuper[x] = curYs
+				}
+			}
+			if curYs[y] == 0 {
+				s.npairs++
+			}
+			curYs[y] += int64(n)
+			xs := s.bySub[y]
+			if xs == nil {
+				xs = make(map[string]int64)
+				s.bySub[y] = xs
+			}
+			xs[x] += int64(n)
+			s.superTotal[x] += int64(n)
+			s.subTotal[y] += int64(n)
+			s.total += int64(n)
+		}
+		nev, err := getUv("evidence count")
 		if err != nil || nev > 1<<20 {
 			return nil, fmt.Errorf("%w: evidence count", ErrBadKBSnapshot)
 		}
+		var evs []Evidence
+		if nev > 0 {
+			evs = make([]Evidence, 0, minUint64(nev, 1<<12))
+		}
 		for j := uint64(0); j < nev; j++ {
 			var ev Evidence
-			pat, err := binary.ReadUvarint(cr)
+			pat, err := getUv("evidence pattern")
 			if err != nil {
-				return nil, fmt.Errorf("%w: evidence pattern", ErrBadKBSnapshot)
+				return nil, err
 			}
 			ev.Pattern = int(pat)
-			if _, err := io.ReadFull(cr, f64[:]); err != nil {
-				return nil, fmt.Errorf("%w: evidence score: %v", ErrBadKBSnapshot, err)
+			if len(body)-pos < 8 {
+				return nil, fmt.Errorf("%w: evidence score", ErrBadKBSnapshot)
 			}
-			ev.PageScore = math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
-			ll, err := binary.ReadUvarint(cr)
+			ev.PageScore = math.Float64frombits(binary.LittleEndian.Uint64(body[pos:]))
+			pos += 8
+			ll, err := getUv("evidence listlen")
 			if err != nil {
-				return nil, fmt.Errorf("%w: evidence listlen", ErrBadKBSnapshot)
+				return nil, err
 			}
 			ev.ListLen = int(ll)
-			pos, err := binary.ReadUvarint(cr)
+			p, err := getUv("evidence pos")
 			if err != nil {
-				return nil, fmt.Errorf("%w: evidence pos", ErrBadKBSnapshot)
+				return nil, err
 			}
-			ev.Pos = int(pos)
-			neg, err := cr.ReadByte()
-			if err != nil {
-				return nil, fmt.Errorf("%w: evidence flag: %v", ErrBadKBSnapshot, err)
+			ev.Pos = int(p)
+			if pos >= len(body) {
+				return nil, fmt.Errorf("%w: evidence flag", ErrBadKBSnapshot)
 			}
-			ev.Negative = neg == 1
-			s.AddEvidence(x, y, ev)
+			ev.Negative = body[pos] == 1
+			pos++
+			if version >= 2 {
+				seq, err := getUv("evidence seq")
+				if err != nil {
+					return nil, err
+				}
+				ev.Seq = int64(seq)
+			}
+			// A corrupt seq order would silently break the delta-build
+			// equivalence contract; fall back to sorted insertion.
+			if len(evs) > 0 && ev.Seq < evs[len(evs)-1].Seq {
+				k := sort.Search(len(evs), func(i int) bool { return evs[i].Seq > ev.Seq })
+				evs = append(evs, Evidence{})
+				copy(evs[k+1:], evs[k:])
+				evs[k] = ev
+				continue
+			}
+			evs = append(evs, ev)
+		}
+		if len(evs) > 0 {
+			s.evidence[Pair{X: x, Y: y}] = evs
 		}
 	}
-	nco, err := binary.ReadUvarint(cr)
+	nco, err := getUv("co count")
 	if err != nil || nco > 1<<30 {
 		return nil, fmt.Errorf("%w: co count", ErrBadKBSnapshot)
 	}
@@ -345,19 +400,13 @@ func Load(r io.Reader) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		n, err := binary.ReadUvarint(cr)
+		n, err := getUv("co count field")
 		if err != nil {
-			return nil, fmt.Errorf("%w: co count field", ErrBadKBSnapshot)
+			return nil, err
 		}
-		s.AddCo(x, a, b, int64(n))
-	}
-	want := cr.crc
-	var crcBuf [4]byte
-	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
-		return nil, fmt.Errorf("%w: trailer: %v", ErrBadKBSnapshot, err)
-	}
-	if binary.LittleEndian.Uint32(crcBuf[:]) != want {
-		return nil, ErrKBChecksum
+		if n > 0 && a != b {
+			s.co[coKey(x, a, b)] += int64(n)
+		}
 	}
 	return s, nil
 }

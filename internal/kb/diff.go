@@ -1,0 +1,115 @@
+package kb
+
+import "sort"
+
+// EvidenceDiff describes how a delta extraction changed Γ relative to a
+// base store — the seed material for the build pipeline's dirty sets.
+// The incremental plausibility trainer (prob.TrainDelta) turns it into
+// the exact set of pairs whose training features changed: a pair's
+// feature vector depends on its own evidence list plus the log-bucketed
+// totals of its super- and sub-concept, so those three change channels
+// are reported separately.
+type EvidenceDiff struct {
+	// ChangedPairs lists, in deterministic (X, Y) order, every pair whose
+	// evidence list differs between base and next (new pairs included).
+	ChangedPairs []Pair
+	// SuperTotals maps each super-concept whose total discovery mass
+	// changed to its {base, next} totals. Supers new in next appear with
+	// a zero base total.
+	SuperTotals map[string][2]int64
+	// SubTotals is the same for sub-concept mass.
+	SubTotals map[string][2]int64
+}
+
+// DiffEvidence compares two Γ stores, where next is an evolved
+// superset of base (a delta extraction only ever adds mass), and
+// returns the change sets. Evidence lists are compared record by
+// record: the canonical Seq ordering makes the comparison independent
+// of discovery order.
+func DiffEvidence(base, next *Store) *EvidenceDiff {
+	d := &EvidenceDiff{
+		SuperTotals: make(map[string][2]int64),
+		SubTotals:   make(map[string][2]int64),
+	}
+	base.mu.RLock()
+	next.mu.RLock()
+	defer base.mu.RUnlock()
+	defer next.mu.RUnlock()
+
+	for p, evs := range next.evidence {
+		if !evidenceEqual(base.evidence[p], evs) {
+			d.ChangedPairs = append(d.ChangedPairs, p)
+		}
+	}
+	// A base pair losing evidence cannot happen in a delta run, but a
+	// caller comparing arbitrary stores still deserves the truth.
+	for p := range base.evidence {
+		if _, ok := next.evidence[p]; !ok {
+			d.ChangedPairs = append(d.ChangedPairs, p)
+		}
+	}
+	sort.Slice(d.ChangedPairs, func(i, j int) bool {
+		if d.ChangedPairs[i].X != d.ChangedPairs[j].X {
+			return d.ChangedPairs[i].X < d.ChangedPairs[j].X
+		}
+		return d.ChangedPairs[i].Y < d.ChangedPairs[j].Y
+	})
+	for x, n := range next.superTotal {
+		if b := base.superTotal[x]; b != n {
+			d.SuperTotals[x] = [2]int64{b, n}
+		}
+	}
+	for y, n := range next.subTotal {
+		if b := base.subTotal[y]; b != n {
+			d.SubTotals[y] = [2]int64{b, n}
+		}
+	}
+	return d
+}
+
+func evidenceEqual(a, b []Evidence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PairsOfSuper returns every (x, y) pair of the given super-concept in
+// sorted sub order — the expansion step when a super's frequency bucket
+// drift dirties all of its pairs.
+func (s *Store) PairsOfSuper(x string) []Pair {
+	s.mu.RLock()
+	ys := make([]string, 0, len(s.bySuper[x]))
+	for y := range s.bySuper[x] {
+		ys = append(ys, y)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ys)
+	out := make([]Pair, len(ys))
+	for i, y := range ys {
+		out[i] = Pair{X: x, Y: y}
+	}
+	return out
+}
+
+// PairsOfSub returns every (x, y) pair of the given sub-concept in
+// sorted super order.
+func (s *Store) PairsOfSub(y string) []Pair {
+	s.mu.RLock()
+	xs := make([]string, 0, len(s.bySub[y]))
+	for x := range s.bySub[y] {
+		xs = append(xs, x)
+	}
+	s.mu.RUnlock()
+	sort.Strings(xs)
+	out := make([]Pair, len(xs))
+	for i, x := range xs {
+		out[i] = Pair{X: x, Y: y}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package kb
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestAddEvidenceSeqOrdering(t *testing.T) {
+	s := NewStore(0)
+	s.AddEvidence("x", "y", Evidence{Pos: 3, Seq: 30})
+	s.AddEvidence("x", "y", Evidence{Pos: 1, Seq: 10})
+	s.AddEvidence("x", "y", Evidence{Pos: 2, Seq: 20})
+	evs := s.Evidence("x", "y")
+	if len(evs) != 3 || evs[0].Seq != 10 || evs[1].Seq != 20 || evs[2].Seq != 30 {
+		t.Fatalf("evidence not seq-sorted: %+v", evs)
+	}
+}
+
+// The kept set under the cap must be the lowest-seq records regardless
+// of arrival order — that is what makes a resumed run's evidence lists
+// identical to a from-scratch run's.
+func TestAddEvidenceCapKeepsLowestSeqs(t *testing.T) {
+	arrivals := [][]int64{
+		{10, 20, 30, 40},
+		{40, 30, 20, 10},
+		{30, 10, 40, 20},
+	}
+	var want []Evidence
+	for i, order := range arrivals {
+		s := NewStore(3)
+		for _, seq := range order {
+			s.AddEvidence("x", "y", Evidence{Seq: seq})
+		}
+		evs := s.Evidence("x", "y")
+		if len(evs) != 3 {
+			t.Fatalf("order %v: got %d records, want 3", order, len(evs))
+		}
+		if evs[0].Seq != 10 || evs[1].Seq != 20 || evs[2].Seq != 30 {
+			t.Fatalf("order %v: kept %+v, want seqs 10,20,30", order, evs)
+		}
+		if i == 0 {
+			want = evs
+		} else if !reflect.DeepEqual(evs, want) {
+			t.Fatalf("order %v: kept set differs from first arrival order", order)
+		}
+	}
+}
+
+// Zero-seq records must behave exactly like the legacy path: append in
+// arrival order, reject new records once the cap is reached.
+func TestAddEvidenceLegacyZeroSeq(t *testing.T) {
+	s := NewStore(2)
+	s.AddEvidence("x", "y", Evidence{Pos: 1})
+	s.AddEvidence("x", "y", Evidence{Pos: 2})
+	s.AddEvidence("x", "y", Evidence{Pos: 3})
+	evs := s.Evidence("x", "y")
+	if len(evs) != 2 || evs[0].Pos != 1 || evs[1].Pos != 2 {
+		t.Fatalf("legacy cap changed: %+v", evs)
+	}
+}
+
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	s := NewStore(4)
+	s.Add("animal", "cat", 3)
+	s.Add("animal", "dog", 1)
+	s.AddCo("animal", "cat", "dog", 2)
+	s.AddEvidence("animal", "cat", Evidence{Pattern: 1, PageScore: 0.5, Seq: 7})
+	c := s.Clone()
+
+	if c.Count("animal", "cat") != 3 || c.SubMass("dog") != 1 ||
+		c.CoCount("animal", "cat", "dog") != 2 {
+		t.Fatalf("clone lost counts")
+	}
+	if !reflect.DeepEqual(c.Evidence("animal", "cat"), s.Evidence("animal", "cat")) {
+		t.Fatalf("clone lost evidence")
+	}
+	// Mutating the clone must not leak into the original.
+	c.Add("animal", "cat", 5)
+	c.AddEvidence("animal", "cat", Evidence{Seq: 9})
+	if s.Count("animal", "cat") != 3 || len(s.Evidence("animal", "cat")) != 1 {
+		t.Fatalf("clone mutation leaked into original")
+	}
+}
+
+func TestDiffEvidence(t *testing.T) {
+	base := NewStore(0)
+	base.Add("animal", "cat", 2)
+	base.AddEvidence("animal", "cat", Evidence{Seq: 1})
+	next := base.Clone()
+	next.Add("animal", "dog", 1)
+	next.AddEvidence("animal", "dog", Evidence{Seq: 5})
+	next.Add("plant", "tree", 1)
+	next.AddEvidence("plant", "tree", Evidence{Seq: 6})
+
+	d := DiffEvidence(base, next)
+	wantPairs := []Pair{{X: "animal", Y: "dog"}, {X: "plant", Y: "tree"}}
+	if !reflect.DeepEqual(d.ChangedPairs, wantPairs) {
+		t.Fatalf("changed pairs = %v, want %v", d.ChangedPairs, wantPairs)
+	}
+	if got := d.SuperTotals["animal"]; got != [2]int64{2, 3} {
+		t.Fatalf("animal super totals = %v", got)
+	}
+	if _, ok := d.SuperTotals["plant"]; !ok {
+		t.Fatalf("new super missing from totals diff")
+	}
+	if got := d.SubTotals["dog"]; got != [2]int64{0, 1} {
+		t.Fatalf("dog sub totals = %v", got)
+	}
+	if _, ok := d.SubTotals["cat"]; ok {
+		t.Fatalf("unchanged sub reported dirty")
+	}
+}
+
+func TestPairsOfSuperAndSub(t *testing.T) {
+	s := NewStore(0)
+	s.Add("animal", "dog", 1)
+	s.Add("animal", "cat", 1)
+	s.Add("pet", "cat", 1)
+	if got := s.PairsOfSuper("animal"); !reflect.DeepEqual(got,
+		[]Pair{{X: "animal", Y: "cat"}, {X: "animal", Y: "dog"}}) {
+		t.Fatalf("PairsOfSuper = %v", got)
+	}
+	if got := s.PairsOfSub("cat"); !reflect.DeepEqual(got,
+		[]Pair{{X: "animal", Y: "cat"}, {X: "pet", Y: "cat"}}) {
+		t.Fatalf("PairsOfSub = %v", got)
+	}
+}
+
+func TestBinaryRoundTripPreservesSeq(t *testing.T) {
+	s := NewStore(8)
+	s.Add("animal", "cat", 2)
+	s.AddEvidence("animal", "cat", Evidence{Pattern: 1, PageScore: 0.25, ListLen: 3, Pos: 2, Seq: 42})
+	s.AddEvidence("animal", "cat", Evidence{Pattern: 2, PageScore: 0.75, ListLen: 1, Pos: 1, Negative: true, Seq: 17})
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := got.Evidence("animal", "cat")
+	if len(evs) != 2 || evs[0].Seq != 17 || evs[1].Seq != 42 || !evs[0].Negative {
+		t.Fatalf("round trip lost seqs: %+v", evs)
+	}
+}

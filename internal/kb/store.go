@@ -25,6 +25,17 @@ type Evidence struct {
 	ListLen   int     // number of sub-concepts extracted from the sentence
 	Pos       int     // 1-based position of y relative to the pattern keywords
 	Negative  bool    // negative evidence (e.g. a part-of claim) lowers plausibility
+	// Seq is the canonical corpus-order key of the sentence occurrence
+	// that produced this record (derived from the global sentence index
+	// and the position within the sentence). Evidence lists are kept
+	// sorted by Seq, which makes the per-pair list — and everything
+	// derived from it, like the noisy-or product and the cap's keep set —
+	// independent of the order rounds happened to discover the records
+	// in. That invariance is what lets an incremental delta build land on
+	// exactly the evidence lists a from-scratch build over the
+	// concatenated corpus produces. Zero means "unordered": such records
+	// append in arrival order, preserving the legacy behaviour.
+	Seq int64
 }
 
 // Store is Γ. It is safe for concurrent readers with a single writer, and
@@ -55,6 +66,16 @@ func NewStore(maxEvidencePerPair int) *Store {
 		evidence:   make(map[Pair][]Evidence),
 		maxEv:      maxEvidencePerPair,
 	}
+}
+
+// SetMaxEvidence sets the per-pair evidence cap. Stores deserialised by
+// Load come back with the cap unset (0 = unlimited); a resumed build must
+// restore the configured cap before new evidence arrives so the kept set
+// matches a from-scratch run.
+func (s *Store) SetMaxEvidence(n int) {
+	s.mu.Lock()
+	s.maxEv = n
+	s.mu.Unlock()
 }
 
 // Add records n discoveries of the pair (x, y).
@@ -104,16 +125,30 @@ func (s *Store) PSubGlobal(y string) float64 {
 	return float64(s.subTotal[y]) / float64(s.total)
 }
 
-// AddEvidence appends one evidence record for the pair (x, y), respecting
-// the per-pair cap.
+// AddEvidence records one evidence record for the pair (x, y), keeping
+// the per-pair list sorted by Evidence.Seq (stable for equal keys: new
+// records land after existing ones, so zero-Seq legacy callers see pure
+// append order). The cap keeps the lowest-Seq records: a record that
+// would land past the cap is dropped, and a record that lands inside it
+// evicts the current highest-Seq entry — so the kept set is the
+// lowest-Seq maxEv records of everything ever offered, independent of
+// arrival order.
 func (s *Store) AddEvidence(x, y string, ev Evidence) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := Pair{X: x, Y: y}
-	if s.maxEv > 0 && len(s.evidence[p]) >= s.maxEv {
-		return
+	evs := s.evidence[p]
+	i := sort.Search(len(evs), func(i int) bool { return evs[i].Seq > ev.Seq })
+	if s.maxEv > 0 && len(evs) >= s.maxEv {
+		if i >= s.maxEv {
+			return
+		}
+		evs = evs[:s.maxEv-1]
 	}
-	s.evidence[p] = append(s.evidence[p], ev)
+	evs = append(evs, Evidence{})
+	copy(evs[i+1:], evs[i:])
+	evs[i] = ev
+	s.evidence[p] = evs
 }
 
 // Evidence returns a copy of the evidence recorded for (x, y).
@@ -224,6 +259,16 @@ func (s *Store) PYgivenCX(y, c, x string) float64 {
 	return float64(s.co[coKey(x, c, y)]) / float64(n)
 }
 
+// HasPair reports whether (x, y) has a count-table entry — exactly the
+// domain ForEachPair enumerates. Evidence-only pairs (negative part-whole
+// records never sighted as isA) fall outside it.
+func (s *Store) HasPair(x, y string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.bySuper[x][y]
+	return ok
+}
+
 // HasSuper reports whether x appears as a super-concept in Γ.
 func (s *Store) HasSuper(x string) bool {
 	s.mu.RLock()
@@ -319,17 +364,51 @@ func (s *Store) Merge(other *Store) {
 	for k, n := range other.co {
 		s.co[k] += n
 	}
-	for p, evs := range other.evidence {
-		have := s.evidence[p]
-		for _, ev := range evs {
-			if s.maxEv > 0 && len(have) >= s.maxEv {
-				break
-			}
-			have = append(have, ev)
-		}
-		s.evidence[p] = have
-	}
 	s.mu.Unlock()
+	for p, evs := range other.evidence {
+		for _, ev := range evs {
+			s.AddEvidence(p.X, p.Y, ev)
+		}
+	}
+}
+
+// Clone returns a deep copy of Γ — counts, totals, co-occurrence,
+// evidence and the evidence cap. A delta build clones the base store
+// before resuming extraction into the copy, so the base view stays
+// intact for evidence diffing (and for the still-serving base Probase).
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewStore(s.maxEv)
+	for x, ys := range s.bySuper {
+		m := make(map[string]int64, len(ys))
+		for y, n := range ys {
+			m[y] = n
+		}
+		c.bySuper[x] = m
+	}
+	for y, xs := range s.bySub {
+		m := make(map[string]int64, len(xs))
+		for x, n := range xs {
+			m[x] = n
+		}
+		c.bySub[y] = m
+	}
+	for x, n := range s.superTotal {
+		c.superTotal[x] = n
+	}
+	for y, n := range s.subTotal {
+		c.subTotal[y] = n
+	}
+	c.total = s.total
+	c.npairs = s.npairs
+	for k, n := range s.co {
+		c.co[k] = n
+	}
+	for p, evs := range s.evidence {
+		c.evidence[p] = append([]Evidence(nil), evs...)
+	}
+	return c
 }
 
 // Stats is a summary of Γ used by per-iteration reporting (Figure 10).

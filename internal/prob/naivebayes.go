@@ -1,21 +1,14 @@
-// Package prob implements the probabilistic layer of Section 4: the
-// plausibility P(x,y) of each isA claim (a noisy-or over per-sentence
-// evidence probabilities produced by a Naive Bayes model, Eqs. 1-2) and
-// the typicality T(i|x) / T(x|i) (Eqs. 3-4), with the reachability
-// probabilities computed by the level-order dynamic program of
-// Algorithm 3.
-//
-// The DP parallelises within each topological level on the shared
-// worker pool (internal/parallel) — the axis Algorithm 3's own
-// correctness argument frees up, since a level's rows read only values
-// from strictly earlier levels. New takes Options{Workers, Reporter};
-// the reach table is bit-for-bit identical at every worker count. A
-// built Typicality is safe for concurrent queries, and Model's scoring
-// methods are read-only after Train, so both sides of the layer can be
-// fanned out over.
 package prob
 
-import "math"
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
 
 // Feature is one discrete extraction feature of an evidence sentence
 // (the set F_i of Eq. 2).
@@ -27,19 +20,25 @@ type Feature struct {
 // NaiveBayes is a two-class Naive Bayes model over discrete features with
 // Laplace smoothing. The positive class means "this evidence supports a
 // true isA claim".
+//
+// The model is exactly reversible: counts are integral, Train and
+// Untrain adjust them by whole units, and the per-feature value
+// inventory (the smoothing denominator) is derived from the live count
+// tables — so untraining a batch of examples and training a replacement
+// batch yields the same model a from-scratch training over the final
+// example set would, bit for bit. Incremental builds rest on that.
 type NaiveBayes struct {
 	classCounts [2]float64
-	// counts[name][value][class]
+	// counts[name][value][class]; entries are removed when both classes
+	// reach zero so len(counts[name]) is the distinct-value count used
+	// for Laplace smoothing.
 	counts map[string]map[int][2]float64
-	// distinct values seen per feature, for smoothing
-	values map[string]map[int]bool
 }
 
 // NewNaiveBayes returns an empty model.
 func NewNaiveBayes() *NaiveBayes {
 	return &NaiveBayes{
 		counts: make(map[string]map[int][2]float64),
-		values: make(map[string]map[int]bool),
 	}
 }
 
@@ -59,13 +58,53 @@ func (nb *NaiveBayes) Train(features []Feature, positive bool) {
 		c := m[f.Value]
 		c[cls]++
 		m[f.Value] = c
-		v := nb.values[f.Name]
-		if v == nil {
-			v = make(map[int]bool)
-			nb.values[f.Name] = v
-		}
-		v[f.Value] = true
 	}
+}
+
+// Untrain removes one example previously added with Train under the same
+// label. Counts never go negative: untraining an example that was not
+// trained is a caller bug and panics rather than corrupting the model.
+func (nb *NaiveBayes) Untrain(features []Feature, positive bool) {
+	cls := 0
+	if positive {
+		cls = 1
+	}
+	if nb.classCounts[cls] < 1 {
+		panic("prob: Untrain without matching Train")
+	}
+	nb.classCounts[cls]--
+	for _, f := range features {
+		m := nb.counts[f.Name]
+		c, ok := m[f.Value]
+		if !ok || c[cls] < 1 {
+			panic(fmt.Sprintf("prob: Untrain of unseen feature %s=%d", f.Name, f.Value))
+		}
+		c[cls]--
+		if c[0] == 0 && c[1] == 0 {
+			delete(m, f.Value)
+			if len(m) == 0 {
+				delete(nb.counts, f.Name)
+			}
+		} else {
+			m[f.Value] = c
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (nb *NaiveBayes) Clone() *NaiveBayes {
+	c := &NaiveBayes{
+		classCounts: nb.classCounts,
+		counts:      make(map[string]map[int][2]float64, len(nb.counts)),
+	}
+	for name, m := range nb.counts {
+		cm := make(map[int][2]float64, len(m))
+		for v, cc := range m {
+			cm[v] = cc
+		}
+		c.counts[name] = cm
+	}
+	return c
 }
 
 // Trained reports whether both classes have examples.
@@ -86,7 +125,7 @@ func (nb *NaiveBayes) Prob(features []Feature) float64 {
 		math.Log(nb.classCounts[1] / total),
 	}
 	for _, f := range features {
-		vals := float64(len(nb.values[f.Name]))
+		vals := float64(len(nb.counts[f.Name]))
 		if vals == 0 {
 			continue // unseen feature name: uninformative
 		}
@@ -100,4 +139,100 @@ func (nb *NaiveBayes) Prob(features []Feature) float64 {
 	p0 := math.Exp(logP[0] - m)
 	p1 := math.Exp(logP[1] - m)
 	return p1 / (p0 + p1)
+}
+
+// ErrBadModel reports a structurally invalid serialised model.
+var ErrBadModel = errors.New("prob: bad naive bayes encoding")
+
+// Encode writes the model's count tables (all integral) in a canonical
+// sorted layout, so equal models encode to equal bytes.
+func (nb *NaiveBayes) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	putUv := func(v uint64) {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	putUv(uint64(nb.classCounts[0]))
+	putUv(uint64(nb.classCounts[1]))
+	names := make([]string, 0, len(nb.counts))
+	for name := range nb.counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	putUv(uint64(len(names)))
+	for _, name := range names {
+		putUv(uint64(len(name)))
+		bw.WriteString(name)
+		m := nb.counts[name]
+		vals := make([]int, 0, len(m))
+		for v := range m {
+			vals = append(vals, v)
+		}
+		sort.Ints(vals)
+		putUv(uint64(len(vals)))
+		for _, v := range vals {
+			putUv(uint64(v))
+			c := m[v]
+			putUv(uint64(c[0]))
+			putUv(uint64(c[1]))
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeNaiveBayes reads a model written by Encode.
+func DecodeNaiveBayes(r io.Reader) (*NaiveBayes, error) {
+	br := bufio.NewReader(r)
+	getUv := func(max uint64, what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil || v > max {
+			return 0, fmt.Errorf("%w: %s", ErrBadModel, what)
+		}
+		return v, nil
+	}
+	nb := NewNaiveBayes()
+	for cls := 0; cls < 2; cls++ {
+		v, err := getUv(1<<50, "class count")
+		if err != nil {
+			return nil, err
+		}
+		nb.classCounts[cls] = float64(v)
+	}
+	nnames, err := getUv(1<<20, "feature count")
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nnames; i++ {
+		nlen, err := getUv(1<<16, "name length")
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, nlen)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: name bytes: %v", ErrBadModel, err)
+		}
+		nvals, err := getUv(1<<24, "value count")
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[int][2]float64, nvals)
+		for j := uint64(0); j < nvals; j++ {
+			v, err := getUv(1<<40, "feature value")
+			if err != nil {
+				return nil, err
+			}
+			var c [2]float64
+			for cls := 0; cls < 2; cls++ {
+				cc, err := getUv(1<<50, "feature count")
+				if err != nil {
+					return nil, err
+				}
+				c[cls] = float64(cc)
+			}
+			m[int(v)] = c
+		}
+		nb.counts[string(buf)] = m
+	}
+	return nb, nil
 }

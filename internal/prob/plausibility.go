@@ -2,6 +2,7 @@ package prob
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/kb"
 )
@@ -69,16 +70,116 @@ type Model struct {
 func Train(store *kb.Store, oracle Oracle) *Model {
 	m := &Model{nb: NewNaiveBayes(), store: store}
 	store.ForEachPair(func(x, y string, n int64) {
-		isTrue, known := oracle(x, y)
-		if !known {
-			return
-		}
-		sf, yf := store.SuperTotal(x), store.SubMass(y)
-		for _, ev := range store.Evidence(x, y) {
-			m.nb.Train(EvidenceFeatures(ev, sf, yf), isTrue)
-		}
+		trainPair(m.nb, store, oracle, x, y, false)
 	})
 	return m
+}
+
+// trainPair adds (or, with untrain, removes) one pair's full training
+// contribution: one example per stored evidence record, labelled by the
+// oracle. NB count updates are integral and commutative, so any order of
+// pair contributions produces the same model.
+func trainPair(nb *NaiveBayes, store *kb.Store, oracle Oracle, x, y string, untrain bool) {
+	if !store.HasPair(x, y) {
+		// Train enumerates ForEachPair's domain; evidence-only pairs
+		// (negative part-whole records with no isA sighting) sit outside
+		// it and must stay outside for the delta to match a full retrain.
+		return
+	}
+	isTrue, known := oracle(x, y)
+	if !known {
+		return
+	}
+	sf, yf := store.SuperTotal(x), store.SubMass(y)
+	for _, ev := range store.Evidence(x, y) {
+		if untrain {
+			nb.Untrain(EvidenceFeatures(ev, sf, yf), isTrue)
+		} else {
+			nb.Train(EvidenceFeatures(ev, sf, yf), isTrue)
+		}
+	}
+}
+
+// NewModel wires an already-trained Naive Bayes to a Γ store — the path
+// a delta build or a snapshot restore enters through.
+func NewModel(nb *NaiveBayes, store *kb.Store) *Model {
+	return &Model{nb: nb, store: store}
+}
+
+// NB exposes the trained evidence model for persistence.
+func (m *Model) NB() *NaiveBayes { return m.nb }
+
+// DeltaTrainStats reports the incremental trainer's work.
+type DeltaTrainStats struct {
+	// DirtyPairs is the number of pairs untrained and retrained.
+	DirtyPairs int
+	// BucketDrift counts the pairs dirtied only because their super- or
+	// sub-concept's log-bucketed corpus frequency crossed a bucket edge.
+	BucketDrift int
+	// Retrained is the number of evidence examples trained into the model
+	// (after untraining their base-side counterparts).
+	Retrained int
+}
+
+// TrainDelta advances a trained model from the base Γ to the delta Γ by
+// untraining the contributions of changed pairs and retraining them from
+// next. A pair's feature vectors depend on its own evidence list and on
+// the log-bucketed totals of its super- and sub-concept, so the dirty
+// set is the diff's changed pairs plus every pair of a concept whose
+// frequency bucket drifted. Because Naive Bayes counts are integral and
+// commutative, the result equals Train(next, oracle) bit for bit —
+// provided oracle matches the one the base model was trained with.
+func TrainDelta(prev *NaiveBayes, base, next *kb.Store, oracle Oracle) (*Model, DeltaTrainStats) {
+	diff := kb.DiffEvidence(base, next)
+	dirty := make(map[kb.Pair]bool, len(diff.ChangedPairs))
+	for _, p := range diff.ChangedPairs {
+		dirty[p] = true
+	}
+	var stats DeltaTrainStats
+	addDrift := func(pairs []kb.Pair) {
+		for _, p := range pairs {
+			if !dirty[p] {
+				dirty[p] = true
+				stats.BucketDrift++
+			}
+		}
+	}
+	for x, totals := range diff.SuperTotals {
+		if logBucket(totals[0]) != logBucket(totals[1]) {
+			addDrift(base.PairsOfSuper(x))
+			addDrift(next.PairsOfSuper(x))
+		}
+	}
+	for y, totals := range diff.SubTotals {
+		if logBucket(totals[0]) != logBucket(totals[1]) {
+			addDrift(base.PairsOfSub(y))
+			addDrift(next.PairsOfSub(y))
+		}
+	}
+	nb := prev.Clone()
+	pairs := make([]kb.Pair, 0, len(dirty))
+	for p := range dirty {
+		pairs = append(pairs, p)
+	}
+	sortPairs(pairs)
+	for _, p := range pairs {
+		trainPair(nb, base, oracle, p.X, p.Y, true)
+		trainPair(nb, next, oracle, p.X, p.Y, false)
+		if _, known := oracle(p.X, p.Y); known && next.HasPair(p.X, p.Y) {
+			stats.Retrained += len(next.Evidence(p.X, p.Y))
+		}
+	}
+	stats.DirtyPairs = len(pairs)
+	return &Model{nb: nb, store: next}, stats
+}
+
+func sortPairs(ps []kb.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
 }
 
 // EvidenceProb returns p_i for one evidence record (Eq. 2), clamped away

@@ -2,6 +2,8 @@ package prob
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -52,6 +54,17 @@ type Options struct {
 	// Reporter receives stage telemetry: the DP is timed and its table
 	// size reported under stage "prob.algorithm3". Nil discards it.
 	Reporter obs.StageReporter
+	// Prev enables the incremental DP: reach rows of nodes outside the
+	// dirty closure are copied from this previously built engine (node
+	// identity resolved by label) instead of recomputed. Requires Seeds.
+	Prev *Typicality
+	// Seeds are the nodes of the *new* graph whose incoming edge multiset
+	// (parent label, count, plausibility) differs from Prev's graph —
+	// including nodes Prev's graph lacks. The dirty closure is the seeds
+	// plus all their descendants: a node outside it has an unchanged
+	// ancestor cone, so its P(·,y) row is provably identical and safe to
+	// copy. Ignored when Prev is nil.
+	Seeds []graph.NodeID
 }
 
 // NewTypicality runs Algorithm 3 over the DAG and prepares the caches.
@@ -99,6 +112,39 @@ func New(g graph.Reader, opts Options) (*Typicality, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Incremental mode: mark the dirty closure (seeds plus descendants)
+	// and seed the table with the previous build's rows for every clean
+	// node. A clean node's entire ancestor cone is clean — were any
+	// ancestor dirty, the node would be its descendant and dirty too —
+	// so the copied row is exactly what the full DP would recompute.
+	var dirtyRows, reusedEntries int64
+	var dirty map[graph.NodeID]bool
+	if opts.Prev != nil {
+		dirty = make(map[graph.NodeID]bool, len(opts.Seeds))
+		for _, s := range opts.Seeds {
+			if dirty[s] {
+				continue
+			}
+			dirty[s] = true
+			for _, d := range g.Descendants(s) {
+				dirty[d] = true
+			}
+		}
+		prev := opts.Prev
+		for k, p := range prev.reach {
+			x, y := graph.NodeID(k>>32), graph.NodeID(k&0xFFFFFFFF)
+			ny := g.Lookup(prev.g.Label(y))
+			if ny == graph.NoNode || dirty[ny] {
+				continue
+			}
+			nx := g.Lookup(prev.g.Label(x))
+			if nx == graph.NoNode {
+				continue
+			}
+			t.reach[key(nx, ny)] = p
+			reusedEntries++
+		}
+	}
 	// Algorithm 3: traverse top-down; when a node y is reached, every
 	// ancestor x of its parents already has P(x, parent) computed.
 	//
@@ -107,9 +153,12 @@ func New(g graph.Reader, opts Options) (*Typicality, error) {
 	for _, level := range levels {
 		rows := make([][]reachEntry, len(level))
 		// Fan out: each node of the level computes its row reading only
-		// prior-level entries of t.reach; writes go to rows[i].
+		// prior-level entries of t.reach; writes go to rows[i]. In
+		// incremental mode clean nodes keep their copied rows.
 		if err := parallel.ForEach(ctx, workers, len(level), func(i int) error {
-			rows[i] = t.reachRow(level[i])
+			if dirty == nil || dirty[level[i]] {
+				rows[i] = t.reachRow(level[i])
+			}
 			return nil
 		}); err != nil {
 			return nil, err
@@ -119,6 +168,9 @@ func New(g graph.Reader, opts Options) (*Typicality, error) {
 		// write single-threaded between fan-outs.
 		for i, row := range rows {
 			y := level[i]
+			if dirty != nil && dirty[y] {
+				dirtyRows++
+			}
 			for _, e := range row {
 				t.reach[key(e.x, y)] = e.p
 			}
@@ -139,6 +191,10 @@ func New(g graph.Reader, opts Options) (*Typicality, error) {
 	rep.Count(obs.StageProbAlgorithm3, "topo_levels", int64(len(levels)))
 	rep.Count(obs.StageProbAlgorithm3, "concepts", int64(len(t.conceptMass)))
 	rep.Count(obs.StageProbAlgorithm3, "workers", int64(workers))
+	if opts.Prev != nil {
+		rep.Count(obs.StageProbAlgorithm3, "dirty_rows", dirtyRows)
+		rep.Count(obs.StageProbAlgorithm3, "reused_entries", reusedEntries)
+	}
 	rep.StageEnd(obs.StageProbAlgorithm3, time.Since(dpStart))
 	return t, nil
 }
@@ -200,6 +256,44 @@ func edgePlausibility(e graph.Edge) float64 {
 		p *= 0.5
 	}
 	return 1 - p
+}
+
+// DirtySeeds compares two taxonomy graphs and returns, sorted, the nodes
+// of next whose incoming edge multiset (parent label, count, plausibility
+// bits) differs from prev's node of the same label — including nodes prev
+// lacks entirely. These are the seeds of the incremental DP's dirty
+// closure (Options.Seeds).
+func DirtySeeds(prev, next graph.Reader) []graph.NodeID {
+	inSig := func(g graph.Reader, id graph.NodeID) []string {
+		parents := g.Parents(id)
+		sig := make([]string, len(parents))
+		for i, pe := range parents {
+			sig[i] = fmt.Sprintf("%s\x00%d\x00%x", g.Label(pe.To), pe.Count, math.Float64bits(pe.Plausibility))
+		}
+		sort.Strings(sig)
+		return sig
+	}
+	var seeds []graph.NodeID
+	for id := 0; id < next.NumNodes(); id++ {
+		nid := graph.NodeID(id)
+		pid := prev.Lookup(next.Label(nid))
+		if pid == graph.NoNode {
+			seeds = append(seeds, nid)
+			continue
+		}
+		a, b := inSig(next, nid), inSig(prev, pid)
+		if len(a) != len(b) {
+			seeds = append(seeds, nid)
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				seeds = append(seeds, nid)
+				break
+			}
+		}
+	}
+	return seeds
 }
 
 // Reach returns P(x, y), the probability that some path connects x to y.

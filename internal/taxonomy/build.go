@@ -2,7 +2,6 @@ package taxonomy
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/extraction"
@@ -55,11 +54,13 @@ type BuildStats struct {
 	DroppedClusters int // clusters dropped by MinSenseEvidence
 }
 
-// Result is a constructed taxonomy.
+// Result is a constructed taxonomy. State is the merge state the graph
+// was assembled from; delta builds feed it back through MergeDelta.
 type Result struct {
 	Graph  *graph.Store
 	Senses map[string][]string // root label -> node labels of its senses
 	Stats  BuildStats
+	State  *State
 }
 
 // SenseLabel names the i-th sense (0-based) of a label: the bare label
@@ -71,191 +72,33 @@ func SenseLabel(label string, i, total int) string {
 	return fmt.Sprintf("%s#%d", label, i+1)
 }
 
-// Build assembles the taxonomy DAG from per-sentence extraction groups.
+// Build assembles the taxonomy DAG from per-sentence extraction groups:
+// Merge (horizontal fixpoint + fragment adoption, per label) followed by
+// Assemble (vertical linking + DAG assembly). The two stages communicate
+// through the persistable State so that delta builds can replay Merge
+// only for dirty labels (MergeDelta) and still share this assembly path.
 func Build(groups []extraction.Group, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	rep := obs.ReporterOrNop(cfg.Reporter)
 	rep.StageStart(obs.StageTaxonomy)
 	buildStart := time.Now()
-	locals := make([]*Local, 0, len(groups))
-	for _, g := range groups {
-		if g.Super == "" || len(g.Subs) == 0 {
-			continue
-		}
-		locals = append(locals, NewLocal(g.Super, g.Subs))
-	}
-	eng := newEngine(locals, cfg.Sim)
+	state := mergeLabels(collectLabels(groups), cfg, rep)
+	res := assembleState(state, cfg, rep)
+	rep.StageEnd(obs.StageTaxonomy, time.Since(buildStart))
+	return res
+}
 
-	// Algorithm 2's two merge passes, timed separately: horizontal
-	// (sense clustering within a label) then vertical (linking child
-	// slots to the merged clusters).
-	rep.StageStart(obs.StageTaxonomyHorizontal)
-	stageStart := time.Now()
-	eng.runHorizontalParallel(cfg.Workers)
-	rep.Count(obs.StageTaxonomyHorizontal, "workers", int64(cfg.Workers))
-	rep.StageEnd(obs.StageTaxonomyHorizontal, time.Since(stageStart))
-	hops := eng.hops
-	adoptions := 0
-	if !cfg.DisableAdoption {
-		adoptions = eng.adoptFragments()
-	}
-	rep.StageStart(obs.StageTaxonomyVertical)
-	stageStart = time.Now()
-	eng.runVerticalParallel(cfg.Workers)
-	rep.Count(obs.StageTaxonomyVertical, "workers", int64(cfg.Workers))
-	rep.StageEnd(obs.StageTaxonomyVertical, time.Since(stageStart))
-
-	rep.StageStart(obs.StageTaxonomyAssemble)
-	stageStart = time.Now()
-	res := &Result{
-		Graph:  graph.NewStore(),
-		Senses: make(map[string][]string),
-		Stats: BuildStats{
-			Locals:        len(locals),
-			HorizontalOps: hops,
-			VerticalOps:   eng.vops,
-			Adoptions:     adoptions,
-		},
-	}
-
-	// Collect sense clusters per label, largest (by child mass) first.
-	live := eng.alive()
-	byRoot := make(map[string][]int)
-	for _, i := range live {
-		byRoot[eng.nodes[i].Root] = append(byRoot[eng.nodes[i].Root], i)
-	}
-	mass := func(i int) int64 {
-		var m int64
-		for _, v := range eng.nodes[i].Children {
-			m += v
-		}
-		return m
-	}
-	roots := make([]string, 0, len(byRoot))
-	for r := range byRoot {
-		roots = append(roots, r)
-	}
-	sort.Strings(roots)
-
-	senseName := make(map[int]string, len(live)) // engine id -> node label
-	for _, r := range roots {
-		ids := byRoot[r]
-		sort.Slice(ids, func(a, b int) bool {
-			ma, mb := mass(ids[a]), mass(ids[b])
-			if ma != mb {
-				return ma > mb
-			}
-			return ids[a] < ids[b]
-		})
-		// Optionally drop tiny fragment clusters behind a dominant one.
-		if cfg.MinSenseEvidence > 0 && len(ids) > 1 {
-			kept := ids[:1]
-			for _, id := range ids[1:] {
-				if int(mass(id)) >= cfg.MinSenseEvidence {
-					kept = append(kept, id)
-				} else {
-					res.Stats.DroppedClusters++
-				}
-			}
-			ids = kept
-		}
-		for i, id := range ids {
-			senseName[id] = SenseLabel(r, i, len(ids))
-		}
-		byRoot[r] = ids
-		names := make([]string, len(ids))
-		for i, id := range ids {
-			names[i] = senseName[id]
-		}
-		res.Senses[r] = names
-		res.Stats.Senses += len(ids)
-		if len(ids) > 1 {
-			res.Stats.MultiSense++
-		}
-	}
-
-	// Materialise nodes, then edges. A child slot y resolves to the sense
-	// clusters it is vertically linked to; an unlinked slot becomes the
-	// plain node "y" — which coincides with y's concept node when y has a
-	// single sense, and stays a dangling leaf when y is multi-sense (the
-	// sentence did not disambiguate it).
-	for _, r := range roots {
-		for _, id := range byRoot[r] {
-			res.Graph.Intern(senseName[id])
-		}
-	}
-	type pendingEdge struct {
-		from, to string
-		count    int64
-	}
-	var edges []pendingEdge
-	linkTargets := make(map[int]map[string][]int) // from id -> child label -> linked ids
-	for k := range eng.links {
-		from, to := eng.find(k[0]), eng.find(k[1])
-		if senseName[from] == "" || senseName[to] == "" {
-			continue // dropped cluster
-		}
-		m := linkTargets[from]
-		if m == nil {
-			m = make(map[string][]int)
-			linkTargets[from] = m
-		}
-		lbl := eng.nodes[to].Root
-		m[lbl] = append(m[lbl], to)
-	}
-	for _, r := range roots {
-		for _, id := range byRoot[r] {
-			from := senseName[id]
-			l := eng.nodes[id]
-			for _, y := range l.childLabels() {
-				n := l.Children[y]
-				if targets := linkTargets[id][y]; len(targets) > 0 {
-					sort.Ints(targets)
-					for _, tid := range targets {
-						edges = append(edges, pendingEdge{from, senseName[tid], n})
-					}
-					continue
-				}
-				edges = append(edges, pendingEdge{from, y, n})
-			}
-		}
-	}
-	// Deterministic, heaviest-first edge insertion with cycle refusal.
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].count != edges[j].count {
-			return edges[i].count > edges[j].count
-		}
-		if edges[i].from != edges[j].from {
-			return edges[i].from < edges[j].from
-		}
-		return edges[i].to < edges[j].to
-	})
-	for _, e := range edges {
-		from := res.Graph.Intern(e.from)
-		to := res.Graph.Intern(e.to)
-		if from == to {
-			res.Stats.SkippedCycles++
-			continue
-		}
-		if res.Graph.HasPath(to, from) {
-			res.Stats.SkippedCycles++
-			continue
-		}
-		res.Graph.AddEdge(from, to, e.count, 0)
-	}
-	rep.StageEnd(obs.StageTaxonomyAssemble, time.Since(stageStart))
-	for counter, v := range map[string]int64{
-		"locals":           int64(res.Stats.Locals),
-		"horizontal_ops":   int64(res.Stats.HorizontalOps),
-		"vertical_ops":     int64(res.Stats.VerticalOps),
-		"adoptions":        int64(res.Stats.Adoptions),
-		"senses":           int64(res.Stats.Senses),
-		"multi_sense":      int64(res.Stats.MultiSense),
-		"skipped_cycles":   int64(res.Stats.SkippedCycles),
-		"dropped_clusters": int64(res.Stats.DroppedClusters),
-	} {
-		rep.Count(obs.StageTaxonomy, counter, v)
-	}
+// BuildDelta is Build with merge-state reuse: labels outside dirtyRoots
+// keep their clusters from prev (see MergeDelta for the soundness
+// contract), and the shared assembly path recomputes vertical links and
+// the DAG. The result equals Build over the same groups.
+func BuildDelta(prev *State, groups []extraction.Group, dirtyRoots []string, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	rep := obs.ReporterOrNop(cfg.Reporter)
+	rep.StageStart(obs.StageTaxonomy)
+	buildStart := time.Now()
+	state := MergeDelta(prev, groups, dirtyRoots, cfg)
+	res := assembleState(state, cfg, rep)
 	rep.StageEnd(obs.StageTaxonomy, time.Since(buildStart))
 	return res
 }
